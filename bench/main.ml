@@ -1,0 +1,73 @@
+(* The benchmark harness.
+
+   Without arguments: regenerate every table and figure of the paper's
+   evaluation section (DESIGN.md maps experiment ids to paper artefacts),
+   then run a Bechamel micro-benchmark suite over the compiler passes -
+   one Test.make per experiment, timing the computation that produces
+   that table with the memo caches cleared.
+
+   With an argument: run a single experiment (e.g. `main.exe table4`) or
+   just the micro-benchmarks (`main.exe bechamel`). *)
+
+module Experiments = Astitch_experiments.Experiments
+
+(* --- Bechamel micro-benchmarks -------------------------------------------- *)
+
+(* Run an experiment with stdout silenced (its tables are not the point
+   when we are timing it). *)
+let silently f () =
+  flush stdout;
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let saved = Unix.dup Unix.stdout in
+  Unix.dup2 devnull Unix.stdout;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved;
+      Unix.close devnull)
+    (fun () ->
+      Experiments.clear_caches ();
+      f ())
+
+let tests =
+  let open Bechamel in
+  Test.make_grouped ~name:"experiments"
+    (List.map
+       (fun (name, _, f) -> Test.make ~name (Staged.stage (silently f)))
+       (List.filter (fun (name, _, _) -> name <> "overhead") Experiments.all))
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:20 ~stabilize:false ~quota:(Time.second 1.0) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "=== Bechamel: wall time per experiment regeneration ===\n";
+  Printf.printf "%-36s %14s\n" "experiment" "time/run";
+  Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+  |> List.sort compare
+  |> List.iter (fun (name, ols) ->
+         match Analyze.OLS.estimates ols with
+         | Some [ est ] ->
+             Printf.printf "%-36s %12.2fms\n" name (est /. 1e6)
+         | _ -> Printf.printf "%-36s %14s\n" name "n/a")
+
+(* --- Entry point ------------------------------------------------------------ *)
+
+let () =
+  match Sys.argv with
+  | [| _ |] ->
+      Experiments.run_all ();
+      run_bechamel ()
+  | [| _; "bechamel" |] -> run_bechamel ()
+  | [| _; name |] -> Experiments.run name
+  | _ ->
+      prerr_endline "usage: main.exe [experiment-id|bechamel]";
+      exit 1

@@ -1,0 +1,316 @@
+(* Command-line driver.
+
+   astitch_cli inspect <model>            graph statistics
+   astitch_cli compile <model> [-b NAME]  compile + plan summary
+   astitch_cli cuda <model> [-b NAME]     pseudo-CUDA of the plan
+   astitch_cli dot <model>                Graphviz of the graph
+   astitch_cli bench [EXPERIMENT]         paper tables/figures
+   astitch_cli compare <model>            all backends side by side *)
+
+open Cmdliner
+open Astitch_ir
+open Astitch_simt
+open Astitch_plan
+open Astitch_runtime
+
+let backends =
+  [
+    ("tf", Astitch_backends.Tf_backend.backend);
+    ("xla", Astitch_backends.Xla_backend.backend);
+    ("tvm", Astitch_backends.Tvm_backend.backend);
+    ("ansor", Astitch_backends.Tvm_backend.ansor);
+    ("trt", Astitch_backends.Trt_backend.backend);
+    ("astitch", Astitch_core.Astitch.full_backend);
+    ("atm", Astitch_core.Astitch.atm_backend);
+    ("hdm", Astitch_core.Astitch.hdm_backend);
+  ]
+
+let lookup_backend name =
+  match List.assoc_opt (String.lowercase_ascii name) backends with
+  | Some b -> Ok b
+  | None ->
+      Error
+        (Printf.sprintf "unknown backend %s (try: %s)" name
+           (String.concat ", " (List.map fst backends)))
+
+let lookup_model name ~training ~tiny =
+  match Astitch_workloads.Zoo.find name with
+  | None ->
+      Error
+        (Printf.sprintf "unknown model %s (try: %s)" name
+           (String.concat ", "
+              (List.map
+                 (fun (e : Astitch_workloads.Zoo.entry) -> e.name)
+                 Astitch_workloads.Zoo.all)))
+  | Some entry ->
+      if tiny then Ok (entry.tiny ())
+      else if training then
+        match entry.training with
+        | Some t -> Ok (t ())
+        | None -> Error (entry.name ^ " has no training graph")
+      else Ok (entry.inference ())
+
+(* --- Common args ---------------------------------------------------------- *)
+
+let model_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"MODEL"
+         ~doc:"Workload name: CRNN, ASR, BERT, Transformer or DIEN.")
+
+let backend_arg =
+  Arg.(value & opt string "astitch" & info [ "b"; "backend" ] ~docv:"BACKEND"
+         ~doc:"Backend: tf, xla, tvm, ansor, trt, astitch, atm or hdm.")
+
+let training_arg =
+  Arg.(value & flag & info [ "training" ] ~doc:"Use the training graph.")
+
+let tiny_arg =
+  Arg.(value & flag & info [ "tiny" ] ~doc:"Use the tiny test-size variant.")
+
+let arch_arg =
+  Arg.(value & opt string "v100" & info [ "arch" ] ~docv:"ARCH"
+         ~doc:"Device model: v100, t4 or a100.")
+
+let with_arch name f =
+  match Arch.by_name name with
+  | Some arch -> f arch
+  | None -> `Error (false, "unknown arch " ^ name)
+
+(* --- Subcommands ------------------------------------------------------------ *)
+
+let inspect model training tiny =
+  match lookup_model model ~training ~tiny with
+  | Error e -> `Error (false, e)
+  | Ok g ->
+      let st = Graph.stats g in
+      Printf.printf "%s: %d ops\n" model st.total_ops;
+      Printf.printf "  memory-intensive:  %d\n" st.memory_intensive_ops;
+      Printf.printf "  compute-intensive: %d\n" st.compute_intensive_ops;
+      Printf.printf "  reduces:           %d\n" st.reduce_ops;
+      Printf.printf "  broadcasts:        %d\n" st.broadcast_ops;
+      Printf.printf "  heavy element-wise:%d\n" st.heavy_elementwise_ops;
+      let clusters = Clustering.clusters g in
+      Printf.printf "  stitch scopes:     %d (largest %d ops)\n"
+        (List.length clusters)
+        (List.fold_left
+           (fun acc (c : Clustering.cluster) ->
+             Stdlib.max acc (List.length c.nodes))
+           0 clusters);
+      `Ok ()
+
+let compile model backend training tiny arch =
+  match (lookup_model model ~training ~tiny, lookup_backend backend) with
+  | Error e, _ | _, Error e -> `Error (false, e)
+  | Ok g, Ok b ->
+      with_arch arch (fun arch ->
+          let r = Session.compile b arch g in
+          Format.printf "%a@." Kernel_plan.pp r.plan;
+          Format.printf "%a@." Profile.pp_breakdown r.profile;
+          `Ok ())
+
+let cuda model backend training tiny arch =
+  match (lookup_model model ~training ~tiny, lookup_backend backend) with
+  | Error e, _ | _, Error e -> `Error (false, e)
+  | Ok g, Ok b ->
+      with_arch arch (fun arch ->
+          let r = Session.compile b arch g in
+          print_string (Astitch_core.Codegen.emit_plan r.plan);
+          `Ok ())
+
+let dot model training tiny =
+  match lookup_model model ~training ~tiny with
+  | Error e -> `Error (false, e)
+  | Ok g ->
+      print_string (Dot.to_string g);
+      `Ok ()
+
+let compare_cmd model training tiny arch =
+  match lookup_model model ~training ~tiny with
+  | Error e -> `Error (false, e)
+  | Ok g ->
+      with_arch arch (fun arch ->
+          Printf.printf "%-10s %10s %8s %14s %14s\n" "backend" "kernels" "CPY"
+            "time (us)" "vs TF";
+          let tf_time = ref 0. in
+          List.iter
+            (fun (name, b) ->
+              let r = Session.compile b arch g in
+              let t = r.profile.Profile.total_time_us in
+              if name = "tf" then tf_time := t;
+              Printf.printf "%-10s %10d %8d %14.1f %13.2fx\n" name
+                (Profile.mem_kernel_count r.profile)
+                (Kernel_plan.cpy_count r.plan)
+                t
+                (if !tf_time > 0. then !tf_time /. t else 1.))
+            backends;
+          `Ok ())
+
+let explain model backend training tiny arch top =
+  match (lookup_model model ~training ~tiny, lookup_backend backend) with
+  | Error e, _ | _, Error e -> `Error (false, e)
+  | Ok g, Ok b ->
+      with_arch arch (fun arch ->
+          let r = Session.compile b arch g in
+          Format.printf "%a@.@." Profile.pp_breakdown r.profile;
+          Printf.printf "%-22s %-8s %-18s %6s %6s %9s %9s %9s %4s\n" "kernel"
+            "kind" "launch" "occ" "sm-eff" "mem(us)" "comp(us)" "exec(us)"
+            "bar";
+          List.iteri
+            (fun i (kp : Profile.kernel_profile) ->
+              if i < top then begin
+                let k = kp.kernel in
+                Printf.printf "%-22s %-8s %-18s %5.0f%% %5.0f%% %9.2f %9.2f %9.2f %4d\n"
+                  (if String.length k.name > 22 then String.sub k.name 0 22
+                   else k.name)
+                  (match k.kind with
+                  | Kernel_plan.Codegen -> "codegen"
+                  | Kernel_plan.Library -> "library"
+                  | Kernel_plan.Copy -> "copy")
+                  (Printf.sprintf "<<<%d,%d>>>" k.launch.Launch.grid
+                     k.launch.Launch.block)
+                  (100. *. kp.estimate.occupancy)
+                  (100. *. kp.estimate.sm_efficiency)
+                  kp.estimate.memory_time_us kp.estimate.compute_time_us
+                  kp.estimate.exec_time_us k.barriers
+              end)
+            (List.sort
+               (fun (a : Profile.kernel_profile) b ->
+                 compare b.estimate.exec_time_us a.estimate.exec_time_us)
+               r.profile.kernels);
+          `Ok ())
+
+let text model training tiny simplify =
+  match lookup_model model ~training ~tiny with
+  | Error e -> `Error (false, e)
+  | Ok g ->
+      let g =
+        if simplify then begin
+          let g', stats = Simplify.run g in
+          Format.eprintf "# simplified: %a@." Simplify.pp_stats stats;
+          g'
+        end
+        else g
+      in
+      print_string (Text_format.to_string g);
+      `Ok ()
+
+let parse_file path backend arch =
+  match lookup_backend backend with
+  | Error e -> `Error (false, e)
+  | Ok b ->
+      with_arch arch (fun arch ->
+          let ic = open_in path in
+          let len = in_channel_length ic in
+          let text = really_input_string ic len in
+          close_in ic;
+          match Text_format.parse text with
+          | exception Text_format.Parse_error m -> `Error (false, m)
+          | g ->
+              Graph.validate g;
+              let r = Session.compile b arch g in
+              Format.printf "%a@." Kernel_plan.pp r.plan;
+              Format.printf "%a@." Profile.pp_breakdown r.profile;
+              `Ok ())
+
+let bench experiment =
+  match experiment with
+  | None ->
+      Astitch_experiments.Experiments.run_all ();
+      `Ok ()
+  | Some name -> (
+      match
+        List.find_opt
+          (fun (n, _, _) -> n = name)
+          Astitch_experiments.Experiments.all
+      with
+      | Some (_, _, f) ->
+          f ();
+          `Ok ()
+      | None ->
+          `Error
+            ( false,
+              Printf.sprintf "unknown experiment %s (try: %s)" name
+                (String.concat ", "
+                   (List.map
+                      (fun (n, _, _) -> n)
+                      Astitch_experiments.Experiments.all)) ))
+
+(* --- Command wiring ----------------------------------------------------------- *)
+
+let inspect_cmd =
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Show graph statistics for a workload")
+    Term.(ret (const inspect $ model_arg $ training_arg $ tiny_arg))
+
+let compile_cmd =
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a workload and print the kernel plan")
+    Term.(
+      ret (const compile $ model_arg $ backend_arg $ training_arg $ tiny_arg $ arch_arg))
+
+let cuda_cmd =
+  Cmd.v
+    (Cmd.info "cuda" ~doc:"Emit pseudo-CUDA for a compiled workload")
+    Term.(
+      ret (const cuda $ model_arg $ backend_arg $ training_arg $ tiny_arg $ arch_arg))
+
+let dot_cmd =
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit Graphviz for a workload graph")
+    Term.(ret (const dot $ model_arg $ training_arg $ tiny_arg))
+
+let compare_cmds =
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare every backend on one workload")
+    Term.(ret (const compare_cmd $ model_arg $ training_arg $ tiny_arg $ arch_arg))
+
+let bench_cmd =
+  let exp_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"EXPERIMENT"
+           ~doc:"Experiment id (fig1, fig11a, table3, ...); all if omitted.")
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc:"Reproduce the paper's tables and figures")
+    Term.(ret (const bench $ exp_arg))
+
+let explain_cmd =
+  let top_arg =
+    Arg.(value & opt int 20 & info [ "top" ] ~docv:"N"
+           ~doc:"Show the N most expensive kernels.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Per-kernel cost breakdown of a compiled workload")
+    Term.(
+      ret
+        (const explain $ model_arg $ backend_arg $ training_arg $ tiny_arg
+       $ arch_arg $ top_arg))
+
+let text_cmd =
+  let simplify_arg =
+    Arg.(value & flag & info [ "simplify" ]
+           ~doc:"Run the simplification pass before printing.")
+  in
+  Cmd.v
+    (Cmd.info "text" ~doc:"Emit the textual IR of a workload graph")
+    Term.(ret (const text $ model_arg $ training_arg $ tiny_arg $ simplify_arg))
+
+let parse_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+           ~doc:"Path to a graph in the textual IR format.")
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse a textual-IR file, compile and profile it")
+    Term.(ret (const parse_file $ file_arg $ backend_arg $ arch_arg))
+
+let main =
+  Cmd.group
+    (Cmd.info "astitch_cli" ~version:"1.0"
+       ~doc:"AStitch (ASPLOS'22) reproduction: ML-compiler stitching on a \
+             simulated SIMT GPU")
+    [
+      inspect_cmd; compile_cmd; cuda_cmd; dot_cmd; compare_cmds; bench_cmd;
+      text_cmd; parse_cmd; explain_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,104 @@
+(* Adaptive thread mapping (paper Sec 3.3 and Sec 4.3 step 2).
+
+   Stitch kernels use the maximum block size (1024) so that the
+   blocks-per-wave bound - and hence the global-barrier budget - is as
+   small as possible (Sec 4.5).  Against that bound:
+   - row reductions with few long rows are *split* across blocks
+     (cross-block atomics) to fill the machine;
+   - row reductions with many short rows are *packed*: horizontally
+     (several rows per block) to fix the small-block-size pathology, then
+     vertically (several row batches per block) to stay within one wave;
+   - element-wise groups use grid-stride chunks capped at one wave. *)
+
+open Astitch_ir
+open Astitch_simt
+open Astitch_plan
+
+let stitch_block = 1024
+
+(* Sec 4.5 "assume": start from a 32-register budget; with 1024-thread
+   blocks a V100 then fits 2 blocks per SM = 160 blocks per wave. *)
+let assumed_regs = 32
+
+let blocks_per_wave (arch : Arch.t) =
+  let block = Stdlib.min stitch_block arch.max_threads_per_block in
+  Occupancy.blocks_per_wave arch
+    (Launch.make ~regs_per_thread:assumed_regs ~grid:1 ~block ())
+
+let row_reduce (arch : Arch.t) ~rows ~row_length =
+  let bpw = blocks_per_wave arch in
+  let block = Stdlib.min stitch_block arch.max_threads_per_block in
+  let split_candidate =
+    Stdlib.min (bpw / Stdlib.max 1 rows) (Lowering.ceil_div row_length block)
+  in
+  let enough_work = rows * row_length >= 65536 in
+  (* splitting pays for its atomics only when there is real work to
+     spread; tiny reductions keep the single-block schedule *)
+  if rows < bpw && row_length > block && split_candidate > 1 && enough_work
+  then
+    (* task splitting (Fig 8-b): few long rows; several blocks per row *)
+    Thread_mapping.Row_reduce
+      {
+        rows;
+        row_length;
+        threads_per_row = block;
+        rows_per_block = 1;
+        row_groups_per_block = 1;
+        split = split_candidate;
+      }
+  else begin
+    (* task packing (Fig 8-a) *)
+    let threads_per_row =
+      Lowering.threads_for_row ~warp_size:arch.warp_size ~max_block:block
+        row_length
+    in
+    let rows_per_block =
+      Stdlib.max 1 (Stdlib.min rows (block / threads_per_row))
+    in
+    let blocks_needed = Lowering.ceil_div rows rows_per_block in
+    let row_groups_per_block =
+      Stdlib.max 1 (Lowering.ceil_div blocks_needed bpw)
+    in
+    Thread_mapping.Row_reduce
+      {
+        rows;
+        row_length;
+        threads_per_row;
+        rows_per_block;
+        row_groups_per_block;
+        split = 1;
+      }
+  end
+
+let column_reduce (arch : Arch.t) ~rows ~row_length =
+  let bpw = blocks_per_wave arch in
+  let block = Stdlib.min stitch_block arch.max_threads_per_block in
+  let total = rows * row_length in
+  Thread_mapping.Column_reduce
+    {
+      rows;
+      row_length;
+      block;
+      grid = Stdlib.max 1 (Stdlib.min (Lowering.ceil_div total block) bpw);
+    }
+
+let elementwise (arch : Arch.t) ~elements ~rows =
+  let bpw = blocks_per_wave arch in
+  let block = Stdlib.min stitch_block arch.max_threads_per_block in
+  Thread_mapping.Elementwise
+    {
+      elements;
+      block;
+      grid = Stdlib.max 1 (Stdlib.min (Lowering.ceil_div elements block) bpw);
+      rows;
+    }
+
+(* Mapping for a dominant op. *)
+let for_dominant arch g id =
+  match Graph.op g id with
+  | Op.Reduce _ -> (
+      let rows, row_length = Pattern.reduce_geometry g id in
+      match Pattern.reduce_layout g id with
+      | Pattern.Row_reduce -> row_reduce arch ~rows ~row_length
+      | Pattern.Column_reduce -> column_reduce arch ~rows ~row_length)
+  | _ -> elementwise arch ~elements:(Graph.num_elements g id) ~rows:None

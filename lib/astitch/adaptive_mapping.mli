@@ -1,0 +1,27 @@
+(** Adaptive thread mapping (paper Sec 3.3, Sec 4.3 step 2): task packing
+    (horizontal and vertical) and task splitting against the
+    blocks-per-wave bound that keeps global barriers legal. *)
+
+open Astitch_ir
+open Astitch_simt
+open Astitch_plan
+
+val stitch_block : int
+(** Stitch kernels use the maximum block size (1024). *)
+
+val assumed_regs : int
+(** The Sec 4.5 "assume" register budget (32). *)
+
+val blocks_per_wave : Arch.t -> int
+(** Resident blocks per wave under the assumed configuration; 160 on a
+    V100 at block 1024. *)
+
+val row_reduce : Arch.t -> rows:int -> row_length:int -> Thread_mapping.t
+(** Packs many short rows (Fig 8-a) or splits few long rows (Fig 8-b);
+    the resulting grid always fits one wave. *)
+
+val column_reduce : Arch.t -> rows:int -> row_length:int -> Thread_mapping.t
+val elementwise : Arch.t -> elements:int -> rows:int option -> Thread_mapping.t
+
+val for_dominant : Arch.t -> Graph.t -> Op.node_id -> Thread_mapping.t
+(** The mapping a dominant op drives its group with. *)

@@ -1,0 +1,29 @@
+(* Public entry points of the AStitch compiler. *)
+
+open Astitch_simt
+open Astitch_plan
+
+let cost_config =
+  {
+    Cost_model.default_config with
+    Cost_model.framework_op_overhead_us = 1.5;
+  }
+
+let compile ?(config = Config.full) arch g =
+  Stitch_backend.compile_with config arch g
+
+let backend ?(config = Config.full) () =
+  {
+    Backend_intf.name =
+      (if config = Config.full then "AStitch"
+       else if config = Config.atm_only then "ATM"
+       else if config = Config.no_dominant_merging then "HDM"
+       else "AStitch" ^ Config.to_string config);
+    cost_config;
+    compile = (fun arch g -> compile ~config arch g);
+  }
+
+(* The Table 4 ablation ladder. *)
+let full_backend = backend ()
+let atm_backend = backend ~config:Config.atm_only ()
+let hdm_backend = backend ~config:Config.no_dominant_merging ()

@@ -1,0 +1,17 @@
+(** Public entry points of the AStitch compiler. *)
+
+open Astitch_simt
+open Astitch_plan
+
+val cost_config : Cost_model.config
+
+val compile : ?config:Config.t -> Arch.t -> Astitch_ir.Graph.t -> Kernel_plan.t
+
+val backend : ?config:Config.t -> unit -> Backend_intf.t
+
+val full_backend : Backend_intf.t
+val atm_backend : Backend_intf.t
+(** Table 4 "ATM": XLA fusion scopes + adaptive thread mapping. *)
+
+val hdm_backend : Backend_intf.t
+(** Table 4 "HDM": exhaustive stitching without dominant merging. *)

@@ -1,0 +1,166 @@
+(* Pseudo-CUDA emission.
+
+   The simulator never runs real device code, but emitting a readable
+   CUDA-like rendering of a kernel plan makes the stitching decisions
+   inspectable: one statement per op annotated with its scheme, buffer
+   placement and recompute factor, shared-memory declarations for regional
+   buffers, block barriers between groups and inlined global barriers for
+   the global scheme. *)
+
+open Astitch_ir
+open Astitch_simt
+open Astitch_plan
+
+let buffer_decl g (o : Kernel_plan.compiled_op) =
+  let elems = Graph.num_elements g o.id in
+  match o.placement with
+  | Kernel_plan.Shared_mem -> (
+      match Thread_mapping.contiguous_outputs_per_block o.mapping with
+      | Some per_block ->
+          Some (Printf.sprintf "__shared__ float smem_v%d[%d];" o.id per_block)
+      | None -> None)
+  | Kernel_plan.Global_scratch ->
+      Some (Printf.sprintf "float* gmem_v%d = scratch + /* %dB */;" o.id (4 * elems))
+  | Kernel_plan.Register | Kernel_plan.Device_mem -> None
+
+let value_ref g (in_kernel : (Op.node_id, Kernel_plan.compiled_op) Hashtbl.t) id =
+  match Hashtbl.find_opt in_kernel id with
+  | Some o -> (
+      match o.placement with
+      | Kernel_plan.Register -> Printf.sprintf "v%d" id
+      | Kernel_plan.Shared_mem -> Printf.sprintf "smem_v%d[i]" id
+      | Kernel_plan.Global_scratch -> Printf.sprintf "gmem_v%d[i]" id
+      | Kernel_plan.Device_mem -> Printf.sprintf "out_v%d[i]" id)
+  | None -> (
+      match Graph.op g id with
+      | Op.Parameter { name } -> Printf.sprintf "%s[i]" name
+      | Op.Constant { value } -> Printf.sprintf "%gf" value
+      | _ -> Printf.sprintf "in_v%d[i]" id)
+
+let expression g in_kernel (o : Kernel_plan.compiled_op) =
+  let v = value_ref g in_kernel in
+  match Graph.op g o.id with
+  | Op.Parameter { name } -> name ^ "[i]"
+  | Op.Constant { value } -> Printf.sprintf "%gf" value
+  | Op.Iota { axis } -> Printf.sprintf "index_along_axis_%d(i)" axis
+  | Op.Unary { kind; input } ->
+      Printf.sprintf "%sf(%s)" (Op.unary_to_string kind) (v input)
+  | Op.Binary { kind; lhs; rhs } ->
+      Printf.sprintf "%s(%s, %s)" (Op.binary_to_string kind) (v lhs) (v rhs)
+  | Op.Broadcast { input; _ } -> Printf.sprintf "%s /* replicated */" (v input)
+  | Op.Reduce { input; kind; _ } ->
+      Printf.sprintf "%s_reduce_rows(%s)" (Op.reduce_to_string kind) (v input)
+  | Op.Reshape { input } -> v input
+  | Op.Transpose { input; _ } -> Printf.sprintf "%s /* transposed index */" (v input)
+  | Op.Select { pred; on_true; on_false } ->
+      Printf.sprintf "%s ? %s : %s" (v pred) (v on_true) (v on_false)
+  | Op.Concat { inputs; _ } ->
+      Printf.sprintf "concat(%s)" (String.concat ", " (List.map v inputs))
+  | Op.Slice { input; _ } -> Printf.sprintf "%s /* sliced index */" (v input)
+  | Op.Pad { input; _ } -> Printf.sprintf "pad0(%s)" (v input)
+  | Op.Gather { params; indices } ->
+      Printf.sprintf "%s /* row %s */" (v params) (v indices)
+  | Op.Scatter_add { indices; updates; _ } ->
+      Printf.sprintf "atomicAdd(&out[%s], %s)" (v indices) (v updates)
+  | Op.Max_pool { input; window; _ } ->
+      Printf.sprintf "window_max_%dx%d(%s)" window window (v input)
+  | Op.Dot { lhs; rhs } -> Printf.sprintf "cublas_gemm(%s, %s)" (v lhs) (v rhs)
+  | Op.Conv2d { input; filter; _ } ->
+      Printf.sprintf "cudnn_conv(%s, %s)" (v input) (v filter)
+
+let destination (o : Kernel_plan.compiled_op) =
+  match o.placement with
+  | Kernel_plan.Register -> Printf.sprintf "float v%d =" o.id
+  | Kernel_plan.Shared_mem -> Printf.sprintf "smem_v%d[i] =" o.id
+  | Kernel_plan.Global_scratch -> Printf.sprintf "gmem_v%d[i] =" o.id
+  | Kernel_plan.Device_mem -> Printf.sprintf "out_v%d[i] =" o.id
+
+let kernel_params g (k : Kernel_plan.kernel) =
+  let in_kernel = Hashtbl.create 16 in
+  List.iter (fun (o : Kernel_plan.compiled_op) -> Hashtbl.replace in_kernel o.id o) k.ops;
+  let inputs =
+    List.concat_map
+      (fun (o : Kernel_plan.compiled_op) ->
+        List.filter (fun operand -> not (Hashtbl.mem in_kernel operand))
+          (Graph.operands g o.id))
+      k.ops
+    |> List.sort_uniq compare
+  in
+  let outputs =
+    List.filter_map
+      (fun (o : Kernel_plan.compiled_op) ->
+        if o.placement = Kernel_plan.Device_mem then Some o.id else None)
+      k.ops
+  in
+  (inputs, outputs)
+
+let emit_kernel g (k : Kernel_plan.kernel) =
+  let buf = Buffer.create 1024 in
+  let in_kernel = Hashtbl.create 16 in
+  List.iter (fun (o : Kernel_plan.compiled_op) -> Hashtbl.replace in_kernel o.id o) k.ops;
+  let inputs, outputs = kernel_params g k in
+  let param id prefix = Printf.sprintf "const float* %s_v%d" prefix id in
+  let params =
+    List.map
+      (fun id ->
+        match Graph.op g id with
+        | Op.Parameter { name } -> "const float* " ^ name
+        | _ -> param id "in")
+      inputs
+    @ List.map (fun id -> Printf.sprintf "float* out_v%d" id) outputs
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "// launch: %s%s\n"
+       (Format.asprintf "%a" Launch.pp k.launch)
+       (if k.barriers > 0 then Printf.sprintf ", %d global barrier(s)" k.barriers
+        else ""));
+  Buffer.add_string buf
+    (Printf.sprintf "__global__ void %s(%s) {\n" k.name (String.concat ", " params));
+  (* shared / scratch declarations *)
+  List.iter
+    (fun o ->
+      match buffer_decl g o with
+      | Some decl -> Buffer.add_string buf ("  " ^ decl ^ "\n")
+      | None -> ())
+    k.ops;
+  let current_group = ref min_int in
+  List.iter
+    (fun (o : Kernel_plan.compiled_op) ->
+      if o.group <> !current_group then begin
+        if !current_group <> min_int then
+          Buffer.add_string buf "  __sync_or_global_barrier();\n";
+        current_group := o.group;
+        Buffer.add_string buf
+          (Printf.sprintf "  // group %d: %s\n" o.group
+             (Thread_mapping.to_string o.mapping))
+      end;
+      Buffer.add_string buf
+        (Printf.sprintf "  %s %s;  // %s, %s%s\n" (destination o)
+           (expression g in_kernel o)
+           (Scheme.to_string o.scheme)
+           (Kernel_plan.placement_to_string o.placement)
+           (if o.recompute > 1 then Printf.sprintf ", recompute x%d" o.recompute
+            else "")))
+    k.ops;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let emit_plan (plan : Kernel_plan.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "// plan: %d kernels on %s\n\n"
+       (List.length plan.kernels) plan.arch.Arch.name);
+  List.iter
+    (fun (k : Kernel_plan.kernel) ->
+      match k.kind with
+      | Kernel_plan.Codegen ->
+          Buffer.add_string buf (emit_kernel plan.graph k);
+          Buffer.add_string buf "\n"
+      | Kernel_plan.Library ->
+          Buffer.add_string buf
+            (Printf.sprintf "// %s: vendor library call (cuBLAS/cuDNN)\n\n" k.name)
+      | Kernel_plan.Copy ->
+          Buffer.add_string buf
+            (Printf.sprintf "// %s: cudaMemcpyDeviceToDevice\n\n" k.name))
+    plan.kernels;
+  Buffer.contents buf

@@ -1,0 +1,12 @@
+(** Pseudo-CUDA rendering of kernel plans: one annotated statement per op,
+    shared/scratch declarations, group boundaries and barriers. *)
+
+open Astitch_ir
+open Astitch_plan
+
+val kernel_params :
+  Graph.t -> Kernel_plan.kernel -> Op.node_id list * Op.node_id list
+(** [(external inputs, materialized outputs)] of a kernel. *)
+
+val emit_kernel : Graph.t -> Kernel_plan.kernel -> string
+val emit_plan : Kernel_plan.t -> string

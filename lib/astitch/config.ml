@@ -1,0 +1,37 @@
+(* Compiler configuration, including the ablation switches of Table 4:
+   XLA -> +ATM (adaptive thread mapping on XLA's fusion scopes)
+       -> +HDM (exhaustive stitching with hierarchical data management,
+                no dominant merging)
+       -> AStitch (everything). *)
+
+type t = {
+  adaptive_thread_mapping : bool;
+  hierarchical_data_reuse : bool;
+      (* stitch across one-to-many boundaries with shared/global buffers;
+         off = fall back to XLA's fusion cuts *)
+  dominant_merging : bool;
+  remote_stitching : bool;
+  max_remote_merge_width : int;
+}
+
+let full =
+  {
+    adaptive_thread_mapping = true;
+    hierarchical_data_reuse = true;
+    dominant_merging = true;
+    remote_stitching = true;
+    max_remote_merge_width = 4;
+  }
+
+(* The "ATM" ablation: adaptive thread mapping on XLA's fusion plan. *)
+let atm_only = { full with hierarchical_data_reuse = false;
+                 dominant_merging = false; remote_stitching = false }
+
+(* The "HDM" ablation: exhaustive stitching + hierarchical data
+   management, without dominant merging. *)
+let no_dominant_merging = { full with dominant_merging = false }
+
+let to_string c =
+  Printf.sprintf "{atm=%b; hdr=%b; merge=%b; remote=%b}"
+    c.adaptive_thread_mapping c.hierarchical_data_reuse c.dominant_merging
+    c.remote_stitching

@@ -1,0 +1,20 @@
+(** Compiler configuration, including the Table 4 ablation switches. *)
+
+type t = {
+  adaptive_thread_mapping : bool;
+  hierarchical_data_reuse : bool;
+      (** off = fall back to XLA's fusion cuts (the ATM ablation) *)
+  dominant_merging : bool;
+  remote_stitching : bool;
+  max_remote_merge_width : int;
+}
+
+val full : t
+
+val atm_only : t
+(** Adaptive thread mapping on XLA's fusion plan (Table 4 "ATM"). *)
+
+val no_dominant_merging : t
+(** Exhaustive stitching without dominant merging (Table 4 "HDM"). *)
+
+val to_string : t -> string

@@ -1,0 +1,156 @@
+(* Dominant identification, dominant merging and op grouping
+   (paper Sec 4.3 step 1).
+
+   Within one stitch scope (cluster):
+   - candidates = reduces, heavy element-wise ops feeding a broadcast,
+     and the stitch op's outputs;
+   - cutting every candidate's *out*-edges splits the scope into op
+     groups, each terminated by candidates;
+   - dominant merging treats the remaining edges as *undirected*: two
+     candidates joined through local-scheme ops (including shared
+     producers, like broadcast.2 in Figure 9) share one group, enabling
+     operator-level data reuse;
+   - without merging, each candidate keeps its own input cone, and ops
+     shared by several cones are evaluated (and loaded) once per group. *)
+
+open Astitch_ir
+
+type group = {
+  dominant : Op.node_id; (* final dominant: drives the thread mapping *)
+  sub_dominants : Op.node_id list;
+  members : Op.node_id list; (* ascending ids; includes all dominants *)
+}
+
+let candidates g ~nodes ~escaping =
+  List.filter
+    (fun id -> Pattern.is_dominant_candidate g id || escaping id)
+    nodes
+
+(* Prefer a reduce as the final dominant (its schedule is the costly one);
+   break ties towards the largest input. *)
+let reduce_weight g id =
+  match Graph.op g id with
+  | Op.Reduce { input; _ } -> Graph.num_elements g input
+  | _ -> -1
+
+let pick_dominant g cands =
+  match cands with
+  | [] -> None
+  | _ ->
+      let best =
+        List.fold_left
+          (fun acc id ->
+            let w = (reduce_weight g id, Graph.num_elements g id, -id) in
+            match acc with
+            | None -> Some (w, id)
+            | Some (bw, _) when w > bw -> Some (w, id)
+            | some -> some)
+          None cands
+      in
+      Option.map snd best
+
+(* Edges inside the cluster that survive the candidate cut: every edge
+   whose producer is NOT a candidate. *)
+let surviving_edges g ~in_cluster ~is_candidate nodes =
+  List.concat_map
+    (fun id ->
+      List.filter_map
+        (fun operand ->
+          if Hashtbl.mem in_cluster operand && not (is_candidate operand)
+          then Some (operand, id)
+          else None)
+        (Graph.operands g id))
+    nodes
+
+(* --- With dominant merging: undirected components ---------------------- *)
+
+let groups_merged g ~nodes ~cands =
+  let in_cluster = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace in_cluster id ()) nodes;
+  let cand_set = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace cand_set id ()) cands;
+  let index = Hashtbl.create 16 in
+  List.iteri (fun i id -> Hashtbl.replace index id i) nodes;
+  let n = List.length nodes in
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(Stdlib.max ra rb) <- Stdlib.min ra rb
+  in
+  List.iter
+    (fun (a, b) -> union (Hashtbl.find index a) (Hashtbl.find index b))
+    (surviving_edges g ~in_cluster
+       ~is_candidate:(Hashtbl.mem cand_set)
+       nodes);
+  let members = Hashtbl.create 16 in
+  List.iteri
+    (fun i id ->
+      let r = find i in
+      Hashtbl.replace members r
+        (id :: Option.value ~default:[] (Hashtbl.find_opt members r)))
+    nodes;
+  Hashtbl.fold
+    (fun _ ids acc ->
+      let ids = List.rev ids in
+      let group_cands = List.filter (Hashtbl.mem cand_set) ids in
+      let dominant =
+        match pick_dominant g group_cands with
+        | Some d -> d
+        | None -> List.nth ids (List.length ids - 1)
+      in
+      {
+        dominant;
+        sub_dominants = List.filter (fun c -> c <> dominant) group_cands;
+        members = ids;
+      }
+      :: acc)
+    members []
+  |> List.sort (fun a b -> compare a.dominant b.dominant)
+
+(* --- Without merging: one input cone per candidate --------------------- *)
+
+let groups_unmerged g ~nodes ~cands =
+  let in_cluster = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace in_cluster id ()) nodes;
+  let cand_set = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace cand_set id ()) cands;
+  let cone candidate =
+    let visited = Hashtbl.create 16 in
+    let rec walk id =
+      if not (Hashtbl.mem visited id) then begin
+        Hashtbl.replace visited id ();
+        List.iter
+          (fun operand ->
+            if Hashtbl.mem in_cluster operand && not (Hashtbl.mem cand_set operand)
+            then walk operand)
+          (Graph.operands g id)
+      end
+    in
+    walk candidate;
+    Hashtbl.fold (fun id () acc -> id :: acc) visited [] |> List.sort compare
+  in
+  List.map
+    (fun c -> { dominant = c; sub_dominants = []; members = cone c })
+    (List.sort compare cands)
+
+let group_ops ~merging g ~nodes ~escaping =
+  let cands = candidates g ~nodes ~escaping in
+  if merging then groups_merged g ~nodes ~cands
+  else if cands = [] then groups_merged g ~nodes ~cands
+  else groups_unmerged g ~nodes ~cands
+
+(* Times each node appears across groups (1 under merging; >= 1 for shared
+   producers without merging - the redundant loads dominant merging is
+   there to remove). *)
+let occurrences groups =
+  let count = Hashtbl.create 32 in
+  List.iter
+    (fun grp ->
+      List.iter
+        (fun id ->
+          Hashtbl.replace count id
+            (1 + Option.value ~default:0 (Hashtbl.find_opt count id)))
+        grp.members)
+    groups;
+  fun id -> Stdlib.max 1 (Option.value ~default:1 (Hashtbl.find_opt count id))

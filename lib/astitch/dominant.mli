@@ -1,0 +1,34 @@
+(** Dominant identification, dominant merging and op grouping
+    (paper Sec 4.3 step 1). *)
+
+open Astitch_ir
+
+type group = {
+  dominant : Op.node_id;  (** final dominant: drives the thread mapping *)
+  sub_dominants : Op.node_id list;
+  members : Op.node_id list;  (** ascending ids; includes all dominants *)
+}
+
+val candidates :
+  Graph.t -> nodes:Op.node_id list -> escaping:(Op.node_id -> bool) ->
+  Op.node_id list
+(** Reduces, heavy element-wise ops feeding broadcasts, and the stitch
+    scope's outputs. *)
+
+val pick_dominant : Graph.t -> Op.node_id list -> Op.node_id option
+(** Prefer a reduce (largest input first), then the largest candidate. *)
+
+val group_ops :
+  merging:bool ->
+  Graph.t ->
+  nodes:Op.node_id list ->
+  escaping:(Op.node_id -> bool) ->
+  group list
+(** With merging, groups partition the scope (candidates joined through
+    local ops - including shared producers - share a group).  Without,
+    each candidate keeps its own input cone and shared producers appear
+    in several groups. *)
+
+val occurrences : group list -> Op.node_id -> int
+(** Times a node appears across groups (the duplication dominant merging
+    removes). *)

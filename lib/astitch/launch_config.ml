@@ -1,0 +1,52 @@
+(* Resource-aware launch configuration (paper Sec 4.5).
+
+   Assume-relax-apply: assume a 32-register budget (which, with
+   1024-thread blocks, keeps two blocks resident per SM on a V100);
+   compute the blocks-per-wave bound from that assumption plus the
+   planned shared-memory usage; then relax the register bound up to
+   whatever the real limiter (shared memory or the thread count) leaves
+   on the table, and apply it as the per-thread register cap. *)
+
+open Astitch_simt
+
+type t = {
+  block : int;
+  regs_per_thread : int;
+  shared_mem_per_block : int;
+  blocks_per_wave : int;
+}
+
+(* Shared memory each block may use without dropping below the assumed
+   residency (so the blocks-per-wave bound survives planning). *)
+let shared_mem_budget (arch : Arch.t) =
+  let block = Stdlib.min Adaptive_mapping.stitch_block arch.max_threads_per_block in
+  let assumed_blocks_per_sm =
+    Stdlib.max 1 (arch.max_threads_per_sm / block)
+  in
+  Stdlib.min arch.shared_mem_per_block
+    (arch.shared_mem_per_sm / assumed_blocks_per_sm)
+
+let plan (arch : Arch.t) ~block ~shared_mem_per_block =
+  (* assume *)
+  let assumed = Adaptive_mapping.assumed_regs in
+  let probe =
+    Launch.make ~regs_per_thread:assumed ~shared_mem_per_block ~grid:1 ~block ()
+  in
+  let blocks_per_sm = Occupancy.blocks_per_sm arch probe in
+  let blocks_per_sm = Stdlib.max 1 blocks_per_sm in
+  (* relax: the residency actually achieved bounds the register budget *)
+  let relaxed =
+    Stdlib.min arch.max_registers_per_thread
+      (arch.registers_per_sm / (blocks_per_sm * block))
+  in
+  let regs = Stdlib.max assumed relaxed in
+  (* apply *)
+  let final =
+    Launch.make ~regs_per_thread:regs ~shared_mem_per_block ~grid:1 ~block ()
+  in
+  {
+    block;
+    regs_per_thread = regs;
+    shared_mem_per_block;
+    blocks_per_wave = Occupancy.blocks_per_wave arch final;
+  }

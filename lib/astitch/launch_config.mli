@@ -1,0 +1,18 @@
+(** Resource-aware launch configuration (paper Sec 4.5):
+    assume-relax-apply register bounding that preserves the
+    blocks-per-wave guarantee global barriers rely on. *)
+
+open Astitch_simt
+
+type t = {
+  block : int;
+  regs_per_thread : int;
+  shared_mem_per_block : int;
+  blocks_per_wave : int;
+}
+
+val shared_mem_budget : Arch.t -> int
+(** Shared memory a block may use without dropping below the assumed SM
+    residency (48 KB on a V100 at block 1024). *)
+
+val plan : Arch.t -> block:int -> shared_mem_per_block:int -> t

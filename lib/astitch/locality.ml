@@ -1,0 +1,39 @@
+(* Block-locality analysis (paper Sec 4.3 step 3).
+
+   Passive checking: a dominant's output can live in shared memory
+   (regional scheme) only if every consumer group's mapping is
+   block-aligned with the producer's - block i reads exactly what block i
+   wrote.
+
+   Proactive adaptation: element-wise groups have no schedule of their
+   own to defend, so they *adopt* a mapping aligned with their producer's
+   row partition before the check runs. *)
+
+open Astitch_ir
+open Astitch_simt
+open Astitch_plan
+
+(* Proactive block-locality adaptation: an element-wise group consuming a
+   producer with row partition (rows, rpb) adopts grid = ceil(rows/rpb),
+   giving each block the same row range as the producer's. *)
+let adapt_elementwise (arch : Arch.t) ~producer ~elements =
+  match Thread_mapping.row_partition producer with
+  | None -> None
+  | Some (rows, rows_per_block) ->
+      let grid = (rows + rows_per_block - 1) / rows_per_block in
+      let block = Stdlib.min Adaptive_mapping.stitch_block arch.max_threads_per_block in
+      Some (Thread_mapping.Elementwise { elements; block; grid; rows = Some rows })
+
+(* Passive checking: producer mapping vs every consumer mapping. *)
+let regional_ok ~producer_mapping ~consumer_mappings =
+  Thread_mapping.contiguous_outputs_per_block producer_mapping <> None
+  && consumer_mappings <> []
+  && List.for_all
+       (fun m -> Thread_mapping.block_aligned producer_mapping m)
+       consumer_mappings
+
+(* Shared-memory footprint (bytes per block) of buffering [id] regionally. *)
+let shared_bytes_per_block g id mapping =
+  match Thread_mapping.contiguous_outputs_per_block mapping with
+  | None -> None
+  | Some per_block -> Some (per_block * Dtype.size_bytes (Graph.dtype g id))

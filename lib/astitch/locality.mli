@@ -1,0 +1,23 @@
+(** Block-locality analysis (paper Sec 4.3 step 3): passive checking for
+    the regional-vs-global decision, proactive adaptation for element-wise
+    groups. *)
+
+open Astitch_ir
+open Astitch_simt
+open Astitch_plan
+
+val adapt_elementwise :
+  Arch.t -> producer:Thread_mapping.t -> elements:int -> Thread_mapping.t option
+(** Proactive block-locality adaptation: adopt the producer's row
+    partition so block [i] reads what block [i] wrote. *)
+
+val regional_ok :
+  producer_mapping:Thread_mapping.t ->
+  consumer_mappings:Thread_mapping.t list ->
+  bool
+(** Passive checking: contiguous per-block outputs and every consumer
+    block-aligned. *)
+
+val shared_bytes_per_block :
+  Graph.t -> Op.node_id -> Thread_mapping.t -> int option
+(** Shared-memory footprint of buffering the value regionally. *)

@@ -1,0 +1,127 @@
+(* Memory usage optimization (paper Sec 4.4).
+
+   Two responsibilities:
+   - keep the per-block shared-memory footprint of regional buffers under
+     the budget that preserves the assumed SM residency, demoting
+     regional placements to global one by one when it overflows;
+   - plan the global scratch arena with liveness-based reuse, so stitch
+     kernels recycle scratch instead of growing their footprint with
+     every buffered intermediate. *)
+
+open Astitch_ir
+
+(* --- Regional demotion -------------------------------------------------- *)
+
+(* [fit_shared budget entries] keeps a subset of [(id, bytes)] whose total
+   fits the budget, demoting the largest overflowing buffers first (they
+   buy back the most space per demotion).  Returns (kept, demoted). *)
+let fit_shared ~budget entries =
+  let total = List.fold_left (fun acc (_, b) -> acc + b) 0 entries in
+  if total <= budget then (entries, [])
+  else begin
+    let by_size_desc =
+      List.sort (fun (_, a) (_, b) -> compare b a) entries
+    in
+    let rec demote kept total = function
+      | [] -> (kept, [])
+      | ((id, bytes) :: rest : (Op.node_id * int) list) ->
+          if total <= budget then (kept @ ((id, bytes) :: rest), [])
+          else
+            let kept', demoted = demote kept (total - bytes) rest in
+            (kept', (id, bytes) :: demoted)
+    in
+    let kept, demoted = demote [] total by_size_desc in
+    (kept, demoted)
+  end
+
+(* --- Global scratch planning ------------------------------------------- *)
+
+type allocation = {
+  node : Op.node_id;
+  offset : int;
+  size : int;
+  live_from : int; (* position of the defining op in the kernel *)
+  live_to : int; (* position of the last in-kernel consumer *)
+}
+
+(* Linear-scan arena allocation over [ (node, size, def_pos, last_use_pos) ].
+   Buffers whose live ranges do not overlap share arena space. *)
+let plan_scratch entries =
+  let entries =
+    List.sort (fun (_, _, d1, _) (_, _, d2, _) -> compare d1 d2) entries
+  in
+  let align n = (n + 255) / 256 * 256 in
+  let live : allocation list ref = ref [] in
+  let free : (int * int) list ref = ref [] in (* (offset, size), sorted *)
+  let arena = ref 0 in
+  let release_dead pos =
+    let dead, alive = List.partition (fun a -> a.live_to < pos) !live in
+    live := alive;
+    List.iter
+      (fun a -> free := List.sort compare ((a.offset, a.size) :: !free))
+      dead
+  in
+  let allocate size =
+    let rec best_fit best rest = function
+      | [] -> (best, List.rev rest)
+      | (off, sz) :: tl ->
+          if sz >= size then begin
+            match best with
+            | Some (_, bsz) when bsz <= sz ->
+                best_fit best ((off, sz) :: rest) tl
+            | _ -> (
+                (* swap previous best back into the free list *)
+                match best with
+                | Some b -> best_fit (Some (off, sz)) (b :: rest) tl
+                | None -> best_fit (Some (off, sz)) rest tl)
+          end
+          else best_fit best ((off, sz) :: rest) tl
+    in
+    match best_fit None [] !free with
+    | Some (off, sz), remaining ->
+        let leftover = sz - size in
+        free :=
+          List.sort compare
+            (if leftover > 0 then (off + size, leftover) :: remaining
+             else remaining);
+        off
+    | None, _ ->
+        let off = !arena in
+        arena := !arena + size;
+        off
+  in
+  let allocations =
+    List.map
+      (fun (node, size, live_from, live_to) ->
+        release_dead live_from;
+        let size = align size in
+        let offset = allocate size in
+        let a = { node; offset; size; live_from; live_to } in
+        live := a :: !live;
+        a)
+      entries
+  in
+  (allocations, !arena)
+
+(* Invariant used by the property tests: two allocations may overlap in
+   arena space only if their live ranges are disjoint. *)
+let overlaps a b =
+  a.offset < b.offset + b.size && b.offset < a.offset + a.size
+
+let live_together a b = a.live_from <= b.live_to && b.live_from <= a.live_to
+
+let check_no_aliasing allocations =
+  let rec pairs = function
+    | [] -> ()
+    | a :: rest ->
+        List.iter
+          (fun b ->
+            if overlaps a b && live_together a b then
+              invalid_arg
+                (Printf.sprintf
+                   "scratch aliasing: nodes %d and %d overlap while live"
+                   a.node b.node))
+          rest;
+        pairs rest
+  in
+  pairs allocations

@@ -1,0 +1,26 @@
+(** Memory usage optimization (paper Sec 4.4): shared-memory budgeting
+    with regional-to-global demotion, and liveness-based reuse of the
+    global scratch arena. *)
+
+open Astitch_ir
+
+val fit_shared :
+  budget:int -> (Op.node_id * int) list -> (Op.node_id * int) list * (Op.node_id * int) list
+(** [(kept, demoted)]: keeps a subset fitting the budget, demoting the
+    largest overflowing buffers first. *)
+
+type allocation = {
+  node : Op.node_id;
+  offset : int;
+  size : int;
+  live_from : int;
+  live_to : int;
+}
+
+val plan_scratch :
+  (Op.node_id * int * int * int) list -> allocation list * int
+(** Linear-scan arena allocation over [(node, bytes, def_pos, last_use)];
+    returns the allocations and the arena size after reuse. *)
+
+val check_no_aliasing : allocation list -> unit
+(** @raise Invalid_argument if two live allocations overlap. *)

@@ -1,0 +1,26 @@
+(** The AStitch compiler pipeline (paper Sec 4): per-cluster lowering with
+    dominant grouping, adaptive mapping, locality finalization, memory
+    planning and resource-aware launch configuration. *)
+
+open Astitch_ir
+open Astitch_simt
+open Astitch_plan
+
+val compile_cluster :
+  Config.t ->
+  Arch.t ->
+  Graph.t ->
+  name:string ->
+  smem_budget:int ->
+  group_base:int ->
+  Op.node_id list ->
+  Kernel_plan.kernel
+(** Lower one stitch scope to a single kernel. *)
+
+val combine_parts :
+  Arch.t -> name:string -> Kernel_plan.kernel list -> Kernel_plan.kernel
+(** Merge the kernels of one remote-stitched group: grids add (capped at
+    one wave), per-block shared memory adds, barriers run in lockstep. *)
+
+val compile_with : Config.t -> Arch.t -> Graph.t -> Kernel_plan.t
+(** Whole-graph compilation; validates the plan before returning. *)

@@ -1,0 +1,26 @@
+(* A CUDA-Graph baseline (paper Sec 7 related work).
+
+   CUDA Graphs *bind* the kernels of an iteration into one graph launch:
+   the per-kernel driver overhead collapses to a small replay cost, but -
+   unlike fusion or stitching - every kernel still runs as before, so
+   off-chip traffic and intra-kernel inefficiency are untouched, and the
+   captured graph's metadata occupies extra device memory.
+
+   Modelled as the XLA plan executed with a near-zero launch cost.  The
+   comparison against AStitch isolates how much of the win is pure
+   launch-overhead removal (CUDA Graph gets that too) versus memory
+   hierarchy and parallelism (it does not). *)
+
+open Astitch_simt
+open Astitch_plan
+
+let cost_config =
+  {
+    Cost_model.default_config with
+    Cost_model.kernel_launch_overhead_us = 3.0 (* per-node replay cost *);
+    framework_op_overhead_us = 0.1;
+  }
+
+let compile arch g = Xla_backend.compile arch g
+
+let backend = { Backend_intf.name = "CUDA-Graph"; cost_config; compile }

@@ -1,0 +1,9 @@
+(** CUDA-Graph baseline: XLA's kernels bound into one graph launch -
+    launch overhead gone, memory traffic untouched (paper Sec 7). *)
+
+open Astitch_simt
+open Astitch_plan
+
+val cost_config : Cost_model.config
+val compile : Arch.t -> Astitch_ir.Graph.t -> Kernel_plan.t
+val backend : Backend_intf.t

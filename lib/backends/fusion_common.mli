@@ -1,0 +1,62 @@
+(** Shared machinery for the baseline fusion backends (XLA / TVM / TRT):
+    legality-checked component formation, per-element inline recompute
+    accounting, multi-output fusion roots and kernel construction. *)
+
+open Astitch_ir
+open Astitch_simt
+open Astitch_plan
+
+type cut_edge_fn =
+  Graph.t -> producer:Op.node_id -> consumer:Op.node_id -> bool
+
+val naive_mapping : Arch.t -> Graph.t -> Op.node_id -> Thread_mapping.t
+(** The XLA-style schedule of Fig 6: one block per reduction row, plain
+    256-thread grids for element-wise roots; very long rows fall back to
+    a two-stage atomic reduction. *)
+
+val tuned_mapping : Arch.t -> Graph.t -> Op.node_id -> Thread_mapping.t
+(** Ansor-style auto-scheduled mapping: packs small reduction rows but
+    cannot change what is fused. *)
+
+val components :
+  Graph.t -> Clustering.cluster -> cut_edge:cut_edge_fn -> Op.node_id list list
+(** Greedy fusion with the contraction-DAG legality check: the resulting
+    kernel dependency graph is always schedulable. *)
+
+val escapes : Graph.t -> (Op.node_id, unit) Hashtbl.t -> Op.node_id -> bool
+
+val is_multi_output_root :
+  Graph.t -> (Op.node_id, unit) Hashtbl.t -> cut_edge:cut_edge_fn ->
+  Op.node_id -> bool
+
+val recompute_cap : int
+
+val recompute_factors :
+  Graph.t ->
+  (Op.node_id, unit) Hashtbl.t ->
+  cut_edge:cut_edge_fn ->
+  Op.node_id list ->
+  Op.node_id ->
+  int
+
+val is_layout_only : Graph.t -> Op.node_id -> bool
+
+val build_kernel :
+  Arch.t ->
+  Graph.t ->
+  mapping_for_root:(Arch.t -> Graph.t -> Op.node_id -> Thread_mapping.t) ->
+  cut_edge:cut_edge_fn ->
+  name:string ->
+  Op.node_id list ->
+  Kernel_plan.kernel
+
+val copy_kernel : Graph.t -> Op.node_id -> Kernel_plan.kernel
+
+val compile :
+  name:string ->
+  cut_edge:cut_edge_fn ->
+  mapping_for_root:(Arch.t -> Graph.t -> Op.node_id -> Thread_mapping.t) ->
+  Arch.t ->
+  Graph.t ->
+  Kernel_plan.t
+(** The full baseline pipeline: cluster, cut, fuse, lower, validate. *)

@@ -1,0 +1,66 @@
+(* The TensorFlow baseline: no fusion at all.
+
+   Every memory-intensive op runs as its own kernel dispatched by the
+   framework executor, which also pays a per-op scheduling cost (the
+   OVERHEAD component of Figure 13 that dominates TF runs). *)
+
+open Astitch_ir
+open Astitch_simt
+open Astitch_plan
+
+let cost_config =
+  {
+    Cost_model.default_config with
+    Cost_model.framework_op_overhead_us = 10.0;
+  }
+
+let compile (arch : Arch.t) g =
+  let live = Graph.live_ids g in
+  let mem_kernels =
+    Graph.memory_intensive_ids g
+    |> List.filter (fun id -> live.(id) && not (Kernel_plan.is_leaf g id))
+    |> List.map (fun id ->
+           if Fusion_common.is_layout_only g id then
+             Fusion_common.copy_kernel g id
+           else begin
+             let mapping = Fusion_common.naive_mapping arch g id in
+             let launch =
+               Launch.make ~regs_per_thread:24
+                 ~grid:(Thread_mapping.grid mapping)
+                 ~block:(Thread_mapping.block mapping)
+                 ()
+             in
+             {
+               Kernel_plan.name =
+                 Printf.sprintf "%s_%d" (Op.mnemonic (Graph.op g id)) id;
+               kind = Kernel_plan.Codegen;
+               ops =
+                 [
+                   Lowering.compiled_op ~scheme:Scheme.Independent
+                     ~placement:Kernel_plan.Device_mem ~mapping id;
+                 ];
+               launch;
+               barriers = 0;
+               scratch_bytes = 0;
+             }
+           end)
+  in
+  let kernels =
+    Kernel_plan.toposort_kernels g
+      (mem_kernels @ Lowering.library_kernels arch g)
+  in
+  let plan =
+    {
+      Kernel_plan.arch;
+      graph = g;
+      kernels;
+      memcpys = Lowering.output_memcpys g;
+      memsets = Lowering.atomic_memsets kernels;
+      memcpy_bytes = Lowering.output_bytes g;
+    }
+  in
+  Kernel_plan.check plan;
+  plan
+
+let backend =
+  { Backend_intf.name = "TensorFlow"; cost_config; compile }

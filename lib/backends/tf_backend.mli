@@ -1,0 +1,9 @@
+(** The TensorFlow baseline: no fusion, one kernel per memory-intensive op,
+    per-op framework scheduling overhead. *)
+
+open Astitch_simt
+open Astitch_plan
+
+val cost_config : Cost_model.config
+val compile : Arch.t -> Astitch_ir.Graph.t -> Kernel_plan.t
+val backend : Backend_intf.t

@@ -1,0 +1,11 @@
+(** A TensorRT-like baseline: narrow pattern-library coverage on the
+    paper's memory-intensive workloads (also cuts at data-rearranging
+    broadcasts), lean enqueue path. *)
+
+open Astitch_simt
+open Astitch_plan
+
+val cost_config : Cost_model.config
+val cut_edge : Fusion_common.cut_edge_fn
+val compile : Arch.t -> Astitch_ir.Graph.t -> Kernel_plan.t
+val backend : Backend_intf.t

@@ -1,0 +1,36 @@
+(* The TVM / Ansor baselines (paper Sec 2.3.1 and Sec 6.2).
+
+   TVM skips fusion across reduce->consumer edges (pattern 1) like XLA,
+   but *does* fuse heavy element-wise ops into their broadcast consumers
+   (pattern 2), paying the redundant-recompute cost of Figure 5: the
+   producer is re-evaluated once per broadcast replica in every consumer
+   thread.
+
+   The Ansor variant keeps TVM's fusion decisions but auto-schedules each
+   kernel, finding better block shapes (horizontal packing of small
+   reduction rows) at the cost of a long tuning run. *)
+
+open Astitch_simt
+open Astitch_plan
+
+let cost_config =
+  {
+    Cost_model.default_config with
+    Cost_model.framework_op_overhead_us = 1.5;
+  }
+
+let cut_edge g ~producer ~consumer =
+  Astitch_ir.Pattern.is_pattern1_edge g ~producer ~consumer
+
+let compile arch g =
+  Fusion_common.compile ~name:"tvm" ~cut_edge
+    ~mapping_for_root:Fusion_common.naive_mapping arch g
+
+let backend = { Backend_intf.name = "TVM"; cost_config; compile }
+
+let compile_ansor arch g =
+  Fusion_common.compile ~name:"ansor" ~cut_edge
+    ~mapping_for_root:Fusion_common.tuned_mapping arch g
+
+let ansor =
+  { Backend_intf.name = "Ansor"; cost_config; compile = compile_ansor }

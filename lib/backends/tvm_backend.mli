@@ -1,0 +1,13 @@
+(** The TVM / Ansor baselines: fuse pattern (2) with redundant recompute
+    (Fig 5), cut at reduces; Ansor additionally auto-schedules each
+    kernel. *)
+
+open Astitch_simt
+open Astitch_plan
+
+val cost_config : Cost_model.config
+val cut_edge : Fusion_common.cut_edge_fn
+val compile : Arch.t -> Astitch_ir.Graph.t -> Kernel_plan.t
+val backend : Backend_intf.t
+val compile_ansor : Arch.t -> Astitch_ir.Graph.t -> Kernel_plan.t
+val ansor : Backend_intf.t

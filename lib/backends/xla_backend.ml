@@ -1,0 +1,35 @@
+(* The XLA baseline (paper Sec 2.3.1).
+
+   XLA fuses memory-intensive ops with per-element input inlining, but
+   *skips* fusion across the two one-to-many patterns it cannot generate
+   efficient code for:
+     (1) a reduce feeding any consumer, and
+     (2) a heavy element-wise op feeding a broadcast,
+   producing many small kernels (Table 3) with the naive thread mappings
+   of Figure 6. *)
+
+open Astitch_simt
+open Astitch_plan
+
+let cost_config =
+  {
+    Cost_model.default_config with
+    Cost_model.framework_op_overhead_us = 1.5;
+  }
+
+let cut_edge g ~producer ~consumer =
+  Astitch_ir.Pattern.is_pattern1_edge g ~producer ~consumer
+  || Astitch_ir.Pattern.is_pattern2_edge g ~producer ~consumer
+
+let compile arch g =
+  Fusion_common.compile ~name:"xla" ~cut_edge
+    ~mapping_for_root:Fusion_common.naive_mapping arch g
+
+let backend = { Backend_intf.name = "XLA"; cost_config; compile }
+
+(* XLA + AStitch's adaptive thread mapping only (the "ATM" row of the
+   Table 4 ablation) is exported by the astitch library, which owns the
+   adaptive mapping logic. *)
+module For_ablation = struct
+  let cut_edge = cut_edge
+end

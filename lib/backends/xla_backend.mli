@@ -1,0 +1,15 @@
+(** The XLA baseline: per-element-inline fusion that skips the paper's
+    pattern (1) (reduce -> consumer) and pattern (2) (heavy element-wise
+    -> broadcast) boundaries. *)
+
+open Astitch_simt
+open Astitch_plan
+
+val cost_config : Cost_model.config
+val cut_edge : Fusion_common.cut_edge_fn
+val compile : Arch.t -> Astitch_ir.Graph.t -> Kernel_plan.t
+val backend : Backend_intf.t
+
+module For_ablation : sig
+  val cut_edge : Fusion_common.cut_edge_fn
+end

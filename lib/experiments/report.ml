@@ -1,0 +1,41 @@
+(* Plain-text table rendering for the experiment harness. *)
+
+let hr width = String.make width '-'
+
+let pad width s =
+  if String.length s >= width then s
+  else s ^ String.make (width - String.length s) ' '
+
+let table ~title ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let widths =
+    List.init cols (fun c ->
+        List.fold_left
+          (fun acc row ->
+            Stdlib.max acc (String.length (List.nth row c)))
+          0 all)
+  in
+  let render row =
+    String.concat "  " (List.map2 pad widths row)
+  in
+  let total_width =
+    List.fold_left ( + ) 0 widths + (2 * (cols - 1))
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "=== %s ===\n" title);
+  Buffer.add_string buf (render header ^ "\n");
+  Buffer.add_string buf (hr total_width ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (render row ^ "\n")) rows;
+  Buffer.contents buf
+
+let print_table ~title ~header rows =
+  print_string (table ~title ~header rows);
+  print_newline ()
+
+let f1 x = Printf.sprintf "%.1f" x
+let f2 x = Printf.sprintf "%.2f" x
+let pct x = Printf.sprintf "%.1f%%" (100. *. x)
+let speedup x = Printf.sprintf "%.2fx" x
+let us x = Printf.sprintf "%.1fus" x
+let ms_of_us x = Printf.sprintf "%.2fms" (x /. 1000.)

@@ -1,0 +1,10 @@
+(** Plain-text table rendering for the experiment harness. *)
+
+val table : title:string -> header:string list -> string list list -> string
+val print_table : title:string -> header:string list -> string list list -> unit
+val f1 : float -> string
+val f2 : float -> string
+val pct : float -> string
+val speedup : float -> string
+val us : float -> string
+val ms_of_us : float -> string

@@ -1,0 +1,20 @@
+(* Auto mixed precision (the paper's Figure 12 configuration): run the
+   same graph with f16 activations.  In the simulator the only effect that
+   matters is halving every tensor's byte width - numerics stay in OCaml
+   floats either way. *)
+
+let to_half g =
+  let nodes =
+    Array.of_list
+      (List.rev
+         (Graph.fold_nodes
+            (fun acc (nd : Graph.node) ->
+              let dtype =
+                match nd.dtype with
+                | Dtype.F32 -> Dtype.F16
+                | (Dtype.F16 | Dtype.I32 | Dtype.Pred) as d -> d
+              in
+              { nd with dtype } :: acc)
+            [] g))
+  in
+  Graph.of_nodes nodes ~outputs:(Graph.outputs g)

@@ -1,0 +1,4 @@
+(** Auto mixed precision: the same graph with f16 activations (halved
+    byte widths in the cost model). *)
+
+val to_half : Graph.t -> Graph.t

@@ -1,0 +1,221 @@
+(* Reverse-mode differentiation, appending the backward graph into the
+   builder that holds the forward graph.
+
+   Training workloads (Figure 11b) are forward+backward graphs: the
+   backward halves are where the broadcast<->reduce duality produces the
+   dense memory-intensive subgraphs the paper stitches. *)
+
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+let zeros_like b x =
+  Builder.broadcast_scalar b (Builder.constant b 0.)
+    (Shape.to_list (Builder.shape_of b x))
+
+let ones_like b x =
+  Builder.broadcast_scalar b (Builder.constant b 1.)
+    (Shape.to_list (Builder.shape_of b x))
+
+let scalar_like b x c =
+  Builder.broadcast_scalar b (Builder.constant b c)
+    (Shape.to_list (Builder.shape_of b x))
+
+(* Axes of the input kept by a reduce, in increasing order; they are the
+   broadcast dims mapping the reduce output back into the input shape. *)
+let kept_axes ~input_rank ~axes =
+  List.filter
+    (fun i -> not (Array.exists (fun a -> a = i) axes))
+    (List.init input_rank Fun.id)
+
+let broadcast_back b grad ~input_shape ~axes =
+  Builder.broadcast b grad
+    ~dims:(kept_axes ~input_rank:(Shape.rank input_shape) ~axes)
+    (Shape.to_list input_shape)
+
+let inverse_perm perm =
+  let n = Array.length perm in
+  let inv = Array.make n 0 in
+  Array.iteri (fun i p -> inv.(p) <- i) perm;
+  inv
+
+(* Transpose the last two axes (for matmul gradients). *)
+let transpose_last2 b x =
+  let r = Shape.rank (Builder.shape_of b x) in
+  let perm = List.init r (fun i -> if i = r - 2 then r - 1 else if i = r - 1 then r - 2 else i) in
+  Builder.transpose b x ~perm
+
+(* Per-node backward rule: given node [y] with adjoint [g], return the
+   adjoint contribution for each operand (same order as Op.operands). *)
+let backward b y g : (Op.node_id * Builder.v) list =
+  let op = Builder.op_of b y in
+  match op with
+  | Op.Parameter _ | Op.Constant _ | Op.Iota _ -> []
+  | Op.Unary { kind; input = x } ->
+      let gx =
+        match kind with
+        | Op.Neg -> Builder.neg b g
+        | Op.Abs -> Builder.mul b g (Builder.sign b x)
+        | Op.Sign -> zeros_like b x
+        | Op.Relu ->
+            Builder.select b
+              ~pred:(Builder.gt b x (zeros_like b x))
+              ~on_true:g ~on_false:(zeros_like b x)
+        | Op.Rcp -> Builder.neg b (Builder.mul b g (Builder.mul b y y))
+        | Op.Exp -> Builder.mul b g y
+        | Op.Log -> Builder.div b g x
+        | Op.Tanh ->
+            Builder.mul b g (Builder.sub b (ones_like b y) (Builder.mul b y y))
+        | Op.Sigmoid ->
+            Builder.mul b g
+              (Builder.mul b y (Builder.sub b (ones_like b y) y))
+        | Op.Sqrt -> Builder.div b g (Builder.mul b (scalar_like b y 2.) y)
+        | Op.Rsqrt ->
+            Builder.mul b g
+              (Builder.mul b (scalar_like b y (-0.5))
+                 (Builder.mul b y (Builder.mul b y y)))
+        | Op.Erf ->
+            (* d erf / dx = 2/sqrt(pi) * exp(-x^2) *)
+            Builder.mul b g
+              (Builder.mul b
+                 (scalar_like b x 1.1283791670955126)
+                 (Builder.exp b (Builder.neg b (Builder.mul b x x))))
+      in
+      [ (x, gx) ]
+  | Op.Binary { kind; lhs; rhs } -> (
+      match kind with
+      | Op.Add -> [ (lhs, g); (rhs, g) ]
+      | Op.Sub -> [ (lhs, g); (rhs, Builder.neg b g) ]
+      | Op.Mul -> [ (lhs, Builder.mul b g rhs); (rhs, Builder.mul b g lhs) ]
+      | Op.Div ->
+          let glhs = Builder.div b g rhs in
+          let grhs = Builder.neg b (Builder.mul b glhs (Builder.div b lhs rhs)) in
+          [ (lhs, glhs); (rhs, grhs) ]
+      | Op.Max ->
+          let mask = Builder.gt b lhs rhs in
+          let zero = zeros_like b g in
+          [
+            (lhs, Builder.select b ~pred:mask ~on_true:g ~on_false:zero);
+            (rhs, Builder.select b ~pred:mask ~on_true:zero ~on_false:g);
+          ]
+      | Op.Min ->
+          let mask = Builder.lt b lhs rhs in
+          let zero = zeros_like b g in
+          [
+            (lhs, Builder.select b ~pred:mask ~on_true:g ~on_false:zero);
+            (rhs, Builder.select b ~pred:mask ~on_true:zero ~on_false:g);
+          ]
+      | Op.Pow ->
+          let one = ones_like b rhs in
+          let glhs =
+            Builder.mul b g
+              (Builder.mul b rhs (Builder.pow b lhs (Builder.sub b rhs one)))
+          in
+          let grhs = Builder.mul b g (Builder.mul b y (Builder.log b lhs)) in
+          [ (lhs, glhs); (rhs, grhs) ]
+      | Op.Lt | Op.Gt | Op.Eq -> [])
+  | Op.Broadcast { input; dims } ->
+      let out_rank = Shape.rank (Builder.shape_of b y) in
+      let replicated =
+        List.filter
+          (fun i -> not (Array.exists (fun d -> d = i) dims))
+          (List.init out_rank Fun.id)
+      in
+      let gx =
+        if replicated = [] then
+          (* pure axis embedding, no replication: reshape back *)
+          Builder.reshape b g (Shape.to_list (Builder.shape_of b input))
+        else Builder.reduce_sum b ~axes:replicated g
+      in
+      [ (input, gx) ]
+  | Op.Reduce { input; kind; axes } -> (
+      let input_shape = Builder.shape_of b input in
+      match kind with
+      | Op.Sum -> [ (input, broadcast_back b g ~input_shape ~axes) ]
+      | Op.Mean ->
+          let n = float_of_int (Shape.elements_along input_shape axes) in
+          let gb = broadcast_back b g ~input_shape ~axes in
+          [ (input, Builder.div b gb (scalar_like b gb n)) ]
+      | Op.Max_r | Op.Min_r ->
+          let yb = broadcast_back b y ~input_shape ~axes in
+          let gb = broadcast_back b g ~input_shape ~axes in
+          let mask = Builder.eq b input yb in
+          [
+            ( input,
+              Builder.select b ~pred:mask ~on_true:gb
+                ~on_false:(zeros_like b gb) );
+          ])
+  | Op.Reshape { input } ->
+      [ (input, Builder.reshape b g (Shape.to_list (Builder.shape_of b input))) ]
+  | Op.Transpose { input; perm } ->
+      [ (input, Builder.transpose b g ~perm:(Array.to_list (inverse_perm perm))) ]
+  | Op.Select { pred; on_true; on_false } ->
+      let zero = zeros_like b g in
+      [
+        (on_true, Builder.select b ~pred ~on_true:g ~on_false:zero);
+        (on_false, Builder.select b ~pred ~on_true:zero ~on_false:g);
+      ]
+  | Op.Concat { inputs; axis } ->
+      let offset = ref 0 in
+      List.map
+        (fun input ->
+          let s = Builder.shape_of b input in
+          let g_shape = Builder.shape_of b g in
+          let starts =
+            List.init (Shape.rank s) (fun i -> if i = axis then !offset else 0)
+          in
+          let stops =
+            List.init (Shape.rank s) (fun i ->
+                if i = axis then !offset + Shape.dim s axis
+                else Shape.dim g_shape i)
+          in
+          offset := !offset + Shape.dim s axis;
+          (input, Builder.slice b g ~starts ~stops))
+        inputs
+  | Op.Slice { input; starts; stops } ->
+      let s = Builder.shape_of b input in
+      let low = Array.to_list starts in
+      let high =
+        List.init (Shape.rank s) (fun i -> Shape.dim s i - stops.(i))
+      in
+      [ (input, Builder.pad b g ~low ~high) ]
+  | Op.Pad { input; low; high = _ } ->
+      let s = Builder.shape_of b input in
+      let starts = Array.to_list low in
+      let stops = List.init (Shape.rank s) (fun i -> low.(i) + Shape.dim s i) in
+      [ (input, Builder.slice b g ~starts ~stops) ]
+  | Op.Dot { lhs; rhs } ->
+      [
+        (lhs, Builder.dot b g (transpose_last2 b rhs));
+        (rhs, Builder.dot b (transpose_last2 b lhs) g);
+      ]
+  | Op.Gather { params; indices } ->
+      let rows = Shape.dim (Builder.shape_of b params) 0 in
+      [ (params, Builder.scatter_add b ~rows indices g) ]
+  | Op.Scatter_add _ -> unsupported "scatter-add gradient"
+  | Op.Max_pool _ -> unsupported "max-pool gradient"
+  | Op.Conv2d _ -> unsupported "conv2d gradient"
+
+let gradients b ~output ~wrt =
+  let adjoints : (Op.node_id, Builder.v) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.replace adjoints output (ones_like b output);
+  (* Only node ids <= output existed in the forward graph; new nodes
+     appended by backward rules have larger ids and are never revisited. *)
+  for id = output downto 0 do
+    match Hashtbl.find_opt adjoints id with
+    | None -> ()
+    | Some g ->
+        List.iter
+          (fun (operand, contribution) ->
+            match Hashtbl.find_opt adjoints operand with
+            | None -> Hashtbl.replace adjoints operand contribution
+            | Some acc ->
+                Hashtbl.replace adjoints operand (Builder.add b acc contribution))
+          (backward b id g)
+  done;
+  List.map
+    (fun p ->
+      match Hashtbl.find_opt adjoints p with
+      | Some g -> g
+      | None -> zeros_like b p)
+    wrt

@@ -1,0 +1,12 @@
+(** Reverse-mode differentiation.
+
+    Appends the backward graph into the builder holding the forward graph
+    and returns the gradient node for each requested input.  The adjoint of
+    [output] is seeded with ones (i.e. the loss is the sum of the output
+    elements). *)
+
+exception Unsupported of string
+
+val gradients :
+  Builder.t -> output:Builder.v -> wrt:Builder.v list -> Builder.v list
+(** @raise Unsupported for ops with no backward rule (convolution). *)

@@ -1,0 +1,45 @@
+(* Graphviz export, colouring op classes the way the paper's figures do:
+   compute-intensive boxes, reduces in orange, heavy element-wise in blue,
+   broadcasts in green. *)
+
+let node_color g id =
+  let op = Graph.op g id in
+  match Op.classify op with
+  | Op.Compute_intensive -> "gray"
+  | Op.Memory_intensive -> (
+      match op with
+      | Op.Reduce _ -> "orange"
+      | Op.Broadcast _ -> "palegreen"
+      | Op.Unary _ | Op.Binary _ when Op.weight op = Op.Heavy -> "lightblue"
+      | Op.Parameter _ -> "white"
+      | _ -> "whitesmoke")
+
+let node_label g id =
+  let nd = Graph.node g id in
+  Printf.sprintf "%s\\n%s" (Op.mnemonic nd.op) (Shape.to_string nd.shape)
+
+let to_string ?(name = "g") g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Buffer.add_string buf "  node [shape=box, style=filled];\n";
+  Graph.iter_nodes
+    (fun nd ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\", fillcolor=%s];\n" nd.id
+           (node_label g nd.id) (node_color g nd.id)))
+    g;
+  Graph.iter_nodes
+    (fun nd ->
+      List.iter
+        (fun operand ->
+          Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" operand nd.id))
+        (Op.operands nd.op))
+    g;
+  List.iter
+    (fun o ->
+      Buffer.add_string buf
+        (Printf.sprintf "  out%d [label=\"output\", shape=plaintext];\n" o);
+      Buffer.add_string buf (Printf.sprintf "  n%d -> out%d;\n" o o))
+    (Graph.outputs g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

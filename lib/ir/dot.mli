@@ -1,0 +1,3 @@
+(** Graphviz export of computation graphs. *)
+
+val to_string : ?name:string -> Graph.t -> string

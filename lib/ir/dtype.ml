@@ -1,0 +1,23 @@
+(* Element types carried by tensors. The cost model only cares about the
+   byte width (AMP experiments run the same graphs at F16), while the
+   reference interpreter computes everything in OCaml floats. *)
+
+type t = F32 | F16 | I32 | Pred
+
+let size_bytes = function
+  | F32 -> 4
+  | F16 -> 2
+  | I32 -> 4
+  | Pred -> 1
+
+let to_string = function
+  | F32 -> "f32"
+  | F16 -> "f16"
+  | I32 -> "i32"
+  | Pred -> "pred"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let equal (a : t) (b : t) = a = b
+
+let is_floating = function F32 | F16 -> true | I32 | Pred -> false

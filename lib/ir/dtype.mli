@@ -1,0 +1,12 @@
+(** Tensor element types.
+
+    The simulator's cost model uses only the byte width; numerics are
+    always computed in OCaml [float]s regardless of the declared type. *)
+
+type t = F32 | F16 | I32 | Pred
+
+val size_bytes : t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val is_floating : t -> bool

@@ -1,0 +1,83 @@
+(* Tensor shapes: row-major, possibly rank 0 (scalars). *)
+
+type t = int array
+
+exception Invalid of string
+
+let invalid fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+let of_list dims =
+  List.iter (fun d -> if d < 1 then invalid "dimension %d must be >= 1" d) dims;
+  Array.of_list dims
+
+let to_list = Array.to_list
+let scalar : t = [||]
+let rank (t : t) = Array.length t
+let dim (t : t) i =
+  if i < 0 || i >= Array.length t then invalid "dim %d out of range for rank %d" i (Array.length t);
+  t.(i)
+
+let num_elements (t : t) = Array.fold_left ( * ) 1 t
+
+let equal (a : t) (b : t) =
+  Array.length a = Array.length b && Array.for_all2 ( = ) a b
+
+let to_string (t : t) =
+  "<" ^ String.concat "," (List.map string_of_int (to_list t)) ^ ">"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+(* Row-major strides: stride of the last dimension is 1. *)
+let strides (t : t) =
+  let n = rank t in
+  let s = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    s.(i) <- s.(i + 1) * t.(i + 1)
+  done;
+  s
+
+let linear_index (t : t) (idx : int array) =
+  let s = strides t in
+  let acc = ref 0 in
+  Array.iteri
+    (fun i v ->
+      if v < 0 || v >= t.(i) then invalid "index %d out of bound %d at axis %d" v t.(i) i;
+      acc := !acc + (v * s.(i)))
+    idx;
+  !acc
+
+let multi_index (t : t) linear =
+  let n = rank t in
+  let idx = Array.make n 0 in
+  let rem = ref linear in
+  let s = strides t in
+  for i = 0 to n - 1 do
+    idx.(i) <- !rem / s.(i);
+    rem := !rem mod s.(i)
+  done;
+  idx
+
+(* Drop the axes listed in [axes] (sorted or not); used by reduce. *)
+let remove_axes (t : t) axes =
+  let keep i = not (Array.exists (fun a -> a = i) axes) in
+  let out = ref [] in
+  for i = rank t - 1 downto 0 do
+    if keep i then out := t.(i) :: !out
+  done;
+  Array.of_list !out
+
+(* Number of elements along the given axes. *)
+let elements_along (t : t) axes =
+  Array.fold_left (fun acc a -> acc * dim t a) 1 axes
+
+(* Are the reduced axes a contiguous suffix of the shape?  If so a reduce
+   over them is a row-reduce (contiguous elements in memory). *)
+let axes_are_suffix (t : t) axes =
+  let n = rank t in
+  let k = Array.length axes in
+  let sorted = Array.copy axes in
+  Array.sort compare sorted;
+  k > 0
+  && Array.for_all (fun a -> a >= 0 && a < n) sorted
+  && sorted.(0) = n - k
+  && Array.for_all2 ( = ) sorted (Array.init k (fun i -> n - k + i))

@@ -1,0 +1,39 @@
+(** Row-major tensor shapes.
+
+    A shape is an array of strictly positive dimensions; rank 0 denotes a
+    scalar. *)
+
+type t = int array
+
+exception Invalid of string
+
+val of_list : int list -> t
+(** @raise Invalid if any dimension is < 1. *)
+
+val to_list : t -> int list
+val scalar : t
+val rank : t -> int
+
+val dim : t -> int -> int
+(** @raise Invalid on out-of-range axis. *)
+
+val num_elements : t -> int
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val strides : t -> int array
+(** Row-major strides; the last dimension has stride 1. *)
+
+val linear_index : t -> int array -> int
+val multi_index : t -> int -> int array
+
+val remove_axes : t -> int array -> t
+(** Shape with the given axes dropped (reduce output shape). *)
+
+val elements_along : t -> int array -> int
+(** Product of the dimensions at the given axes. *)
+
+val axes_are_suffix : t -> int array -> bool
+(** True iff the axes form the contiguous suffix of the shape, i.e. a
+    reduce over them touches memory-contiguous elements (row-reduce). *)

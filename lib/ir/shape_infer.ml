@@ -1,0 +1,184 @@
+(* Single source of truth for output shape/dtype of each op, shared by the
+   graph builder and the validator. *)
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let check cond fmt =
+  if cond then Format.ikfprintf ignore Format.str_formatter fmt
+  else Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let infer ~(shape_of : Op.node_id -> Shape.t) ~(dtype_of : Op.node_id -> Dtype.t)
+    (op : Op.t) : Shape.t * Dtype.t =
+  match op with
+  | Parameter _ | Constant _ | Iota _ ->
+      error "shape of %s must be given explicitly" (Op.mnemonic op)
+  | Unary { input; _ } -> (shape_of input, dtype_of input)
+  | Binary { kind; lhs; rhs } ->
+      let ls = shape_of lhs and rs = shape_of rhs in
+      check (Shape.equal ls rs) "binary %s: operand shapes %s vs %s differ"
+        (Op.binary_to_string kind) (Shape.to_string ls) (Shape.to_string rs);
+      let dt =
+        match kind with Lt | Gt | Eq -> Dtype.Pred | _ -> dtype_of lhs
+      in
+      (ls, dt)
+  | Broadcast { input; dims } ->
+      (* The output shape cannot be derived from the input alone; handled
+         by the builder, which stores it on the node.  Validation of the
+         dims mapping happens in [validate_broadcast]. *)
+      ignore (shape_of input);
+      ignore dims;
+      error "broadcast output shape must be given explicitly"
+  | Reduce { input; axes; _ } ->
+      let s = shape_of input in
+      check (Array.length axes > 0) "reduce: empty axis list";
+      Array.iter
+        (fun a ->
+          check (a >= 0 && a < Shape.rank s) "reduce: axis %d out of rank %d" a
+            (Shape.rank s))
+        axes;
+      let sorted = Array.copy axes in
+      Array.sort compare sorted;
+      for i = 1 to Array.length sorted - 1 do
+        check (sorted.(i) <> sorted.(i - 1)) "reduce: duplicate axis %d"
+          sorted.(i)
+      done;
+      (Shape.remove_axes s axes, dtype_of input)
+  | Reshape { input } ->
+      ignore (shape_of input);
+      error "reshape output shape must be given explicitly"
+  | Transpose { input; perm } ->
+      let s = shape_of input in
+      let n = Shape.rank s in
+      check (Array.length perm = n) "transpose: perm rank mismatch";
+      let seen = Array.make n false in
+      Array.iter
+        (fun p ->
+          check (p >= 0 && p < n) "transpose: perm entry %d out of range" p;
+          check (not seen.(p)) "transpose: duplicate perm entry %d" p;
+          seen.(p) <- true)
+        perm;
+      (Array.map (fun p -> s.(p)) perm, dtype_of input)
+  | Select { pred; on_true; on_false } ->
+      let ps = shape_of pred and ts = shape_of on_true and fs = shape_of on_false in
+      check (Shape.equal ps ts && Shape.equal ts fs)
+        "select: shapes %s / %s / %s differ" (Shape.to_string ps)
+        (Shape.to_string ts) (Shape.to_string fs);
+      check (Dtype.equal (dtype_of pred) Dtype.Pred) "select: pred must be pred";
+      (ts, dtype_of on_true)
+  | Concat { inputs; axis } -> (
+      match inputs with
+      | [] -> error "concat: no inputs"
+      | first :: rest ->
+          let s0 = shape_of first in
+          let n = Shape.rank s0 in
+          check (axis >= 0 && axis < n) "concat: axis %d out of rank %d" axis n;
+          let total = ref (Shape.dim s0 axis) in
+          List.iter
+            (fun id ->
+              let s = shape_of id in
+              check (Shape.rank s = n) "concat: rank mismatch";
+              Array.iteri
+                (fun i d ->
+                  if i <> axis then
+                    check (d = s0.(i)) "concat: dim %d mismatch (%d vs %d)" i d
+                      s0.(i))
+                s;
+              total := !total + Shape.dim s axis)
+            rest;
+          let out = Array.copy s0 in
+          out.(axis) <- !total;
+          (out, dtype_of first))
+  | Slice { input; starts; stops } ->
+      let s = shape_of input in
+      let n = Shape.rank s in
+      check (Array.length starts = n && Array.length stops = n)
+        "slice: bounds rank mismatch";
+      let out =
+        Array.init n (fun i ->
+            check (0 <= starts.(i) && starts.(i) < stops.(i) && stops.(i) <= s.(i))
+              "slice: bad bounds [%d,%d) on dim %d of size %d" starts.(i)
+              stops.(i) i s.(i);
+            stops.(i) - starts.(i))
+      in
+      (out, dtype_of input)
+  | Pad { input; low; high } ->
+      let s = shape_of input in
+      let n = Shape.rank s in
+      check (Array.length low = n && Array.length high = n)
+        "pad: bounds rank mismatch";
+      let out =
+        Array.init n (fun i ->
+            check (low.(i) >= 0 && high.(i) >= 0) "pad: negative padding";
+            s.(i) + low.(i) + high.(i))
+      in
+      (out, dtype_of input)
+  | Gather { params; indices } ->
+      let ps = shape_of params and is_ = shape_of indices in
+      check (Shape.rank ps >= 1) "gather: params must have rank >= 1";
+      check (Shape.rank is_ = 1) "gather: indices must have rank 1";
+      let out = Array.copy ps in
+      out.(0) <- Shape.dim is_ 0;
+      (out, dtype_of params)
+  | Scatter_add { indices; updates; rows } ->
+      let is_ = shape_of indices and us = shape_of updates in
+      check (rows >= 1) "scatter-add: rows must be >= 1";
+      check (Shape.rank is_ = 1) "scatter-add: indices must have rank 1";
+      check (Shape.rank us >= 1) "scatter-add: updates must have rank >= 1";
+      check (Shape.dim us 0 = Shape.dim is_ 0)
+        "scatter-add: updates rows %d != indices %d" (Shape.dim us 0)
+        (Shape.dim is_ 0);
+      let out = Array.copy us in
+      out.(0) <- rows;
+      (out, dtype_of updates)
+  | Max_pool { input; window; stride } ->
+      let s = shape_of input in
+      check (Shape.rank s = 4) "max-pool: input must be NHWC";
+      check (window >= 1 && stride >= 1) "max-pool: bad window/stride";
+      let n = s.(0) and h = s.(1) and w = s.(2) and c = s.(3) in
+      check (h >= window && w >= window) "max-pool: window larger than input";
+      let oh = ((h - window) / stride) + 1 and ow = ((w - window) / stride) + 1 in
+      ([| n; oh; ow; c |], dtype_of input)
+  | Dot { lhs; rhs } ->
+      let ls = shape_of lhs and rs = shape_of rhs in
+      let ln = Shape.rank ls and rn = Shape.rank rs in
+      check (ln >= 2 && rn >= 2) "dot: operands must have rank >= 2";
+      check (ln = rn) "dot: batch rank mismatch";
+      for i = 0 to ln - 3 do
+        check (ls.(i) = rs.(i)) "dot: batch dim %d mismatch" i
+      done;
+      let m = ls.(ln - 2) and k = ls.(ln - 1) in
+      let k' = rs.(rn - 2) and n = rs.(rn - 1) in
+      check (k = k') "dot: contraction mismatch %d vs %d" k k';
+      let out = Array.copy ls in
+      out.(ln - 2) <- m;
+      out.(ln - 1) <- n;
+      (out, dtype_of lhs)
+  | Conv2d { input; filter; stride } ->
+      let is = shape_of input and fs = shape_of filter in
+      check (Shape.rank is = 4) "conv2d: input must be NHWC";
+      check (Shape.rank fs = 4) "conv2d: filter must be [kh,kw,c,oc]";
+      check (stride >= 1) "conv2d: stride must be >= 1";
+      let n = is.(0) and h = is.(1) and w = is.(2) and c = is.(3) in
+      let kh = fs.(0) and kw = fs.(1) and fc = fs.(2) and oc = fs.(3) in
+      check (c = fc) "conv2d: channel mismatch %d vs %d" c fc;
+      check (h >= kh && w >= kw) "conv2d: kernel larger than input";
+      let oh = ((h - kh) / stride) + 1 and ow = ((w - kw) / stride) + 1 in
+      ([| n; oh; ow; oc |], dtype_of input)
+
+let validate_broadcast ~input_shape ~dims ~output_shape =
+  let r = Shape.rank input_shape in
+  check (Array.length dims = r) "broadcast: dims rank mismatch";
+  let out_rank = Shape.rank output_shape in
+  let prev = ref (-1) in
+  Array.iteri
+    (fun i d ->
+      check (d > !prev) "broadcast: dims must be strictly increasing";
+      check (d >= 0 && d < out_rank) "broadcast: dim %d out of output rank" d;
+      check (Shape.dim output_shape d = Shape.dim input_shape i)
+        "broadcast: input dim %d (=%d) must match output dim %d (=%d)" i
+        (Shape.dim input_shape i) d
+        (Shape.dim output_shape d);
+      prev := d)
+    dims

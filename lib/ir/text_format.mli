@@ -1,0 +1,18 @@
+(** A textual graph format with a round-tripping printer and parser.
+
+    {v
+    graph {
+      %0 = parameter "x" f32<4,8>
+      %1 = tanh %0
+      %2 = reduce.sum axes=[1] %1
+      %3 = broadcast dims=[0] %2 -> <4,8>
+      outputs %3
+    }
+    v} *)
+
+exception Parse_error of string
+
+val to_string : Graph.t -> string
+
+val parse : string -> Graph.t
+(** @raise Parse_error on malformed input (with the offending line). *)

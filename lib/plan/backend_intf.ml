@@ -1,0 +1,15 @@
+(* The common backend interface: a backend turns a computation graph into
+   a kernel plan for a target device, and carries the cost-model
+   configuration of its host framework (e.g. TensorFlow's per-op
+   scheduling overhead vs a compiled executor's). *)
+
+open Astitch_ir
+open Astitch_simt
+
+type t = {
+  name : string;
+  cost_config : Cost_model.config;
+  compile : Arch.t -> Graph.t -> Kernel_plan.t;
+}
+
+let compile backend arch graph = backend.compile arch graph

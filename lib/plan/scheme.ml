@@ -1,0 +1,27 @@
+(* The four operator-stitching schemes of Table 1. *)
+
+type t =
+  | Independent (* no dependency with neighbours *)
+  | Local (* one-to-one element dependency; data stays in registers *)
+  | Regional (* one-to-many; data in shared memory, block locality first *)
+  | Global (* any dependency; data in global memory, parallelism first *)
+
+let to_string = function
+  | Independent -> "independent"
+  | Local -> "local"
+  | Regional -> "regional"
+  | Global -> "global"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let memory_space = function
+  | Independent -> "none"
+  | Local -> "register"
+  | Regional -> "shared memory"
+  | Global -> "global memory"
+
+(* Global stitching needs an in-kernel global barrier between the producer
+   group and its consumers; regional needs only a block-level barrier. *)
+let needs_global_barrier = function
+  | Global -> true
+  | Independent | Local | Regional -> false

@@ -1,0 +1,12 @@
+(** The four operator-stitching schemes of the paper's Table 1. *)
+
+type t =
+  | Independent  (** no dependency with neighbours *)
+  | Local  (** one-to-one element dependency; data stays in registers *)
+  | Regional  (** one-to-many; shared memory, block locality first *)
+  | Global  (** any dependency; global memory, parallelism first *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val memory_space : t -> string
+val needs_global_barrier : t -> bool

@@ -1,0 +1,77 @@
+(* Plan execution: computes real tensor values by walking the plan's
+   kernels in order.
+
+   Stitching never changes numerics - each op still evaluates its operands
+   element-wise exactly as the reference interpreter does - so executing a
+   plan must reproduce Interp.run bit-for-bit.  What execution adds over
+   the interpreter is plan discipline: ops are only evaluated when their
+   kernel runs, and operands must already be available under the plan's
+   own ordering (the structural side is validated by Kernel_plan.check;
+   violations surface here as reads of never-computed nodes). *)
+
+open Astitch_ir
+open Astitch_tensor
+open Astitch_plan
+
+exception Execution_error of string
+
+let run (plan : Kernel_plan.t) ~params : Tensor.t list =
+  let g = plan.graph in
+  let n = Graph.num_nodes g in
+  let values = Array.make n (Tensor.scalar 0.) in
+  let computed = Array.make n false in
+  let require id =
+    if not computed.(id) then
+      raise
+        (Execution_error
+           (Printf.sprintf "node %%%d read before it was computed" id))
+  in
+  (* leaves are device-resident before the first kernel launches *)
+  Graph.iter_nodes
+    (fun nd ->
+      if Kernel_plan.is_leaf g nd.id then begin
+        values.(nd.id) <- Interp.eval_node g values ~params nd;
+        computed.(nd.id) <- true
+      end)
+    g;
+  List.iter
+    (fun (k : Kernel_plan.kernel) ->
+      List.iter
+        (fun (o : Kernel_plan.compiled_op) ->
+          List.iter require (Graph.operands g o.id);
+          values.(o.id) <- Interp.eval_node g values ~params (Graph.node g o.id);
+          computed.(o.id) <- true)
+        k.ops;
+      (* on-chip and scratch values die with their kernel: only
+         device-materialized tensors remain visible downstream.  A later
+         kernel reading a purged value is a backend bug this executor
+         surfaces independently of the static plan checker. *)
+      List.iter
+        (fun (o : Kernel_plan.compiled_op) ->
+          match o.placement with
+          | Kernel_plan.Device_mem -> ()
+          | Kernel_plan.Register | Kernel_plan.Shared_mem
+          | Kernel_plan.Global_scratch ->
+              computed.(o.id) <- false)
+        k.ops)
+    plan.kernels;
+  List.map
+    (fun id ->
+      require id;
+      values.(id))
+    (Graph.outputs g)
+
+(* Execute and compare against the reference interpreter. *)
+let run_and_check ?(eps = 1e-5) plan ~params =
+  let outputs = run plan ~params in
+  let reference = Interp.run plan.Kernel_plan.graph ~params in
+  List.iter2
+    (fun got expect ->
+      if not (Tensor.equal_approx ~eps got expect) then
+        raise
+          (Execution_error
+             (Format.asprintf
+                "plan output diverges from reference (max abs diff %g)"
+                (Tensor.max_abs_diff got expect))))
+    outputs reference;
+  outputs

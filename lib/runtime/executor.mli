@@ -1,0 +1,22 @@
+(** Plan execution against real tensor values.
+
+    Executing a plan must reproduce the reference interpreter exactly,
+    whatever backend produced it. *)
+
+open Astitch_tensor
+open Astitch_plan
+
+exception Execution_error of string
+
+val run :
+  Kernel_plan.t -> params:(string * Tensor.t) list -> Tensor.t list
+(** Walk kernels in plan order; graph outputs in declaration order.
+    @raise Execution_error if the plan reads a value before computing it. *)
+
+val run_and_check :
+  ?eps:float ->
+  Kernel_plan.t ->
+  params:(string * Tensor.t) list ->
+  Tensor.t list
+(** {!run}, then compare every output against {!Interp.run}.
+    @raise Execution_error on divergence. *)

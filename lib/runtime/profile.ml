@@ -1,0 +1,168 @@
+(* Simulated nvprof: per-kernel cost estimates, whole-model timing
+   breakdown (the MEM / compute / OVERHEAD split of Figure 13) and the
+   aggregate performance counters of Table 5. *)
+
+open Astitch_simt
+open Astitch_plan
+
+type kernel_profile = {
+  kernel : Kernel_plan.kernel;
+  work : Cost_model.work;
+  estimate : Cost_model.estimate;
+}
+
+type t = {
+  plan : Kernel_plan.t;
+  kernels : kernel_profile list;
+  mem_time_us : float; (* execution of memory-intensive (codegen) kernels *)
+  compute_time_us : float; (* execution of library kernels *)
+  overhead_us : float; (* launches + framework scheduling + copies *)
+  total_time_us : float;
+}
+
+let profile ?(config = Cost_model.default_config) (plan : Kernel_plan.t) : t =
+  let arch = plan.arch in
+  let kernels =
+    List.map
+      (fun (k : Kernel_plan.kernel) ->
+        let work = Kernel_plan.kernel_work plan k in
+        let estimate =
+          match k.kind with
+          | Kernel_plan.Copy ->
+              (* DtoD copy: read + write the tensor, latency-bound floor *)
+              let bytes = work.dram_write_bytes in
+              let t =
+                Cost_model.memcpy_time_us ~config arch ~bytes:(2 * bytes)
+              in
+              {
+                Cost_model.time_us = t;
+                exec_time_us = t -. config.memcpy_overhead_us;
+                memory_time_us = t -. config.memcpy_overhead_us;
+                compute_time_us = 0.;
+                overhead_us = config.memcpy_overhead_us;
+                barrier_us = 0.;
+                occupancy = 0.;
+                sm_efficiency = 0.;
+              }
+          | Kernel_plan.Codegen -> Cost_model.estimate ~config arch k.launch work
+          | Kernel_plan.Library ->
+              (* vendor-library kernels sustain a higher issue rate at the
+                 generation's default library precision (TF32 tensor cores
+                 on A100), and are dispatched by the same stream for every
+                 framework, without the per-op interpreter cost *)
+              let config =
+                {
+                  config with
+                  Cost_model.compute_efficiency =
+                    config.Cost_model.library_compute_efficiency
+                    *. arch.Arch.library_tflops /. arch.Arch.fp32_tflops;
+                  framework_op_overhead_us =
+                    Float.min 1.5 config.Cost_model.framework_op_overhead_us;
+                }
+              in
+              Cost_model.estimate ~config arch k.launch work
+        in
+        { kernel = k; work; estimate })
+      plan.kernels
+  in
+  let sum f = List.fold_left (fun acc kp -> acc +. f kp) 0. kernels in
+  let mem_time_us =
+    sum (fun kp ->
+        if kp.kernel.kind = Kernel_plan.Codegen then kp.estimate.exec_time_us
+        else 0.)
+  in
+  let compute_time_us =
+    sum (fun kp ->
+        if kp.kernel.kind = Kernel_plan.Library then kp.estimate.exec_time_us
+        else 0.)
+  in
+  let memcpy_us =
+    (float_of_int (plan.memcpys + plan.memsets) *. config.memcpy_overhead_us)
+    +. (float_of_int plan.memcpy_bytes /. (arch.Arch.dram_bandwidth_gbs *. 1e3))
+  in
+  let overhead_us = sum (fun kp -> kp.estimate.overhead_us) +. memcpy_us in
+  let copy_exec =
+    sum (fun kp ->
+        if kp.kernel.kind = Kernel_plan.Copy then kp.estimate.exec_time_us
+        else 0.)
+  in
+  let overhead_us = overhead_us +. copy_exec in
+  {
+    plan;
+    kernels;
+    mem_time_us;
+    compute_time_us;
+    overhead_us;
+    total_time_us = mem_time_us +. compute_time_us +. overhead_us;
+  }
+
+(* --- Aggregate counters (Table 5 / Sec 6.2) ---------------------------- *)
+
+type counters = {
+  dram_read_transactions : int;
+  dram_write_transactions : int;
+  inst_fp32 : int;
+}
+
+let zero_counters =
+  { dram_read_transactions = 0; dram_write_transactions = 0; inst_fp32 = 0 }
+
+(* Counters over memory-intensive kernels only, as the paper reports. *)
+let mem_counters t =
+  List.fold_left
+    (fun acc kp ->
+      if kp.kernel.kind = Kernel_plan.Codegen then
+        {
+          dram_read_transactions =
+            acc.dram_read_transactions
+            + Cost_model.transactions kp.work.dram_read_bytes;
+          dram_write_transactions =
+            acc.dram_write_transactions
+            + Cost_model.transactions kp.work.dram_write_bytes;
+          inst_fp32 = acc.inst_fp32 + kp.work.fp32_insts;
+        }
+      else acc)
+    zero_counters t.kernels
+
+(* --- Top-k% analysis (Figure 14/15/16) ---------------------------------- *)
+
+(* Memory-intensive kernels sorted by execution time, descending. *)
+let mem_kernels_by_time t =
+  List.filter (fun kp -> kp.kernel.kind = Kernel_plan.Codegen) t.kernels
+  |> List.sort (fun a b ->
+         compare b.estimate.exec_time_us a.estimate.exec_time_us)
+
+(* The kernels covering the top [frac] of memory-intensive execution time. *)
+let top_mem_kernels ~frac t =
+  let sorted = mem_kernels_by_time t in
+  let total = List.fold_left (fun acc kp -> acc +. kp.estimate.exec_time_us) 0. sorted in
+  let threshold = frac *. total in
+  let rec take acc covered = function
+    | [] -> List.rev acc
+    | kp :: rest ->
+        if covered >= threshold && acc <> [] then List.rev acc
+        else take (kp :: acc) (covered +. kp.estimate.exec_time_us) rest
+  in
+  take [] 0. sorted
+
+let average f = function
+  | [] -> 0.
+  | l -> List.fold_left (fun acc x -> acc +. f x) 0. l /. float_of_int (List.length l)
+
+let avg_occupancy kps = average (fun kp -> kp.estimate.Cost_model.occupancy) kps
+let avg_sm_efficiency kps =
+  average (fun kp -> kp.estimate.Cost_model.sm_efficiency) kps
+
+(* --- Reporting helpers --------------------------------------------------- *)
+
+let mem_kernel_count t =
+  List.length (Kernel_plan.memory_intensive_kernels t.plan)
+
+let pp_breakdown fmt t =
+  Format.fprintf fmt
+    "total %.1fus = MEM %.1fus + compute %.1fus + overhead %.1fus \
+     (%d mem kernels, %d lib kernels, %d CPY)"
+    t.total_time_us t.mem_time_us t.compute_time_us t.overhead_us
+    (mem_kernel_count t)
+    (List.length (Kernel_plan.compute_intensive_kernels t.plan))
+    (Kernel_plan.cpy_count t.plan)

@@ -1,0 +1,45 @@
+(** Simulated nvprof: per-kernel estimates, the MEM/compute/OVERHEAD
+    breakdown of Figure 13, Table 5's aggregate counters and the
+    top-k% occupancy/SM-efficiency analyses of Figures 14-16. *)
+
+open Astitch_simt
+open Astitch_plan
+
+type kernel_profile = {
+  kernel : Kernel_plan.kernel;
+  work : Cost_model.work;
+  estimate : Cost_model.estimate;
+}
+
+type t = {
+  plan : Kernel_plan.t;
+  kernels : kernel_profile list;
+  mem_time_us : float;
+  compute_time_us : float;
+  overhead_us : float;
+  total_time_us : float;
+}
+
+val profile : ?config:Cost_model.config -> Kernel_plan.t -> t
+
+type counters = {
+  dram_read_transactions : int;
+  dram_write_transactions : int;
+  inst_fp32 : int;
+}
+
+val zero_counters : counters
+
+val mem_counters : t -> counters
+(** Aggregated over memory-intensive kernels only (as in Table 5). *)
+
+val mem_kernels_by_time : t -> kernel_profile list
+(** Memory-intensive kernels, descending execution time. *)
+
+val top_mem_kernels : frac:float -> t -> kernel_profile list
+(** Kernels covering the top [frac] of memory-intensive execution time. *)
+
+val avg_occupancy : kernel_profile list -> float
+val avg_sm_efficiency : kernel_profile list -> float
+val mem_kernel_count : t -> int
+val pp_breakdown : Format.formatter -> t -> unit

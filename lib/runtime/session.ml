@@ -1,0 +1,43 @@
+(* Compile-and-run convenience: the "session" a user of the library drives,
+   and the comparison harness the benchmarks are built on. *)
+
+open Astitch_ir
+open Astitch_tensor
+open Astitch_plan
+
+type result = {
+  backend_name : string;
+  plan : Kernel_plan.t;
+  profile : Profile.t;
+}
+
+let compile (backend : Backend_intf.t) arch g =
+  let plan = backend.compile arch g in
+  let profile = Profile.profile ~config:backend.cost_config plan in
+  { backend_name = backend.name; plan; profile }
+
+let run ?(check = true) (backend : Backend_intf.t) arch g ~params =
+  let result = compile backend arch g in
+  let outputs =
+    if check then Executor.run_and_check result.plan ~params
+    else Executor.run result.plan ~params
+  in
+  (outputs, result)
+
+(* Deterministic random bindings for every graph parameter. *)
+let random_params ?(seed = 42) g =
+  List.mapi
+    (fun i id ->
+      match Graph.op g id with
+      | Op.Parameter { name } ->
+          (name, Tensor.random ~seed:(seed + (31 * i)) (Graph.shape g id))
+      | _ -> assert false)
+    (Graph.parameters g)
+
+(* Compare several backends on one graph; returns results in input order. *)
+let compare_backends backends arch g =
+  List.map (fun b -> compile b arch g) backends
+
+let speedup ~baseline ~contender =
+  baseline.profile.Profile.total_time_us
+  /. contender.profile.Profile.total_time_us

@@ -1,0 +1,30 @@
+(** Compile-and-run sessions and the backend-comparison harness. *)
+
+open Astitch_ir
+open Astitch_tensor
+open Astitch_plan
+
+type result = {
+  backend_name : string;
+  plan : Kernel_plan.t;
+  profile : Profile.t;
+}
+
+val compile : Backend_intf.t -> Astitch_simt.Arch.t -> Graph.t -> result
+
+val run :
+  ?check:bool ->
+  Backend_intf.t ->
+  Astitch_simt.Arch.t ->
+  Graph.t ->
+  params:(string * Tensor.t) list ->
+  Tensor.t list * result
+(** Compile, execute and (by default) verify against the reference
+    interpreter. *)
+
+val random_params : ?seed:int -> Graph.t -> (string * Tensor.t) list
+
+val compare_backends :
+  Backend_intf.t list -> Astitch_simt.Arch.t -> Graph.t -> result list
+
+val speedup : baseline:result -> contender:result -> float

@@ -1,0 +1,102 @@
+(* SIMT device descriptors.
+
+   Numbers follow the public data sheets for the GPUs the paper evaluates
+   on (V100 primary, T4 for inference, A100 for the compute/bandwidth
+   ratio discussion in the introduction). *)
+
+type t = {
+  name : string;
+  num_sms : int;
+  warp_size : int;
+  max_threads_per_sm : int;
+  max_blocks_per_sm : int;
+  max_warps_per_sm : int;
+  max_threads_per_block : int;
+  registers_per_sm : int;
+  max_registers_per_thread : int;
+  shared_mem_per_sm : int; (* bytes *)
+  shared_mem_per_block : int; (* bytes *)
+  l2_cache_bytes : int;
+  dram_bandwidth_gbs : float; (* GB/s *)
+  fp32_tflops : float;
+  fp16_tflops : float;
+  library_tflops : float;
+      (* sustained throughput of vendor-library GEMM/conv kernels at the
+         generation's default precision: FP32 on V100/T4, TF32 tensor
+         cores on A100 - the source of the paper's "5.6x compute over
+         bandwidth" observation *)
+  sm_clock_ghz : float;
+}
+
+let v100 =
+  {
+    name = "V100";
+    num_sms = 80;
+    warp_size = 32;
+    max_threads_per_sm = 2048;
+    max_blocks_per_sm = 32;
+    max_warps_per_sm = 64;
+    max_threads_per_block = 1024;
+    registers_per_sm = 65536;
+    max_registers_per_thread = 255;
+    shared_mem_per_sm = 96 * 1024;
+    shared_mem_per_block = 48 * 1024;
+    l2_cache_bytes = 6 * 1024 * 1024;
+    dram_bandwidth_gbs = 900.;
+    fp32_tflops = 15.7;
+    fp16_tflops = 31.4;
+    library_tflops = 15.7;
+    sm_clock_ghz = 1.53;
+  }
+
+let t4 =
+  {
+    name = "T4";
+    num_sms = 40;
+    warp_size = 32;
+    max_threads_per_sm = 1024;
+    max_blocks_per_sm = 16;
+    max_warps_per_sm = 32;
+    max_threads_per_block = 1024;
+    registers_per_sm = 65536;
+    max_registers_per_thread = 255;
+    shared_mem_per_sm = 64 * 1024;
+    shared_mem_per_block = 48 * 1024;
+    l2_cache_bytes = 4 * 1024 * 1024;
+    dram_bandwidth_gbs = 320.;
+    fp32_tflops = 8.1;
+    fp16_tflops = 16.2;
+    library_tflops = 8.1;
+    sm_clock_ghz = 1.59;
+  }
+
+let a100 =
+  {
+    name = "A100";
+    num_sms = 108;
+    warp_size = 32;
+    max_threads_per_sm = 2048;
+    max_blocks_per_sm = 32;
+    max_warps_per_sm = 64;
+    max_threads_per_block = 1024;
+    registers_per_sm = 65536;
+    max_registers_per_thread = 255;
+    shared_mem_per_sm = 164 * 1024;
+    shared_mem_per_block = 48 * 1024;
+    l2_cache_bytes = 40 * 1024 * 1024;
+    dram_bandwidth_gbs = 1555.;
+    fp32_tflops = 19.5;
+    fp16_tflops = 78.;
+    library_tflops = 156. (* TF32 tensor cores, the A100 default *);
+    sm_clock_ghz = 1.41;
+  }
+
+let by_name = function
+  | "v100" | "V100" -> Some v100
+  | "t4" | "T4" -> Some t4
+  | "a100" | "A100" -> Some a100
+  | _ -> None
+
+let pp fmt t =
+  Format.fprintf fmt "%s (%d SMs, %.0f GB/s, %.1f TFLOPS fp32)" t.name
+    t.num_sms t.dram_bandwidth_gbs t.fp32_tflops

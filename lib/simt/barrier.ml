@@ -1,0 +1,27 @@
+(* In-kernel global barriers (Xiao & Feng style, paper Sec 3.2.3).
+
+   Legality: every block of the grid must be resident simultaneously
+   (grid <= blocks per wave), otherwise active blocks spin forever waiting
+   for blocks the scheduler has not launched - deadlock.
+
+   Cost: calibrated against the paper's Table 6 (block size 1024 on V100):
+   2.53 us at 20 blocks rising to 2.72 us at 160 blocks, i.e. a small
+   fixed cost plus a weak linear term. *)
+
+let base_cost_us = 2.51
+let per_block_cost_us = 0.0013
+
+let is_legal arch (l : Launch.t) = l.grid <= Occupancy.blocks_per_wave arch l
+
+exception Deadlock of string
+
+let check_legal arch l =
+  if not (is_legal arch l) then
+    raise
+      (Deadlock
+         (Printf.sprintf
+            "global barrier with grid %d > %d resident blocks per wave"
+            l.grid
+            (Occupancy.blocks_per_wave arch l)))
+
+let cost_us ~blocks = base_cost_us +. (per_block_cost_us *. float_of_int blocks)

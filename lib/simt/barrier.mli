@@ -1,0 +1,12 @@
+(** In-kernel global barriers (paper Sec 3.2.3, Table 6).
+
+    Legal only when the whole grid is co-resident (grid <= blocks/wave);
+    cost is a small constant plus a weak linear term in the block count. *)
+
+exception Deadlock of string
+
+val is_legal : Arch.t -> Launch.t -> bool
+val check_legal : Arch.t -> Launch.t -> unit
+val cost_us : blocks:int -> float
+val base_cost_us : float
+val per_block_cost_us : float

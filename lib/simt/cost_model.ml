@@ -1,0 +1,131 @@
+(* Analytical kernel-time model.
+
+   Roofline style: a kernel's steady-state time is the max of its DRAM
+   time and its instruction-issue time, both derated by how well the
+   launch configuration occupies the machine; fixed overheads (driver
+   launch, in-kernel global barriers) are added on top.  The absolute
+   numbers are not meant to match the authors' testbed; the *structure*
+   is what the experiments exercise: kernel count x launch overhead,
+   DRAM traffic saved by on-chip buffering, redundant-recompute
+   instruction inflation, and occupancy/wave effects of thread mappings. *)
+
+type work = {
+  dram_read_bytes : int;
+  dram_write_bytes : int;
+  fp32_insts : int;
+  atomic_insts : int;
+  num_barriers : int; (* in-kernel global barriers *)
+}
+
+let no_work =
+  {
+    dram_read_bytes = 0;
+    dram_write_bytes = 0;
+    fp32_insts = 0;
+    atomic_insts = 0;
+    num_barriers = 0;
+  }
+
+let add_work a b =
+  {
+    dram_read_bytes = a.dram_read_bytes + b.dram_read_bytes;
+    dram_write_bytes = a.dram_write_bytes + b.dram_write_bytes;
+    fp32_insts = a.fp32_insts + b.fp32_insts;
+    atomic_insts = a.atomic_insts + b.atomic_insts;
+    num_barriers = a.num_barriers + b.num_barriers;
+  }
+
+type config = {
+  kernel_launch_overhead_us : float;
+      (* driver + runtime cost per kernel launch *)
+  kernel_fixed_us : float; (* in-kernel prologue/drain floor *)
+  framework_op_overhead_us : float;
+      (* per-operator scheduling cost paid by the framework executor for
+         every kernel it dispatches (large for TF, small for compiled
+         executors) *)
+  memcpy_overhead_us : float; (* per cudaMemcpy/Memset call *)
+  occupancy_saturation : float;
+      (* occupancy at which DRAM bandwidth saturates *)
+  atomic_inst_equiv : int; (* fp32-instruction equivalents per atomic *)
+  compute_efficiency : float; (* sustained/peak issue rate for codegen *)
+  library_compute_efficiency : float; (* cuBLAS/cuDNN sustained/peak *)
+}
+
+let default_config =
+  {
+    kernel_launch_overhead_us = 10.0;
+    kernel_fixed_us = 2.5;
+    framework_op_overhead_us = 0.0;
+    memcpy_overhead_us = 6.0;
+    occupancy_saturation = 0.65;
+    atomic_inst_equiv = 12;
+    compute_efficiency = 0.6;
+    library_compute_efficiency = 0.85;
+  }
+
+type estimate = {
+  time_us : float; (* total wall time attributed to this kernel *)
+  exec_time_us : float; (* on-device execution time *)
+  memory_time_us : float;
+  compute_time_us : float;
+  overhead_us : float; (* launch + framework scheduling *)
+  barrier_us : float;
+  occupancy : float;
+  sm_efficiency : float;
+}
+
+(* DRAM transactions are 32-byte sectors, matching nvprof's
+   dram_read_transactions / dram_write_transactions. *)
+let transactions bytes = (bytes + 31) / 32
+
+let estimate ?(config = default_config) (arch : Arch.t) (l : Launch.t)
+    (w : work) : estimate =
+  Occupancy.check_launchable arch l;
+  if w.num_barriers > 0 then Barrier.check_legal arch l;
+  let occupancy = Occupancy.achieved_occupancy arch l in
+  let fullness = Occupancy.wave_fullness arch l in
+  let occ_eff =
+    Float.min 1.0 (Occupancy.theoretical_occupancy arch l /. config.occupancy_saturation)
+  in
+  let eff = Float.max 0.02 (occ_eff *. fullness) in
+  let bw_bytes_per_us = arch.dram_bandwidth_gbs *. 1e3 in
+  let memory_time_us =
+    float_of_int (w.dram_read_bytes + w.dram_write_bytes)
+    /. (bw_bytes_per_us *. eff)
+  in
+  let insts_per_us = arch.fp32_tflops *. 1e6 *. config.compute_efficiency in
+  let total_insts =
+    w.fp32_insts + (w.atomic_insts * config.atomic_inst_equiv)
+  in
+  let compute_time_us = float_of_int total_insts /. (insts_per_us *. eff) in
+  let barrier_us =
+    float_of_int w.num_barriers *. Barrier.cost_us ~blocks:l.grid
+  in
+  let exec_time_us =
+    Float.max memory_time_us compute_time_us +. config.kernel_fixed_us
+    +. barrier_us
+  in
+  let overhead_us =
+    config.kernel_launch_overhead_us +. config.framework_op_overhead_us
+  in
+  (* SM efficiency: fraction of SM-cycles doing work while the kernel runs;
+     dominated by wave fullness, floored by the fixed prologue dilution. *)
+  let sm_efficiency =
+    fullness *. (Float.max memory_time_us compute_time_us
+                 /. Float.max 1e-9 exec_time_us)
+  in
+  {
+    time_us = exec_time_us +. overhead_us;
+    exec_time_us;
+    memory_time_us;
+    compute_time_us;
+    overhead_us;
+    barrier_us;
+    occupancy;
+    sm_efficiency = Float.min 1.0 sm_efficiency;
+  }
+
+(* Host-side copies/memsets: latency-bound for the small buffers involved. *)
+let memcpy_time_us ?(config = default_config) (arch : Arch.t) ~bytes =
+  config.memcpy_overhead_us
+  +. (float_of_int bytes /. (arch.dram_bandwidth_gbs *. 1e3))

@@ -1,0 +1,46 @@
+(** Analytical kernel-time model (roofline + occupancy/wave derating +
+    fixed overheads).  See DESIGN.md Sec 4 for the formula sketch. *)
+
+type work = {
+  dram_read_bytes : int;
+  dram_write_bytes : int;
+  fp32_insts : int;
+  atomic_insts : int;
+  num_barriers : int;
+}
+
+val no_work : work
+val add_work : work -> work -> work
+
+type config = {
+  kernel_launch_overhead_us : float;
+  kernel_fixed_us : float;
+  framework_op_overhead_us : float;
+  memcpy_overhead_us : float;
+  occupancy_saturation : float;
+  atomic_inst_equiv : int;
+  compute_efficiency : float;
+  library_compute_efficiency : float;
+}
+
+val default_config : config
+
+type estimate = {
+  time_us : float;
+  exec_time_us : float;
+  memory_time_us : float;
+  compute_time_us : float;
+  overhead_us : float;
+  barrier_us : float;
+  occupancy : float;
+  sm_efficiency : float;
+}
+
+val transactions : int -> int
+(** 32-byte DRAM sectors, matching nvprof's transaction counters. *)
+
+val estimate : ?config:config -> Arch.t -> Launch.t -> work -> estimate
+(** @raise Occupancy.Unlaunchable on illegal launches,
+    @raise Barrier.Deadlock if barriers are used with an over-wide grid. *)
+
+val memcpy_time_us : ?config:config -> Arch.t -> bytes:int -> float

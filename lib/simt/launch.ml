@@ -1,0 +1,24 @@
+(* A kernel launch configuration: grid/block geometry plus the per-thread
+   register and per-block shared-memory footprints that bound occupancy. *)
+
+type t = {
+  grid : int;
+  block : int;
+  regs_per_thread : int;
+  shared_mem_per_block : int; (* bytes *)
+}
+
+exception Invalid of string
+
+let make ?(regs_per_thread = 32) ?(shared_mem_per_block = 0) ~grid ~block () =
+  if grid < 1 then raise (Invalid (Printf.sprintf "grid %d < 1" grid));
+  if block < 1 then raise (Invalid (Printf.sprintf "block %d < 1" block));
+  if regs_per_thread < 1 then raise (Invalid "regs_per_thread < 1");
+  if shared_mem_per_block < 0 then raise (Invalid "negative shared memory");
+  { grid; block; regs_per_thread; shared_mem_per_block }
+
+let threads t = t.grid * t.block
+
+let pp fmt t =
+  Format.fprintf fmt "<<<%d, %d>>> regs=%d smem=%dB" t.grid t.block
+    t.regs_per_thread t.shared_mem_per_block

@@ -1,0 +1,74 @@
+(* CUDA-occupancy-calculator style resource arithmetic.
+
+   Key reference point (used throughout the paper): on a V100 with block
+   size 1024 a kernel can have at most 2 blocks per SM x 80 SMs = 160
+   concurrently resident thread blocks per "wave". *)
+
+exception Unlaunchable of string
+
+let unlaunchable fmt = Format.kasprintf (fun s -> raise (Unlaunchable s)) fmt
+
+let check_launchable (arch : Arch.t) (l : Launch.t) =
+  if l.block > arch.max_threads_per_block then
+    unlaunchable "block size %d exceeds device limit %d" l.block
+      arch.max_threads_per_block;
+  if l.regs_per_thread > arch.max_registers_per_thread then
+    unlaunchable "%d registers per thread exceeds limit %d" l.regs_per_thread
+      arch.max_registers_per_thread;
+  if l.regs_per_thread * l.block > arch.registers_per_sm then
+    unlaunchable "register footprint %d exceeds SM file %d"
+      (l.regs_per_thread * l.block)
+      arch.registers_per_sm;
+  if l.shared_mem_per_block > arch.shared_mem_per_block then
+    unlaunchable "shared memory %dB exceeds block limit %dB"
+      l.shared_mem_per_block arch.shared_mem_per_block
+
+(* Resident blocks per SM allowed by each resource. *)
+let blocks_per_sm (arch : Arch.t) (l : Launch.t) =
+  check_launchable arch l;
+  let warps_per_block = (l.block + arch.warp_size - 1) / arch.warp_size in
+  let by_blocks = arch.max_blocks_per_sm in
+  let by_threads = arch.max_threads_per_sm / (warps_per_block * arch.warp_size) in
+  let by_regs = arch.registers_per_sm / (l.regs_per_thread * l.block) in
+  let by_smem =
+    if l.shared_mem_per_block = 0 then max_int
+    else arch.shared_mem_per_sm / l.shared_mem_per_block
+  in
+  Stdlib.max 0 (Stdlib.min (Stdlib.min by_blocks by_threads) (Stdlib.min by_regs by_smem))
+
+let blocks_per_wave arch l = blocks_per_sm arch l * arch.num_sms
+
+let theoretical_occupancy (arch : Arch.t) (l : Launch.t) =
+  let warps_per_block = (l.block + arch.warp_size - 1) / arch.warp_size in
+  float_of_int (blocks_per_sm arch l * warps_per_block)
+  /. float_of_int arch.max_warps_per_sm
+
+let waves arch (l : Launch.t) =
+  let bpw = blocks_per_wave arch l in
+  if bpw = 0 then unlaunchable "kernel fits zero blocks per SM";
+  (l.grid + bpw - 1) / bpw
+
+(* Average wave fullness: 1.0 when the grid tiles waves exactly, below 1
+   when the tail wave (or a grid smaller than one wave) leaves SMs idle —
+   the Figure 6(b) small-block-count pathology. *)
+let wave_fullness arch (l : Launch.t) =
+  let w = waves arch l in
+  float_of_int l.grid /. float_of_int (w * blocks_per_wave arch l)
+
+(* nvprof-style achieved occupancy: resident warps over peak warps on the
+   SMs that actually run blocks.  A grid smaller than the machine leaves
+   SMs idle - that shows up in SM efficiency, not here - but a grid that
+   cannot fill even the active SMs' residency (e.g. 64 blocks of 1024 on
+   a V100: one block per active SM where two fit) lowers it. *)
+let achieved_occupancy (arch : Arch.t) (l : Launch.t) =
+  let bpsm = blocks_per_sm arch l in
+  if bpsm = 0 then unlaunchable "kernel fits zero blocks per SM";
+  let warps_per_block = (l.block + arch.warp_size - 1) / arch.warp_size in
+  let active_sms = Stdlib.min arch.num_sms l.grid in
+  let resident_blocks_per_active_sm =
+    Float.min (float_of_int bpsm)
+      (float_of_int l.grid /. float_of_int active_sms)
+  in
+  resident_blocks_per_active_sm
+  *. float_of_int warps_per_block
+  /. float_of_int arch.max_warps_per_sm

@@ -1,0 +1,28 @@
+(** CUDA-occupancy-calculator style resource arithmetic.
+
+    Reference point used by the paper: V100 with block size 1024 admits
+    2 blocks/SM x 80 SMs = 160 resident blocks per wave. *)
+
+exception Unlaunchable of string
+
+val check_launchable : Arch.t -> Launch.t -> unit
+(** @raise Unlaunchable if the launch violates a hard device limit. *)
+
+val blocks_per_sm : Arch.t -> Launch.t -> int
+(** Resident blocks per SM (min over thread/block/register/smem limits). *)
+
+val blocks_per_wave : Arch.t -> Launch.t -> int
+
+val theoretical_occupancy : Arch.t -> Launch.t -> float
+(** Resident warps over peak warps per SM, from resources alone. *)
+
+val waves : Arch.t -> Launch.t -> int
+(** Number of waves needed to run the whole grid. *)
+
+val wave_fullness : Arch.t -> Launch.t -> float
+(** Average fraction of per-wave block slots actually used; < 1 for tail
+    waves or grids smaller than one wave. *)
+
+val achieved_occupancy : Arch.t -> Launch.t -> float
+(** nvprof-style achieved occupancy: resident warps over peak warps on the
+    SMs actually running blocks (idle SMs show up in SM efficiency). *)

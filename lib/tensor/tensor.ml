@@ -1,0 +1,93 @@
+(* Dense row-major tensors of OCaml floats.
+
+   All dtypes are represented as floats: predicates as 0. / 1., integers as
+   whole floats.  Numerics here are ground truth; the simulated kernels
+   must reproduce them bit-for-bit (same evaluation order per element). *)
+
+open Astitch_ir
+
+type t = { shape : Shape.t; data : float array }
+
+exception Mismatch of string
+
+let mismatch fmt = Format.kasprintf (fun s -> raise (Mismatch s)) fmt
+
+let create shape data =
+  if Array.length data <> Shape.num_elements shape then
+    mismatch "data length %d does not match shape %s" (Array.length data)
+      (Shape.to_string shape);
+  { shape; data }
+
+let shape t = t.shape
+let data t = t.data
+let num_elements t = Array.length t.data
+
+let full shape v = { shape; data = Array.make (Shape.num_elements shape) v }
+let zeros shape = full shape 0.
+let ones shape = full shape 1.
+let scalar v = { shape = Shape.scalar; data = [| v |] }
+
+let init shape f =
+  { shape; data = Array.init (Shape.num_elements shape) f }
+
+let of_list dims values =
+  create (Shape.of_list dims) (Array.of_list values)
+
+let get t idx = t.data.(Shape.linear_index t.shape idx)
+let get_linear t i = t.data.(i)
+let set_linear t i v = t.data.(i) <- v
+
+let map f t = { t with data = Array.map f t.data }
+
+let map2 f a b =
+  if not (Shape.equal a.shape b.shape) then
+    mismatch "map2: shapes %s vs %s" (Shape.to_string a.shape)
+      (Shape.to_string b.shape);
+  { a with data = Array.init (Array.length a.data) (fun i -> f a.data.(i) b.data.(i)) }
+
+let reshape t shape =
+  if Shape.num_elements shape <> num_elements t then
+    mismatch "reshape: element count mismatch";
+  { t with shape }
+
+let equal_approx ?(eps = 1e-6) a b =
+  Shape.equal a.shape b.shape
+  && Array.for_all2
+       (fun x y ->
+         x = y (* covers equal infinities *)
+         || (Float.is_nan x && Float.is_nan y)
+         ||
+         let scale = Float.max 1.0 (Float.max (Float.abs x) (Float.abs y)) in
+         Float.abs (x -. y) <= eps *. scale)
+       a.data b.data
+
+let max_abs_diff a b =
+  if not (Shape.equal a.shape b.shape) then infinity
+  else begin
+    let worst = ref 0. in
+    Array.iteri
+      (fun i x ->
+        let d = Float.abs (x -. b.data.(i)) in
+        if d > !worst then worst := d)
+      a.data;
+    !worst
+  end
+
+let pp fmt t =
+  Format.fprintf fmt "%s[" (Shape.to_string t.shape);
+  let n = Stdlib.min 8 (Array.length t.data) in
+  for i = 0 to n - 1 do
+    if i > 0 then Format.fprintf fmt ", ";
+    Format.fprintf fmt "%g" t.data.(i)
+  done;
+  if Array.length t.data > n then Format.fprintf fmt ", ...";
+  Format.fprintf fmt "]"
+
+(* Deterministic pseudo-random fill for tests/workloads (no global state). *)
+let random ~seed shape =
+  let state = ref (seed land 0x3FFFFFFF) in
+  let next () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    (float_of_int !state /. float_of_int 0x3FFFFFFF *. 2.) -. 1.
+  in
+  init shape (fun _ -> next ())

@@ -1,0 +1,37 @@
+(** Dense row-major tensors of OCaml floats.
+
+    All dtypes share the float representation: predicates are 0./1.,
+    integers are whole floats.  The reference interpreter's results on
+    these tensors are the ground truth every compiled plan must match. *)
+
+open Astitch_ir
+
+type t
+
+exception Mismatch of string
+
+val mismatch : ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Mismatch} with a formatted message. *)
+
+val create : Shape.t -> float array -> t
+val shape : t -> Shape.t
+val data : t -> float array
+val num_elements : t -> int
+val full : Shape.t -> float -> t
+val zeros : Shape.t -> t
+val ones : Shape.t -> t
+val scalar : float -> t
+val init : Shape.t -> (int -> float) -> t
+val of_list : int list -> float list -> t
+val get : t -> int array -> float
+val get_linear : t -> int -> float
+val set_linear : t -> int -> float -> unit
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+val reshape : t -> Shape.t -> t
+val equal_approx : ?eps:float -> t -> t -> bool
+val max_abs_diff : t -> t -> float
+val pp : Format.formatter -> t -> unit
+
+val random : seed:int -> Shape.t -> t
+(** Deterministic pseudo-random fill in [[-1, 1]]; no global state. *)

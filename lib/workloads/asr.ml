@@ -1,0 +1,75 @@
+(* ASR: an ESPnet-style speech encoder (conv subsampling front-end +
+   transformer encoder + CTC-ish log-softmax), batch 1 inference as in
+   Table 2.  Batch-1 speech features give the small irregular shapes the
+   paper's adaptive mapping targets. *)
+
+open Astitch_ir
+
+type config = {
+  frames : int; (* input time steps *)
+  mel : int; (* feature bins *)
+  conv_channels : int;
+  layers : int;
+  hidden : int;
+  heads : int;
+  ffn_hidden : int;
+  vocab : int;
+}
+
+let inference_config =
+  {
+    frames = 200;
+    mel = 80;
+    conv_channels = 32;
+    layers = 4;
+    hidden = 256;
+    heads = 4;
+    ffn_hidden = 1024;
+    vocab = 5000;
+  }
+
+let tiny_config =
+  { frames = 12; mel = 8; conv_channels = 2; layers = 1; hidden = 8;
+    heads = 2; ffn_hidden = 16; vocab = 8 }
+
+let build_forward b (c : config) =
+  (* conv subsampling: two stride-2 3x3 convs with relu *)
+  let x = Builder.parameter b "features" [ 1; c.frames; c.mel; 1 ] in
+  let f1 = Builder.parameter b "conv1.w" [ 3; 3; 1; c.conv_channels ] in
+  let c1 = Builder.relu b (Builder.conv2d b ~stride:2 x f1) in
+  let f2 =
+    Builder.parameter b "conv2.w" [ 3; 3; c.conv_channels; c.conv_channels ]
+  in
+  let c2 = Builder.relu b (Builder.conv2d b ~stride:2 c1 f2) in
+  let c2_shape = Shape.to_list (Builder.shape_of b c2) in
+  let t', m', ch =
+    match c2_shape with
+    | [ 1; t; m; ch ] -> (t, m, ch)
+    | _ -> Graph.ill_formed "asr: unexpected conv output shape"
+  in
+  let flat = Builder.reshape b c2 [ t'; m' * ch ] in
+  let w_in = Builder.parameter b "proj.w" [ m' * ch; c.hidden ] in
+  let b_in = Builder.parameter b "proj.b" [ c.hidden ] in
+  let x = Blocks.dense b flat ~weight:w_in ~bias:b_in in
+  let rec stack x i =
+    if i >= c.layers then x
+    else
+      let x =
+        Blocks.encoder_layer b
+          ~name:(Printf.sprintf "enc%d" i)
+          ~x ~heads:c.heads ~seq:t' ~batch:1 ~hidden:c.hidden
+          ~ffn_hidden:c.ffn_hidden
+      in
+      stack x (i + 1)
+  in
+  let enc = stack x 0 in
+  let w_out = Builder.parameter b "ctc.w" [ c.hidden; c.vocab ] in
+  let logits = Builder.dot b enc w_out in
+  Transformer.log_softmax b logits
+
+let inference ?(config = inference_config) () =
+  let b = Builder.create () in
+  let out = build_forward b config in
+  Builder.finish b ~outputs:[ out ]
+
+let tiny () = inference ~config:tiny_config ()

@@ -1,0 +1,20 @@
+(** ESPnet-style speech encoder (conv subsampling + transformer encoder +
+    CTC log-softmax) at inference batch 1. *)
+
+open Astitch_ir
+
+type config = {
+  frames : int;
+  mel : int;
+  conv_channels : int;
+  layers : int;
+  hidden : int;
+  heads : int;
+  ffn_hidden : int;
+  vocab : int;
+}
+
+val inference_config : config
+val tiny_config : config
+val inference : ?config:config -> unit -> Graph.t
+val tiny : unit -> Graph.t

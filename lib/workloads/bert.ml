@@ -1,0 +1,64 @@
+(* BERT-style encoder stack (Devlin et al.), with the production inference
+   batch size of the paper's Table 2 (200) and training batch 12.
+
+   Memory-intensive structure per layer: softmax (reduce-max + exp +
+   reduce-sum + divide under broadcasts), two layer-norms (mean/variance
+   reduces feeding rsqrt and broadcast normalization) and the GELU erf
+   chain - exactly the pattern-1/pattern-2 mixture of Sec 2.3. *)
+
+open Astitch_ir
+
+type config = {
+  layers : int;
+  batch : int;
+  seq : int;
+  hidden : int;
+  heads : int;
+  ffn_hidden : int;
+}
+
+let inference_config =
+  { layers = 12; batch = 200; seq = 128; hidden = 768; heads = 12; ffn_hidden = 3072 }
+
+let training_config = { inference_config with batch = 12 }
+
+let tiny_config =
+  { layers = 2; batch = 2; seq = 4; hidden = 8; heads = 2; ffn_hidden = 16 }
+
+let build_forward b (c : config) =
+  let tokens = c.batch * c.seq in
+  let x = Builder.parameter b "embeddings" [ tokens; c.hidden ] in
+  let g0 = Builder.parameter b "ln0.gamma" [ c.hidden ] in
+  let b0 = Builder.parameter b "ln0.beta" [ c.hidden ] in
+  let x = Builder.layer_norm b x ~gamma:g0 ~beta:b0 in
+  let rec stack x i =
+    if i >= c.layers then x
+    else
+      let x =
+        Blocks.encoder_layer b
+          ~name:(Printf.sprintf "layer%d" i)
+          ~x ~heads:c.heads ~seq:c.seq ~batch:c.batch ~hidden:c.hidden
+          ~ffn_hidden:c.ffn_hidden
+      in
+      stack x (i + 1)
+  in
+  stack x 0
+
+let inference ?(config = inference_config) () =
+  let b = Builder.create () in
+  let out = build_forward b config in
+  Builder.finish b ~outputs:[ out ]
+
+let training ?(config = training_config) () =
+  let b = Builder.create () in
+  let out = build_forward b config in
+  let loss = Builder.reduce_sum b ~axes:[ 0; 1 ] out in
+  let params =
+    List.init (Builder.num_nodes b) Fun.id
+    |> List.filter (fun id -> Op.is_parameter (Builder.op_of b id))
+  in
+  let grads = Autodiff.gradients b ~output:loss ~wrt:params in
+  Builder.finish b ~outputs:(loss :: grads)
+
+let tiny () = inference ~config:tiny_config ()
+let tiny_training () = training ~config:tiny_config ()

@@ -1,0 +1,21 @@
+(** BERT-style encoder stack at the paper's production batch sizes
+    (Table 2: inference 200, training 12). *)
+
+open Astitch_ir
+
+type config = {
+  layers : int;
+  batch : int;
+  seq : int;
+  hidden : int;
+  heads : int;
+  ffn_hidden : int;
+}
+
+val inference_config : config
+val training_config : config
+val tiny_config : config
+val inference : ?config:config -> unit -> Graph.t
+val training : ?config:config -> unit -> Graph.t
+val tiny : unit -> Graph.t
+val tiny_training : unit -> Graph.t

@@ -1,0 +1,115 @@
+(* Model building blocks shared by the workload generators.
+
+   Embedding lookups (gathers) are fed in as already-looked-up activation
+   parameters: the lookup itself is neither compute- nor memory-intensive
+   in the paper's sense and contributes nothing to fusion structure. *)
+
+open Astitch_ir
+
+type b = Builder.t
+
+let dense b x ~weight ~bias =
+  let y = Builder.dot b x weight in
+  let s = Shape.to_list (Builder.shape_of b y) in
+  let r = List.length s in
+  let bias_b = Builder.broadcast b bias ~dims:[ r - 1 ] s in
+  Builder.add b y bias_b
+
+(* Scaled-dot-product attention over [batch*heads; seq; dim] tensors:
+   the Figure 4 subgraph (scale -> mask-add -> softmax) lives between the
+   two batched matmuls. *)
+let attention b ~q ~k ~v ~mask ~scale =
+  let seq_t =
+    let s = Shape.to_list (Builder.shape_of b k) in
+    match s with
+    | [ bh; s1; d ] -> ignore (bh, s1, d); Builder.transpose b k ~perm:[ 0; 2; 1 ]
+    | _ -> Graph.ill_formed "attention: rank-3 [bh;seq;dim] expected"
+  in
+  let scores = Builder.dot b q seq_t in
+  let dims = Shape.to_list (Builder.shape_of b scores) in
+  let scale_c = Builder.constant b scale in
+  let scale_b = Builder.broadcast_scalar b scale_c dims in
+  let scaled = Builder.mul b scores scale_b in
+  let masked =
+    match mask with
+    | None -> scaled
+    | Some m ->
+        (* mask is [seq; seq]; broadcast over the batch*heads axis *)
+        let m_b = Builder.broadcast b m ~dims:[ 1; 2 ] dims in
+        Builder.add b scaled m_b
+  in
+  let probs = Builder.softmax b masked in
+  Builder.dot b probs v
+
+(* Transformer encoder layer on [tokens; hidden] activations. *)
+let encoder_layer b ~name ~x ~heads ~seq ~batch ~hidden ~ffn_hidden =
+  let p suffix dims = Builder.parameter b (name ^ "." ^ suffix) dims in
+  let head_dim = hidden / heads in
+  let wq = p "wq" [ hidden; hidden ]
+  and wk = p "wk" [ hidden; hidden ]
+  and wv = p "wv" [ hidden; hidden ]
+  and wo = p "wo" [ hidden; hidden ] in
+  let bq = p "bq" [ hidden ]
+  and bk = p "bk" [ hidden ]
+  and bv = p "bv" [ hidden ]
+  and bo = p "bo" [ hidden ] in
+  let to_heads t =
+    (* [batch*seq; hidden] -> [batch*heads; seq; head_dim] *)
+    let r = Builder.reshape b t [ batch; seq; heads; head_dim ] in
+    let tr = Builder.transpose b r ~perm:[ 0; 2; 1; 3 ] in
+    Builder.reshape b tr [ batch * heads; seq; head_dim ]
+  in
+  let q = to_heads (dense b x ~weight:wq ~bias:bq) in
+  let k = to_heads (dense b x ~weight:wk ~bias:bk) in
+  let v = to_heads (dense b x ~weight:wv ~bias:bv) in
+  let ctx = attention b ~q ~k ~v ~mask:None ~scale:(1. /. Float.sqrt (float_of_int head_dim)) in
+  let merged =
+    let r = Builder.reshape b ctx [ batch; heads; seq; head_dim ] in
+    let tr = Builder.transpose b r ~perm:[ 0; 2; 1; 3 ] in
+    Builder.reshape b tr [ batch * seq; hidden ]
+  in
+  let attn_out = dense b merged ~weight:wo ~bias:bo in
+  let res1 = Builder.add b x attn_out in
+  let g1 = p "ln1.gamma" [ hidden ] and b1 = p "ln1.beta" [ hidden ] in
+  let ln1 = Builder.layer_norm b res1 ~gamma:g1 ~beta:b1 in
+  let w1 = p "ffn.w1" [ hidden; ffn_hidden ]
+  and bb1 = p "ffn.b1" [ ffn_hidden ]
+  and w2 = p "ffn.w2" [ ffn_hidden; hidden ]
+  and bb2 = p "ffn.b2" [ hidden ] in
+  let h = Builder.gelu b (dense b ln1 ~weight:w1 ~bias:bb1) in
+  let ffn_out = dense b h ~weight:w2 ~bias:bb2 in
+  let res2 = Builder.add b ln1 ffn_out in
+  let g2 = p "ln2.gamma" [ hidden ] and b2 = p "ln2.beta" [ hidden ] in
+  Builder.layer_norm b res2 ~gamma:g2 ~beta:b2
+
+(* GRU cell: x [batch; input], h [batch; hidden] -> h' [batch; hidden].
+   The three gates are the dense elementwise sigmoid/tanh subgraphs the
+   paper's RNN workloads are full of. *)
+let gru_cell b ~name ~x ~h ~batch ~hidden =
+  ignore batch;
+  let p suffix dims = Builder.parameter b (name ^ "." ^ suffix) dims in
+  let input_dim =
+    match Shape.to_list (Builder.shape_of b x) with
+    | [ _; d ] -> d
+    | _ -> Graph.ill_formed "gru_cell: x must be [batch; input]"
+  in
+  let gate suffix activation ~extra =
+    let w = p ("w" ^ suffix) [ input_dim; hidden ] in
+    let u = p ("u" ^ suffix) [ hidden; hidden ] in
+    let bias = p ("b" ^ suffix) [ hidden ] in
+    let pre =
+      Builder.add b (Builder.dot b x w) (Builder.dot b extra u)
+    in
+    let dims = Shape.to_list (Builder.shape_of b pre) in
+    let bias_b = Builder.broadcast b bias ~dims:[ 1 ] dims in
+    activation (Builder.add b pre bias_b)
+  in
+  let z = gate "z" (Builder.sigmoid b) ~extra:h in
+  let r = gate "r" (Builder.sigmoid b) ~extra:h in
+  let h_cand = gate "h" (Builder.tanh b) ~extra:(Builder.mul b r h) in
+  let one =
+    Builder.broadcast_scalar b (Builder.constant b 1.)
+      (Shape.to_list (Builder.shape_of b z))
+  in
+  let keep = Builder.mul b (Builder.sub b one z) h in
+  Builder.add b keep (Builder.mul b z h_cand)

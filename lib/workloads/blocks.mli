@@ -1,0 +1,24 @@
+(** Model building blocks shared by the workload generators. *)
+
+open Astitch_ir
+
+type b = Builder.t
+
+val dense : b -> Builder.v -> weight:Builder.v -> bias:Builder.v -> Builder.v
+
+val attention :
+  b ->
+  q:Builder.v -> k:Builder.v -> v:Builder.v ->
+  mask:Builder.v option -> scale:float -> Builder.v
+(** Scaled-dot-product attention over [bh; seq; dim] tensors: the Fig 4
+    subgraph between two batched matmuls. *)
+
+val encoder_layer :
+  b ->
+  name:string -> x:Builder.v -> heads:int -> seq:int -> batch:int ->
+  hidden:int -> ffn_hidden:int -> Builder.v
+
+val gru_cell :
+  b ->
+  name:string -> x:Builder.v -> h:Builder.v -> batch:int -> hidden:int ->
+  Builder.v

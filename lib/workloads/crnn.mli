@@ -1,0 +1,18 @@
+(** CRNN for scene-text recognition at batch 1: conv + instance-norm
+    pyramid, bidirectional GRU, per-timestep softmax.  The paper's
+    detailed case-study model (Table 4/5, Fig 15). *)
+
+open Astitch_ir
+
+type config = {
+  height : int;
+  width : int;
+  channels : int list;
+  hidden : int;
+  classes : int;
+}
+
+val inference_config : config
+val tiny_config : config
+val inference : ?config:config -> unit -> Graph.t
+val tiny : unit -> Graph.t

@@ -1,0 +1,132 @@
+(* DIEN (Deep Interest Evolution Network, Zhou et al.) for CTR
+   prediction, at the production batch size 256 of Table 2.
+
+   Distinctive memory-intensive features:
+   - the <750000,32> row-reduce of Figure 6(a): pooling candidate-item
+     embedding lists - the small-block-size pathology;
+   - a GRU interest extractor unrolled over the behaviour sequence:
+     hundreds of small element-wise sigmoid/tanh subgraphs between tiny
+     GEMMs, which is where XLA's many-small-kernels overhead bites;
+   - an attention-weighted interest evolution (AUGRU-style gating). *)
+
+open Astitch_ir
+
+type config = {
+  batch : int;
+  behavior_len : int;
+  embedding : int;
+  hidden : int;
+  candidate_pool : int; (* rows of the big pooling reduce *)
+  item_vocab : int; (* embedding-table rows the candidates gather from *)
+}
+
+let inference_config =
+  { batch = 256; behavior_len = 30; embedding = 32; hidden = 32;
+    candidate_pool = 750_000; item_vocab = 4096 }
+
+let training_config = { inference_config with candidate_pool = 750_000 }
+
+let tiny_config =
+  { batch = 2; behavior_len = 3; embedding = 4; hidden = 4;
+    candidate_pool = 8; item_vocab = 6 }
+
+let build_forward b (c : config) =
+  (* candidate-pool pooling branch: embedding lookup over the item table,
+     then the irregular-shape reduce of Fig 6(a).  Training backpropagates
+     into the table through a scatter-add. *)
+  let table =
+    Builder.parameter b "item_table" [ c.item_vocab; c.embedding ]
+  in
+  let ids = Builder.parameter b "candidate_ids" [ c.candidate_pool ] in
+  let pool = Builder.gather b table ids in
+  let pooled = Builder.reduce_sum b ~axes:[ 1 ] pool in (* <750000> *)
+  let pooled_norm =
+    let dims = Shape.to_list (Builder.shape_of b pooled) in
+    let scale =
+      Builder.broadcast_scalar b
+        (Builder.constant b (1. /. float_of_int c.embedding))
+        dims
+    in
+    Builder.sigmoid b (Builder.mul b pooled scale)
+  in
+  let pool_score = Builder.reduce_mean b ~axes:[ 0 ] pooled_norm in
+  (* GRU interest extractor over the behaviour sequence *)
+  let h0 = Builder.parameter b "h0" [ c.batch; c.hidden ] in
+  let rec unroll h t acc =
+    if t >= c.behavior_len then (h, List.rev acc)
+    else begin
+      let x =
+        Builder.parameter b (Printf.sprintf "behavior.%d" t)
+          [ c.batch; c.embedding ]
+      in
+      let h' =
+        Blocks.gru_cell b
+          ~name:(Printf.sprintf "gru.%d" t)
+          ~x ~h ~batch:c.batch ~hidden:c.hidden
+      in
+      unroll h' (t + 1) (h' :: acc)
+    end
+  in
+  let h_final, states = unroll h0 0 [] in
+  (* attention over hidden states against the target item *)
+  let target = Builder.parameter b "target_item" [ c.batch; c.hidden ] in
+  let scores =
+    List.map
+      (fun h -> Builder.reduce_sum b ~axes:[ 1 ] (Builder.mul b h target))
+      states
+  in
+  let score_mat =
+    Builder.concat b ~axis:1
+      (List.map (fun s -> Builder.reshape b s [ c.batch; 1 ]) scores)
+  in
+  let weights = Builder.softmax b score_mat in (* <batch, len> *)
+  let weighted =
+    List.mapi
+      (fun t h ->
+        let w =
+          Builder.slice b weights ~starts:[ 0; t ] ~stops:[ c.batch; t + 1 ]
+        in
+        let w_b =
+          Builder.broadcast b
+            (Builder.reshape b w [ c.batch ])
+            ~dims:[ 0 ] [ c.batch; c.hidden ]
+        in
+        Builder.mul b w_b h)
+      states
+  in
+  let interest =
+    List.fold_left (Builder.add b) (List.hd weighted) (List.tl weighted)
+  in
+  (* final MLP: concat features, two dense layers, sigmoid CTR *)
+  let features = Builder.concat b ~axis:1 [ interest; h_final; target ] in
+  let w1 = Builder.parameter b "mlp.w1" [ 3 * c.hidden; c.hidden ] in
+  let b1 = Builder.parameter b "mlp.b1" [ c.hidden ] in
+  let w2 = Builder.parameter b "mlp.w2" [ c.hidden; 1 ] in
+  let b2 = Builder.parameter b "mlp.b2" [ 1 ] in
+  let l1 = Builder.relu b (Blocks.dense b features ~weight:w1 ~bias:b1) in
+  let logits = Blocks.dense b l1 ~weight:w2 ~bias:b2 in
+  let ctr = Builder.sigmoid b logits in
+  (* fold the pooling-branch score in so both branches are live *)
+  let pool_b =
+    Builder.broadcast_scalar b pool_score (Shape.to_list (Builder.shape_of b ctr))
+  in
+  Builder.mul b ctr pool_b
+
+let inference ?(config = inference_config) () =
+  let b = Builder.create () in
+  let out = build_forward b config in
+  Builder.finish b ~outputs:[ out ]
+
+let training ?(config = training_config) () =
+  let b = Builder.create () in
+  let out = build_forward b config in
+  let loss = Builder.reduce_sum b ~axes:[ 0; 1 ] out in
+  let params =
+    List.init (Builder.num_nodes b) Fun.id
+    |> List.filter (fun id -> Op.is_parameter (Builder.op_of b id))
+  in
+  let grads = Autodiff.gradients b ~output:loss ~wrt:params in
+  Builder.finish b ~outputs:(loss :: grads)
+
+let tiny () = inference ~config:tiny_config ()
+let tiny_training () = training ~config:tiny_config ()

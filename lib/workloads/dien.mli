@@ -1,0 +1,22 @@
+(** DIEN for CTR prediction at batch 256: the <750000,32> candidate-pool
+    reduce of Fig 6(a), a GRU interest extractor and attention-weighted
+    interest evolution. *)
+
+open Astitch_ir
+
+type config = {
+  batch : int;
+  behavior_len : int;
+  embedding : int;
+  hidden : int;
+  candidate_pool : int;
+  item_vocab : int;
+}
+
+val inference_config : config
+val training_config : config
+val tiny_config : config
+val inference : ?config:config -> unit -> Graph.t
+val training : ?config:config -> unit -> Graph.t
+val tiny : unit -> Graph.t
+val tiny_training : unit -> Graph.t

@@ -1,0 +1,140 @@
+(* Random memory-intensive graphs.
+
+   Two consumers:
+   - property tests: any generated graph, compiled by any backend, must
+     execute to the reference interpreter's values and pass every plan
+     invariant (shapes stay small so execution is cheap);
+   - the Sec 6.4.1 optimization-overhead benchmark: 5,000-10,000-node
+     graphs that only get compiled, never executed. *)
+
+open Astitch_ir
+
+type rng = { mutable state : int }
+
+let rng seed = { state = (seed lxor 0x2545F491) land 0x3FFFFFFF }
+
+let next r =
+  r.state <- ((r.state * 1103515245) + 12345) land 0x3FFFFFFF;
+  r.state
+
+let below r n = if n <= 0 then 0 else next r mod n
+
+let pick r l = List.nth l (below r (List.length l))
+
+type value = { v : Builder.v; dims : int list }
+
+let safe_unaries =
+  [ Op.Neg; Op.Abs; Op.Relu; Op.Tanh; Op.Sigmoid; Op.Exp; Op.Sign; Op.Erf ]
+
+let safe_binaries = [ Op.Add; Op.Sub; Op.Mul; Op.Max; Op.Min ]
+
+(* Generate a graph with roughly [nodes] ops over rank-<=2 tensors whose
+   dimensions come from [dims_pool]. *)
+let random_graph ?(seed = 1) ?(dims_pool = [ 2; 3; 4; 5; 8 ]) ~nodes () =
+  let r = rng seed in
+  let b = Builder.create () in
+  let dim () = pick r dims_pool in
+  let pool : value list ref = ref [] in
+  let add dims v = pool := { v; dims } :: !pool in
+  let fresh_param i =
+    let dims = [ dim (); dim () ] in
+    add dims (Builder.parameter b (Printf.sprintf "p%d" i) dims)
+  in
+  let n_params = 2 + below r 3 in
+  for i = 0 to n_params - 1 do
+    fresh_param i
+  done;
+  let values_with f = List.filter f !pool in
+  let any () = pick r !pool in
+  let emit_step () =
+    match below r 100 with
+    | x when x < 30 ->
+        (* unary *)
+        let { v; dims } = any () in
+        add dims (Builder.unary b (pick r safe_unaries) v)
+    | x when x < 55 -> (
+        (* binary on matching shapes *)
+        let { v; dims } = any () in
+        match values_with (fun u -> u.dims = dims) with
+        | [] -> add dims (Builder.neg b v)
+        | candidates ->
+            let u = pick r candidates in
+            add dims (Builder.binary b (pick r safe_binaries) v u.v))
+    | x when x < 70 -> (
+        (* reduce a rank-2 value over one axis *)
+        match values_with (fun u -> List.length u.dims = 2) with
+        | [] -> ()
+        | candidates ->
+            let { v; dims } = pick r candidates in
+            let axis = below r 2 in
+            let kind = pick r [ Op.Sum; Op.Max_r; Op.Mean ] in
+            add
+              [ List.nth dims (1 - axis) ]
+              (Builder.reduce b kind ~axes:[ axis ] v))
+    | x when x < 85 -> (
+        (* broadcast a rank-1 value into a rank-2 shape *)
+        match values_with (fun u -> List.length u.dims = 1) with
+        | [] -> ()
+        | candidates ->
+            let { v; dims } = pick r candidates in
+            let d = List.hd dims in
+            let other = dim () in
+            if below r 2 = 0 then
+              add [ d; other ] (Builder.broadcast b v ~dims:[ 0 ] [ d; other ])
+            else add [ other; d ] (Builder.broadcast b v ~dims:[ 1 ] [ other; d ]))
+    | x when x < 92 -> (
+        (* heavy elementwise then used under broadcast later: seed the
+           pattern-2 structure explicitly *)
+        match values_with (fun u -> List.length u.dims = 1) with
+        | [] -> ()
+        | candidates ->
+            let { v; dims } = pick r candidates in
+            let d = List.hd dims in
+            let heavy = Builder.tanh b v in
+            let other = dim () in
+            add [ d; other ]
+              (Builder.broadcast b heavy ~dims:[ 0 ] [ d; other ]))
+    | x when x < 94 -> (
+        (* dot: [a;b] x [b;c] *)
+        match values_with (fun u -> List.length u.dims = 2) with
+        | [] -> ()
+        | candidates ->
+            let { v; dims } = pick r candidates in
+            let k = List.nth dims 1 in
+            let c = dim () in
+            let w = Builder.parameter b
+                (Printf.sprintf "w%d" (Builder.num_nodes b)) [ k; c ]
+            in
+            add [ List.hd dims; c ] (Builder.dot b v w))
+    | x when x < 97 -> (
+        (* gather with in-range iota indices, sometimes followed by a
+           scatter-add back into the table shape *)
+        match values_with (fun u -> List.length u.dims = 2) with
+        | [] -> ()
+        | candidates ->
+            let { v; dims } = pick r candidates in
+            let rows = List.hd dims and cols = List.nth dims 1 in
+            let k = 1 + below r rows in
+            let ids = Builder.iota b ~axis:0 [ k ] in
+            let gathered = Builder.gather b v ids in
+            add [ k; cols ] gathered;
+            if below r 2 = 0 then
+              add [ rows; cols ] (Builder.scatter_add b ~rows ids gathered))
+    | _ -> (
+        (* transpose *)
+        match values_with (fun u -> List.length u.dims = 2) with
+        | [] -> ()
+        | candidates ->
+            let { v; dims } = pick r candidates in
+            add (List.rev dims) (Builder.transpose b v ~perm:[ 1; 0 ]))
+  in
+  while Builder.num_nodes b < nodes do
+    emit_step ()
+  done;
+  (* outputs: a handful of the most recent values *)
+  let outputs =
+    !pool
+    |> List.filteri (fun i _ -> i < 3)
+    |> List.map (fun { v; _ } -> v)
+  in
+  Builder.finish b ~outputs

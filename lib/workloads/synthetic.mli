@@ -1,0 +1,7 @@
+(** Seeded random memory-intensive graphs for property tests and the
+    compilation-overhead benchmark. *)
+
+open Astitch_ir
+
+val random_graph : ?seed:int -> ?dims_pool:int list -> nodes:int -> unit -> Graph.t
+(** At least [nodes] ops over rank-<=2 tensors; deterministic per seed. *)

@@ -1,0 +1,95 @@
+(* Transformer (Vaswani et al.) for machine translation.
+
+   Distinctive memory-intensive features the paper calls out:
+   - ~10% of all ops are reduces (softmaxes + layer-norms everywhere);
+   - the vocabulary log-softmax row-reduce of shape <64,30000> - the
+     small-block-count pathology of Figure 6(b);
+   - inference runs at batch 1 (Table 2), training at 4096 tokens. *)
+
+open Astitch_ir
+
+type config = {
+  layers : int;
+  batch : int;
+  seq : int;
+  hidden : int;
+  heads : int;
+  ffn_hidden : int;
+  vocab : int;
+}
+
+let inference_config =
+  {
+    layers = 6;
+    batch = 1;
+    seq = 64;
+    hidden = 512;
+    heads = 8;
+    ffn_hidden = 2048;
+    vocab = 30000;
+  }
+
+(* 4096-token training batches: 64 sentences x 64 tokens. *)
+let training_config = { inference_config with batch = 64 }
+
+let tiny_config =
+  { layers = 1; batch = 1; seq = 4; hidden = 8; heads = 2; ffn_hidden = 16; vocab = 16 }
+
+let log_softmax b logits =
+  let s = Shape.to_list (Builder.shape_of b logits) in
+  let r = List.length s in
+  let keep = List.init (r - 1) Fun.id in
+  let m = Builder.reduce_max b ~axes:[ r - 1 ] logits in
+  let shifted = Builder.sub b logits (Builder.broadcast b m ~dims:keep s) in
+  let z = Builder.reduce_sum b ~axes:[ r - 1 ] (Builder.exp b shifted) in
+  let log_z = Builder.log b z in
+  Builder.sub b shifted (Builder.broadcast b log_z ~dims:keep s)
+
+let build_forward b (c : config) =
+  let tokens = c.batch * c.seq in
+  let x = Builder.parameter b "embeddings" [ tokens; c.hidden ] in
+  let pos = Builder.parameter b "positional" [ tokens; c.hidden ] in
+  let x = Builder.add b x pos in
+  let rec stack x i =
+    if i >= c.layers then x
+    else
+      let x =
+        Blocks.encoder_layer b
+          ~name:(Printf.sprintf "enc%d" i)
+          ~x ~heads:c.heads ~seq:c.seq ~batch:c.batch ~hidden:c.hidden
+          ~ffn_hidden:c.ffn_hidden
+      in
+      stack x (i + 1)
+  in
+  let enc = stack x 0 in
+  (* vocabulary projection + log-softmax: the <tokens, vocab> row-reduce *)
+  let w_vocab = Builder.parameter b "vocab.w" [ c.hidden; c.vocab ] in
+  let logits = Builder.dot b enc w_vocab in
+  log_softmax b logits
+
+let inference ?(config = inference_config) () =
+  let b = Builder.create () in
+  let out = build_forward b config in
+  Builder.finish b ~outputs:[ out ]
+
+let training ?(config = training_config) () =
+  let b = Builder.create () in
+  let log_probs = build_forward b config in
+  (* cross-entropy against dense targets *)
+  let dims = Shape.to_list (Builder.shape_of b log_probs) in
+  let targets = Builder.parameter b "targets" dims in
+  let nll = Builder.neg b (Builder.mul b targets log_probs) in
+  let loss = Builder.reduce_sum b ~axes:[ 0; 1 ] nll in
+  let params =
+    List.init (Builder.num_nodes b) Fun.id
+    |> List.filter (fun id -> Op.is_parameter (Builder.op_of b id))
+    |> List.filter (fun id ->
+           match Builder.op_of b id with
+           | Op.Parameter { name } -> name <> "targets"
+           | _ -> false)
+  in
+  let grads = Autodiff.gradients b ~output:loss ~wrt:params in
+  Builder.finish b ~outputs:(loss :: grads)
+
+let tiny () = inference ~config:tiny_config ()
+let tiny_training () = training ~config:tiny_config ()

@@ -1,0 +1,24 @@
+(** Transformer for MT: reduce-heavy (softmaxes + layer norms), with the
+    <64,30000> vocabulary log-softmax of Fig 6(b); inference batch 1,
+    training 4096 tokens (Table 2). *)
+
+open Astitch_ir
+
+type config = {
+  layers : int;
+  batch : int;
+  seq : int;
+  hidden : int;
+  heads : int;
+  ffn_hidden : int;
+  vocab : int;
+}
+
+val inference_config : config
+val training_config : config
+val tiny_config : config
+val log_softmax : Builder.t -> Builder.v -> Builder.v
+val inference : ?config:config -> unit -> Graph.t
+val training : ?config:config -> unit -> Graph.t
+val tiny : unit -> Graph.t
+val tiny_training : unit -> Graph.t

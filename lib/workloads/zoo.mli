@@ -1,0 +1,16 @@
+(** Registry of the paper's five evaluation workloads (Table 2). *)
+
+open Astitch_ir
+
+type entry = {
+  name : string;
+  field : string;
+  inference : unit -> Graph.t;
+  training : (unit -> Graph.t) option;
+  tiny : unit -> Graph.t;
+  train_batch : int option;
+  infer_batch : int;
+}
+
+val all : entry list
+val find : string -> entry option

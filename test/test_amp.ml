@@ -1,0 +1,78 @@
+(* Auto mixed precision: dtype conversion and its cost-model effect. *)
+
+open Astitch_ir
+open Astitch_simt
+open Astitch_runtime
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let graph_with_pred () =
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 64; 64 ] in
+  let y = Builder.parameter b "y" [ 64; 64 ] in
+  let mask = Builder.gt b x y in
+  let out = Builder.select b ~pred:mask ~on_true:x ~on_false:y in
+  Builder.finish b ~outputs:[ out ]
+
+let test_dtype_conversion () =
+  let g = graph_with_pred () in
+  let gh = Amp.to_half g in
+  Graph.validate gh;
+  check "params become f16" true (Dtype.equal (Graph.dtype gh 0) Dtype.F16);
+  (* the comparison result stays a predicate *)
+  check "pred preserved" true (Dtype.equal (Graph.dtype gh 2) Dtype.Pred);
+  check_int "same node count" (Graph.num_nodes g) (Graph.num_nodes gh)
+
+let test_bytes_halve () =
+  let g = graph_with_pred () in
+  let gh = Amp.to_half g in
+  check_int "f32 bytes" (64 * 64 * 4) (Graph.bytes g 0);
+  check_int "f16 bytes" (64 * 64 * 2) (Graph.bytes gh 0)
+
+let test_amp_execution_matches () =
+  (* numerics are unchanged (the simulator computes in OCaml floats) *)
+  let g = graph_with_pred () in
+  let gh = Amp.to_half g in
+  let params = Session.random_params g in
+  let a = Astitch_tensor.Interp.run g ~params in
+  let b2 = Astitch_tensor.Interp.run gh ~params in
+  List.iter2
+    (fun x y -> check "same values" true (Astitch_tensor.Tensor.equal_approx x y))
+    a b2
+
+let test_amp_reduces_memory_time () =
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 2048; 1024 ] in
+  let out = Builder.tanh b x in
+  let g = Builder.finish b ~outputs:[ out ] in
+  let time graph =
+    let plan = Astitch_core.Astitch.compile Arch.v100 graph in
+    (Profile.profile plan).Profile.mem_time_us
+  in
+  let full = time g and half = time (Amp.to_half g) in
+  check "f16 saves memory time" true (half < full);
+  (* the tensor dominates; savings should approach 2x *)
+  check "roughly half" true (full /. half > 1.5)
+
+let test_amp_idempotent () =
+  let g = graph_with_pred () in
+  let gh = Amp.to_half g in
+  let ghh = Amp.to_half gh in
+  check "idempotent" true
+    (Graph.fold_nodes
+       (fun acc nd -> acc && Dtype.equal nd.dtype (Graph.dtype gh nd.id))
+       true ghh)
+
+let () =
+  Alcotest.run "amp"
+    [
+      ( "amp",
+        [
+          Alcotest.test_case "dtype conversion" `Quick test_dtype_conversion;
+          Alcotest.test_case "bytes halve" `Quick test_bytes_halve;
+          Alcotest.test_case "execution matches" `Quick test_amp_execution_matches;
+          Alcotest.test_case "memory time drops" `Quick test_amp_reduces_memory_time;
+          Alcotest.test_case "idempotent" `Quick test_amp_idempotent;
+        ] );
+    ]

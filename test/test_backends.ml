@@ -1,0 +1,268 @@
+(* Baseline backends: fusion decisions must match the paper's description
+   of XLA / TVM / TensorRT / TensorFlow behaviour. *)
+
+open Astitch_ir
+open Astitch_simt
+open Astitch_plan
+open Astitch_backends
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* softmax over <4,8>: reduce-max, sub, exp, reduce-sum, div *)
+let softmax_graph () =
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 4; 8 ] in
+  let s = Builder.softmax b x in
+  Builder.finish b ~outputs:[ s ]
+
+let fig5_graph () =
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 2 ] in
+  let e = Builder.parameter b "e" [ 2 ] in
+  let p = Builder.pow b x e in
+  let bc = Builder.broadcast b p ~dims:[ 0 ] [ 2; 128 ] in
+  let other = Builder.parameter b "other" [ 2; 128 ] in
+  let a = Builder.add b bc other in
+  (Builder.finish b ~outputs:[ a ], p)
+
+let mem_kernels plan = List.length (Kernel_plan.memory_intensive_kernels plan)
+
+let test_tf_one_kernel_per_op () =
+  let g = softmax_graph () in
+  let plan = Tf_backend.compile Arch.v100 g in
+  Kernel_plan.check plan;
+  (* every non-leaf memory-intensive op is its own kernel *)
+  let expected =
+    List.length
+      (List.filter
+         (fun id -> not (Kernel_plan.is_leaf g id))
+         (Graph.memory_intensive_ids g))
+  in
+  check_int "kernel per op" expected (mem_kernels plan);
+  check "all recompute 1" true
+    (List.for_all
+       (fun (k : Kernel_plan.kernel) ->
+         List.for_all (fun (o : Kernel_plan.compiled_op) -> o.recompute = 1) k.ops)
+       plan.kernels)
+
+let test_xla_cuts_patterns () =
+  let g = softmax_graph () in
+  let plan = Xla_backend.compile Arch.v100 g in
+  Kernel_plan.check plan;
+  (* XLA cuts after both reduces: 3 kernels
+     (max+producers | sub,exp,sum via...) - at minimum more than 1 and
+     fewer than TF's per-op count *)
+  let tf = mem_kernels (Tf_backend.compile Arch.v100 g) in
+  let xla = mem_kernels plan in
+  check "fuses something" true (xla < tf);
+  check "cuts at reduces" true (xla >= 3)
+
+let test_xla_cuts_pattern2 () =
+  let g, p = fig5_graph () in
+  let plan = Xla_backend.compile Arch.v100 g in
+  Kernel_plan.check plan;
+  (* pow feeds a broadcast: XLA refuses to fuse them -> pow's kernel ends
+     at pow, no recompute *)
+  let pow_op =
+    List.find_map (fun k -> Kernel_plan.find_op k p) plan.kernels
+    |> Option.get
+  in
+  check_int "xla pow recompute" 1 pow_op.recompute;
+  check "pow materialized" true (pow_op.placement = Kernel_plan.Device_mem);
+  check_int "two mem kernels" 2 (mem_kernels plan)
+
+let test_tvm_fuses_pattern2_with_recompute () =
+  let g, p = fig5_graph () in
+  let plan = Tvm_backend.compile Arch.v100 g in
+  Kernel_plan.check plan;
+  let pow_op =
+    List.find_map (fun k -> Kernel_plan.find_op k p) plan.kernels
+    |> Option.get
+  in
+  (* Figure 5: power recomputed once per broadcast replica *)
+  check_int "tvm pow recompute" 128 pow_op.recompute;
+  check "pow stays in registers" true (pow_op.placement = Kernel_plan.Register);
+  check_int "one mem kernel" 1 (mem_kernels plan)
+
+let test_tvm_still_cuts_reduces () =
+  let g = softmax_graph () in
+  let plan = Tvm_backend.compile Arch.v100 g in
+  Kernel_plan.check plan;
+  check "multiple kernels (reduce cuts)" true (mem_kernels plan >= 3)
+
+let test_trt_more_kernels_than_xla () =
+  let g = softmax_graph () in
+  let xla = mem_kernels (Xla_backend.compile Arch.v100 g) in
+  let trt = mem_kernels (Trt_backend.compile Arch.v100 g) in
+  check "trt >= xla kernels" true (trt >= xla)
+
+let test_naive_mapping_fig6 () =
+  (* Fig 6(a): <750000,32> row-reduce -> block 32, grid 750000 *)
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 750_000; 32 ] in
+  let r = Builder.reduce_sum b ~axes:[ 1 ] x in
+  let g = Builder.finish b ~outputs:[ r ] in
+  (match Fusion_common.naive_mapping Arch.v100 g r with
+  | Thread_mapping.Row_reduce m ->
+      check_int "block 32" 32 (m.threads_per_row * m.rows_per_block);
+      check_int "grid 750000" 750_000
+        (Thread_mapping.grid (Thread_mapping.Row_reduce m))
+  | _ -> Alcotest.fail "expected row-reduce mapping");
+  (* Fig 6(b): <64,30000> -> block 1024, grid 64 *)
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 64; 30_000 ] in
+  let r = Builder.reduce_sum b ~axes:[ 1 ] x in
+  let g = Builder.finish b ~outputs:[ r ] in
+  match Fusion_common.naive_mapping Arch.v100 g r with
+  | Thread_mapping.Row_reduce m ->
+      check_int "block 1024" 1024 m.threads_per_row;
+      check_int "grid 64" 64 (Thread_mapping.grid (Thread_mapping.Row_reduce m))
+  | _ -> Alcotest.fail "expected row-reduce mapping"
+
+let test_ansor_packs_rows () =
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 1000; 32 ] in
+  let r = Builder.reduce_sum b ~axes:[ 1 ] x in
+  let g = Builder.finish b ~outputs:[ r ] in
+  match Fusion_common.tuned_mapping Arch.v100 g r with
+  | Thread_mapping.Row_reduce m ->
+      check_int "packs 32 rows" 32 m.rows_per_block;
+      check_int "full block" 1024 (m.threads_per_row * m.rows_per_block)
+  | _ -> Alcotest.fail "expected row-reduce mapping"
+
+let test_layout_ops_become_copies () =
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 4; 4 ] in
+  let w = Builder.parameter b "w" [ 4; 4 ] in
+  let d = Builder.dot b x w in
+  let rs = Builder.reshape b d [ 16 ] in
+  let g = Builder.finish b ~outputs:[ rs ] in
+  let plan = Xla_backend.compile Arch.v100 g in
+  check_int "one copy kernel" 1 (List.length (Kernel_plan.copy_kernels plan));
+  check "counted as CPY" true (Kernel_plan.cpy_count plan >= 2)
+  (* reshape copy + output memcpy *)
+
+(* --- More behaviour coverage ---------------------------------------------- *)
+
+let test_cuda_graph_same_plan_cheaper_launches () =
+  let g = softmax_graph () in
+  let xla = Xla_backend.compile Arch.v100 g in
+  let cg = Cuda_graph_backend.compile Arch.v100 g in
+  (* identical kernels, cheaper dispatch *)
+  Alcotest.(check int) "same kernel count" (List.length xla.kernels)
+    (List.length cg.kernels);
+  let time (b : Backend_intf.t) =
+    (Astitch_runtime.Profile.profile ~config:b.cost_config xla)
+      .Astitch_runtime.Profile.total_time_us
+  in
+  check "graph launch cheaper" true
+    (time Cuda_graph_backend.backend < time Xla_backend.backend)
+
+let test_ansor_fuses_like_tvm () =
+  let g, _ = fig5_graph () in
+  let tvm = Tvm_backend.compile Arch.v100 g in
+  let ansor = Tvm_backend.compile_ansor Arch.v100 g in
+  Alcotest.(check int) "same fusion decisions" (mem_kernels tvm) (mem_kernels ansor)
+
+let test_multi_consumer_producer_materialized_once () =
+  (* A feeding B and C (paper Fig 4's operator-level one-to-many): the
+     producer is materialized exactly once whatever backend runs *)
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 8; 8 ] in
+  let a = Builder.tanh b x in
+  let o1 = Builder.reduce_sum b ~axes:[ 1 ] a in
+  let o2 = Builder.reduce_max b ~axes:[ 0 ] a in
+  let g = Builder.finish b ~outputs:[ o1; o2 ] in
+  List.iter
+    (fun (backend : Backend_intf.t) ->
+      let plan = backend.compile Arch.v100 g in
+      Kernel_plan.check plan;
+      let device_count =
+        List.fold_left
+          (fun acc (k : Kernel_plan.kernel) ->
+            acc
+            + List.length
+                (List.filter
+                   (fun (o : Kernel_plan.compiled_op) ->
+                     o.id = a && o.placement = Kernel_plan.Device_mem)
+                   k.ops))
+          0 plan.kernels
+      in
+      check (backend.name ^ " materializes once") true (device_count <= 1))
+    [ Tf_backend.backend; Xla_backend.backend; Tvm_backend.backend;
+      Astitch_core.Astitch.full_backend ]
+
+let test_column_reduce_mapping () =
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 64; 128 ] in
+  let r = Builder.reduce_sum b ~axes:[ 0 ] x in
+  let g = Builder.finish b ~outputs:[ r ] in
+  (match Fusion_common.naive_mapping Arch.v100 g r with
+  | Thread_mapping.Column_reduce m ->
+      Alcotest.(check int) "block" 256 m.block;
+      check "atomics" true
+        (Thread_mapping.uses_atomics (Thread_mapping.Column_reduce m))
+  | _ -> Alcotest.fail "expected column reduce");
+  (* plans with column reduces count a memset for the accumulator *)
+  let plan = Xla_backend.compile Arch.v100 g in
+  check "memset counted" true (plan.memsets >= 1)
+
+let test_backend_cost_configs () =
+  let open Astitch_simt.Cost_model in
+  check "tf pays per-op scheduling" true
+    (Tf_backend.cost_config.framework_op_overhead_us
+    > Xla_backend.cost_config.framework_op_overhead_us);
+  check "cuda graph cheapest dispatch" true
+    (Cuda_graph_backend.cost_config.kernel_launch_overhead_us
+    < default_config.kernel_launch_overhead_us)
+
+let test_library_kernels_for_compute_ops () =
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 8; 8 ] in
+  let w = Builder.parameter b "w" [ 8; 8 ] in
+  let d1 = Builder.dot b x w in
+  let d2 = Builder.dot b d1 w in
+  let out = Builder.tanh b d2 in
+  let g = Builder.finish b ~outputs:[ out ] in
+  List.iter
+    (fun (backend : Backend_intf.t) ->
+      let plan = backend.compile Arch.v100 g in
+      Alcotest.(check int)
+        (backend.name ^ " library kernels")
+        2
+        (List.length (Kernel_plan.compute_intensive_kernels plan)))
+    [ Tf_backend.backend; Xla_backend.backend; Astitch_core.Astitch.full_backend ]
+
+let () =
+  Alcotest.run "backends"
+    [
+      ( "tf",
+        [ Alcotest.test_case "kernel per op" `Quick test_tf_one_kernel_per_op ] );
+      ( "xla",
+        [
+          Alcotest.test_case "cuts patterns" `Quick test_xla_cuts_patterns;
+          Alcotest.test_case "cuts pattern2" `Quick test_xla_cuts_pattern2;
+          Alcotest.test_case "naive mapping fig6" `Quick test_naive_mapping_fig6;
+          Alcotest.test_case "layout copies" `Quick test_layout_ops_become_copies;
+        ] );
+      ( "tvm",
+        [
+          Alcotest.test_case "fuses pattern2" `Quick
+            test_tvm_fuses_pattern2_with_recompute;
+          Alcotest.test_case "cuts reduces" `Quick test_tvm_still_cuts_reduces;
+          Alcotest.test_case "ansor packs" `Quick test_ansor_packs_rows;
+        ] );
+      ( "trt",
+        [ Alcotest.test_case "more kernels" `Quick test_trt_more_kernels_than_xla ] );
+      ( "behaviour",
+        [
+          Alcotest.test_case "cuda graph" `Quick test_cuda_graph_same_plan_cheaper_launches;
+          Alcotest.test_case "ansor = tvm fusion" `Quick test_ansor_fuses_like_tvm;
+          Alcotest.test_case "materialize once" `Quick
+            test_multi_consumer_producer_materialized_once;
+          Alcotest.test_case "column reduce" `Quick test_column_reduce_mapping;
+          Alcotest.test_case "cost configs" `Quick test_backend_cost_configs;
+          Alcotest.test_case "library kernels" `Quick test_library_kernels_for_compute_ops;
+        ] );
+    ]

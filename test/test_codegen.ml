@@ -1,0 +1,105 @@
+(* Pseudo-CUDA emission: parameters, buffer declarations, scheme
+   annotations, barriers. *)
+
+open Astitch_ir
+open Astitch_simt
+open Astitch_plan
+
+let check = Alcotest.(check bool)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec scan i = i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1)) in
+  scan 0
+
+let fig7_graph () =
+  let b = Builder.create () in
+  let p1 = Builder.parameter b "p1" [ 8; 16 ] in
+  let p2 = Builder.parameter b "p2" [ 8; 16 ] in
+  let add1 = Builder.add b p1 p2 in
+  let reduce1 = Builder.reduce_sum b ~axes:[ 1 ] add1 in
+  let bc1 = Builder.broadcast b reduce1 ~dims:[ 0 ] [ 8; 16 ] in
+  let div1 = Builder.div b p2 bc1 in
+  let out = Builder.mul b div1 add1 in
+  Builder.finish b ~outputs:[ out ]
+
+let stitch_plan () =
+  Astitch_core.Astitch.compile Arch.v100 (fig7_graph ())
+
+let test_kernel_params () =
+  let plan = stitch_plan () in
+  let k = List.hd (Kernel_plan.memory_intensive_kernels plan) in
+  let inputs, outputs = Astitch_core.Codegen.kernel_params plan.graph k in
+  Alcotest.(check (list int)) "inputs are the parameters" [ 0; 1 ] inputs;
+  check "one output" true (List.length outputs = 1)
+
+let test_emit_mentions_everything () =
+  let plan = stitch_plan () in
+  let text = Astitch_core.Codegen.emit_plan plan in
+  check "global decl" true (contains text "__global__ void stitch_op_0");
+  check "names parameters" true (contains text "const float* p1");
+  check "writes output" true (contains text "out_v");
+  check "schemes annotated" true
+    (contains text "local" || contains text "regional" || contains text "global");
+  check "launch comment" true (contains text "// launch: <<<")
+
+let test_emit_shared_decl () =
+  (* the buffered reduce shows up as a __shared__ or scratch declaration *)
+  let plan = stitch_plan () in
+  let text = Astitch_core.Codegen.emit_plan plan in
+  check "on-chip buffer declared" true
+    (contains text "__shared__ float smem_v" || contains text "float* gmem_v")
+
+let test_emit_recompute_annotation () =
+  (* TVM's pattern-2 fusion shows the x128 recompute in the rendering *)
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 2 ] in
+  let e = Builder.parameter b "e" [ 2 ] in
+  let p = Builder.pow b x e in
+  let bc = Builder.broadcast b p ~dims:[ 0 ] [ 2; 128 ] in
+  let other = Builder.parameter b "other" [ 2; 128 ] in
+  let a = Builder.add b bc other in
+  let g = Builder.finish b ~outputs:[ a ] in
+  let plan = Astitch_backends.Tvm_backend.compile Arch.v100 g in
+  let text = Astitch_core.Codegen.emit_plan plan in
+  check "recompute annotated" true (contains text "recompute x128")
+
+let test_emit_library_and_copy () =
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 4; 4 ] in
+  let w = Builder.parameter b "w" [ 4; 4 ] in
+  let d = Builder.dot b x w in
+  let rs = Builder.reshape b d [ 16 ] in
+  let g = Builder.finish b ~outputs:[ rs ] in
+  let plan = Astitch_backends.Xla_backend.compile Arch.v100 g in
+  let text = Astitch_core.Codegen.emit_plan plan in
+  check "library call" true (contains text "vendor library call");
+  check "memcpy" true (contains text "cudaMemcpyDeviceToDevice")
+
+let test_barrier_rendering () =
+  (* a stitch kernel with a global-scheme boundary renders a barrier *)
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 64; 30000 ] in
+  let r = Builder.reduce_sum b ~axes:[ 1 ] x in
+  let s = Builder.sigmoid b r in
+  let g = Builder.finish b ~outputs:[ s ] in
+  let plan = Astitch_core.Astitch.compile Arch.v100 g in
+  let k = List.hd (Kernel_plan.memory_intensive_kernels plan) in
+  if k.barriers > 0 then begin
+    let text = Astitch_core.Codegen.emit_kernel plan.graph k in
+    check "barrier rendered" true (contains text "__sync_or_global_barrier")
+  end
+
+let () =
+  Alcotest.run "codegen"
+    [
+      ( "emit",
+        [
+          Alcotest.test_case "kernel params" `Quick test_kernel_params;
+          Alcotest.test_case "mentions everything" `Quick test_emit_mentions_everything;
+          Alcotest.test_case "shared decl" `Quick test_emit_shared_decl;
+          Alcotest.test_case "recompute annotation" `Quick test_emit_recompute_annotation;
+          Alcotest.test_case "library+copy" `Quick test_emit_library_and_copy;
+          Alcotest.test_case "barrier" `Quick test_barrier_rendering;
+        ] );
+    ]

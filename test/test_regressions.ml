@@ -1,0 +1,186 @@
+(* Regression tests for bugs found (and fixed) while building the
+   reproduction.  Each test reconstructs the original failure structure. *)
+
+open Astitch_ir
+open Astitch_simt
+open Astitch_plan
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Bug 1: undirected union-find component formation let softmax's
+   reduce->broadcast->divide and reduce->(in-kernel)->divide paths form a
+   cyclic kernel pair under TRT's broadcast cuts. *)
+let test_trt_softmax_schedulable () =
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 4; 8 ] in
+  let g = Builder.finish b ~outputs:[ Builder.softmax b x ] in
+  let plan = Astitch_backends.Trt_backend.compile Arch.v100 g in
+  Kernel_plan.check plan
+
+(* Bug 2: pairwise merge-legality checks on node-level paths missed
+   kernel-level cycles through components with no internal directed path
+   (seed 13866 of the synthetic generator). *)
+let test_contraction_cycle_seed_13866 () =
+  let g = Astitch_workloads.Synthetic.random_graph ~seed:13866 ~nodes:120 () in
+  List.iter
+    (fun (backend : Backend_intf.t) ->
+      Kernel_plan.check (backend.compile Arch.v100 g))
+    [
+      Astitch_backends.Trt_backend.backend;
+      Astitch_backends.Xla_backend.backend;
+      Astitch_backends.Tvm_backend.backend;
+    ]
+
+(* Bug 3: greedy remote stitching merged mutually-unreachable clusters
+   into groups that were cyclic *between* groups (CRNN tiny). *)
+let test_remote_stitch_group_dag () =
+  let g = Astitch_workloads.Crnn.tiny () in
+  Kernel_plan.check (Astitch_core.Astitch.compile Arch.v100 g)
+
+(* Bug 4: a reduce pulled into a fusion component through a side path was
+   left in registers with recompute = row_length x fanout, exploding the
+   simulated time by ~50x (Transformer training log-softmax backward).
+   The reduce must become a multi-output fusion root. *)
+let test_reduce_never_recomputed_in_xla () =
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 64; 256 ] in
+  (* softmax-like: the reduce's consumer also reads exp directly *)
+  let e = Builder.exp b x in
+  let z = Builder.reduce_sum b ~axes:[ 1 ] e in
+  let z_b = Builder.broadcast b z ~dims:[ 0 ] [ 64; 256 ] in
+  let out = Builder.div b e z_b in
+  let g = Builder.finish b ~outputs:[ out ] in
+  let plan = Astitch_backends.Xla_backend.compile Arch.v100 g in
+  Kernel_plan.check plan;
+  List.iter
+    (fun (k : Kernel_plan.kernel) ->
+      List.iter
+        (fun (o : Kernel_plan.compiled_op) ->
+          if Op.is_reduce (Graph.op g o.id) then begin
+            check_int "reduce recompute" 1 o.recompute;
+            check "reduce materialized" true
+              (o.placement = Kernel_plan.Device_mem)
+          end)
+        k.ops)
+    plan.kernels
+
+(* Bug 5: dead nodes (no consumers, not outputs) were lowered and broke
+   the register-fanout invariant; backends must DCE them. *)
+let test_dead_nodes_not_lowered () =
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 4 ] in
+  let live = Builder.tanh b x in
+  let dead_heavy = Builder.pow b x x in
+  let _dead_bc = Builder.broadcast b dead_heavy ~dims:[ 0 ] [ 4; 16 ] in
+  let g = Builder.finish b ~outputs:[ live ] in
+  List.iter
+    (fun (backend : Backend_intf.t) ->
+      let plan = backend.compile Arch.v100 g in
+      Kernel_plan.check plan;
+      List.iter
+        (fun (k : Kernel_plan.kernel) ->
+          List.iter
+            (fun (o : Kernel_plan.compiled_op) ->
+              check "only live ops lowered" true (o.id = x || o.id = live))
+            k.ops)
+        plan.kernels)
+    [
+      Astitch_backends.Tf_backend.backend;
+      Astitch_backends.Xla_backend.backend;
+      Astitch_core.Astitch.full_backend;
+      Astitch_core.Astitch.hdm_backend;
+    ]
+
+(* Bug 6: the kernel schedule was derived from node-id order, which
+   breaks after remote stitching interleaves cluster ids. *)
+let test_toposort_after_remote_stitching () =
+  (* two chains with a compute op forcing interleaved cluster positions *)
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 8; 8 ] in
+  let a1 = Builder.tanh b x in
+  let w = Builder.parameter b "w" [ 8; 8 ] in
+  let d = Builder.dot b a1 w in
+  let a2 = Builder.sigmoid b d in
+  let y = Builder.parameter b "y" [ 8; 8 ] in
+  let b1 = Builder.relu b y in (* independent of the chain above *)
+  let g = Builder.finish b ~outputs:[ a2; b1 ] in
+  let plan = Astitch_core.Astitch.compile Arch.v100 g in
+  Kernel_plan.check plan;
+  (* and it still executes correctly *)
+  ignore
+    (Astitch_runtime.Executor.run_and_check plan
+       ~params:(Astitch_runtime.Session.random_params g))
+
+(* Bug 7: a scalar-input full reduction took the whole-kernel schedule to
+   grid 1; XLA's two-stage fallback must kick in for very long rows. *)
+let test_two_stage_reduce_mapping () =
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 1; 1_000_000 ] in
+  let r = Builder.reduce_sum b ~axes:[ 1 ] x in
+  let g = Builder.finish b ~outputs:[ r ] in
+  match Astitch_backends.Fusion_common.naive_mapping Arch.v100 g r with
+  | Thread_mapping.Row_reduce m ->
+      check "splits long row" true (m.split > 1)
+  | _ -> Alcotest.fail "expected row-reduce"
+
+(* ...while the Fig 6(b) shape must NOT be split by the baseline (that is
+   exactly the pathology the paper pins on XLA). *)
+let test_fig6b_not_split_by_xla () =
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 64; 30_000 ] in
+  let r = Builder.reduce_sum b ~axes:[ 1 ] x in
+  let g = Builder.finish b ~outputs:[ r ] in
+  match Astitch_backends.Fusion_common.naive_mapping Arch.v100 g r with
+  | Thread_mapping.Row_reduce m ->
+      check_int "no split" 1 m.split;
+      check_int "grid = rows" 64 (Thread_mapping.grid (Thread_mapping.Row_reduce m))
+  | _ -> Alcotest.fail "expected row-reduce"
+
+(* Bug 8: infinities compared unequal to themselves in tensor equality,
+   tripping the equivalence check on exp overflow. *)
+let test_inf_equality () =
+  let t = Astitch_tensor.Tensor.scalar infinity in
+  check "inf = inf" true (Astitch_tensor.Tensor.equal_approx t t);
+  let n = Astitch_tensor.Tensor.scalar nan in
+  check "nan = nan" true (Astitch_tensor.Tensor.equal_approx n n)
+
+(* Bug 9: register footprints above the SM file crashed launches for
+   large fusions; the register estimate must be capped by block size. *)
+let test_register_cap_on_large_fusion () =
+  let b = Builder.create () in
+  let x = ref (Builder.parameter b "x" [ 64; 30_000 ]) in
+  for _ = 1 to 40 do
+    x := Builder.add b (Builder.tanh b !x) !x
+  done;
+  let r = Builder.reduce_sum b ~axes:[ 1 ] !x in
+  let g = Builder.finish b ~outputs:[ r ] in
+  let plan = Astitch_backends.Xla_backend.compile Arch.v100 g in
+  Kernel_plan.check plan (* raises Unlaunchable without the cap *)
+
+let () =
+  Alcotest.run "regressions"
+    [
+      ( "fusion legality",
+        [
+          Alcotest.test_case "trt softmax" `Quick test_trt_softmax_schedulable;
+          Alcotest.test_case "contraction cycle 13866" `Quick
+            test_contraction_cycle_seed_13866;
+          Alcotest.test_case "remote group DAG" `Quick test_remote_stitch_group_dag;
+          Alcotest.test_case "toposort after remote" `Quick
+            test_toposort_after_remote_stitching;
+        ] );
+      ( "recompute",
+        [
+          Alcotest.test_case "reduce roots" `Quick test_reduce_never_recomputed_in_xla;
+          Alcotest.test_case "dead nodes" `Quick test_dead_nodes_not_lowered;
+        ] );
+      ( "mappings",
+        [
+          Alcotest.test_case "two-stage long reduce" `Quick test_two_stage_reduce_mapping;
+          Alcotest.test_case "fig6b stays naive" `Quick test_fig6b_not_split_by_xla;
+          Alcotest.test_case "register cap" `Quick test_register_cap_on_large_fusion;
+        ] );
+      ( "numerics",
+        [ Alcotest.test_case "inf/nan equality" `Quick test_inf_equality ] );
+    ]

@@ -1,0 +1,170 @@
+(* The simplification pass: folding, identities, CSE, and - most
+   importantly - value preservation. *)
+
+open Astitch_ir
+open Astitch_tensor
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let count_ops g pred =
+  Graph.fold_nodes (fun acc nd -> if pred nd.Graph.op then acc + 1 else acc) 0 g
+
+let test_constant_folding () =
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 4 ] in
+  let two = Builder.constant b 2. in
+  let three = Builder.constant b 3. in
+  let five = Builder.add b two three in
+  let five_b = Builder.broadcast_scalar b five [ 4 ] in
+  let out = Builder.mul b x five_b in
+  let g = Builder.finish b ~outputs:[ out ] in
+  let g', stats = Simplify.run g in
+  check "folded something" true (stats.folded >= 1);
+  (* the add of constants is gone *)
+  check_int "no binary constant ops left" 1
+    (count_ops g' (function Op.Binary _ -> true | _ -> false));
+  let params = [ ("x", Tensor.of_list [ 4 ] [ 1.; 2.; 3.; 4. ]) ] in
+  let expected = Tensor.of_list [ 4 ] [ 5.; 10.; 15.; 20. ] in
+  check "value" true
+    (Tensor.equal_approx (List.hd (Interp.run g' ~params)) expected)
+
+let test_fold_reduce_of_uniform () =
+  let b = Builder.create () in
+  let ones = Builder.broadcast_scalar b (Builder.constant b 1.) [ 3; 4 ] in
+  let s = Builder.reduce_sum b ~axes:[ 1 ] ones in
+  let x = Builder.parameter b "x" [ 3 ] in
+  let out = Builder.mul b x s in
+  let g = Builder.finish b ~outputs:[ out ] in
+  let g', stats = Simplify.run g in
+  check "reduce folded" true (stats.folded >= 1);
+  check_int "no reduce left" 0 (count_ops g' Op.is_reduce);
+  let params = [ ("x", Tensor.of_list [ 3 ] [ 1.; 2.; 3. ]) ] in
+  check "value = x*4" true
+    (Tensor.equal_approx
+       (List.hd (Interp.run g' ~params))
+       (Tensor.of_list [ 3 ] [ 4.; 8.; 12. ]))
+
+let test_identities () =
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 4 ] in
+  let zero = Builder.broadcast_scalar b (Builder.constant b 0.) [ 4 ] in
+  let one = Builder.broadcast_scalar b (Builder.constant b 1.) [ 4 ] in
+  let y = Builder.add b x zero in
+  let y = Builder.mul b y one in
+  let y = Builder.div b y one in
+  let y = Builder.neg b (Builder.neg b y) in
+  let y = Builder.relu b (Builder.relu b y) in
+  let g = Builder.finish b ~outputs:[ y ] in
+  let g', stats = Simplify.run g in
+  check "identities applied" true (stats.identities >= 4);
+  (* only the parameter and one relu survive *)
+  check "small result" true (Graph.num_nodes g' <= 3);
+  let params = [ ("x", Tensor.of_list [ 4 ] [ -1.; 0.; 1.; 2. ]) ] in
+  check "value" true
+    (Tensor.equal_approx
+       (List.hd (Interp.run g' ~params))
+       (Tensor.of_list [ 4 ] [ 0.; 0.; 1.; 2. ]))
+
+let test_cse () =
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 4 ] in
+  let t1 = Builder.tanh b x in
+  let t2 = Builder.tanh b x in
+  let out = Builder.add b t1 t2 in
+  let g = Builder.finish b ~outputs:[ out ] in
+  let g', stats = Simplify.run g in
+  check_int "one tanh left" 1
+    (count_ops g' (function Op.Unary { kind = Op.Tanh; _ } -> true | _ -> false));
+  check "cse counted" true (stats.cse >= 1)
+
+let test_reshape_identity () =
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 2; 3 ] in
+  let r = Builder.reshape b x [ 2; 3 ] in
+  let out = Builder.neg b r in
+  let g = Builder.finish b ~outputs:[ out ] in
+  let g', _ = Simplify.run g in
+  check_int "reshape dropped" 0
+    (count_ops g' (function Op.Reshape _ -> true | _ -> false))
+
+let test_transpose_identity () =
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 2; 3 ] in
+  let t = Builder.transpose b x ~perm:[ 0; 1 ] in
+  let out = Builder.neg b t in
+  let g = Builder.finish b ~outputs:[ out ] in
+  let g', _ = Simplify.run g in
+  check_int "identity transpose dropped" 0
+    (count_ops g' (function Op.Transpose _ -> true | _ -> false))
+
+let test_uniform_value () =
+  let b = Builder.create () in
+  let c = Builder.constant b 2.5 in
+  let bc = Builder.broadcast_scalar b c [ 3; 4 ] in
+  let rs = Builder.reshape b bc [ 12 ] in
+  let x = Builder.parameter b "x" [ 12 ] in
+  let out = Builder.add b x rs in
+  let g = Builder.finish b ~outputs:[ out ] in
+  check "constant" true (Simplify.uniform_value g c = Some 2.5);
+  check "broadcast chain" true (Simplify.uniform_value g rs = Some 2.5);
+  check "parameter" true (Simplify.uniform_value g x = None)
+
+let test_workload_equivalence () =
+  (* simplified workload graphs compute the same outputs *)
+  List.iter
+    (fun (e : Astitch_workloads.Zoo.entry) ->
+      let g = e.tiny () in
+      let g', _ = Simplify.run g in
+      Graph.validate g';
+      check (e.name ^ " simplification shrinks or keeps") true
+        (Graph.num_nodes g' <= Graph.num_nodes g);
+      let params =
+        List.map
+          (fun id ->
+            match Graph.op g id with
+            | Op.Parameter { name } ->
+                (name, Tensor.random ~seed:(17 * (id + 1)) (Graph.shape g id))
+            | _ -> assert false)
+          (Graph.parameters g)
+      in
+      List.iter2
+        (fun a b2 ->
+          if not (Tensor.equal_approx ~eps:1e-5 a b2) then
+            Alcotest.failf "%s: simplified outputs diverge" e.name)
+        (Interp.run g ~params)
+        (Interp.run g' ~params))
+    Astitch_workloads.Zoo.all
+
+let test_simplified_graphs_compile () =
+  (* compiled plans of simplified graphs still pass every invariant *)
+  let g, _ = Simplify.run (Astitch_workloads.Bert.tiny ()) in
+  List.iter
+    (fun (backend : Astitch_plan.Backend_intf.t) ->
+      Astitch_plan.Kernel_plan.check
+        (backend.compile Astitch_simt.Arch.v100 g))
+    [
+      Astitch_backends.Tf_backend.backend;
+      Astitch_backends.Xla_backend.backend;
+      Astitch_core.Astitch.full_backend;
+    ]
+
+let () =
+  Alcotest.run "simplify"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "constant folding" `Quick test_constant_folding;
+          Alcotest.test_case "reduce of uniform" `Quick test_fold_reduce_of_uniform;
+          Alcotest.test_case "identities" `Quick test_identities;
+          Alcotest.test_case "cse" `Quick test_cse;
+          Alcotest.test_case "reshape identity" `Quick test_reshape_identity;
+          Alcotest.test_case "transpose identity" `Quick test_transpose_identity;
+          Alcotest.test_case "uniform value" `Quick test_uniform_value;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "workloads" `Slow test_workload_equivalence;
+          Alcotest.test_case "compilable" `Quick test_simplified_graphs_compile;
+        ] );
+    ]

@@ -1,0 +1,155 @@
+(* SIMT device model: occupancy calculator reference points, barrier
+   legality and cost, roofline estimates. *)
+
+open Astitch_simt
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let launch ?(regs = 32) ?(smem = 0) grid block =
+  Launch.make ~regs_per_thread:regs ~shared_mem_per_block:smem ~grid ~block ()
+
+(* The paper's reference point: V100, block 1024 -> 160 blocks per wave. *)
+let test_v100_reference () =
+  let l = launch 1 1024 in
+  check_int "blocks/SM" 2 (Occupancy.blocks_per_sm Arch.v100 l);
+  check_int "blocks/wave" 160 (Occupancy.blocks_per_wave Arch.v100 l);
+  Alcotest.(check (float 1e-9)) "theoretical occ" 1.0
+    (Occupancy.theoretical_occupancy Arch.v100 l)
+
+let test_small_block_occupancy () =
+  (* block 32: limited by 32 blocks/SM -> 1024 threads = 50% occupancy *)
+  let l = launch 750_000 32 in
+  check_int "blocks/SM" 32 (Occupancy.blocks_per_sm Arch.v100 l);
+  Alcotest.(check (float 1e-6)) "occ 50%" 0.5
+    (Occupancy.theoretical_occupancy Arch.v100 l)
+
+let test_small_grid_fullness () =
+  (* Fig 6(b): 64 blocks of 1024 on V100 -> 40% of one wave; the 64 active
+     SMs hold one block each where two fit -> 50% achieved occupancy *)
+  let l = launch 64 1024 in
+  Alcotest.(check (float 1e-6)) "fullness" 0.4 (Occupancy.wave_fullness Arch.v100 l);
+  Alcotest.(check (float 1e-6)) "achieved occ" 0.5
+    (Occupancy.achieved_occupancy Arch.v100 l);
+  (* 128 blocks spread over 80 SMs: 1.6 resident blocks avg -> 80% *)
+  Alcotest.(check (float 1e-6)) "achieved occ 128" 0.8
+    (Occupancy.achieved_occupancy Arch.v100 (launch 128 1024))
+
+let test_resource_limits () =
+  (* registers bound residency: 64 regs x 1024 threads fills the file *)
+  let l = launch ~regs:64 1 1024 in
+  check "reg-bound blocks/SM < 2" true (Occupancy.blocks_per_sm Arch.v100 l < 2);
+  (* a 255-reg 1024-thread block cannot launch at all *)
+  (match Occupancy.check_launchable Arch.v100 (launch ~regs:255 1 1024) with
+  | () -> Alcotest.fail "255 regs x 1024 threads must be unlaunchable"
+  | exception Occupancy.Unlaunchable _ -> ());
+  (* shared memory bounds residency *)
+  let l = launch ~smem:(40 * 1024) 1 256 in
+  check_int "smem-bound" 2 (Occupancy.blocks_per_sm Arch.v100 l);
+  (* unlaunchable configs *)
+  (match Occupancy.check_launchable Arch.v100 (launch 1 2048) with
+  | () -> Alcotest.fail "block 2048 must be unlaunchable"
+  | exception Occupancy.Unlaunchable _ -> ());
+  match Occupancy.check_launchable Arch.v100 (launch ~smem:(100 * 1024) 1 256) with
+  | () -> Alcotest.fail "smem 100KB must be unlaunchable"
+  | exception Occupancy.Unlaunchable _ -> ()
+
+let test_waves () =
+  let l = launch 320 1024 in
+  check_int "two waves" 2 (Occupancy.waves Arch.v100 l);
+  Alcotest.(check (float 1e-6)) "full" 1.0 (Occupancy.wave_fullness Arch.v100 l);
+  let l = launch 161 1024 in
+  check_int "tail wave" 2 (Occupancy.waves Arch.v100 l);
+  check "tail fullness ~ 0.5" true
+    (abs_float (Occupancy.wave_fullness Arch.v100 l -. (161. /. 320.)) < 1e-9)
+
+(* --- Barrier (Table 6) -------------------------------------------------- *)
+
+let test_barrier_legality () =
+  check "160 legal" true (Barrier.is_legal Arch.v100 (launch 160 1024));
+  check "161 illegal" false (Barrier.is_legal Arch.v100 (launch 161 1024));
+  match Barrier.check_legal Arch.v100 (launch 300 1024) with
+  | () -> Alcotest.fail "expected deadlock"
+  | exception Barrier.Deadlock _ -> ()
+
+let test_barrier_cost_shape () =
+  (* Table 6: ~2.5us at 20 blocks, <= ~2.8us at 160; weakly increasing *)
+  let c20 = Barrier.cost_us ~blocks:20 in
+  let c160 = Barrier.cost_us ~blocks:160 in
+  check "c20 in band" true (c20 > 2.3 && c20 < 2.7);
+  check "c160 in band" true (c160 > c20 && c160 < 2.9);
+  check "below launch overhead" true
+    (c160 < Cost_model.default_config.kernel_launch_overhead_us)
+
+(* --- Cost model ---------------------------------------------------------- *)
+
+let est ?(work = Cost_model.no_work) l = Cost_model.estimate Arch.v100 l work
+
+let test_cost_monotone_bytes () =
+  let l = launch 160 1024 in
+  let w bytes = { Cost_model.no_work with dram_read_bytes = bytes } in
+  let t1 = (Cost_model.estimate Arch.v100 l (w 1_000_000)).exec_time_us in
+  let t2 = (Cost_model.estimate Arch.v100 l (w 10_000_000)).exec_time_us in
+  check "more bytes, more time" true (t2 > t1)
+
+let test_cost_occupancy_derates () =
+  let w = { Cost_model.no_work with dram_read_bytes = 100_000_000 } in
+  (* same bytes, small grid (underutilized) vs full wave *)
+  let t_small = (Cost_model.estimate Arch.v100 (launch 16 1024) w).exec_time_us in
+  let t_full = (Cost_model.estimate Arch.v100 (launch 160 1024) w).exec_time_us in
+  check "underutilization is slower" true (t_small > t_full)
+
+let test_cost_overheads () =
+  let e = est (launch 1 32) in
+  check "launch overhead present" true (e.Cost_model.overhead_us >= 8.0);
+  let cfg =
+    { Cost_model.default_config with framework_op_overhead_us = 20. }
+  in
+  let e2 = Cost_model.estimate ~config:cfg Arch.v100 (launch 1 32) Cost_model.no_work in
+  check "framework overhead adds" true
+    (e2.Cost_model.overhead_us > e.Cost_model.overhead_us +. 19.)
+
+let test_cost_barrier_deadlock () =
+  let w = { Cost_model.no_work with num_barriers = 1 } in
+  match Cost_model.estimate Arch.v100 (launch 300 1024) w with
+  | _ -> Alcotest.fail "expected deadlock"
+  | exception Barrier.Deadlock _ -> ()
+
+let test_transactions () =
+  check_int "exact" 4 (Cost_model.transactions 128);
+  check_int "round up" 5 (Cost_model.transactions 129);
+  check_int "zero" 0 (Cost_model.transactions 0)
+
+let test_archs () =
+  check "A100 has more bandwidth" true
+    (Arch.a100.dram_bandwidth_gbs > Arch.v100.dram_bandwidth_gbs);
+  check "T4 smaller" true (Arch.t4.num_sms < Arch.v100.num_sms);
+  check "by_name" true (Arch.by_name "v100" = Some Arch.v100);
+  check "by_name unknown" true (Arch.by_name "hopper" = None)
+
+let () =
+  Alcotest.run "simt"
+    [
+      ( "occupancy",
+        [
+          Alcotest.test_case "v100 reference" `Quick test_v100_reference;
+          Alcotest.test_case "small blocks" `Quick test_small_block_occupancy;
+          Alcotest.test_case "small grid" `Quick test_small_grid_fullness;
+          Alcotest.test_case "resource limits" `Quick test_resource_limits;
+          Alcotest.test_case "waves" `Quick test_waves;
+        ] );
+      ( "barrier",
+        [
+          Alcotest.test_case "legality" `Quick test_barrier_legality;
+          Alcotest.test_case "cost shape" `Quick test_barrier_cost_shape;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "monotone bytes" `Quick test_cost_monotone_bytes;
+          Alcotest.test_case "occupancy derates" `Quick test_cost_occupancy_derates;
+          Alcotest.test_case "overheads" `Quick test_cost_overheads;
+          Alcotest.test_case "barrier deadlock" `Quick test_cost_barrier_deadlock;
+          Alcotest.test_case "transactions" `Quick test_transactions;
+          Alcotest.test_case "archs" `Quick test_archs;
+        ] );
+    ]

@@ -1,0 +1,132 @@
+(* The textual graph format: golden output, parsing, round-tripping,
+   error reporting. *)
+
+open Astitch_ir
+
+let check = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let small_graph () =
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 4; 8 ] in
+  let t = Builder.tanh b x in
+  let r = Builder.reduce_sum b ~axes:[ 1 ] t in
+  let bc = Builder.broadcast b r ~dims:[ 0 ] [ 4; 8 ] in
+  let out = Builder.add b bc x in
+  Builder.finish b ~outputs:[ out ]
+
+let test_golden_print () =
+  let text = Text_format.to_string (small_graph ()) in
+  check_string "golden"
+    "graph {\n\
+    \  %0 = parameter \"x\" f32<4,8>\n\
+    \  %1 = tanh %0\n\
+    \  %2 = reduce.sum axes=[1] %1\n\
+    \  %3 = broadcast dims=[0] %2 -> <4,8>\n\
+    \  %4 = add %3 %0\n\
+    \  outputs %4\n\
+     }\n"
+    text
+
+let test_parse_golden () =
+  let g =
+    Text_format.parse
+      "graph {\n\
+      \  %0 = parameter \"x\" f32<4,8>   # a comment\n\
+      \  %1 = tanh %0\n\
+      \  %2 = reduce.sum axes=[1] %1\n\
+      \  %3 = broadcast dims=[0] %2 -> <4,8>\n\
+      \  %4 = add %3 %0\n\
+      \  outputs %4\n\
+       }\n"
+  in
+  Graph.validate g;
+  Alcotest.(check int) "nodes" 5 (Graph.num_nodes g);
+  check "reduce present" true (Op.is_reduce (Graph.op g 2))
+
+let test_roundtrip_all_ops () =
+  (* a graph touching every op constructor *)
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 2; 3 ] in
+  let w = Builder.parameter b "w" [ 3; 2 ] in
+  let c = Builder.constant b 1.5 ~dims:[ 2; 3 ] in
+  let i = Builder.iota b ~axis:1 [ 2; 3 ] in
+  let u = Builder.exp b x in
+  let bin = Builder.add b u c in
+  let pred = Builder.gt b bin i in
+  let sel = Builder.select b ~pred ~on_true:bin ~on_false:c in
+  let tr = Builder.transpose b sel ~perm:[ 1; 0 ] in
+  let d = Builder.dot b sel w in
+  let rs = Builder.reshape b d [ 4 ] in
+  let sl = Builder.slice b rs ~starts:[ 1 ] ~stops:[ 3 ] in
+  let pd = Builder.pad b sl ~low:[ 1 ] ~high:[ 1 ] in
+  let cc = Builder.concat b ~axis:0 [ pd; rs ] in
+  let red = Builder.reduce_max b ~axes:[ 0 ] cc in
+  let img = Builder.parameter b "img" [ 1; 4; 4; 1 ] in
+  let filt = Builder.parameter b "f" [ 2; 2; 1; 1 ] in
+  let conv = Builder.conv2d b ~stride:2 img filt in
+  let g = Builder.finish b ~outputs:[ red; conv; tr ] in
+  let text = Text_format.to_string g in
+  let g2 = Text_format.parse text in
+  check_string "round trip" text (Text_format.to_string g2);
+  (* and the parsed graph computes the same values *)
+  let params =
+    List.map
+      (fun id ->
+        match Graph.op g id with
+        | Op.Parameter { name } ->
+            ( name,
+              Astitch_tensor.Tensor.random ~seed:(3 * (id + 1))
+                (Graph.shape g id) )
+        | _ -> assert false)
+      (Graph.parameters g)
+  in
+  List.iter2
+    (fun a b2 -> check "values" true (Astitch_tensor.Tensor.equal_approx a b2))
+    (Astitch_tensor.Interp.run g ~params)
+    (Astitch_tensor.Interp.run g2 ~params)
+
+let expect_parse_error text =
+  match Text_format.parse text with
+  | _ -> Alcotest.failf "expected Parse_error on: %s" text
+  | exception Text_format.Parse_error _ -> ()
+
+let test_parse_errors () =
+  expect_parse_error "graph {\n  %0 = tanh %5\n  outputs %0\n}";
+  expect_parse_error "graph {\n  %0 = parameter \"x\" f32<2>\n}";
+  (* no outputs *)
+  expect_parse_error "graph {\n  %1 = parameter \"x\" f32<2>\n  outputs %1\n}";
+  (* ids not dense *)
+  expect_parse_error
+    "graph {\n  %0 = frobnicate %0\n  outputs %0\n}";
+  expect_parse_error
+    "graph {\n  %0 = parameter \"x\" f99<2>\n  outputs %0\n}"
+
+let test_roundtrip_constants_precisely () =
+  (* %h printing keeps exact float bits through the round trip *)
+  let b = Builder.create () in
+  let c = Builder.constant b 0.1 ~dims:[ 2 ] in
+  let x = Builder.parameter b "x" [ 2 ] in
+  let out = Builder.add b x c in
+  let g = Builder.finish b ~outputs:[ out ] in
+  let g2 = Text_format.parse (Text_format.to_string g) in
+  match Graph.op g2 0 with
+  | Op.Constant { value } -> check "exact" true (value = 0.1)
+  | _ -> (
+      match Graph.op g2 1 with
+      | Op.Constant { value } -> check "exact" true (value = 0.1)
+      | _ -> Alcotest.fail "constant not found")
+
+let () =
+  Alcotest.run "text_format"
+    [
+      ( "print/parse",
+        [
+          Alcotest.test_case "golden print" `Quick test_golden_print;
+          Alcotest.test_case "parse golden" `Quick test_parse_golden;
+          Alcotest.test_case "all ops round trip" `Quick test_roundtrip_all_ops;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "constants exact" `Quick
+            test_roundtrip_constants_precisely;
+        ] );
+    ]

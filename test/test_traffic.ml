@@ -1,0 +1,167 @@
+(* The kernel traffic model (Kernel_plan.kernel_work): the L2 rule behind
+   Table 5's read/write asymmetry and the per-group register-reuse rule
+   behind dominant merging. *)
+
+open Astitch_ir
+open Astitch_simt
+open Astitch_plan
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let ew ?(grid = 1) elements =
+  Thread_mapping.Elementwise { elements; block = 256; grid; rows = None }
+
+let mk_op ?(scheme = Scheme.Local) ?(placement = Kernel_plan.Register)
+    ?(recompute = 1) ?(group = 0) id mapping =
+  { Kernel_plan.id; scheme; placement; mapping; recompute; group }
+
+let mk_kernel ?(barriers = 0) name ops =
+  {
+    Kernel_plan.name;
+    kind = Kernel_plan.Codegen;
+    ops;
+    launch = Launch.make ~grid:160 ~block:256 ();
+    barriers;
+    scratch_bytes = 0;
+  }
+
+let mk_plan g kernels =
+  { Kernel_plan.arch = Arch.v100; graph = g; kernels;
+    memcpys = 0; memsets = 0; memcpy_bytes = 0 }
+
+(* x --tanh--> t --neg--> r, all 1024 floats (4KB each) *)
+let chain_graph () =
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 1024 ] in
+  let t = Builder.tanh b x in
+  let r = Builder.neg b t in
+  (Builder.finish b ~outputs:[ r ], x, t, r)
+
+let test_fused_vs_split_writes () =
+  let g, _, t, r = chain_graph () in
+  (* fused: t stays in registers *)
+  let fused =
+    mk_kernel "fused"
+      [ mk_op t (ew 1024); mk_op ~placement:Kernel_plan.Device_mem r (ew 1024) ]
+  in
+  let plan = mk_plan g [ fused ] in
+  let w = Kernel_plan.kernel_work plan fused in
+  check_int "fused reads param once" 4096 w.Cost_model.dram_read_bytes;
+  check_int "fused writes output once" 4096 w.Cost_model.dram_write_bytes;
+  (* split: t materialized, then re-read (but it is small: L2 hit) *)
+  let k1 = mk_kernel "k1" [ mk_op ~placement:Kernel_plan.Device_mem t (ew 1024) ] in
+  let k2 = mk_kernel "k2" [ mk_op ~placement:Kernel_plan.Device_mem r (ew 1024) ] in
+  let plan2 = mk_plan g [ k1; k2 ] in
+  let w1 = Kernel_plan.kernel_work plan2 k1 in
+  let w2 = Kernel_plan.kernel_work plan2 k2 in
+  check_int "k1 writes the intermediate" 4096 w1.Cost_model.dram_write_bytes;
+  (* Table 5's structure: the split plan writes twice as much... *)
+  check_int "split writes double" (2 * 4096)
+    (w1.Cost_model.dram_write_bytes + w2.Cost_model.dram_write_bytes);
+  (* ...but reads stay flat: k2's read of t hits L2 *)
+  check_int "k2 read is an L2 hit" 0 w2.Cost_model.dram_read_bytes
+
+let test_big_intermediate_misses_l2 () =
+  (* a 4M-element (16MB) intermediate exceeds half of V100's 6MB L2 *)
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 4_194_304 ] in
+  let t = Builder.tanh b x in
+  let r = Builder.neg b t in
+  let g = Builder.finish b ~outputs:[ r ] in
+  let k1 = mk_kernel "k1" [ mk_op ~placement:Kernel_plan.Device_mem t (ew ~grid:160 4_194_304) ] in
+  let k2 = mk_kernel "k2" [ mk_op ~placement:Kernel_plan.Device_mem r (ew ~grid:160 4_194_304) ] in
+  let plan = mk_plan g [ k1; k2 ] in
+  let w2 = Kernel_plan.kernel_work plan k2 in
+  check_int "k2 re-reads from DRAM" (4_194_304 * 4) w2.Cost_model.dram_read_bytes
+
+let test_group_reload_rule () =
+  (* one parameter consumed by two ops: same group loads once, two groups
+     load twice (the operator-level reuse dominant merging buys) *)
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 1024 ] in
+  let t = Builder.tanh b x in
+  let s = Builder.sigmoid b x in
+  let r = Builder.add b t s in
+  let g = Builder.finish b ~outputs:[ r ] in
+  let ops group_of =
+    [
+      mk_op ~group:(group_of 0) t (ew 1024);
+      mk_op ~group:(group_of 1) s (ew 1024);
+      mk_op ~group:(group_of 2) ~placement:Kernel_plan.Device_mem r (ew 1024);
+    ]
+  in
+  let one_group = mk_kernel "merged" (ops (fun _ -> 0)) in
+  let split_groups = mk_kernel "cones" (ops (fun i -> i)) in
+  let plan1 = mk_plan g [ one_group ] in
+  let plan2 = mk_plan g [ split_groups ] in
+  let r1 = (Kernel_plan.kernel_work plan1 one_group).Cost_model.dram_read_bytes in
+  let r2 = (Kernel_plan.kernel_work plan2 split_groups).Cost_model.dram_read_bytes in
+  check_int "merged loads once" 4096 r1;
+  check_int "split groups reload" (2 * 4096) r2
+
+let test_recompute_inflates_insts_not_reads () =
+  let g, _, t, r = chain_graph () in
+  let base =
+    mk_kernel "base"
+      [ mk_op t (ew 1024); mk_op ~placement:Kernel_plan.Device_mem r (ew 1024) ]
+  in
+  let redundant =
+    mk_kernel "redundant"
+      [
+        mk_op ~recompute:8 t (ew 1024);
+        mk_op ~placement:Kernel_plan.Device_mem r (ew 1024);
+      ]
+  in
+  let p1 = mk_plan g [ base ] and p2 = mk_plan g [ redundant ] in
+  let w1 = Kernel_plan.kernel_work p1 base in
+  let w2 = Kernel_plan.kernel_work p2 redundant in
+  check "insts inflate" true (w2.Cost_model.fp32_insts > 7 * w1.Cost_model.fp32_insts);
+  (* reloads are capped by the cache *)
+  check "reads capped" true
+    (w2.Cost_model.dram_read_bytes <= 4 * w1.Cost_model.dram_read_bytes)
+
+let test_barrier_count_propagates () =
+  let g, _, t, r = chain_graph () in
+  let k =
+    mk_kernel ~barriers:2 "b"
+      [
+        mk_op ~placement:Kernel_plan.Global_scratch ~scheme:Scheme.Global t (ew 1024);
+        mk_op ~placement:Kernel_plan.Device_mem r (ew 1024);
+      ]
+  in
+  let plan = mk_plan g [ k ] in
+  let w = Kernel_plan.kernel_work plan k in
+  check_int "barriers forwarded" 2 w.Cost_model.num_barriers;
+  (* and the estimate charges them *)
+  let est = Cost_model.estimate Arch.v100 k.launch w in
+  check "barrier time" true (est.Cost_model.barrier_us > 5.0)
+
+let test_scatter_atomics_counted () =
+  let b = Builder.create () in
+  let t = Builder.parameter b "t" [ 8; 4 ] in
+  let ids = Builder.iota b ~axis:0 [ 16 ] in
+  let gth = Builder.gather b t ids in
+  let sc = Builder.scatter_add b ~rows:8 ids gth in
+  let g = Builder.finish b ~outputs:[ sc ] in
+  let plan = Astitch_core.Astitch.compile Arch.v100 g in
+  let work =
+    List.fold_left
+      (fun acc k -> Cost_model.add_work acc (Kernel_plan.kernel_work plan k))
+      Cost_model.no_work plan.kernels
+  in
+  check "atomics counted" true (work.Cost_model.atomic_insts >= 8 * 4)
+
+let () =
+  Alcotest.run "traffic"
+    [
+      ( "l2 model",
+        [
+          Alcotest.test_case "fused vs split writes" `Quick test_fused_vs_split_writes;
+          Alcotest.test_case "big intermediate" `Quick test_big_intermediate_misses_l2;
+          Alcotest.test_case "group reload" `Quick test_group_reload_rule;
+          Alcotest.test_case "recompute insts" `Quick test_recompute_inflates_insts_not_reads;
+          Alcotest.test_case "barriers" `Quick test_barrier_count_propagates;
+          Alcotest.test_case "scatter atomics" `Quick test_scatter_atomics_counted;
+        ] );
+    ]
