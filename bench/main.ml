@@ -67,7 +67,11 @@ let () =
       Experiments.run_all ();
       run_bechamel ()
   | [| _; "bechamel" |] -> run_bechamel ()
-  | [| _; name |] -> Experiments.run name
+  | [| _; name |] -> (
+      try Experiments.run name
+      with Astitch_plan.Compile_error.Error e ->
+        prerr_endline (Astitch_plan.Compile_error.to_string e);
+        exit 1)
   | _ ->
       prerr_endline "usage: main.exe [experiment-id|bechamel]";
       exit 1

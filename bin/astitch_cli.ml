@@ -5,7 +5,11 @@
    astitch_cli cuda <model> [-b NAME]     pseudo-CUDA of the plan
    astitch_cli dot <model>                Graphviz of the graph
    astitch_cli bench [EXPERIMENT]         paper tables/figures
-   astitch_cli compare <model>            all backends side by side *)
+   astitch_cli compare <model>            all backends side by side
+
+   compile/compare take --resilient (per-cluster graceful degradation,
+   prints the degradation report) and repeatable
+   --inject SITE:MODE[:SEED[:FUEL]] fault-injection options. *)
 
 open Cmdliner
 open Astitch_ir
@@ -70,6 +74,45 @@ let arch_arg =
   Arg.(value & opt string "v100" & info [ "arch" ] ~docv:"ARCH"
          ~doc:"Device model: v100, t4 or a100.")
 
+let resilient_arg =
+  Arg.(value & flag
+       & info [ "resilient" ]
+           ~doc:"Compile with per-cluster graceful degradation and print \
+                 the degradation report.")
+
+let inject_arg =
+  Arg.(value & opt_all string []
+       & info [ "inject" ] ~docv:"SITE:MODE[:SEED[:FUEL]]"
+           ~doc:"Arm a deterministic compiler fault (repeatable). Sites: \
+                 clustering, dominant-merging, mem-planning, launch-config, \
+                 codegen; modes: raise, corrupt.")
+
+let parse_injects specs =
+  List.fold_left
+    (fun acc s ->
+      match acc with
+      | Error _ -> acc
+      | Ok ps -> (
+          match Fault.plan_of_string s with
+          | Some p -> Ok (ps @ [ p ])
+          | None ->
+              Error
+                (Printf.sprintf
+                   "bad --inject %S (want SITE:MODE[:SEED[:FUEL]]; sites: %s)"
+                   s
+                   (String.concat ", "
+                      (List.map Fault.site_to_string Fault.all_sites)))))
+    (Ok []) specs
+
+(* Fault plans belong to an AStitch config; injecting into a baseline
+   backend has no sites to hit. *)
+let config_for_backend name =
+  match String.lowercase_ascii name with
+  | "astitch" -> Some Astitch_core.Config.full
+  | "atm" -> Some Astitch_core.Config.atm_only
+  | "hdm" -> Some Astitch_core.Config.no_dominant_merging
+  | _ -> None
+
 let with_arch name f =
   match Arch.by_name name with
   | Some arch -> f arch
@@ -97,15 +140,55 @@ let inspect model training tiny =
            0 clusters);
       `Ok ()
 
-let compile model backend training tiny arch =
-  match (lookup_model model ~training ~tiny, lookup_backend backend) with
-  | Error e, _ | _, Error e -> `Error (false, e)
-  | Ok g, Ok b ->
+let compile model backend training tiny arch resilient injects =
+  match
+    (lookup_model model ~training ~tiny, lookup_backend backend,
+     parse_injects injects)
+  with
+  | Error e, _, _ | _, Error e, _ | _, _, Error e -> `Error (false, e)
+  | Ok g, Ok b, Ok faults ->
       with_arch arch (fun arch ->
-          let r = Session.compile b arch g in
-          Format.printf "%a@." Kernel_plan.pp r.plan;
-          Format.printf "%a@." Profile.pp_breakdown r.profile;
-          `Ok ())
+          if resilient then begin
+            match config_for_backend backend with
+            | None ->
+                `Error
+                  ( false,
+                    "--resilient needs an AStitch-family backend (astitch, \
+                     atm or hdm)" )
+            | Some base -> (
+            let config = { base with Astitch_core.Config.faults } in
+            match Session.compile_resilient ~config arch g with
+            | Error e -> `Error (false, Compile_error.to_string e)
+            | Ok { result; report } ->
+                Format.printf "%a@." Kernel_plan.pp result.plan;
+                Format.printf "%a@." Astitch_core.Degradation.pp_report report;
+                Format.printf "%a@." Profile.pp_breakdown result.profile;
+                `Ok ())
+          end
+          else if faults <> [] then
+            (* non-resilient injection: the compile either survives or
+               reports a structured error -- never a bare exception *)
+            match config_for_backend backend with
+            | None ->
+                `Error
+                  ( false,
+                    "--inject without --resilient needs an AStitch-family \
+                     backend (astitch, atm or hdm)" )
+            | Some base -> (
+                let config = { base with Astitch_core.Config.faults } in
+                let b = Astitch_core.Astitch.backend ~config () in
+                match Session.compile b arch g with
+                | r ->
+                    Format.printf "%a@." Kernel_plan.pp r.plan;
+                    Format.printf "%a@." Profile.pp_breakdown r.profile;
+                    `Ok ()
+                | exception Compile_error.Error e ->
+                    `Error (false, Compile_error.to_string e))
+          else
+            let r = Session.compile b arch g in
+            Format.printf "%a@." Kernel_plan.pp r.plan;
+            Format.printf "%a@." Profile.pp_breakdown r.profile;
+            `Ok ())
 
 let cuda model backend training tiny arch =
   match (lookup_model model ~training ~tiny, lookup_backend backend) with
@@ -123,26 +206,35 @@ let dot model training tiny =
       print_string (Dot.to_string g);
       `Ok ()
 
-let compare_cmd model training tiny arch =
-  match lookup_model model ~training ~tiny with
-  | Error e -> `Error (false, e)
-  | Ok g ->
+let compare_cmd model training tiny arch resilient injects =
+  match (lookup_model model ~training ~tiny, parse_injects injects) with
+  | Error e, _ | _, Error e -> `Error (false, e)
+  | Ok g, Ok faults ->
       with_arch arch (fun arch ->
           Printf.printf "%-10s %10s %8s %14s %14s\n" "backend" "kernels" "CPY"
             "time (us)" "vs TF";
           let tf_time = ref 0. in
-          List.iter
-            (fun (name, b) ->
-              let r = Session.compile b arch g in
-              let t = r.profile.Profile.total_time_us in
-              if name = "tf" then tf_time := t;
-              Printf.printf "%-10s %10d %8d %14.1f %13.2fx\n" name
-                (Profile.mem_kernel_count r.profile)
-                (Kernel_plan.cpy_count r.plan)
-                t
-                (if !tf_time > 0. then !tf_time /. t else 1.))
+          let print_row name (r : Session.result) =
+            let t = r.profile.Profile.total_time_us in
+            if name = "tf" then tf_time := t;
+            Printf.printf "%-10s %10d %8d %14.1f %13.2fx\n" name
+              (Profile.mem_kernel_count r.profile)
+              (Kernel_plan.cpy_count r.plan)
+              t
+              (if !tf_time > 0. then !tf_time /. t else 1.)
+          in
+          List.iter (fun (name, b) -> print_row name (Session.compile b arch g))
             backends;
-          `Ok ())
+          if resilient then begin
+            let config = { Astitch_core.Config.full with faults } in
+            match Session.compile_resilient ~config arch g with
+            | Error e -> `Error (false, Compile_error.to_string e)
+            | Ok { result; report } ->
+                print_row "resilient" result;
+                Format.printf "%a@." Astitch_core.Degradation.pp_report report;
+                `Ok ()
+          end
+          else `Ok ())
 
 let explain model backend training tiny arch top =
   match (lookup_model model ~training ~tiny, lookup_backend backend) with
@@ -245,7 +337,9 @@ let compile_cmd =
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a workload and print the kernel plan")
     Term.(
-      ret (const compile $ model_arg $ backend_arg $ training_arg $ tiny_arg $ arch_arg))
+      ret
+        (const compile $ model_arg $ backend_arg $ training_arg $ tiny_arg
+       $ arch_arg $ resilient_arg $ inject_arg))
 
 let cuda_cmd =
   Cmd.v
@@ -261,7 +355,10 @@ let dot_cmd =
 let compare_cmds =
   Cmd.v
     (Cmd.info "compare" ~doc:"Compare every backend on one workload")
-    Term.(ret (const compare_cmd $ model_arg $ training_arg $ tiny_arg $ arch_arg))
+    Term.(
+      ret
+        (const compare_cmd $ model_arg $ training_arg $ tiny_arg $ arch_arg
+       $ resilient_arg $ inject_arg))
 
 let bench_cmd =
   let exp_arg =

@@ -95,10 +95,9 @@ let elementwise (arch : Arch.t) ~elements ~rows =
 
 (* Mapping for a dominant op. *)
 let for_dominant arch g id =
-  match Graph.op g id with
-  | Op.Reduce _ -> (
-      let rows, row_length = Pattern.reduce_geometry g id in
-      match Pattern.reduce_layout g id with
-      | Pattern.Row_reduce -> row_reduce arch ~rows ~row_length
-      | Pattern.Column_reduce -> column_reduce arch ~rows ~row_length)
+  match (Pattern.reduce_geometry_opt g id, Pattern.reduce_layout_opt g id) with
+  | Some (rows, row_length), Some Pattern.Row_reduce ->
+      row_reduce arch ~rows ~row_length
+  | Some (rows, row_length), Some Pattern.Column_reduce ->
+      column_reduce arch ~rows ~row_length
   | _ -> elementwise arch ~elements:(Graph.num_elements g id) ~rows:None

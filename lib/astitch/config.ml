@@ -12,6 +12,11 @@ type t = {
   dominant_merging : bool;
   remote_stitching : bool;
   max_remote_merge_width : int;
+  compile_budget_s : float option;
+      (* per-attempt compile-time budget for the resilient pipeline
+         (Sec 6.4.1 posture); None = unbounded *)
+  faults : Astitch_plan.Fault_site.plan list;
+      (* armed fault-injection plans (testing only; [] in production) *)
 }
 
 let full =
@@ -21,6 +26,8 @@ let full =
     dominant_merging = true;
     remote_stitching = true;
     max_remote_merge_width = 4;
+    compile_budget_s = None;
+    faults = [];
   }
 
 (* The "ATM" ablation: adaptive thread mapping on XLA's fusion plan. *)

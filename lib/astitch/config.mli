@@ -7,6 +7,11 @@ type t = {
   dominant_merging : bool;
   remote_stitching : bool;
   max_remote_merge_width : int;
+  compile_budget_s : float option;
+      (** per-attempt compile-time budget for the resilient pipeline;
+          [None] = unbounded *)
+  faults : Astitch_plan.Fault_site.plan list;
+      (** armed fault-injection plans (testing only; [[]] in production) *)
 }
 
 val full : t

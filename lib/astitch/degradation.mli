@@ -1,0 +1,29 @@
+(** Degradation ladder bookkeeping: which stitch scope lost which
+    capability, and why.  Produced by [Fallback], surfaced through
+    [Session.compile_resilient] and the CLI's [--resilient] flag. *)
+
+open Astitch_plan
+
+type level =
+  | Remote  (** remote-stitched kernel spanning several clusters *)
+  | Stitched  (** full AStitch: regional/global schemes, one cluster *)
+  | Regional  (** global schemes demoted to device memory *)
+  | Local  (** registers + device memory only *)
+  | Fusion  (** XLA-style fusion cuts over the scope *)
+  | Kernel_per_op  (** terminal: one kernel per op, always compiles *)
+
+val level_to_string : level -> string
+
+type event = {
+  cluster : string;  (** scope name, e.g. "stitch_op_3.1" *)
+  from_level : level;
+  to_level : level;
+  error : Compile_error.t;  (** why the higher level was rejected *)
+}
+
+type report = event list
+
+val is_empty : report -> bool
+val pp_event : Format.formatter -> event -> unit
+val pp_report : Format.formatter -> report -> unit
+val to_string : report -> string

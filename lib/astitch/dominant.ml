@@ -135,6 +135,17 @@ let groups_unmerged g ~nodes ~cands =
     (List.sort compare cands)
 
 let group_ops ~merging g ~nodes ~escaping =
+  (* Fault injection (Corrupt): flip the merging switch.  Both groupings
+     are valid schedules, so the corruption is benign by construction —
+     it only perturbs the plan's cost, never its correctness. *)
+  let merging =
+    match
+      Astitch_plan.Fault_site.check Astitch_plan.Fault_site.Dominant_merging
+        ~pass:"dominant-merging"
+    with
+    | None -> merging
+    | Some _seed -> not merging
+  in
   let cands = candidates g ~nodes ~escaping in
   if merging then groups_merged g ~nodes ~cands
   else if cands = [] then groups_merged g ~nodes ~cands

@@ -1,0 +1,459 @@
+(* Per-cluster graceful degradation.
+
+   The paper's production posture (Sec 6.3) is that a JIT compiler serving
+   thousands of jobs must never take a training job down with it.  This
+   module implements that posture for compile failures: when a stitch
+   scope cannot be compiled at full strength — its plan fails
+   [Kernel_plan.check], a pass raises, or the per-attempt compile-time
+   budget is exceeded — that scope alone is retried with progressively
+   safer strategies while the rest of the graph stays fully stitched:
+
+     Remote -> Stitched -> Regional -> Local -> Fusion -> Kernel_per_op
+
+   Regional demotes global schemes to device memory; Local additionally
+   gives up shared memory; Fusion falls back to XLA-style fusion cuts; the
+   terminal kernel-per-op rung is a direct constructor that touches none
+   of the instrumented passes, so the ladder always terminates even under
+   persistent injected faults.  Every accepted kernel is re-validated with
+   [Kernel_plan.check_kernel]; every step down is recorded as a
+   [Degradation.event].  In the no-fault case the result is structurally
+   identical to [Stitch_backend.compile_with] and the report is empty. *)
+
+open Astitch_ir
+open Astitch_simt
+open Astitch_plan
+module FC = Astitch_backends.Fusion_common
+
+(* --- Terminal constructors (uninstrumented) ----------------------------- *)
+
+(* One kernel per op: naive mapping, everything materialized.  Deliberately
+   avoids every fault-injection site so it cannot be blocked. *)
+let per_op_kernel (arch : Arch.t) g id =
+  if FC.is_layout_only g id then FC.copy_kernel g id
+  else
+    let mapping = FC.naive_mapping arch g id in
+    {
+      Kernel_plan.name = Printf.sprintf "fallback_op_%d" id;
+      kind = Kernel_plan.Codegen;
+      ops =
+        [
+          {
+            Kernel_plan.id;
+            scheme = Scheme.Independent;
+            placement = Kernel_plan.Device_mem;
+            mapping;
+            recompute = 1;
+            group = 0;
+          };
+        ];
+      launch =
+        Launch.make
+          ~grid:(Thread_mapping.grid mapping)
+          ~block:(Thread_mapping.block mapping)
+          ();
+      barriers = 0;
+      scratch_bytes = 0;
+    }
+
+(* --- Scheme demotion (the Regional and Local rungs) --------------------- *)
+
+(* Regional: give up global stitching.  Global-scratch buffers materialize
+   to device memory instead, which removes the scratch arena and the
+   global barriers the scratch reuse required. *)
+let demote_global (k : Kernel_plan.kernel) =
+  let ops =
+    List.map
+      (fun (o : Kernel_plan.compiled_op) ->
+        if o.placement = Kernel_plan.Global_scratch then
+          {
+            o with
+            placement = Kernel_plan.Device_mem;
+            scheme = Scheme.Independent;
+          }
+        else if o.scheme = Scheme.Global then
+          { o with scheme = Scheme.Independent }
+        else o)
+      k.Kernel_plan.ops
+  in
+  { k with Kernel_plan.ops; barriers = 0; scratch_bytes = 0 }
+
+(* Local: additionally give up shared memory — registers and device memory
+   only, the safest stitching the codegen supports. *)
+let demote_local (k : Kernel_plan.kernel) =
+  let k = demote_global k in
+  let ops =
+    List.map
+      (fun (o : Kernel_plan.compiled_op) ->
+        if o.placement = Kernel_plan.Shared_mem then
+          {
+            o with
+            placement = Kernel_plan.Device_mem;
+            scheme = Scheme.Independent;
+          }
+        else o)
+      k.Kernel_plan.ops
+  in
+  let launch =
+    Launch.make ~regs_per_thread:k.launch.Launch.regs_per_thread
+      ~shared_mem_per_block:0 ~grid:k.launch.Launch.grid
+      ~block:k.launch.Launch.block ()
+  in
+  { k with Kernel_plan.ops; launch }
+
+(* --- The ladder ---------------------------------------------------------- *)
+
+let ladder_pass = function
+  | Degradation.Remote -> "remote-stitching"
+  | Degradation.Stitched -> "stitch-compile"
+  | Degradation.Regional -> "regional-demotion"
+  | Degradation.Local -> "local-demotion"
+  | Degradation.Fusion -> "fusion-fallback"
+  | Degradation.Kernel_per_op -> "kernel-per-op"
+
+let compile_armed (config : Config.t) (arch : Arch.t) g :
+    (Kernel_plan.t * Degradation.report, Compile_error.t) result =
+  let events = ref [] in
+  let record cluster from_level to_level error =
+    events :=
+      { Degradation.cluster; from_level; to_level; error } :: !events
+  in
+  (* Run one compile attempt: bare exceptions become structured errors,
+     the compile-time budget is enforced, and every produced kernel must
+     pass [check_kernel] in isolation. *)
+  let attempt ~pass (f : unit -> Kernel_plan.kernel list) =
+    let t0 = Sys.time () in
+    match Compile_error.protect ~pass f with
+    | Error e -> Error e
+    | Ok ks -> (
+        let elapsed = Sys.time () -. t0 in
+        match config.compile_budget_s with
+        | Some budget when elapsed > budget ->
+            Error
+              (Compile_error.make ~pass
+                 [
+                   Compile_error.violation Compile_error.Budget_exceeded
+                     "compile attempt took %.3fs > budget %.3fs" elapsed
+                     budget;
+                 ])
+        | _ -> (
+            match
+              List.concat_map (Kernel_plan.check_kernel arch g) ks
+            with
+            | [] -> Ok ks
+            | violations -> Error (Compile_error.make ~pass violations)))
+  in
+  (* XLA-style fusion over one scope; components that still fail get
+     kernel-per-op treatment, so this rung only fails on bare exceptions. *)
+  let fusion_rung ~name nodes =
+    let cut = Astitch_backends.Xla_backend.For_ablation.cut_edge in
+    FC.components g { Clustering.id = 0; nodes } ~cut_edge:cut
+    |> List.mapi (fun i ids ->
+           match ids with
+           | [ single ] when FC.is_layout_only g single ->
+               [ FC.copy_kernel g single ]
+           | _ -> (
+               let k =
+                 FC.build_kernel arch g ~mapping_for_root:FC.naive_mapping
+                   ~cut_edge:cut
+                   ~name:(Printf.sprintf "%s.f%d" name i)
+                   ids
+               in
+               match Kernel_plan.check_kernel arch g k with
+               | [] -> [ k ]
+               | _ -> List.map (per_op_kernel arch g) ids))
+    |> List.concat
+  in
+  (* Degrade one cluster through the given rungs; the terminal
+     kernel-per-op constructor cannot fail. *)
+  let per_cluster_ladder ~rungs ~name ~smem_budget ~group_base nodes =
+    let compile_once () =
+      Stitch_backend.compile_cluster config arch g ~name ~smem_budget
+        ~group_base nodes
+    in
+    let rung = function
+      | Degradation.Stitched -> fun () -> [ compile_once () ]
+      | Degradation.Regional -> fun () -> [ demote_global (compile_once ()) ]
+      | Degradation.Local -> fun () -> [ demote_local (compile_once ()) ]
+      | Degradation.Fusion -> fun () -> fusion_rung ~name nodes
+      | Degradation.Remote | Degradation.Kernel_per_op -> assert false
+    in
+    let rec go = function
+      | [] -> List.map (per_op_kernel arch g) nodes
+      | level :: rest -> (
+          match attempt ~pass:(ladder_pass level) (rung level) with
+          | Ok ks -> ks
+          | Error e ->
+              let next =
+                match rest with
+                | l :: _ -> l
+                | [] -> Degradation.Kernel_per_op
+              in
+              record name level next e;
+              go rest)
+    in
+    go rungs
+  in
+  (* One remote-stitched group, mirroring [Stitch_backend.compile_with]
+     exactly in the no-fault case (same names, budgets and group bases,
+     so the resulting plan is structurally identical). *)
+  let group_kernels i (parts : Clustering.cluster list) =
+    match parts with
+    | [ { Clustering.nodes = [ single ]; _ } ]
+      when FC.is_layout_only g single ->
+        [ FC.copy_kernel g single ]
+    | _ -> (
+        let name = Printf.sprintf "stitch_op_%d" i in
+        let nparts = List.length parts in
+        let smem_budget = Launch_config.shared_mem_budget arch / nparts in
+        let combined () =
+          List.mapi
+            (fun j (c : Clustering.cluster) ->
+              Stitch_backend.compile_cluster config arch g
+                ~name:(Printf.sprintf "%s.%d" name j)
+                ~smem_budget ~group_base:(j * 1024) c.Clustering.nodes)
+            parts
+          |> Stitch_backend.combine_parts arch ~name
+          |> Option.to_list
+        in
+        let top = if nparts > 1 then Degradation.Remote else Degradation.Stitched in
+        match attempt ~pass:(ladder_pass top) combined with
+        | Ok ks -> ks
+        | Error e ->
+            (* split the group: each cluster degrades on its own, with the
+               full shared-memory budget (it no longer shares a kernel) *)
+            let rungs =
+              if nparts > 1 then
+                [
+                  Degradation.Stitched;
+                  Degradation.Regional;
+                  Degradation.Local;
+                  Degradation.Fusion;
+                ]
+              else
+                [ Degradation.Regional; Degradation.Local; Degradation.Fusion ]
+            in
+            record name top (List.hd rungs) e;
+            List.concat
+              (List.mapi
+                 (fun j (c : Clustering.cluster) ->
+                   per_cluster_ladder ~rungs
+                     ~name:(Printf.sprintf "%s.%d" name j)
+                     ~smem_budget:(Launch_config.shared_mem_budget arch)
+                     ~group_base:(j * 1024) c.Clustering.nodes)
+                 parts))
+  in
+  (* A whole-graph terminal: kernel-per-op for every live memory-intensive
+     node.  Always compiles and always validates. *)
+  let per_op_plan () =
+    let live = Graph.live_ids g in
+    let ids = ref [] in
+    for id = Graph.num_nodes g - 1 downto 0 do
+      if live.(id) && Clustering.is_clusterable g id then ids := id :: !ids
+    done;
+    let kernels =
+      Kernel_plan.toposort_kernels g
+        (List.map (per_op_kernel arch g) !ids @ Lowering.library_kernels arch g)
+    in
+    {
+      Kernel_plan.arch;
+      graph = g;
+      kernels;
+      memcpys = Lowering.output_memcpys g;
+      memsets = Lowering.atomic_memsets kernels;
+      memcpy_bytes = Lowering.output_bytes g;
+    }
+  in
+  let finish kernels =
+    (* Assemble, then repair: a corrupted front-end (e.g. clustering
+       dropped a node) shows up here as cross-kernel violations.  Each
+       round adds kernel-per-op producers for nodes no kernel materializes
+       and replaces codegen kernels that fail in isolation; bounded so a
+       truly broken plan returns a structured error instead of looping. *)
+    let assemble ks =
+      Compile_error.protect ~pass:"kernel-schedule" (fun () ->
+          let sorted =
+            Kernel_plan.toposort_kernels g (ks @ Lowering.library_kernels arch g)
+          in
+          {
+            Kernel_plan.arch;
+            graph = g;
+            kernels = sorted;
+            memcpys = Lowering.output_memcpys g;
+            memsets = Lowering.atomic_memsets sorted;
+            memcpy_bytes = Lowering.output_bytes g;
+          })
+    in
+    let live = Graph.live_ids g in
+    let rec repair round ks =
+      match assemble ks with
+      | Error e ->
+          (* unschedulable kernel graph: degrade the whole graph *)
+          record "graph" Degradation.Stitched Degradation.Kernel_per_op e;
+          Ok (per_op_plan ())
+      | Ok plan -> (
+          match Kernel_plan.check_all plan with
+          | [] -> Ok plan
+          | violations when round >= 4 ->
+              Error (Compile_error.make ~pass:"resilient-compile" violations)
+          | violations ->
+              (* Nodes the violations reference that no kernel
+                 materializes (closure over operands).  A per-op producer
+                 is NOT enough when some kernel computes the node on-chip:
+                 the executor purges on-chip values at kernel exit, which
+                 would clobber the materialized copy.  Such kernels are
+                 replaced wholesale instead — as are kernels that fail
+                 [check_kernel] in isolation. *)
+              let produced = Hashtbl.create 64 in
+              List.iter
+                (fun (k : Kernel_plan.kernel) ->
+                  List.iter
+                    (fun (o : Kernel_plan.compiled_op) ->
+                      if o.placement = Kernel_plan.Device_mem then
+                        Hashtbl.replace produced o.id ())
+                    k.Kernel_plan.ops)
+                (ks @ Lowering.library_kernels arch g);
+              let missing = Hashtbl.create 16 in
+              let rec need id =
+                if
+                  live.(id)
+                  && (not (Kernel_plan.is_leaf g id))
+                  && (not (Hashtbl.mem produced id))
+                  && not (Hashtbl.mem missing id)
+                then begin
+                  Hashtbl.replace missing id ();
+                  List.iter need (Graph.operands g id)
+                end
+              in
+              List.iter
+                (fun (v : Compile_error.violation) ->
+                  List.iter need v.Compile_error.ops)
+                violations;
+              let must_replace (k : Kernel_plan.kernel) =
+                k.kind = Kernel_plan.Codegen
+                && (Kernel_plan.check_kernel arch g k <> []
+                   || List.exists
+                        (fun (o : Kernel_plan.compiled_op) ->
+                          o.placement <> Kernel_plan.Device_mem
+                          && Hashtbl.mem missing o.id)
+                        k.ops)
+              in
+              let ks' =
+                List.concat_map
+                  (fun (k : Kernel_plan.kernel) ->
+                    if must_replace k then begin
+                      record k.name Degradation.Stitched
+                        Degradation.Kernel_per_op
+                        (Compile_error.make ~pass:"plan-repair" violations);
+                      List.map (per_op_kernel arch g)
+                        (Kernel_plan.kernel_node_ids k)
+                    end
+                    else [ k ])
+                  ks
+              in
+              (* whatever is still unproduced gets a per-op producer *)
+              List.iter
+                (fun (k : Kernel_plan.kernel) ->
+                  List.iter
+                    (fun (o : Kernel_plan.compiled_op) ->
+                      if o.placement = Kernel_plan.Device_mem then
+                        Hashtbl.replace produced o.id ())
+                    k.Kernel_plan.ops)
+                ks';
+              let added =
+                Hashtbl.fold (fun id () acc -> id :: acc) missing []
+                |> List.filter (fun id -> not (Hashtbl.mem produced id))
+                |> List.sort compare
+                |> List.map (fun id ->
+                       record
+                         (Printf.sprintf "node_%d" id)
+                         Degradation.Stitched Degradation.Kernel_per_op
+                         (Compile_error.make ~pass:"plan-repair"
+                            [
+                              Compile_error.violation ~ops:[ id ]
+                                Compile_error.Invalid_structure
+                                "node %%%d not materialized by any kernel"
+                                id;
+                            ]);
+                       per_op_kernel arch g id)
+              in
+              if added = [] && ks' = ks then
+                Error
+                  (Compile_error.make ~pass:"resilient-compile" violations)
+              else repair (round + 1) (ks' @ added))
+    in
+    repair 0 kernels
+  in
+  if not config.hierarchical_data_reuse then
+    (* ATM ablation: XLA fusion scopes are already the Fusion rung; the
+       only step left below them is kernel-per-op for the whole graph. *)
+    let f () = Stitch_backend.compile_with_armed config arch g in
+    let t0 = Sys.time () in
+    match Compile_error.protect ~pass:"fusion-fallback" f with
+    | Ok plan
+      when match config.compile_budget_s with
+           | Some b -> Sys.time () -. t0 <= b
+           | None -> true ->
+        Ok (plan, [])
+    | Ok _ ->
+        let e =
+          Compile_error.make ~pass:"fusion-fallback"
+            [
+              Compile_error.violation Compile_error.Budget_exceeded
+                "whole-graph compile exceeded the budget";
+            ]
+        in
+        record "graph" Degradation.Fusion Degradation.Kernel_per_op e;
+        Result.map (fun p -> (p, List.rev !events)) (Ok (per_op_plan ()))
+    | Error e ->
+        record "graph" Degradation.Fusion Degradation.Kernel_per_op e;
+        Result.map (fun p -> (p, List.rev !events)) (Ok (per_op_plan ()))
+  else begin
+    let clusters =
+      match
+        Compile_error.protect ~pass:"clustering" (fun () ->
+            Clustering.clusters g)
+      with
+      | Ok cs -> cs
+      | Error e ->
+          (* clustering itself failed: every clusterable node becomes its
+             own scope and degrades from there *)
+          record "graph" Degradation.Stitched Degradation.Kernel_per_op e;
+          let live = Graph.live_ids g in
+          let singles = ref [] in
+          for id = Graph.num_nodes g - 1 downto 0 do
+            if live.(id) && Clustering.is_clusterable g id then
+              singles := id :: !singles
+          done;
+          List.mapi
+            (fun i id -> { Clustering.id = i; nodes = [ id ] })
+            !singles
+    in
+    let cluster_groups =
+      if config.remote_stitching then
+        match
+          Compile_error.protect ~pass:"remote-stitching" (fun () ->
+              Clustering.remote_stitch_groups
+                ~max_merge_width:config.max_remote_merge_width g clusters)
+        with
+        | Ok groups -> groups
+        | Error e ->
+            record "graph" Degradation.Remote Degradation.Stitched e;
+            List.map (fun c -> [ c ]) clusters
+      else List.map (fun c -> [ c ]) clusters
+    in
+    let stitch_kernels =
+      List.concat (List.mapi group_kernels cluster_groups)
+    in
+    match finish stitch_kernels with
+    | Ok plan -> Ok (plan, List.rev !events)
+    | Error e -> Error e
+  end
+
+let compile (config : Config.t) (arch : Arch.t) g =
+  if config.faults = [] then compile_armed config arch g
+  else begin
+    Fault_site.arm config.faults;
+    Fun.protect
+      ~finally:(fun () -> Fault_site.disarm ())
+      (fun () -> compile_armed config arch g)
+  end

@@ -1,0 +1,31 @@
+(** Per-cluster graceful degradation: compile every stitch scope at the
+    highest strength that validates, degrading failing scopes alone
+    through Remote -> Stitched -> Regional -> Local -> Fusion ->
+    Kernel_per_op while the rest of the graph stays fully stitched.  In
+    the no-fault case the plan is structurally identical to
+    [Stitch_backend.compile_with] and the report is empty. *)
+
+open Astitch_ir
+open Astitch_simt
+open Astitch_plan
+
+val compile :
+  Config.t ->
+  Arch.t ->
+  Graph.t ->
+  (Kernel_plan.t * Degradation.report, Compile_error.t) result
+(** Arms [config.faults] for the duration of the compile.  Never raises:
+    any failure the ladder cannot absorb comes back as [Error]; every
+    [Ok] plan has passed [Kernel_plan.check_all] with no violations. *)
+
+val per_op_kernel : Arch.t -> Graph.t -> Op.node_id -> Kernel_plan.kernel
+(** The terminal constructor: one naive-mapped kernel materializing one
+    op to device memory.  Touches no fault-injection site. *)
+
+val demote_global : Kernel_plan.kernel -> Kernel_plan.kernel
+(** The Regional rung: global-scratch placements materialize to device
+    memory; barriers and the scratch arena disappear. *)
+
+val demote_local : Kernel_plan.kernel -> Kernel_plan.kernel
+(** The Local rung: [demote_global] plus shared-memory buffers
+    materialize to device memory. *)

@@ -40,6 +40,16 @@ let plan (arch : Arch.t) ~block ~shared_mem_per_block =
       (arch.registers_per_sm / (blocks_per_sm * block))
   in
   let regs = Stdlib.max assumed relaxed in
+  (* Fault injection (Corrupt): blow the per-thread register cap past the
+     device limit — [Occupancy.check_launchable] rejects the kernel. *)
+  let regs =
+    match
+      Astitch_plan.Fault_site.check Astitch_plan.Fault_site.Launch_config
+        ~pass:"launch-config"
+    with
+    | None -> regs
+    | Some seed -> arch.max_registers_per_thread + 32 + (abs seed mod 64)
+  in
   (* apply *)
   let final =
     Launch.make ~regs_per_thread:regs ~shared_mem_per_block ~grid:1 ~block ()

@@ -9,6 +9,7 @@
      every buffered intermediate. *)
 
 open Astitch_ir
+open Astitch_plan
 
 (* --- Regional demotion -------------------------------------------------- *)
 
@@ -101,6 +102,14 @@ let plan_scratch entries =
         a)
       entries
   in
+  (* Fault injection (Corrupt): collapse every offset to zero.  With two
+     or more overlapping-lifetime buffers, [check_no_aliasing] rejects the
+     arena; with fewer the corruption is benign (no live overlap exists). *)
+  let allocations =
+    match Fault_site.check Fault_site.Mem_planning ~pass:"mem-planning" with
+    | None -> allocations
+    | Some _seed -> List.map (fun a -> { a with offset = 0 }) allocations
+  in
   (allocations, !arena)
 
 (* Invariant used by the property tests: two allocations may overlap in
@@ -117,10 +126,10 @@ let check_no_aliasing allocations =
         List.iter
           (fun b ->
             if overlaps a b && live_together a b then
-              invalid_arg
-                (Printf.sprintf
-                   "scratch aliasing: nodes %d and %d overlap while live"
-                   a.node b.node))
+              Compile_error.fail ~pass:"mem-planning"
+                ~ops:[ a.node; b.node ] Compile_error.Scratch_aliasing
+                "scratch aliasing: nodes %d and %d overlap while live" a.node
+                b.node)
           rest;
         pairs rest
   in

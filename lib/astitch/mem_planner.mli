@@ -23,4 +23,5 @@ val plan_scratch :
     returns the allocations and the arena size after reuse. *)
 
 val check_no_aliasing : allocation list -> unit
-(** @raise Invalid_argument if two live allocations overlap. *)
+(** @raise Astitch_plan.Compile_error.Error (kind [Scratch_aliasing]) if
+    two live allocations overlap. *)

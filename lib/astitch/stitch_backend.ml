@@ -314,14 +314,46 @@ let compile_cluster (config : Config.t) (arch : Arch.t) g ~(name : string)
         })
       nodes
   in
-  {
-    Kernel_plan.name;
-    kind = Kernel_plan.Codegen;
-    ops;
-    launch;
-    barriers;
-    scratch_bytes;
-  }
+  let kernel =
+    {
+      Kernel_plan.name;
+      kind = Kernel_plan.Codegen;
+      ops;
+      launch;
+      barriers;
+      scratch_bytes;
+    }
+  in
+  (* Fault injection (Corrupt): demote a materialized op to a register.
+     Every cluster has at least one escaping (Device_mem) op, so either a
+     consumer now lives outside the kernel (co-location invariant) or a
+     graph output is never materialized — [Kernel_plan.check] rejects the
+     kernel either way; the corruption is never silent. *)
+  match Fault_site.check Fault_site.Codegen ~pass:"codegen" with
+  | None -> kernel
+  | Some seed -> (
+      let device_ops =
+        List.filter
+          (fun (o : Kernel_plan.compiled_op) ->
+            o.placement = Kernel_plan.Device_mem)
+          kernel.ops
+      in
+      match device_ops with
+      | [] -> kernel
+      | _ ->
+          let victim =
+            (List.nth device_ops (abs seed mod List.length device_ops)).id
+          in
+          {
+            kernel with
+            ops =
+              List.map
+                (fun (o : Kernel_plan.compiled_op) ->
+                  if o.id = victim then
+                    { o with placement = Kernel_plan.Register }
+                  else o)
+                kernel.ops;
+          })
 
 (* --- Whole-graph compilation -------------------------------------------- *)
 
@@ -331,8 +363,8 @@ let compile_cluster (config : Config.t) (arch : Arch.t) g ~(name : string)
    legal), per-block shared memory adds (each part was planned against a
    budget slice), barriers run in lockstep (max). *)
 let combine_parts (arch : Arch.t) ~name = function
-  | [] -> invalid_arg "combine_parts: no parts"
-  | [ single ] -> { single with Kernel_plan.name }
+  | [] -> None
+  | [ single ] -> Some { single with Kernel_plan.name }
   | parts ->
       let ops = List.concat_map (fun (k : Kernel_plan.kernel) -> k.ops) parts in
       let block =
@@ -365,18 +397,19 @@ let combine_parts (arch : Arch.t) ~name = function
           0 parts
       in
       let lc = Launch_config.plan arch ~block ~shared_mem_per_block:smem in
-      {
-        Kernel_plan.name;
-        kind = Kernel_plan.Codegen;
-        ops;
-        launch =
-          Launch.make ~regs_per_thread:lc.regs_per_thread
-            ~shared_mem_per_block:smem ~grid ~block ();
-        barriers;
-        scratch_bytes;
-      }
+      Some
+        {
+          Kernel_plan.name;
+          kind = Kernel_plan.Codegen;
+          ops;
+          launch =
+            Launch.make ~regs_per_thread:lc.regs_per_thread
+              ~shared_mem_per_block:smem ~grid ~block ();
+          barriers;
+          scratch_bytes;
+        }
 
-let compile_with (config : Config.t) (arch : Arch.t) g : Kernel_plan.t =
+let compile_with_armed (config : Config.t) (arch : Arch.t) g : Kernel_plan.t =
   if not config.hierarchical_data_reuse then
     (* ATM ablation: XLA's fusion scopes, adaptive mappings only *)
     Astitch_backends.Fusion_common.compile ~name:"atm"
@@ -402,7 +435,7 @@ let compile_with (config : Config.t) (arch : Arch.t) g : Kernel_plan.t =
           match parts with
           | [ { Clustering.nodes = [ single ]; _ } ]
             when Astitch_backends.Fusion_common.is_layout_only g single ->
-              Astitch_backends.Fusion_common.copy_kernel g single
+              Some (Astitch_backends.Fusion_common.copy_kernel g single)
           | _ ->
               let name = Printf.sprintf "stitch_op_%d" i in
               let nparts = List.length parts in
@@ -417,6 +450,7 @@ let compile_with (config : Config.t) (arch : Arch.t) g : Kernel_plan.t =
                 parts
               |> combine_parts arch ~name)
         cluster_groups
+      |> List.filter_map Fun.id
     in
     let kernels =
       Kernel_plan.toposort_kernels g
@@ -434,4 +468,16 @@ let compile_with (config : Config.t) (arch : Arch.t) g : Kernel_plan.t =
     in
     Kernel_plan.check plan;
     plan
+  end
+
+(* Arm the config's fault plans for the duration of one compile, so
+   [astitch_cli --inject] exercises the non-resilient path too.  Without
+   armed faults this is [compile_with_armed] exactly. *)
+let compile_with (config : Config.t) (arch : Arch.t) g : Kernel_plan.t =
+  if config.faults = [] then compile_with_armed config arch g
+  else begin
+    Fault_site.arm config.faults;
+    Fun.protect
+      ~finally:(fun () -> Fault_site.disarm ())
+      (fun () -> compile_with_armed config arch g)
   end

@@ -18,9 +18,15 @@ val compile_cluster :
 (** Lower one stitch scope to a single kernel. *)
 
 val combine_parts :
-  Arch.t -> name:string -> Kernel_plan.kernel list -> Kernel_plan.kernel
+  Arch.t -> name:string -> Kernel_plan.kernel list -> Kernel_plan.kernel option
 (** Merge the kernels of one remote-stitched group: grids add (capped at
-    one wave), per-block shared memory adds, barriers run in lockstep. *)
+    one wave), per-block shared memory adds, barriers run in lockstep.
+    [None] when the group is empty. *)
 
 val compile_with : Config.t -> Arch.t -> Graph.t -> Kernel_plan.t
-(** Whole-graph compilation; validates the plan before returning. *)
+(** Whole-graph compilation; validates the plan before returning.  Arms
+    the config's fault plans for the duration of the compile. *)
+
+val compile_with_armed : Config.t -> Arch.t -> Graph.t -> Kernel_plan.t
+(** [compile_with] without touching the fault-injection registry — for
+    callers (the resilience layer) that manage arming themselves. *)

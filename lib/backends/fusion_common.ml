@@ -24,11 +24,8 @@ type cut_edge_fn =
    reduction row (block size = row length rounded to a warp), a plain
    256-thread grid for element-wise roots. *)
 let naive_mapping (arch : Arch.t) g id =
-  match Graph.op g id with
-  | Op.Reduce _ -> (
-      let rows, row_length = Pattern.reduce_geometry g id in
-      match Pattern.reduce_layout g id with
-      | Pattern.Row_reduce ->
+  match (Pattern.reduce_geometry_opt g id, Pattern.reduce_layout_opt g id) with
+  | Some (rows, row_length), Some Pattern.Row_reduce ->
           (* one block per row; XLA only falls back to a two-stage
              (atomic) reduction for very long rows - the 30,000-element
              rows of Fig 6(b) still run as a single under-filled wave *)
@@ -47,15 +44,15 @@ let naive_mapping (arch : Arch.t) g id =
               row_groups_per_block = 1;
               split;
             }
-      | Pattern.Column_reduce ->
-          let total = rows * row_length in
-          Thread_mapping.Column_reduce
-            {
-              rows;
-              row_length;
-              block = 256;
-              grid = Stdlib.max 1 (Lowering.ceil_div total 256);
-            })
+  | Some (rows, row_length), Some Pattern.Column_reduce ->
+      let total = rows * row_length in
+      Thread_mapping.Column_reduce
+        {
+          rows;
+          row_length;
+          block = 256;
+          grid = Stdlib.max 1 (Lowering.ceil_div total 256);
+        }
   | _ ->
       let elements = Graph.num_elements g id in
       Thread_mapping.Elementwise
@@ -70,9 +67,8 @@ let naive_mapping (arch : Arch.t) g id =
    each standalone kernel (it packs small reduction rows into full
    blocks), but cannot change what is fused. *)
 let tuned_mapping (arch : Arch.t) g id =
-  match Graph.op g id with
-  | Op.Reduce _ when Pattern.reduce_layout g id = Pattern.Row_reduce ->
-      let rows, row_length = Pattern.reduce_geometry g id in
+  match (Pattern.reduce_geometry_opt g id, Pattern.reduce_layout_opt g id) with
+  | Some (rows, row_length), Some Pattern.Row_reduce ->
       let threads_per_row =
         Lowering.threads_for_row ~warp_size:arch.warp_size
           ~max_block:arch.max_threads_per_block row_length

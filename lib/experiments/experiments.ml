@@ -715,7 +715,11 @@ let all : (string * string * (unit -> unit)) list =
 let run name =
   match List.find_opt (fun (n, _, _) -> n = name) all with
   | Some (_, _, f) -> f ()
-  | None -> invalid_arg ("unknown experiment: " ^ name)
+  | None ->
+      let names = String.concat ", " (List.map (fun (n, _, _) -> n) all) in
+      Astitch_plan.Compile_error.fail ~pass:"experiments"
+        Astitch_plan.Compile_error.Unknown_name
+        "unknown experiment %S (available: %s)" name names
 
 let run_all () =
   List.iter

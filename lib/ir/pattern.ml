@@ -88,20 +88,30 @@ let is_dominant_candidate g id =
    row) or a column-reduce (strided, needs atomics)?  Paper Sec 2.1. *)
 type reduce_layout = Row_reduce | Column_reduce
 
-let reduce_layout g id =
+let reduce_layout_opt g id =
   match Graph.op g id with
   | Op.Reduce { input; axes; _ } ->
       let s = Graph.shape g input in
-      if Shape.axes_are_suffix s axes then Row_reduce else Column_reduce
-  | _ -> invalid_arg "reduce_layout: not a reduce"
+      Some (if Shape.axes_are_suffix s axes then Row_reduce else Column_reduce)
+  | _ -> None
+
+let reduce_layout g id =
+  match reduce_layout_opt g id with
+  | Some l -> l
+  | None -> invalid_arg "reduce_layout: not a reduce"
 
 (* Geometry of a reduce: (rows, row_length) where [rows] is the number of
    independent reductions and [row_length] the elements per reduction. *)
-let reduce_geometry g id =
+let reduce_geometry_opt g id =
   match Graph.op g id with
   | Op.Reduce { input; axes; _ } ->
       let s = Graph.shape g input in
       let row_length = Shape.elements_along s axes in
       let rows = Shape.num_elements s / Stdlib.max 1 row_length in
-      (rows, row_length)
-  | _ -> invalid_arg "reduce_geometry: not a reduce"
+      Some (rows, row_length)
+  | _ -> None
+
+let reduce_geometry g id =
+  match reduce_geometry_opt g id with
+  | Some geom -> geom
+  | None -> invalid_arg "reduce_geometry: not a reduce"

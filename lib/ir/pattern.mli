@@ -30,8 +30,15 @@ val is_dominant_candidate : Graph.t -> Op.node_id -> bool
 
 type reduce_layout = Row_reduce | Column_reduce
 
+val reduce_layout_opt : Graph.t -> Op.node_id -> reduce_layout option
+(** [None] if the node is not a reduce; never raises. *)
+
 val reduce_layout : Graph.t -> Op.node_id -> reduce_layout
 (** @raise Invalid_argument if the node is not a reduce. *)
+
+val reduce_geometry_opt : Graph.t -> Op.node_id -> (int * int) option
+(** [(rows, row_length)] as for [reduce_geometry], or [None] if the node
+    is not a reduce; never raises. *)
 
 val reduce_geometry : Graph.t -> Op.node_id -> int * int
 (** [(rows, row_length)]: independent reductions and elements per

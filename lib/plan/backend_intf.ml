@@ -13,3 +13,21 @@ type t = {
 }
 
 let compile backend arch graph = backend.compile arch graph
+
+(* Compile with the structured-error contract: bare exceptions raised by
+   the backend (except resource exhaustion) are converted to a
+   [Compile_error.t] attributed to the backend's name. *)
+let compile_result backend arch graph =
+  Compile_error.protect ~pass:backend.name (fun () ->
+      backend.compile arch graph)
+
+(* Same contract for callers that want the exception flow: the returned
+   backend only ever raises [Compile_error.Error]. *)
+let wrap backend =
+  {
+    backend with
+    compile =
+      (fun arch graph ->
+        Compile_error.guard ~pass:backend.name (fun () ->
+            backend.compile arch graph));
+  }

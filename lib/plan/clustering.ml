@@ -60,6 +60,23 @@ let union parent a b =
   let ra = find parent a and rb = find parent b in
   if ra <> rb then parent.(Stdlib.max ra rb) <- Stdlib.min ra rb
 
+(* Fault injection (Corrupt): drop the last node of a multi-node cluster
+   (seed picks which).  The dropped node is live, so no kernel produces it
+   and the plan fails the availability / output invariants — detectable by
+   [Kernel_plan.check], never silently wrong. *)
+let corrupt_clusters seed cs =
+  match List.filter (fun c -> List.length c.nodes > 1) cs with
+  | [] -> cs
+  | multi ->
+      let victim = (List.nth multi (abs seed mod List.length multi)).id in
+      List.map
+        (fun c ->
+          if c.id = victim then
+            let keep = List.length c.nodes - 1 in
+            { c with nodes = List.filteri (fun i _ -> i < keep) c.nodes }
+          else c)
+        cs
+
 let clusters g =
   let n = Graph.num_nodes g in
   let depth = compute_depths g in
@@ -83,8 +100,13 @@ let clusters g =
     end
   done;
   let roots = Hashtbl.fold (fun r _ acc -> r :: acc) members [] in
-  List.sort compare roots
-  |> List.mapi (fun i r -> { id = i; nodes = Hashtbl.find members r })
+  let cs =
+    List.sort compare roots
+    |> List.mapi (fun i r -> { id = i; nodes = Hashtbl.find members r })
+  in
+  match Fault_site.check Fault_site.Clustering ~pass:"clustering" with
+  | None -> cs
+  | Some seed -> corrupt_clusters seed cs
 
 (* --- Remote stitching --------------------------------------------------- *)
 

@@ -1,0 +1,90 @@
+(* Deterministic fault injection for the compilation pipeline.
+
+   Robustness testing needs to prove one invariant: under any injected
+   fault, compilation either degrades to a plan that still executes to
+   interpreter-identical values or returns a structured [Compile_error] —
+   it never crashes with a bare exception and never silently produces
+   wrong numerics.  To exercise that, the main passes carry named
+   injection sites; arming a site makes it either raise a structured
+   [Injected_fault] or deterministically corrupt the pass's result
+   (seeded, so failures replay).
+
+   A fault carries [fuel]: the number of site hits it fires on before
+   exhausting.  One unit of fuel fails the first compile attempt and lets
+   the per-cluster retry succeed; more fuel pushes the degradation ladder
+   further down.  The terminal kernel-per-op fallback deliberately avoids
+   every instrumented pass, so the ladder always terminates. *)
+
+type site =
+  | Clustering (* stitch-scope identification *)
+  | Dominant_merging (* dominant identification + op grouping *)
+  | Mem_planning (* shared-memory budget + scratch arena *)
+  | Launch_config (* resource-aware launch configuration *)
+  | Codegen (* kernel finalization / emission *)
+
+let all_sites =
+  [ Clustering; Dominant_merging; Mem_planning; Launch_config; Codegen ]
+
+let site_to_string = function
+  | Clustering -> "clustering"
+  | Dominant_merging -> "dominant-merging"
+  | Mem_planning -> "mem-planning"
+  | Launch_config -> "launch-config"
+  | Codegen -> "codegen"
+
+let site_of_string s =
+  match String.lowercase_ascii s with
+  | "clustering" -> Some Clustering
+  | "dominant-merging" | "dominant" -> Some Dominant_merging
+  | "mem-planning" | "mem" -> Some Mem_planning
+  | "launch-config" | "launch" -> Some Launch_config
+  | "codegen" -> Some Codegen
+  | _ -> None
+
+type mode = Raise | Corrupt
+
+let mode_to_string = function Raise -> "raise" | Corrupt -> "corrupt"
+
+let mode_of_string s =
+  match String.lowercase_ascii s with
+  | "raise" -> Some Raise
+  | "corrupt" -> Some Corrupt
+  | _ -> None
+
+type plan = { site : site; mode : mode; seed : int; fuel : int }
+
+let plan ?(mode = Raise) ?(seed = 0) ?(fuel = 1) site =
+  { site; mode; seed; fuel }
+
+(* Armed faults (remaining fuel tracked per plan) and a firing counter. *)
+let armed : (plan * int ref) list ref = ref []
+let fired_count = ref 0
+
+let arm plans =
+  armed := List.map (fun p -> (p, ref p.fuel)) plans;
+  fired_count := 0
+
+let disarm () = armed := []
+let fired () = !fired_count
+let active () = !armed <> []
+
+(* Consult the registry at an instrumentation point.  Returns [Some seed]
+   when an armed [Corrupt] fault fires (the pass then perturbs its result
+   deterministically from the seed); raises a structured error when an
+   armed [Raise] fault fires; returns [None] otherwise. *)
+let check site ~pass =
+  match
+    List.find_opt
+      (fun ((p : plan), fuel) -> p.site = site && !fuel > 0)
+      !armed
+  with
+  | None -> None
+  | Some (p, fuel) -> (
+      decr fuel;
+      incr fired_count;
+      match p.mode with
+      | Corrupt -> Some p.seed
+      | Raise ->
+          Compile_error.fail ~pass Compile_error.Injected_fault
+            "injected fault at site %s (seed %d)" (site_to_string site)
+            p.seed)

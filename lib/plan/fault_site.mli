@@ -1,0 +1,37 @@
+(** Deterministic fault-injection registry with named sites in the main
+    compiler passes.  Armed faults either raise a structured
+    [Compile_error] or corrupt a pass's result (seeded); [fuel] bounds how
+    many site hits fire, so degraded retries can succeed. *)
+
+type site =
+  | Clustering
+  | Dominant_merging
+  | Mem_planning
+  | Launch_config
+  | Codegen
+
+val all_sites : site list
+val site_to_string : site -> string
+val site_of_string : string -> site option
+
+type mode = Raise | Corrupt
+
+val mode_to_string : mode -> string
+val mode_of_string : string -> mode option
+
+type plan = { site : site; mode : mode; seed : int; fuel : int }
+
+val plan : ?mode:mode -> ?seed:int -> ?fuel:int -> site -> plan
+(** Defaults: [mode = Raise], [seed = 0], [fuel = 1]. *)
+
+val arm : plan list -> unit
+(** Replace the armed set and reset the firing counter. *)
+
+val disarm : unit -> unit
+val fired : unit -> int
+val active : unit -> bool
+
+val check : site -> pass:string -> int option
+(** Called at instrumentation points.  [Some seed] = corrupt the result;
+    raises [Compile_error.Error] with kind [Injected_fault] for an armed
+    [Raise] fault; [None] = proceed normally.  Consumes one fuel. *)

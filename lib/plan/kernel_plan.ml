@@ -60,9 +60,8 @@ type t = {
   memcpy_bytes : int;
 }
 
-exception Invalid_plan of string
-
-let invalid fmt = Format.kasprintf (fun s -> raise (Invalid_plan s)) fmt
+(* Structural problems are reported as Compile_error violations; [check]
+   raises [Compile_error.Error] on the first, [check_all] collects all. *)
 
 (* --- Simple accessors -------------------------------------------------- *)
 
@@ -210,29 +209,126 @@ let kernel_work t (k : kernel) : Cost_model.work =
 
 (* --- Structural invariants --------------------------------------------- *)
 
-let check t =
-  let g = t.graph in
+(* Violations of one kernel, independent of the rest of the plan:
+   intra-kernel topological order (1), register co-location (5),
+   shared-memory legality and footprint (6), barrier and launch
+   legality (7).  Cross-kernel invariants live in [plan_violations]. *)
+let kernel_violations ~emit arch g (k : kernel) =
+  let structure = Compile_error.Invalid_structure in
   let live = Graph.live_ids g in
-  let live_consumers id = List.filter (fun c -> live.(c)) (Graph.consumers g id) in
+  let live_consumers id =
+    List.filter (fun c -> live.(c)) (Graph.consumers g id)
+  in
   (* 1. intra-kernel topological order and non-emptiness *)
+  if k.ops = [] then
+    emit
+      (Compile_error.violation ~where:k.name Compile_error.Empty_cluster
+         "kernel %s has no ops" k.name);
+  let seen = Hashtbl.create 16 in
   List.iter
-    (fun k ->
-      if k.ops = [] then invalid "kernel %s has no ops" k.name;
-      let seen = Hashtbl.create 16 in
+    (fun (o : compiled_op) ->
       List.iter
-        (fun (o : compiled_op) ->
-          List.iter
-            (fun operand ->
-              if
-                List.exists (fun (p : compiled_op) -> p.id = operand) k.ops
-                && not (Hashtbl.mem seen operand)
-              then
-                invalid "kernel %s: op %%%d uses in-kernel operand %%%d \
-                         before it is computed" k.name o.id operand)
-            (Graph.operands g o.id);
-          Hashtbl.replace seen o.id ())
-        k.ops)
-    t.kernels;
+        (fun operand ->
+          if
+            List.exists (fun (p : compiled_op) -> p.id = operand) k.ops
+            && not (Hashtbl.mem seen operand)
+          then
+            emit
+              (Compile_error.violation ~where:k.name ~ops:[ o.id; operand ]
+                 structure
+                 "kernel %s: op %%%d uses in-kernel operand %%%d before it \
+                  is computed" k.name o.id operand))
+        (Graph.operands g o.id);
+      Hashtbl.replace seen o.id ())
+    k.ops;
+  (* 5. register placement: consumers must be co-located, and one-to-many
+        consumers must pay their recompute *)
+  List.iter
+    (fun (o : compiled_op) ->
+      if o.placement = Register then
+        List.iter
+          (fun consumer ->
+            match find_op k consumer with
+            | None ->
+                emit
+                  (Compile_error.violation ~where:k.name
+                     ~ops:[ o.id; consumer ] structure
+                     "node %%%d in register but consumer %%%d is outside \
+                      kernel %s" o.id consumer k.name)
+            | Some c ->
+                if
+                  Pattern.edge_dep g ~producer:o.id ~consumer = One_to_many
+                  && o.recompute = 1 && c.recompute = 1
+                  && not (Thread_mapping.block_aligned o.mapping c.mapping)
+                then
+                  emit
+                    (Compile_error.violation ~where:k.name
+                       ~ops:[ o.id; consumer ] structure
+                       "node %%%d: register value fans out to %%%d without \
+                        recompute or alignment" o.id consumer))
+          (live_consumers o.id))
+    k.ops;
+  (* 6. shared-memory placement: consumers in-kernel, block-aligned, and
+        total smem within the declared launch footprint *)
+  let smem_bytes = ref 0 in
+  List.iter
+    (fun (o : compiled_op) ->
+      if o.placement = Shared_mem then begin
+        (match Thread_mapping.contiguous_outputs_per_block o.mapping with
+        | None ->
+            emit
+              (Compile_error.violation ~where:k.name ~ops:[ o.id ] structure
+                 "node %%%d: shared-memory placement with non-contiguous \
+                  mapping" o.id)
+        | Some per_block ->
+            smem_bytes :=
+              !smem_bytes + (per_block * Dtype.size_bytes (Graph.dtype g o.id)));
+        List.iter
+          (fun consumer ->
+            if find_op k consumer = None then
+              emit
+                (Compile_error.violation ~where:k.name ~ops:[ o.id; consumer ]
+                   structure
+                   "node %%%d in shared memory but consumer %%%d escapes \
+                    kernel %s" o.id consumer k.name))
+          (live_consumers o.id)
+      end)
+    k.ops;
+  if !smem_bytes > k.launch.Launch.shared_mem_per_block then
+    emit
+      (Compile_error.violation ~where:k.name Compile_error.Shared_mem_overflow
+         "kernel %s: shared buffers need %dB > declared %dB" k.name
+         !smem_bytes k.launch.Launch.shared_mem_per_block);
+  (* 7. global-scratch consumed in-kernel requires a global barrier, which
+        must be legal for the launch *)
+  let needs_barrier =
+    List.exists
+      (fun (o : compiled_op) ->
+        o.placement = Global_scratch
+        && List.exists (fun c -> find_op k c <> None) (live_consumers o.id))
+      k.ops
+  in
+  if needs_barrier && k.barriers = 0 then
+    emit
+      (Compile_error.violation ~where:k.name Compile_error.Barrier_deadlock
+         "kernel %s: global-scratch reuse without a global barrier" k.name);
+  (if k.barriers > 0 then
+     try Barrier.check_legal arch k.launch
+     with Barrier.Deadlock m ->
+       emit
+         (Compile_error.violation ~where:k.name Compile_error.Barrier_deadlock
+            "kernel %s: %s" k.name m));
+  try Occupancy.check_launchable arch k.launch
+  with Occupancy.Unlaunchable m ->
+    emit
+      (Compile_error.violation ~where:k.name Compile_error.Unlaunchable
+         "kernel %s: %s" k.name m)
+
+(* Cross-kernel invariants: unique materialization (2), availability in
+   execution order (3), outputs materialized (4). *)
+let plan_violations ~emit t =
+  let g = t.graph in
+  let structure = Compile_error.Invalid_structure in
   (* 2. each node materialized to device at most once *)
   let materialized = Hashtbl.create 64 in
   List.iter
@@ -241,7 +337,9 @@ let check t =
         (fun (o : compiled_op) ->
           if o.placement = Device_mem then begin
             if Hashtbl.mem materialized o.id then
-              invalid "node %%%d materialized by two kernels" o.id;
+              emit
+                (Compile_error.violation ~where:k.name ~ops:[ o.id ] structure
+                   "node %%%d materialized by two kernels" o.id);
             Hashtbl.replace materialized o.id k.name
           end)
         k.ops)
@@ -261,99 +359,48 @@ let check t =
                 || is_leaf g operand
               in
               if not ok then
-                invalid
-                  "kernel %s: op %%%d reads %%%d which is not available"
-                  k.name o.id operand)
+                emit
+                  (Compile_error.violation ~where:k.name ~ops:[ operand ]
+                     structure
+                     "kernel %s: op %%%d reads %%%d which is not available"
+                     k.name o.id operand))
             (Graph.operands g o.id);
           Hashtbl.replace local o.id ())
         k.ops;
+      (* executor semantics: on-chip and scratch values die with their
+         kernel, and a kernel recomputing a node on-chip purges any copy
+         an earlier kernel materialized (single value slot per node) *)
       List.iter
         (fun (o : compiled_op) ->
-          if o.placement = Device_mem then Hashtbl.replace available o.id ())
+          if o.placement = Device_mem then Hashtbl.replace available o.id ()
+          else Hashtbl.remove available o.id)
         k.ops)
     t.kernels;
   (* 4. graph outputs are materialized *)
   List.iter
     (fun out ->
       if not (Hashtbl.mem available out || is_leaf g out) then
-        invalid "graph output %%%d never materialized to device memory" out)
-    (Graph.outputs g);
-  (* 5. register placement: consumers must be co-located, and one-to-many
-        consumers must pay their recompute *)
-  List.iter
-    (fun k ->
-      List.iter
-        (fun (o : compiled_op) ->
-          if o.placement = Register then
-            List.iter
-              (fun consumer ->
-                match find_op k consumer with
-                | None ->
-                    invalid
-                      "node %%%d in register but consumer %%%d is outside \
-                       kernel %s" o.id consumer k.name
-                | Some c ->
-                    if
-                      Pattern.edge_dep g ~producer:o.id ~consumer = One_to_many
-                      && o.recompute = 1 && c.recompute = 1
-                      && not
-                           (Thread_mapping.block_aligned o.mapping c.mapping)
-                    then
-                      invalid
-                        "node %%%d: register value fans out to %%%d without \
-                         recompute or alignment" o.id consumer)
-              (live_consumers o.id))
-        k.ops)
-    t.kernels;
-  (* 6. shared-memory placement: consumers in-kernel, block-aligned, and
-        total smem within the declared launch footprint *)
-  List.iter
-    (fun k ->
-      let smem_bytes = ref 0 in
-      List.iter
-        (fun (o : compiled_op) ->
-          if o.placement = Shared_mem then begin
-            (match Thread_mapping.contiguous_outputs_per_block o.mapping with
-            | None ->
-                invalid
-                  "node %%%d: shared-memory placement with non-contiguous \
-                   mapping" o.id
-            | Some per_block ->
-                smem_bytes :=
-                  !smem_bytes
-                  + (per_block * Dtype.size_bytes (Graph.dtype g o.id)));
-            List.iter
-              (fun consumer ->
-                if find_op k consumer = None then
-                  invalid
-                    "node %%%d in shared memory but consumer %%%d escapes \
-                     kernel %s" o.id consumer k.name)
-              (live_consumers o.id)
-          end)
-        k.ops;
-      if !smem_bytes > k.launch.Launch.shared_mem_per_block then
-        invalid "kernel %s: shared buffers need %dB > declared %dB" k.name
-          !smem_bytes k.launch.Launch.shared_mem_per_block)
-    t.kernels;
-  (* 7. global-scratch consumed in-kernel requires a global barrier, which
-        must be legal for the launch *)
-  List.iter
-    (fun k ->
-      let needs_barrier =
-        List.exists
-          (fun (o : compiled_op) ->
-            o.placement = Global_scratch
-            && List.exists
-                 (fun c -> find_op k c <> None)
-                 (live_consumers o.id))
-          k.ops
-      in
-      if needs_barrier && k.barriers = 0 then
-        invalid "kernel %s: global-scratch reuse without a global barrier"
-          k.name;
-      if k.barriers > 0 then Barrier.check_legal t.arch k.launch;
-      Occupancy.check_launchable t.arch k.launch)
-    t.kernels
+        emit
+          (Compile_error.violation ~ops:[ out ] structure
+             "graph output %%%d never materialized to device memory" out))
+    (Graph.outputs g)
+
+let check_kernel arch g k =
+  let acc = ref [] in
+  kernel_violations ~emit:(fun v -> acc := v :: !acc) arch g k;
+  List.rev !acc
+
+let check_all t =
+  let acc = ref [] in
+  let emit v = acc := v :: !acc in
+  List.iter (kernel_violations ~emit t.arch t.graph) t.kernels;
+  plan_violations ~emit t;
+  List.rev !acc
+
+let check t =
+  match check_all t with
+  | [] -> ()
+  | violations -> raise (Compile_error.error ~pass:"plan-check" violations)
 
 (* --- Kernel scheduling -------------------------------------------------- *)
 
@@ -425,7 +472,9 @@ let toposort_kernels g kernels =
         if indegree.(kj) = 0 then ready := Ready.add (key kj, kj) !ready)
       succs.(ki)
   done;
-  if !emitted <> n then invalid "cyclic kernel dependencies";
+  if !emitted <> n then
+    Compile_error.fail ~pass:"kernel-schedule" Compile_error.Invalid_structure
+      "cyclic kernel dependencies";
   List.rev !out
 
 (* --- Pretty printing ---------------------------------------------------- *)

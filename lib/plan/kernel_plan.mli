@@ -48,8 +48,6 @@ type t = {
   memcpy_bytes : int;
 }
 
-exception Invalid_plan of string
-
 val kernel_node_ids : kernel -> Op.node_id list
 val is_memory_intensive_kernel : kernel -> bool
 val memory_intensive_kernels : t -> kernel list
@@ -71,15 +69,24 @@ val kernel_work : t -> kernel -> Cost_model.work
 (** DRAM traffic + instruction work of a kernel; see the implementation
     notes for the L2 model that reproduces Table 5's counter structure. *)
 
+val check_kernel : Arch.t -> Graph.t -> kernel -> Compile_error.violation list
+(** Intra-kernel invariants only (order, placement legality, shared-memory
+    footprint, barrier and launch legality); empty when the kernel is
+    valid in isolation. *)
+
+val check_all : t -> Compile_error.violation list
+(** Collect ALL structural invariant violations (availability, placement
+    legality, shared-memory budgets, barrier legality) instead of failing
+    on the first — lets the resilience layer repair per-kernel. *)
+
 val check : t -> unit
-(** Validate all structural invariants (availability, placement legality,
-    shared-memory budgets, barrier legality).
-    @raise Invalid_plan with a description of the first violation. *)
+(** Validate all structural invariants.
+    @raise Compile_error.Error with every violation found. *)
 
 val toposort_kernels : Graph.t -> kernel list -> kernel list
 (** Order kernels by data dependency (required after remote stitching,
     where op-id order is no longer a schedule).
-    @raise Invalid_plan on cyclic kernel dependencies. *)
+    @raise Compile_error.Error on cyclic kernel dependencies. *)
 
 val pp_kernel : Graph.t -> Format.formatter -> kernel -> unit
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,71 @@
+(* User-facing fault-injection harness.
+
+   Re-exports the registry that lives next to the compiler passes
+   ([Astitch_plan.Fault_site]) so tests and the CLI can arm faults
+   without depending on pass internals.  The contract under test: with
+   any fault armed, compilation either degrades to a plan that still
+   matches the reference interpreter or returns a structured
+   [Compile_error] — never a bare exception, never silent wrong
+   numerics. *)
+
+module Site = Astitch_plan.Fault_site
+
+type site = Site.site =
+  | Clustering
+  | Dominant_merging
+  | Mem_planning
+  | Launch_config
+  | Codegen
+
+type mode = Site.mode = Raise | Corrupt
+
+type plan = Site.plan = {
+  site : site;
+  mode : mode;
+  seed : int;
+  fuel : int;
+}
+
+let all_sites = Site.all_sites
+let site_to_string = Site.site_to_string
+let site_of_string = Site.site_of_string
+let mode_to_string = Site.mode_to_string
+let mode_of_string = Site.mode_of_string
+let plan = Site.plan
+let inject plans = Site.arm plans
+let clear () = Site.disarm ()
+let fired () = Site.fired ()
+let active () = Site.active ()
+
+(* Parse "site:mode[:seed[:fuel]]", the CLI's --inject syntax. *)
+let plan_of_string s =
+  match String.split_on_char ':' s with
+  | [] -> None
+  | site_s :: rest -> (
+      match site_of_string site_s with
+      | None -> None
+      | Some site -> (
+          let int_opt s = int_of_string_opt (String.trim s) in
+          match rest with
+          | [] -> Some (plan site)
+          | [ mode_s ] ->
+              Option.map (fun mode -> plan ~mode site) (mode_of_string mode_s)
+          | [ mode_s; seed_s ] ->
+              Option.bind (mode_of_string mode_s) (fun mode ->
+                  Option.map (fun seed -> plan ~mode ~seed site) (int_opt seed_s))
+          | [ mode_s; seed_s; fuel_s ] ->
+              Option.bind (mode_of_string mode_s) (fun mode ->
+                  Option.bind (int_opt seed_s) (fun seed ->
+                      Option.map
+                        (fun fuel -> plan ~mode ~seed ~fuel site)
+                        (int_opt fuel_s)))
+          | _ -> None))
+
+let plan_to_string (p : plan) =
+  Printf.sprintf "%s:%s:%d:%d" (site_to_string p.site) (mode_to_string p.mode)
+    p.seed p.fuel
+
+(* Arm, run, disarm — even on exceptions. *)
+let with_faults plans f =
+  inject plans;
+  Fun.protect ~finally:clear f

@@ -1,0 +1,44 @@
+(** Deterministic fault-injection harness over the compiler's named
+    sites.  Proves the resilience contract: under any injected fault,
+    compilation either degrades to an interpreter-identical plan or
+    returns a structured error — never a bare exception. *)
+
+type site = Astitch_plan.Fault_site.site =
+  | Clustering
+  | Dominant_merging
+  | Mem_planning
+  | Launch_config
+  | Codegen
+
+type mode = Astitch_plan.Fault_site.mode = Raise | Corrupt
+
+type plan = Astitch_plan.Fault_site.plan = {
+  site : site;
+  mode : mode;
+  seed : int;
+  fuel : int;
+}
+
+val all_sites : site list
+val site_to_string : site -> string
+val site_of_string : string -> site option
+val mode_to_string : mode -> string
+val mode_of_string : string -> mode option
+
+val plan : ?mode:mode -> ?seed:int -> ?fuel:int -> site -> plan
+(** Defaults: [mode = Raise], [seed = 0], [fuel = 1]. *)
+
+val plan_of_string : string -> plan option
+(** Parse ["site:mode[:seed[:fuel]]"] — the CLI's [--inject] syntax. *)
+
+val plan_to_string : plan -> string
+
+val inject : plan list -> unit
+(** Arm the registry (replaces any armed set, resets the counter). *)
+
+val clear : unit -> unit
+val fired : unit -> int
+val active : unit -> bool
+
+val with_faults : plan list -> (unit -> 'a) -> 'a
+(** Arm, run, disarm (even on exceptions). *)

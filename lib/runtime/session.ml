@@ -16,6 +16,29 @@ let compile (backend : Backend_intf.t) arch g =
   let profile = Profile.profile ~config:backend.cost_config plan in
   { backend_name = backend.name; plan; profile }
 
+type resilient = {
+  result : result;
+  report : Astitch_core.Degradation.report;
+}
+
+(* Compile with per-cluster graceful degradation: scopes that fail at
+   full strength fall down the ladder alone, the rest of the graph stays
+   fully stitched, and the report says what was lost.  With the default
+   config and a healthy graph the report is empty and the plan matches
+   [Astitch.compile] exactly. *)
+let compile_resilient ?(config = Astitch_core.Config.full) arch g =
+  match Astitch_core.Fallback.compile config arch g with
+  | Error e -> Error e
+  | Ok (plan, report) ->
+      let profile =
+        Profile.profile ~config:Astitch_core.Astitch.cost_config plan
+      in
+      Ok
+        {
+          result = { backend_name = "AStitch-resilient"; plan; profile };
+          report;
+        }
+
 let run ?(check = true) (backend : Backend_intf.t) arch g ~params =
   let result = compile backend arch g in
   let outputs =

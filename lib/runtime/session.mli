@@ -12,6 +12,20 @@ type result = {
 
 val compile : Backend_intf.t -> Astitch_simt.Arch.t -> Graph.t -> result
 
+type resilient = {
+  result : result;
+  report : Astitch_core.Degradation.report;
+}
+
+val compile_resilient :
+  ?config:Astitch_core.Config.t ->
+  Astitch_simt.Arch.t ->
+  Graph.t ->
+  (resilient, Compile_error.t) Stdlib.result
+(** Compile with per-cluster graceful degradation ([Fallback.compile]).
+    Never raises; with the default config and a healthy graph the report
+    is empty and the plan matches [Astitch.compile] exactly. *)
+
 val run :
   ?check:bool ->
   Backend_intf.t ->

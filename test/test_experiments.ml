@@ -21,10 +21,21 @@ let test_registry () =
   check "ids unique" true
     (List.length ids = List.length (List.sort_uniq compare ids))
 
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
 let test_unknown_experiment () =
   match E.run "no-such-experiment" with
-  | () -> Alcotest.fail "expected Invalid_argument"
-  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected Compile_error.Error"
+  | exception Astitch_plan.Compile_error.Error e ->
+      let msg = Astitch_plan.Compile_error.to_string e in
+      (* the error must name the offender and list what is available *)
+      check "names offender" true (contains msg "no-such-experiment");
+      List.iter
+        (fun id -> check ("lists " ^ id) true (contains msg id))
+        [ "fig1"; "table4"; "overhead" ]
 
 (* run the cheap experiments end-to-end (output goes to stdout) *)
 let test_cheap_experiments_run () =

@@ -160,7 +160,7 @@ let test_check_catches_unavailable () =
   in
   (match Kernel_plan.check plan with
   | () -> Alcotest.fail "reading tanh before computing it must fail"
-  | exception Kernel_plan.Invalid_plan _ -> ());
+  | exception Compile_error.Error _ -> ());
   (* fixed plan passes *)
   let k_ok = { k with ops = [ mk_op t (ew 32); mk_op ~placement:Kernel_plan.Device_mem r (ew 4) ] } in
   Kernel_plan.check { plan with kernels = [ k_ok ] }
@@ -184,7 +184,7 @@ let test_check_catches_register_escape () =
   in
   match Kernel_plan.check plan with
   | () -> Alcotest.fail "register value escaping its kernel must fail"
-  | exception Kernel_plan.Invalid_plan _ -> ()
+  | exception Compile_error.Error _ -> ()
 
 let test_check_catches_double_materialize () =
   let g, t, r = tiny_plan_graph () in
@@ -200,7 +200,7 @@ let test_check_catches_double_materialize () =
   in
   match Kernel_plan.check plan with
   | () -> Alcotest.fail "double materialization must fail"
-  | exception Kernel_plan.Invalid_plan _ -> ()
+  | exception Compile_error.Error _ -> ()
 
 let test_check_barrier_required () =
   let g, t, r = tiny_plan_graph () in
@@ -224,7 +224,7 @@ let test_check_barrier_required () =
   in
   (match Kernel_plan.check plan with
   | () -> Alcotest.fail "global scratch without barrier must fail"
-  | exception Kernel_plan.Invalid_plan _ -> ());
+  | exception Compile_error.Error _ -> ());
   Kernel_plan.check { plan with kernels = [ { k with barriers = 1 } ] }
 
 let test_toposort_kernels () =

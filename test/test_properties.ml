@@ -126,7 +126,7 @@ let prop_scratch_no_alias =
               0 entries
           in
           total <= sum
-      | exception Invalid_argument _ -> false)
+      | exception Compile_error.Error _ -> false)
 
 let prop_fit_shared_fits =
   QCheck2.Test.make ~name:"shared-memory demotion always fits the budget"
