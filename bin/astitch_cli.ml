@@ -118,6 +118,11 @@ let with_arch name f =
   | Some arch -> f arch
   | None -> `Error (false, "unknown arch " ^ name)
 
+let pp_cache_stats (s : Plan_cache.stats) =
+  Printf.printf
+    "cache: %d hits, %d misses, %d insertions, %d evictions, %d bypasses\n"
+    s.hits s.misses s.insertions s.evictions s.bypasses
+
 (* --- Subcommands ------------------------------------------------------------ *)
 
 let inspect model training tiny =
@@ -140,13 +145,15 @@ let inspect model training tiny =
            0 clusters);
       `Ok ()
 
-let compile model backend training tiny arch resilient injects =
+let compile model backend training tiny arch resilient injects use_cache
+    repeat jobs =
   match
     (lookup_model model ~training ~tiny, lookup_backend backend,
      parse_injects injects)
   with
   | Error e, _, _ | _, Error e, _ | _, _, Error e -> `Error (false, e)
   | Ok g, Ok b, Ok faults ->
+      let repeat = Stdlib.max 1 repeat in
       with_arch arch (fun arch ->
           if resilient then begin
             match config_for_backend backend with
@@ -156,10 +163,30 @@ let compile model backend training tiny arch resilient injects =
                     "--resilient needs an AStitch-family backend (astitch, \
                      atm or hdm)" )
             | Some base -> (
-            let config = { base with Astitch_core.Config.faults } in
-            match Session.compile_resilient ~config arch g with
-            | Error e -> `Error (false, Compile_error.to_string e)
-            | Ok { result; report } ->
+            let config =
+              { base with Astitch_core.Config.faults; compile_domains = jobs }
+            in
+            let cache = Session.make_resilient_cache () in
+            let compile_once () =
+              if use_cache then
+                Session.compile_resilient_cached ~config cache arch g
+              else (Session.compile_resilient ~config arch g, Plan_cache.Miss)
+            in
+            let last = ref (compile_once ()) in
+            for i = 2 to repeat do
+              if use_cache then
+                Printf.printf "compile %d/%d: %s\n" (i - 1) repeat
+                  (Plan_cache.outcome_to_string (snd !last));
+              last := compile_once ()
+            done;
+            match !last with
+            | Error e, _ -> `Error (false, Compile_error.to_string e)
+            | Ok { result; report }, outcome ->
+                if use_cache then begin
+                  Printf.printf "compile %d/%d: %s\n" repeat repeat
+                    (Plan_cache.outcome_to_string outcome);
+                  pp_cache_stats (Plan_cache.stats cache)
+                end;
                 Format.printf "%a@." Kernel_plan.pp result.plan;
                 Format.printf "%a@." Astitch_core.Degradation.pp_report report;
                 Format.printf "%a@." Profile.pp_breakdown result.profile;
@@ -177,17 +204,56 @@ let compile model backend training tiny arch resilient injects =
             | Some base -> (
                 let config = { base with Astitch_core.Config.faults } in
                 let b = Astitch_core.Astitch.backend ~config () in
-                match Session.compile b arch g with
-                | r ->
+                let cache = Session.make_cache () in
+                let compile_once () =
+                  if use_cache then Session.compile_cached cache b arch g
+                  else (Session.compile b arch g, Plan_cache.Miss)
+                in
+                match compile_once () with
+                | r, outcome ->
+                    if use_cache then begin
+                      (* fault-injected compiles never enter the cache *)
+                      Printf.printf "compile 1/1: %s\n"
+                        (Plan_cache.outcome_to_string outcome);
+                      pp_cache_stats (Plan_cache.stats cache)
+                    end;
                     Format.printf "%a@." Kernel_plan.pp r.plan;
                     Format.printf "%a@." Profile.pp_breakdown r.profile;
                     `Ok ()
                 | exception Compile_error.Error e ->
                     `Error (false, Compile_error.to_string e))
           else
-            let r = Session.compile b arch g in
-            Format.printf "%a@." Kernel_plan.pp r.plan;
-            Format.printf "%a@." Profile.pp_breakdown r.profile;
+            let b =
+              if jobs <= 1 then b
+              else
+                match config_for_backend backend with
+                | Some base ->
+                    Astitch_core.Astitch.backend
+                      ~config:
+                        { base with Astitch_core.Config.compile_domains = jobs }
+                      ()
+                | None -> b
+            in
+            let cache = Session.make_cache () in
+            let compile_once () =
+              if use_cache then Session.compile_cached cache b arch g
+              else (Session.compile b arch g, Plan_cache.Miss)
+            in
+            let r = ref (compile_once ()) in
+            for i = 2 to repeat do
+              if use_cache then
+                Printf.printf "compile %d/%d: %s\n" (i - 1) repeat
+                  (Plan_cache.outcome_to_string (snd !r));
+              r := compile_once ()
+            done;
+            let result, outcome = !r in
+            if use_cache then begin
+              Printf.printf "compile %d/%d: %s\n" repeat repeat
+                (Plan_cache.outcome_to_string outcome);
+              pp_cache_stats (Plan_cache.stats cache)
+            end;
+            Format.printf "%a@." Kernel_plan.pp result.plan;
+            Format.printf "%a@." Profile.pp_breakdown result.profile;
             `Ok ())
 
 let cuda model backend training tiny arch =
@@ -333,13 +399,31 @@ let inspect_cmd =
     (Cmd.info "inspect" ~doc:"Show graph statistics for a workload")
     Term.(ret (const inspect $ model_arg $ training_arg $ tiny_arg))
 
+let cache_arg =
+  Arg.(value & flag
+       & info [ "cache" ]
+           ~doc:"Compile through the plan cache (keyed by canonical graph \
+                 fingerprint, arch and config) and print per-iteration \
+                 hit/miss outcomes plus cache statistics.")
+
+let repeat_arg =
+  Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N"
+         ~doc:"Compile N times (interesting with --cache: the first is a \
+               miss, the rest are hits).")
+
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Compile cluster groups on N domains (AStitch-family \
+               backends; plans are identical at any setting).")
+
 let compile_cmd =
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a workload and print the kernel plan")
     Term.(
       ret
         (const compile $ model_arg $ backend_arg $ training_arg $ tiny_arg
-       $ arch_arg $ resilient_arg $ inject_arg))
+       $ arch_arg $ resilient_arg $ inject_arg $ cache_arg $ repeat_arg
+       $ jobs_arg))
 
 let cuda_cmd =
   Cmd.v

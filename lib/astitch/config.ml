@@ -15,6 +15,9 @@ type t = {
   compile_budget_s : float option;
       (* per-attempt compile-time budget for the resilient pipeline
          (Sec 6.4.1 posture); None = unbounded *)
+  compile_domains : int;
+      (* worker domains for per-cluster compilation; 1 = sequential.
+         Plans are byte-identical at any setting (deterministic merge) *)
   faults : Astitch_plan.Fault_site.plan list;
       (* armed fault-injection plans (testing only; [] in production) *)
 }
@@ -27,6 +30,7 @@ let full =
     remote_stitching = true;
     max_remote_merge_width = 4;
     compile_budget_s = None;
+    compile_domains = 1;
     faults = [];
   }
 
@@ -42,3 +46,18 @@ let to_string c =
   Printf.sprintf "{atm=%b; hdr=%b; merge=%b; remote=%b}"
     c.adaptive_thread_mapping c.hierarchical_data_reuse c.dominant_merging
     c.remote_stitching
+
+(* Canonical serialization of every field that can change the compiled
+   plan - the config component of a plan-cache key.  [compile_domains]
+   is deliberately excluded: parallel compilation is byte-identical to
+   sequential, so it must not fragment the cache.  [faults] and the
+   budget are included so fault-injected or budget-constrained configs
+   never alias a production entry. *)
+let cache_key c =
+  Printf.sprintf "atm=%b;hdr=%b;merge=%b;remote=%b;width=%d;budget=%s;faults=%d"
+    c.adaptive_thread_mapping c.hierarchical_data_reuse c.dominant_merging
+    c.remote_stitching c.max_remote_merge_width
+    (match c.compile_budget_s with
+    | None -> "none"
+    | Some s -> Printf.sprintf "%h" s)
+    (List.length c.faults)

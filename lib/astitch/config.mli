@@ -10,6 +10,9 @@ type t = {
   compile_budget_s : float option;
       (** per-attempt compile-time budget for the resilient pipeline;
           [None] = unbounded *)
+  compile_domains : int;
+      (** worker domains for per-cluster compilation; [1] = sequential.
+          Any setting produces byte-identical plans. *)
   faults : Astitch_plan.Fault_site.plan list;
       (** armed fault-injection plans (testing only; [[]] in production) *)
 }
@@ -23,3 +26,8 @@ val no_dominant_merging : t
 (** Exhaustive stitching without dominant merging (Table 4 "HDM"). *)
 
 val to_string : t -> string
+
+val cache_key : t -> string
+(** Canonical serialization of every plan-affecting field, for plan-cache
+    keys.  [compile_domains] is excluded (parallel compilation is
+    byte-identical to sequential and must not fragment the cache). *)

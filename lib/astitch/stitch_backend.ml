@@ -429,27 +429,39 @@ let compile_with_armed (config : Config.t) (arch : Arch.t) g : Kernel_plan.t =
           ~max_merge_width:config.max_remote_merge_width g clusters
       else List.map (fun c -> [ c ]) clusters
     in
+    (* Each group's kernel depends only on (g, config, arch): the groups
+       compile independently and merge back in input order, so the plan
+       is byte-identical at any domain count.  Parallelism is gated off
+       when fault injection is armed (global mutable registry) or a
+       compile budget is set (budgets read process CPU time, which
+       concurrent domains inflate). *)
+    let domains =
+      if
+        config.faults <> []
+        || Astitch_plan.Fault_site.active ()
+        || config.compile_budget_s <> None
+      then 1
+      else config.compile_domains
+    in
+    let compile_group i (parts : Clustering.cluster list) =
+      match parts with
+      | [ { Clustering.nodes = [ single ]; _ } ]
+        when Astitch_backends.Fusion_common.is_layout_only g single ->
+          Some (Astitch_backends.Fusion_common.copy_kernel g single)
+      | _ ->
+          let name = Printf.sprintf "stitch_op_%d" i in
+          let nparts = List.length parts in
+          let smem_budget = Launch_config.shared_mem_budget arch / nparts in
+          List.mapi
+            (fun j (c : Clustering.cluster) ->
+              compile_cluster config arch g
+                ~name:(Printf.sprintf "%s.%d" name j)
+                ~smem_budget ~group_base:(j * 1024) c.Clustering.nodes)
+            parts
+          |> combine_parts arch ~name
+    in
     let stitch_kernels =
-      List.mapi
-        (fun i (parts : Clustering.cluster list) ->
-          match parts with
-          | [ { Clustering.nodes = [ single ]; _ } ]
-            when Astitch_backends.Fusion_common.is_layout_only g single ->
-              Some (Astitch_backends.Fusion_common.copy_kernel g single)
-          | _ ->
-              let name = Printf.sprintf "stitch_op_%d" i in
-              let nparts = List.length parts in
-              let smem_budget =
-                Launch_config.shared_mem_budget arch / nparts
-              in
-              List.mapi
-                (fun j (c : Clustering.cluster) ->
-                  compile_cluster config arch g
-                    ~name:(Printf.sprintf "%s.%d" name j)
-                    ~smem_budget ~group_base:(j * 1024) c.Clustering.nodes)
-                parts
-              |> combine_parts arch ~name)
-        cluster_groups
+      Parallel.mapi ~domains compile_group cluster_groups
       |> List.filter_map Fun.id
     in
     let kernels =

@@ -10,6 +10,10 @@ type t = {
   nodes : node array;
   outputs : Op.node_id list;
   consumers : Op.node_id list array; (* users of each node, ascending *)
+  output_set : bool array; (* is_output without the per-call list scan *)
+  mutable fingerprint_memo : string option;
+      (* canonical fingerprint, filled on first request; sound because
+         the graph is otherwise immutable *)
 }
 
 exception Ill_formed of string
@@ -34,7 +38,14 @@ let topo_order g = List.init (num_nodes g) Fun.id
 let iter_nodes f g = Array.iter f g.nodes
 let fold_nodes f acc g = Array.fold_left f acc g.nodes
 
-let is_output g id = List.mem id g.outputs
+let is_output g id = id >= 0 && id < num_nodes g && g.output_set.(id)
+
+(* Fingerprint memo slot, owned by [Fingerprint] (which computes the
+   canonical digest); serving looks graphs up by fingerprint per request,
+   so recomputing the canonicalization each time would dominate a cache
+   hit. *)
+let fingerprint_memo g = g.fingerprint_memo
+let set_fingerprint_memo g fp = g.fingerprint_memo <- Some fp
 
 (* A node's value escapes the graph if a consumer exists outside it or it
    is a declared output; parameters never escape (they are inputs). *)
@@ -101,7 +112,9 @@ let of_nodes nodes ~outputs =
         (Op.operands nd.op))
     nodes;
   Array.iteri (fun i l -> consumers.(i) <- List.sort_uniq compare l) consumers;
-  { nodes; outputs; consumers }
+  let output_set = Array.make n false in
+  List.iter (fun o -> output_set.(o) <- true) outputs;
+  { nodes; outputs; consumers; output_set; fingerprint_memo = None }
 
 (* Re-check all shapes/dtypes against the inference rules. *)
 let validate g =

@@ -27,6 +27,13 @@ val shape : t -> Op.node_id -> Shape.t
 val dtype : t -> Op.node_id -> Dtype.t
 val outputs : t -> Op.node_id list
 val is_output : t -> Op.node_id -> bool
+
+val fingerprint_memo : t -> string option
+(** Memoized canonical fingerprint.  Owned by [Fingerprint]; use
+    [Fingerprint.of_graph], which fills it on first computation (sound
+    because graphs are otherwise immutable). *)
+
+val set_fingerprint_memo : t -> string -> unit
 val consumers : t -> Op.node_id -> Op.node_id list
 val operands : t -> Op.node_id -> Op.node_id list
 val topo_order : t -> Op.node_id list

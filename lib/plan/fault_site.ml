@@ -56,17 +56,24 @@ type plan = { site : site; mode : mode; seed : int; fuel : int }
 let plan ?(mode = Raise) ?(seed = 0) ?(fuel = 1) site =
   { site; mode; seed; fuel }
 
-(* Armed faults (remaining fuel tracked per plan) and a firing counter. *)
+(* Armed faults (remaining fuel tracked per plan), a firing counter, and
+   a monotonic arming epoch.  The epoch lets observers (the plan cache)
+   detect that faults were armed at any point during a compile even
+   though [arm] resets the firing counter and the compile disarms on the
+   way out. *)
 let armed : (plan * int ref) list ref = ref []
 let fired_count = ref 0
+let arm_epoch = ref 0
 
 let arm plans =
   armed := List.map (fun p -> (p, ref p.fuel)) plans;
+  incr arm_epoch;
   fired_count := 0
 
 let disarm () = armed := []
 let fired () = !fired_count
 let active () = !armed <> []
+let epoch () = !arm_epoch
 
 (* Consult the registry at an instrumentation point.  Returns [Some seed]
    when an armed [Corrupt] fault fires (the pass then perturbs its result

@@ -31,6 +31,11 @@ val disarm : unit -> unit
 val fired : unit -> int
 val active : unit -> bool
 
+val epoch : unit -> int
+(** Monotonic count of {!arm} calls.  An observer that snapshots the
+    epoch around a compile can tell whether faults were armed inside it,
+    even though the compile disarms before returning. *)
+
 val check : site -> pass:string -> int option
 (** Called at instrumentation points.  [Some seed] = corrupt the result;
     raises [Compile_error.Error] with kind [Injected_fault] for an armed

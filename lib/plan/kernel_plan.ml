@@ -80,16 +80,40 @@ let copy_kernels t = List.filter (fun k -> k.kind = Copy) t.kernels
 (* Table 3's "CPY": CUDA memcpy/memset activities. *)
 let cpy_count t = t.memcpys + t.memsets + List.length (copy_kernels t)
 
-let find_op k id = List.find_opt (fun (o : compiled_op) -> o.id = id) k.ops
+(* Per-kernel op lookup.  Hot paths (invariant checking, the runtime
+   executor) query ops by node id many times per kernel; an index table
+   built in one pass replaces the per-query list scan.  Insertion keeps
+   the first op with a given id, matching what [List.find_opt] returned
+   on (ill-formed) kernels with duplicates. *)
+type op_index = (Op.node_id, compiled_op) Hashtbl.t
+
+let index_ops k : op_index =
+  let idx = Hashtbl.create (max 16 (2 * List.length k.ops)) in
+  List.iter
+    (fun (o : compiled_op) ->
+      if not (Hashtbl.mem idx o.id) then Hashtbl.add idx o.id o)
+    k.ops;
+  idx
+
+let find_op_in (idx : op_index) id = Hashtbl.find_opt idx id
+let find_op k id = find_op_in (index_ops k) id
+
+(* Node id -> kernel that materializes it to device memory (first in
+   execution order, as with the per-kernel index). *)
+let materializer_index t : (Op.node_id, kernel) Hashtbl.t =
+  let idx = Hashtbl.create 64 in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun (o : compiled_op) ->
+          if o.placement = Device_mem && not (Hashtbl.mem idx o.id) then
+            Hashtbl.add idx o.id k)
+        k.ops)
+    t.kernels;
+  idx
 
 (* The kernel that materializes a node to device memory, if any. *)
-let producer_kernel t id =
-  List.find_opt
-    (fun k ->
-      List.exists
-        (fun (o : compiled_op) -> o.id = id && o.placement = Device_mem)
-        k.ops)
-    t.kernels
+let producer_kernel t id = Hashtbl.find_opt (materializer_index t) id
 
 (* --- Per-op instruction counting --------------------------------------- *)
 
@@ -215,6 +239,7 @@ let kernel_work t (k : kernel) : Cost_model.work =
    legality (7).  Cross-kernel invariants live in [plan_violations]. *)
 let kernel_violations ~emit arch g (k : kernel) =
   let structure = Compile_error.Invalid_structure in
+  let idx = index_ops k in
   let live = Graph.live_ids g in
   let live_consumers id =
     List.filter (fun c -> live.(c)) (Graph.consumers g id)
@@ -229,10 +254,7 @@ let kernel_violations ~emit arch g (k : kernel) =
     (fun (o : compiled_op) ->
       List.iter
         (fun operand ->
-          if
-            List.exists (fun (p : compiled_op) -> p.id = operand) k.ops
-            && not (Hashtbl.mem seen operand)
-          then
+          if Hashtbl.mem idx operand && not (Hashtbl.mem seen operand) then
             emit
               (Compile_error.violation ~where:k.name ~ops:[ o.id; operand ]
                  structure
@@ -248,7 +270,7 @@ let kernel_violations ~emit arch g (k : kernel) =
       if o.placement = Register then
         List.iter
           (fun consumer ->
-            match find_op k consumer with
+            match find_op_in idx consumer with
             | None ->
                 emit
                   (Compile_error.violation ~where:k.name
@@ -285,7 +307,7 @@ let kernel_violations ~emit arch g (k : kernel) =
               !smem_bytes + (per_block * Dtype.size_bytes (Graph.dtype g o.id)));
         List.iter
           (fun consumer ->
-            if find_op k consumer = None then
+            if find_op_in idx consumer = None then
               emit
                 (Compile_error.violation ~where:k.name ~ops:[ o.id; consumer ]
                    structure
@@ -305,7 +327,7 @@ let kernel_violations ~emit arch g (k : kernel) =
     List.exists
       (fun (o : compiled_op) ->
         o.placement = Global_scratch
-        && List.exists (fun c -> find_op k c <> None) (live_consumers o.id))
+        && List.exists (fun c -> Hashtbl.mem idx c) (live_consumers o.id))
       k.ops
   in
   if needs_barrier && k.barriers = 0 then

@@ -61,6 +61,154 @@ let run (plan : Kernel_plan.t) ~params : Tensor.t list =
       values.(id))
     (Graph.outputs g)
 
+(* --- Reusable execution contexts --------------------------------------
+
+   [run] above re-walks the kernel lists and allocates a fresh tensor per
+   op on every call.  For serving, a plan is compiled once and executed
+   many times, so the per-run work should be exactly the numeric loops:
+   [create_context] flattens the kernels into an instruction array,
+   preallocates one destination buffer per evaluated node, evaluates
+   constants/iotas once, and pre-resolves parameter slots.  [run_context]
+   then binds parameters, replays the instruction array through
+   [Interp.eval_node_into], and copies out the outputs - no list
+   traversal, and no allocation beyond the output copies (plus O(1) view
+   records for reshape ops, which alias their operand's storage).
+
+   Because [eval_node_into] writes the same elements in the same order as
+   the allocating evaluation, [run_context] is bit-identical to [run]. *)
+
+type instr =
+  | Eval of { nd : Graph.node; operands : int array }
+  | Purge of int array (* on-chip values dying at a kernel boundary *)
+
+type context = {
+  plan : Kernel_plan.t;
+  values : Tensor.t array; (* node id -> current value *)
+  computed : bool array; (* node id -> available this run *)
+  base_computed : bool array; (* run-start template: constants/iotas *)
+  bufs : Tensor.t option array; (* preallocated destinations *)
+  param_slots : (int * string * Shape.t) array; (* id, name, declared *)
+  steps : instr array;
+  output_ids : int array;
+}
+
+let create_context (plan : Kernel_plan.t) : context =
+  let g = plan.graph in
+  let n = Graph.num_nodes g in
+  let values = Array.make n (Tensor.scalar 0.) in
+  let base_computed = Array.make n false in
+  let bufs = Array.make n None in
+  (* a node gets a preallocated destination unless evaluating it aliases
+     existing storage (parameters bind the caller's tensor; reshapes view
+     their operand's data) *)
+  let wants_buffer (nd : Graph.node) =
+    match nd.op with Op.Parameter _ | Op.Reshape _ -> false | _ -> true
+  in
+  let buffer_for (nd : Graph.node) =
+    match bufs.(nd.id) with
+    | Some _ as b -> b
+    | None ->
+        if wants_buffer nd then begin
+          bufs.(nd.id) <- Some (Tensor.zeros nd.shape);
+          bufs.(nd.id)
+        end
+        else None
+  in
+  (* constants and iotas are run-invariant: evaluate them once, into
+     their own buffers, and mark them pre-computed in the template *)
+  Graph.iter_nodes
+    (fun nd ->
+      match nd.op with
+      | Op.Constant _ | Op.Iota _ ->
+          values.(nd.id) <-
+            Interp.eval_node_into g values ~params:[] ~dst:(buffer_for nd) nd;
+          base_computed.(nd.id) <- true
+      | _ -> ())
+    g;
+  let param_slots =
+    Graph.fold_nodes
+      (fun acc (nd : Graph.node) ->
+        match nd.op with
+        | Op.Parameter { name } -> (nd.id, name, nd.shape) :: acc
+        | _ -> acc)
+      [] g
+    |> List.rev |> Array.of_list
+  in
+  let steps = ref [] in
+  List.iter
+    (fun (k : Kernel_plan.kernel) ->
+      List.iter
+        (fun (o : Kernel_plan.compiled_op) ->
+          let nd = Graph.node g o.id in
+          ignore (buffer_for nd);
+          steps :=
+            Eval { nd; operands = Array.of_list (Graph.operands g o.id) }
+            :: !steps)
+        k.ops;
+      let purged =
+        List.filter_map
+          (fun (o : Kernel_plan.compiled_op) ->
+            match o.placement with
+            | Kernel_plan.Device_mem -> None
+            | Kernel_plan.Register | Kernel_plan.Shared_mem
+            | Kernel_plan.Global_scratch ->
+                Some o.id)
+          k.ops
+      in
+      if purged <> [] then steps := Purge (Array.of_list purged) :: !steps)
+    plan.kernels;
+  {
+    plan;
+    values;
+    computed = Array.make n false;
+    base_computed;
+    bufs;
+    param_slots;
+    steps = Array.of_list (List.rev !steps);
+    output_ids = Array.of_list (Graph.outputs g);
+  }
+
+let context_plan ctx = ctx.plan
+
+let run_context (ctx : context) ~params : Tensor.t list =
+  let g = ctx.plan.Kernel_plan.graph in
+  let values = ctx.values and computed = ctx.computed in
+  Array.blit ctx.base_computed 0 computed 0 (Array.length computed);
+  let require id =
+    if not computed.(id) then
+      raise
+        (Execution_error
+           (Printf.sprintf "node %%%d read before it was computed" id))
+  in
+  (* bind parameters through the pre-resolved slots (id order, matching
+     the leaf sweep in [run]) *)
+  Array.iter
+    (fun (id, name, shape) ->
+      match List.assoc_opt name params with
+      | None -> raise (Interp.Missing_parameter name)
+      | Some t ->
+          if not (Shape.equal (Tensor.shape t) shape) then
+            Tensor.mismatch "parameter %s: bound shape %s, declared %s" name
+              (Shape.to_string (Tensor.shape t))
+              (Shape.to_string shape);
+          values.(id) <- t;
+          computed.(id) <- true)
+    ctx.param_slots;
+  Array.iter
+    (function
+      | Eval { nd; operands } ->
+          Array.iter require operands;
+          values.(nd.id) <-
+            Interp.eval_node_into g values ~params ~dst:ctx.bufs.(nd.id) nd;
+          computed.(nd.id) <- true
+      | Purge ids -> Array.iter (fun id -> computed.(id) <- false) ids)
+    ctx.steps;
+  Array.fold_right
+    (fun id acc ->
+      require id;
+      Tensor.copy values.(id) :: acc)
+    ctx.output_ids []
+
 (* Execute and compare against the reference interpreter. *)
 let run_and_check ?(eps = 1e-5) plan ~params =
   let outputs = run plan ~params in

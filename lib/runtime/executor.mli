@@ -20,3 +20,25 @@ val run_and_check :
   Tensor.t list
 (** {!run}, then compare every output against {!Interp.run}.
     @raise Execution_error on divergence. *)
+
+type context
+(** A plan prepared for repeated execution: kernels flattened to an
+    instruction array, one preallocated destination buffer per evaluated
+    node, constants/iotas folded at preparation time, and parameter slots
+    pre-resolved.  Not safe for concurrent use (buffers are shared across
+    calls). *)
+
+val create_context : Kernel_plan.t -> context
+(** Prepare [plan] for repeated execution.  The one-time cost is
+    proportional to the plan; each subsequent {!run_context} call does
+    only the numeric work plus output copies. *)
+
+val context_plan : context -> Kernel_plan.t
+
+val run_context :
+  context -> params:(string * Tensor.t) list -> Tensor.t list
+(** Execute the prepared plan.  Bit-identical to {!run} on the same plan
+    and parameters; outputs are freshly copied, so they stay valid after
+    later calls reuse the context's buffers.
+    @raise Execution_error if the plan reads a value before computing it.
+    @raise Interp.Missing_parameter if a graph parameter is unbound. *)

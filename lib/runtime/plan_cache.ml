@@ -1,0 +1,110 @@
+(* LRU cache for compiled artifacts.
+
+   Serving compiles the same graphs over and over; the cache keys an
+   arbitrary compiled artifact ('a is a plan, a session result, or a
+   resilient result) by the canonical graph fingerprint x architecture x
+   config serialization.  Keying on Fingerprint.of_graph makes the key
+   sound by construction: two graphs share a key only when their live
+   structure is identical, so a hit can serve the cached plan verbatim.
+
+   Recency is tracked with a monotonic tick per access; eviction removes
+   the entry with the smallest tick (strict LRU, deterministic).  The
+   cache never stores degraded or fault-injected results - callers route
+   those through [note_bypass] - so a hit is always a full-strength
+   artifact. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+  bypasses : int;
+}
+
+let zero_stats =
+  { hits = 0; misses = 0; insertions = 0; evictions = 0; bypasses = 0 }
+
+type 'a entry = { value : 'a; mutable last_used : int }
+
+type 'a t = {
+  capacity : int;
+  table : (string, 'a entry) Hashtbl.t;
+  mutable tick : int;
+  mutable stats : stats;
+}
+
+let create ?(capacity = 128) () =
+  if capacity <= 0 then invalid_arg "Plan_cache.create: capacity must be > 0";
+  { capacity; table = Hashtbl.create (2 * capacity); tick = 0; stats = zero_stats }
+
+let key ~fingerprint ~arch ~config =
+  Printf.sprintf "%s|%s|%s" fingerprint arch config
+
+let length t = Hashtbl.length t.table
+let capacity t = t.capacity
+let stats t = t.stats
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.last_used <- t.tick
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | Some e ->
+      touch t e;
+      t.stats <- { t.stats with hits = t.stats.hits + 1 };
+      Some e.value
+  | None ->
+      t.stats <- { t.stats with misses = t.stats.misses + 1 };
+      None
+
+(* Evict the least-recently-used entry (smallest tick). *)
+let evict_one t =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, best) when best.last_used <= e.last_used -> acc
+        | _ -> Some (k, e))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (k, _) ->
+      Hashtbl.remove t.table k;
+      t.stats <- { t.stats with evictions = t.stats.evictions + 1 }
+
+let add t k v =
+  (match Hashtbl.find_opt t.table k with
+  | Some _ -> Hashtbl.remove t.table k
+  | None -> if Hashtbl.length t.table >= t.capacity then evict_one t);
+  t.tick <- t.tick + 1;
+  Hashtbl.replace t.table k { value = v; last_used = t.tick };
+  t.stats <- { t.stats with insertions = t.stats.insertions + 1 }
+
+let note_bypass t = t.stats <- { t.stats with bypasses = t.stats.bypasses + 1 }
+
+type outcome = Hit | Miss | Bypassed
+
+let outcome_to_string = function
+  | Hit -> "hit"
+  | Miss -> "miss"
+  | Bypassed -> "bypassed"
+
+(* The caching protocol in one place: look up, or compile and - only when
+   the compiler says the artifact is cacheable - insert.  Degraded and
+   fault-injected compiles return [cacheable = false] and are counted as
+   bypasses, never stored. *)
+let find_or_compute t k ~compute =
+  match find t k with
+  | Some v -> (v, Hit)
+  | None ->
+      let v, cacheable = compute () in
+      if cacheable then begin
+        add t k v;
+        (v, Miss)
+      end
+      else begin
+        note_bypass t;
+        (v, Bypassed)
+      end

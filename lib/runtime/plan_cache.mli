@@ -1,0 +1,52 @@
+(** LRU cache for compiled artifacts, keyed by canonical graph
+    fingerprint x architecture x config serialization.
+
+    The key's soundness comes from {!Astitch_ir.Fingerprint}: equal keys
+    imply structurally identical live graphs under the same compiler
+    settings, so a hit can be served verbatim.  Degraded or
+    fault-injected compiles must never be inserted; route them through
+    {!note_bypass} (or return [cacheable = false] from
+    {!find_or_compute}). *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+  bypasses : int;  (** compiles that were deliberately not cached *)
+}
+
+val zero_stats : stats
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** An empty cache holding at most [capacity] (default 128) entries.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val key : fingerprint:string -> arch:string -> config:string -> string
+(** Compose the three key components canonically. *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup; refreshes recency and counts a hit or miss. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert, evicting the least-recently-used entry when full.  Re-adding
+    an existing key replaces its value (no spurious eviction). *)
+
+val note_bypass : 'a t -> unit
+(** Record a compile that deliberately skipped the cache. *)
+
+type outcome = Hit | Miss | Bypassed
+
+val outcome_to_string : outcome -> string
+
+val find_or_compute :
+  'a t -> string -> compute:(unit -> 'a * bool) -> 'a * outcome
+(** [find_or_compute t k ~compute] returns the cached value on a hit;
+    otherwise runs [compute] and inserts the result only when it reports
+    itself cacheable ([Miss]), counting a bypass otherwise ([Bypassed]). *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+val stats : 'a t -> stats

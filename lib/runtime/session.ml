@@ -39,6 +39,82 @@ let compile_resilient ?(config = Astitch_core.Config.full) arch g =
           report;
         }
 
+(* --- Compile-once caching ---------------------------------------------
+
+   Serving recompiles the same models; both compile entry points get a
+   cached variant keyed by canonical graph fingerprint x architecture x
+   compiler identity.  Soundness of serving a hit verbatim rests on the
+   fingerprint (structurally identical live graphs) and on never caching
+   anything that is not a full-strength compile: fault-injected compiles
+   are detected via the Fault_site arming epoch/firing counter, degraded
+   resilient compiles via a non-empty report, and both are counted as
+   cache bypasses. *)
+
+type cache = result Plan_cache.t
+type resilient_cache = resilient Plan_cache.t
+
+let make_cache ?capacity () : cache = Plan_cache.create ?capacity ()
+
+let make_resilient_cache ?capacity () : resilient_cache =
+  Plan_cache.create ?capacity ()
+
+(* Did a fault-injection window overlap this compile?  [arm] bumps the
+   epoch and [disarm] leaves the counters in place, so comparing epoch
+   and firing counter around the compile catches arming inside it even
+   though the compile disarms on the way out. *)
+let with_fault_watch f =
+  let epoch0 = Fault_site.epoch () and fired0 = Fault_site.fired () in
+  let armed0 = Fault_site.active () in
+  let x = f () in
+  let clean =
+    (not armed0)
+    && (not (Fault_site.active ()))
+    && Fault_site.epoch () = epoch0
+    && Fault_site.fired () = fired0
+  in
+  (x, clean)
+
+let compile_cached (cache : cache) (backend : Backend_intf.t) arch g =
+  let key =
+    Plan_cache.key
+      ~fingerprint:(Fingerprint.of_graph g)
+      ~arch:arch.Astitch_simt.Arch.name ~config:backend.Backend_intf.name
+  in
+  Plan_cache.find_or_compute cache key ~compute:(fun () ->
+      with_fault_watch (fun () -> compile backend arch g))
+
+let compile_resilient_cached ?(config = Astitch_core.Config.full)
+    (cache : resilient_cache) arch g =
+  let key =
+    Plan_cache.key
+      ~fingerprint:(Fingerprint.of_graph g)
+      ~arch:arch.Astitch_simt.Arch.name
+      ~config:(Astitch_core.Config.cache_key config)
+  in
+  match Plan_cache.find cache key with
+  | Some r -> (Ok r, Plan_cache.Hit)
+  | None -> (
+      let compiled, fault_free =
+        with_fault_watch (fun () -> compile_resilient ~config arch g)
+      in
+      match compiled with
+      | Error _ as e ->
+          Plan_cache.note_bypass cache;
+          (e, Plan_cache.Bypassed)
+      | Ok r ->
+          if
+            fault_free
+            && Astitch_core.Degradation.is_empty r.report
+            && config.Astitch_core.Config.faults = []
+          then begin
+            Plan_cache.add cache key r;
+            (Ok r, Plan_cache.Miss)
+          end
+          else begin
+            Plan_cache.note_bypass cache;
+            (Ok r, Plan_cache.Bypassed)
+          end)
+
 let run ?(check = true) (backend : Backend_intf.t) arch g ~params =
   let result = compile backend arch g in
   let outputs =

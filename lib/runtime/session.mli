@@ -26,6 +26,34 @@ val compile_resilient :
     Never raises; with the default config and a healthy graph the report
     is empty and the plan matches [Astitch.compile] exactly. *)
 
+type cache = result Plan_cache.t
+(** Compiled results keyed by graph fingerprint x arch x backend name. *)
+
+type resilient_cache = resilient Plan_cache.t
+
+val make_cache : ?capacity:int -> unit -> cache
+val make_resilient_cache : ?capacity:int -> unit -> resilient_cache
+
+val compile_cached :
+  cache ->
+  Backend_intf.t ->
+  Astitch_simt.Arch.t ->
+  Graph.t ->
+  result * Plan_cache.outcome
+(** {!compile} behind an LRU cache.  A compile during which fault
+    injection was armed (at any point) is returned but never stored
+    ([Bypassed]). *)
+
+val compile_resilient_cached :
+  ?config:Astitch_core.Config.t ->
+  resilient_cache ->
+  Astitch_simt.Arch.t ->
+  Graph.t ->
+  (resilient, Compile_error.t) Stdlib.result * Plan_cache.outcome
+(** {!compile_resilient} behind an LRU cache.  Only full-strength
+    results are stored: compile errors, non-empty degradation reports
+    and fault-injected configs all bypass the cache. *)
+
 val run :
   ?check:bool ->
   Backend_intf.t ->

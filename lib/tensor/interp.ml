@@ -59,15 +59,36 @@ let reduce_step = function
   | Op.Max_r -> Float.max
   | Op.Min_r -> Float.min
 
-(* Map an output linear index of a broadcast to the input linear index. *)
-let broadcast_source ~out_shape ~in_shape ~dims out_linear =
-  let out_idx = Shape.multi_index out_shape out_linear in
-  let in_idx = Array.mapi (fun i d -> ignore i; out_idx.(d)) dims in
-  if Array.length in_idx = 0 then 0 else Shape.linear_index in_shape in_idx
-
-let eval_node _g (values : Tensor.t array) ~params (nd : Graph.node) : Tensor.t =
+(* Evaluate one node, writing dense results into [dst] when one is given
+   (the executor's reusable contexts preallocate one buffer per node) and
+   into a fresh tensor otherwise.  Every element is written in the same
+   order with the same float operations either way, so the two modes are
+   bit-identical.  [Parameter] returns the bound tensor and [Reshape]
+   returns a view of its operand's data in both modes - neither consumes
+   the destination. *)
+let eval_node_into _g (values : Tensor.t array) ~params ~dst
+    (nd : Graph.node) : Tensor.t =
   let v id = values.(id) in
   let out_shape = nd.shape in
+  let target () =
+    match dst with
+    | Some t ->
+        if not (Shape.equal (Tensor.shape t) out_shape) then
+          Tensor.mismatch "eval destination has shape %s, node %d wants %s"
+            (Shape.to_string (Tensor.shape t))
+            nd.id
+            (Shape.to_string out_shape);
+        t
+    | None -> Tensor.zeros out_shape
+  in
+  (* fill [target] element by element in ascending linear order *)
+  let tabulate f =
+    let out = target () in
+    for i = 0 to Tensor.num_elements out - 1 do
+      Tensor.set_linear out i (f i)
+    done;
+    out
+  in
   match nd.op with
   | Op.Parameter { name } -> (
       match List.assoc_opt name params with
@@ -78,22 +99,40 @@ let eval_node _g (values : Tensor.t array) ~params (nd : Graph.node) : Tensor.t 
               (Shape.to_string (Tensor.shape t))
               (Shape.to_string out_shape);
           t)
-  | Op.Constant { value } -> Tensor.full out_shape value
+  | Op.Constant { value } -> tabulate (fun _ -> value)
   | Op.Iota { axis } ->
-      Tensor.init out_shape (fun i ->
+      tabulate (fun i ->
           float_of_int (Shape.multi_index out_shape i).(axis))
-  | Op.Unary { kind; input } -> Tensor.map (unary_fn kind) (v input)
-  | Op.Binary { kind; lhs; rhs } -> Tensor.map2 (binary_fn kind) (v lhs) (v rhs)
+  | Op.Unary { kind; input } ->
+      Tensor.map_into (unary_fn kind) (v input) ~dst:(target ())
+  | Op.Binary { kind; lhs; rhs } ->
+      Tensor.map2_into (binary_fn kind) (v lhs) (v rhs) ~dst:(target ())
   | Op.Broadcast { input; dims } ->
+      (* Precompute the output-linear -> input-linear stride table once:
+         output axis [dims.(a)] advances the input by the input's stride
+         of axis [a], replicated axes advance it by 0.  The per-element
+         work is then one div/mod walk over the output strides instead of
+         materializing a multi-index and re-deriving strides per element. *)
       let in_t = v input in
-      let in_shape = Tensor.shape in_t in
-      Tensor.init out_shape (fun i ->
-          Tensor.get_linear in_t
-            (broadcast_source ~out_shape ~in_shape ~dims i))
+      let rank = Shape.rank out_shape in
+      let out_strides = Shape.strides out_shape in
+      let in_strides = Shape.strides (Tensor.shape in_t) in
+      let bstride = Array.make rank 0 in
+      Array.iteri (fun a d -> bstride.(d) <- in_strides.(a)) dims;
+      tabulate (fun i ->
+          let rem = ref i and src = ref 0 in
+          for d = 0 to rank - 1 do
+            src := !src + (!rem / out_strides.(d) * bstride.(d));
+            rem := !rem mod out_strides.(d)
+          done;
+          Tensor.get_linear in_t !src)
   | Op.Reduce { input; kind; axes } ->
       let in_t = v input in
       let in_shape = Tensor.shape in_t in
-      let out = Tensor.full out_shape (reduce_init kind) in
+      let out = target () in
+      for j = 0 to Tensor.num_elements out - 1 do
+        Tensor.set_linear out j (reduce_init kind)
+      done;
       let step = reduce_step kind in
       let n_in = Tensor.num_elements in_t in
       for i = 0 to n_in - 1 do
@@ -117,19 +156,19 @@ let eval_node _g (values : Tensor.t array) ~params (nd : Graph.node) : Tensor.t 
   | Op.Transpose { input; perm } ->
       let in_t = v input in
       let in_shape = Tensor.shape in_t in
-      Tensor.init out_shape (fun i ->
+      tabulate (fun i ->
           let out_idx = Shape.multi_index out_shape i in
           let in_idx = Array.make (Shape.rank in_shape) 0 in
           Array.iteri (fun oi p -> in_idx.(p) <- out_idx.(oi)) perm;
           Tensor.get in_t in_idx)
   | Op.Select { pred; on_true; on_false } ->
       let p = v pred and t = v on_true and f = v on_false in
-      Tensor.init out_shape (fun i ->
+      tabulate (fun i ->
           if Tensor.get_linear p i <> 0. then Tensor.get_linear t i
           else Tensor.get_linear f i)
   | Op.Concat { inputs; axis } ->
       let tensors = List.map v inputs in
-      Tensor.init out_shape (fun i ->
+      tabulate (fun i ->
           let idx = Shape.multi_index out_shape i in
           let rec pick offset = function
             | [] -> assert false
@@ -145,14 +184,14 @@ let eval_node _g (values : Tensor.t array) ~params (nd : Graph.node) : Tensor.t 
           pick 0 tensors)
   | Op.Slice { input; starts; stops = _ } ->
       let in_t = v input in
-      Tensor.init out_shape (fun i ->
+      tabulate (fun i ->
           let idx = Shape.multi_index out_shape i in
           let src = Array.mapi (fun d x -> x + starts.(d)) idx in
           Tensor.get in_t src)
   | Op.Pad { input; low; high = _ } ->
       let in_t = v input in
       let in_shape = Tensor.shape in_t in
-      Tensor.init out_shape (fun i ->
+      tabulate (fun i ->
           let idx = Shape.multi_index out_shape i in
           let src = Array.mapi (fun d x -> x - low.(d)) idx in
           let inside =
@@ -166,7 +205,7 @@ let eval_node _g (values : Tensor.t array) ~params (nd : Graph.node) : Tensor.t 
       let n = Shape.dim ps 0 in
       let row = Shape.num_elements ps / n in
       let clamp i = Stdlib.max 0 (Stdlib.min (n - 1) i) in
-      Tensor.init out_shape (fun i ->
+      tabulate (fun i ->
           let r = i / row and off = i mod row in
           let src = clamp (int_of_float (Tensor.get_linear idx r)) in
           Tensor.get_linear p ((src * row) + off))
@@ -176,7 +215,10 @@ let eval_node _g (values : Tensor.t array) ~params (nd : Graph.node) : Tensor.t 
       let k = Shape.dim us 0 in
       let row = Shape.num_elements us / k in
       let clamp i = Stdlib.max 0 (Stdlib.min (rows - 1) i) in
-      let out = Tensor.zeros out_shape in
+      let out = target () in
+      for j = 0 to Tensor.num_elements out - 1 do
+        Tensor.set_linear out j 0.
+      done;
       for r = 0 to k - 1 do
         let dst = clamp (int_of_float (Tensor.get_linear idx r)) in
         for off = 0 to row - 1 do
@@ -188,7 +230,7 @@ let eval_node _g (values : Tensor.t array) ~params (nd : Graph.node) : Tensor.t 
       out
   | Op.Max_pool { input; window; stride } ->
       let x = v input in
-      Tensor.init out_shape (fun i ->
+      tabulate (fun i ->
           let idx = Shape.multi_index out_shape i in
           let nb = idx.(0) and oy = idx.(1) and ox = idx.(2) and cc = idx.(3) in
           let best = ref Float.neg_infinity in
@@ -209,7 +251,7 @@ let eval_node _g (values : Tensor.t array) ~params (nd : Graph.node) : Tensor.t 
       let m = ashape.(r - 2) and k = ashape.(r - 1) in
       let n = (Tensor.shape b).(r - 1) in
       let batch = Shape.num_elements ashape / (m * k) in
-      let out = Tensor.zeros out_shape in
+      let out = target () in
       for bt = 0 to batch - 1 do
         for i = 0 to m - 1 do
           for j = 0 to n - 1 do
@@ -232,7 +274,7 @@ let eval_node _g (values : Tensor.t array) ~params (nd : Graph.node) : Tensor.t 
       let kh = ws.(0) and kw = ws.(1) in
       let oh = out_shape.(1) and ow = out_shape.(2) in
       ignore wdt;
-      Tensor.init out_shape (fun i ->
+      tabulate (fun i ->
           let idx = Shape.multi_index out_shape i in
           let nb = idx.(0) and oy = idx.(1) and ox = idx.(2) and oz = idx.(3) in
           let acc = ref 0. in
@@ -249,6 +291,8 @@ let eval_node _g (values : Tensor.t array) ~params (nd : Graph.node) : Tensor.t 
           done;
           ignore (h, oh, ow);
           !acc)
+
+let eval_node g values ~params nd = eval_node_into g values ~params ~dst:None nd
 
 let eval_all g ~params =
   let values = Array.make (Graph.num_nodes g) (Tensor.scalar 0.) in

@@ -37,13 +37,45 @@ let get t idx = t.data.(Shape.linear_index t.shape idx)
 let get_linear t i = t.data.(i)
 let set_linear t i v = t.data.(i) <- v
 
-let map f t = { t with data = Array.map f t.data }
+let copy t = { t with data = Array.copy t.data }
+
+(* The in-place variants back both the plain combinators and the
+   executor's reusable contexts: the destination is written element by
+   element in ascending linear order, so filling a preallocated buffer is
+   bit-identical to allocating a fresh one.  The element loops read the
+   operand data arrays directly - one bounds-checked load per operand per
+   element, no per-element closure dispatch through [Array.init]. *)
+
+let map_into f src ~dst =
+  if not (Shape.equal src.shape dst.shape) then
+    mismatch "map_into: shapes %s vs %s" (Shape.to_string src.shape)
+      (Shape.to_string dst.shape);
+  let s = src.data and d = dst.data in
+  for i = 0 to Array.length d - 1 do
+    d.(i) <- f s.(i)
+  done;
+  dst
+
+let map2_into f a b ~dst =
+  if not (Shape.equal a.shape b.shape) then
+    mismatch "map2: shapes %s vs %s" (Shape.to_string a.shape)
+      (Shape.to_string b.shape);
+  if not (Shape.equal a.shape dst.shape) then
+    mismatch "map2_into: dst shape %s vs %s" (Shape.to_string dst.shape)
+      (Shape.to_string a.shape);
+  let x = a.data and y = b.data and d = dst.data in
+  for i = 0 to Array.length d - 1 do
+    d.(i) <- f x.(i) y.(i)
+  done;
+  dst
+
+let map f t = map_into f t ~dst:{ t with data = Array.make (Array.length t.data) 0. }
 
 let map2 f a b =
   if not (Shape.equal a.shape b.shape) then
     mismatch "map2: shapes %s vs %s" (Shape.to_string a.shape)
       (Shape.to_string b.shape);
-  { a with data = Array.init (Array.length a.data) (fun i -> f a.data.(i) b.data.(i)) }
+  map2_into f a b ~dst:{ a with data = Array.make (Array.length a.data) 0. }
 
 let reshape t shape =
   if Shape.num_elements shape <> num_elements t then

@@ -26,8 +26,17 @@ val of_list : int list -> float list -> t
 val get : t -> int array -> float
 val get_linear : t -> int -> float
 val set_linear : t -> int -> float -> unit
+val copy : t -> t
 val map : (float -> float) -> t -> t
 val map2 : (float -> float -> float) -> t -> t -> t
+
+val map_into : (float -> float) -> t -> dst:t -> t
+(** [map] writing into a preallocated destination (returned); elements are
+    written in ascending linear order, bit-identical to {!map}. *)
+
+val map2_into : (float -> float -> float) -> t -> t -> dst:t -> t
+(** [map2] writing into a preallocated destination (returned). *)
+
 val reshape : t -> Shape.t -> t
 val equal_approx : ?eps:float -> t -> t -> bool
 val max_abs_diff : t -> t -> float

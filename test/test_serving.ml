@@ -1,0 +1,384 @@
+(* The serving fast path: canonical fingerprints, the plan cache,
+   reusable execution contexts, and parallel cluster compilation.
+
+   The load-bearing claims, each tested directly:
+   - fingerprints are invariant under node renumbering/dead code and
+     sensitive to semantic changes (cache-key soundness);
+   - a cache hit returns the identical compiled result, eviction is
+     strict LRU, and degraded/fault-injected compiles never get cached;
+   - run_context is bit-identical to a fresh Executor.run;
+   - parallel cluster compilation is byte-identical to sequential on
+     every zoo workload and on random graphs. *)
+
+open Astitch_ir
+open Astitch_tensor
+open Astitch_simt
+open Astitch_plan
+open Astitch_runtime
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+module Fault = Fault_site
+
+(* --- Graph fixtures ----------------------------------------------------- *)
+
+(* softmax(x) + y, built straightforwardly *)
+let serving_graph () =
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 4; 8 ] in
+  let y = Builder.parameter b "y" [ 4; 8 ] in
+  Builder.finish b ~outputs:[ Builder.add b (Builder.softmax b x) y ]
+
+(* the same computation with dead nodes interleaved: ids shift, live
+   structure is identical *)
+let serving_graph_with_dead () =
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 4; 8 ] in
+  let _dead1 = Builder.exp b x in
+  let y = Builder.parameter b "y" [ 4; 8 ] in
+  let _dead2 = Builder.mul b x x in
+  Builder.finish b ~outputs:[ Builder.add b (Builder.softmax b x) y ]
+
+(* one changed op kind: must fingerprint differently *)
+let serving_graph_sub () =
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ 4; 8 ] in
+  let y = Builder.parameter b "y" [ 4; 8 ] in
+  Builder.finish b ~outputs:[ Builder.sub b (Builder.softmax b x) y ]
+
+(* --- Fingerprint -------------------------------------------------------- *)
+
+let test_fingerprint_stable () =
+  let g = serving_graph () in
+  check_string "same graph, same fingerprint" (Fingerprint.of_graph g)
+    (Fingerprint.of_graph (serving_graph ()))
+
+let test_fingerprint_dead_code_invariant () =
+  check_string "dead nodes do not change the fingerprint"
+    (Fingerprint.of_graph (serving_graph ()))
+    (Fingerprint.of_graph (serving_graph_with_dead ()))
+
+let test_fingerprint_sensitive () =
+  check_bool "changing one op kind changes the fingerprint" false
+    (String.equal
+       (Fingerprint.of_graph (serving_graph ()))
+       (Fingerprint.of_graph (serving_graph_sub ())));
+  (* shape changes too *)
+  let shaped dims =
+    let b = Builder.create () in
+    let x = Builder.parameter b "x" dims in
+    Builder.finish b ~outputs:[ Builder.relu b x ]
+  in
+  check_bool "changing a shape changes the fingerprint" false
+    (String.equal
+       (Fingerprint.of_graph (shaped [ 4; 8 ]))
+       (Fingerprint.of_graph (shaped [ 8; 4 ])));
+  (* parameter names are semantic (they key the bindings) *)
+  let named n =
+    let b = Builder.create () in
+    let x = Builder.parameter b n [ 4 ] in
+    Builder.finish b ~outputs:[ Builder.relu b x ]
+  in
+  check_bool "renaming a parameter changes the fingerprint" false
+    (String.equal
+       (Fingerprint.of_graph (named "x"))
+       (Fingerprint.of_graph (named "weights")))
+
+let test_fingerprint_output_order () =
+  let two_outputs flip =
+    let b = Builder.create () in
+    let x = Builder.parameter b "x" [ 4 ] in
+    let a = Builder.relu b x and c = Builder.exp b x in
+    Builder.finish b ~outputs:(if flip then [ c; a ] else [ a; c ])
+  in
+  check_bool "output order is semantic" false
+    (String.equal
+       (Fingerprint.of_graph (two_outputs false))
+       (Fingerprint.of_graph (two_outputs true)))
+
+(* --- Plan cache --------------------------------------------------------- *)
+
+let test_cache_hit_identity () =
+  let cache = Session.make_cache () in
+  let b = Astitch_core.Astitch.full_backend in
+  let r1, o1 = Session.compile_cached cache b Arch.v100 (serving_graph ()) in
+  let r2, o2 =
+    (* a different construction of the same live graph still hits *)
+    Session.compile_cached cache b Arch.v100 (serving_graph_with_dead ())
+  in
+  check_bool "first compile misses" true (o1 = Plan_cache.Miss);
+  check_bool "second compile hits" true (o2 = Plan_cache.Hit);
+  check_bool "hit returns the identical result" true (r1 == r2)
+
+let test_cache_key_separates () =
+  let cache = Session.make_cache () in
+  let b = Astitch_core.Astitch.full_backend in
+  let _ = Session.compile_cached cache b Arch.v100 (serving_graph ()) in
+  let _, o_arch = Session.compile_cached cache b Arch.t4 (serving_graph ()) in
+  let _, o_backend =
+    Session.compile_cached cache Astitch_core.Astitch.atm_backend Arch.v100
+      (serving_graph ())
+  in
+  let _, o_graph =
+    Session.compile_cached cache b Arch.v100 (serving_graph_sub ())
+  in
+  check_bool "different arch misses" true (o_arch = Plan_cache.Miss);
+  check_bool "different backend misses" true (o_backend = Plan_cache.Miss);
+  check_bool "different graph misses" true (o_graph = Plan_cache.Miss)
+
+let test_lru_eviction_order () =
+  let cache : int Plan_cache.t = Plan_cache.create ~capacity:2 () in
+  let key n = Plan_cache.key ~fingerprint:n ~arch:"v100" ~config:"c" in
+  Plan_cache.add cache (key "a") 1;
+  Plan_cache.add cache (key "b") 2;
+  (* touch "a": now "b" is least recent *)
+  check_bool "a present" true (Plan_cache.find cache (key "a") = Some 1);
+  Plan_cache.add cache (key "c") 3;
+  check_int "capacity respected" 2 (Plan_cache.length cache);
+  check_bool "b evicted (LRU)" true (Plan_cache.find cache (key "b") = None);
+  check_bool "a survives" true (Plan_cache.find cache (key "a") = Some 1);
+  check_bool "c present" true (Plan_cache.find cache (key "c") = Some 3);
+  let s = Plan_cache.stats cache in
+  check_int "one eviction" 1 s.Plan_cache.evictions;
+  (* re-adding an existing key must not evict *)
+  Plan_cache.add cache (key "a") 10;
+  check_int "replace does not evict" 1
+    (Plan_cache.stats cache).Plan_cache.evictions;
+  check_bool "replaced value" true (Plan_cache.find cache (key "a") = Some 10)
+
+let test_fault_injected_compile_bypasses_cache () =
+  let g = serving_graph () in
+  (* a Corrupt fault that fires somewhere in the pipeline *)
+  List.iter
+    (fun site ->
+      let cache = Session.make_cache () in
+      let config =
+        {
+          Astitch_core.Config.full with
+          faults = [ Fault.plan ~mode:Fault.Corrupt ~fuel:max_int site ];
+        }
+      in
+      let b = Astitch_core.Astitch.backend ~config () in
+      match Session.compile_cached cache b Arch.v100 g with
+      | _, outcome ->
+          check_bool
+            (Fault.site_to_string site ^ " corrupt compile not cached")
+            true
+            (outcome = Plan_cache.Bypassed);
+          check_int
+            (Fault.site_to_string site ^ " cache stays empty")
+            0 (Plan_cache.length cache)
+      | exception _ ->
+          (* corruption made the compile fail outright (structured or
+             bare, e.g. an unlaunchable config): nothing was cached *)
+          check_int
+            (Fault.site_to_string site ^ " cache stays empty")
+            0 (Plan_cache.length cache))
+    Fault.all_sites
+
+let test_degraded_compile_bypasses_cache () =
+  let g = serving_graph () in
+  let cache = Session.make_resilient_cache () in
+  let config =
+    {
+      Astitch_core.Config.full with
+      faults =
+        [ Fault.plan ~mode:Fault.Raise ~fuel:1 Fault.Launch_config ];
+    }
+  in
+  (match Session.compile_resilient_cached ~config cache Arch.v100 g with
+  | Ok r, outcome ->
+      check_bool "fault produced a degradation" true
+        (not (Astitch_core.Degradation.is_empty r.Session.report));
+      check_bool "degraded result bypassed" true
+        (outcome = Plan_cache.Bypassed);
+      check_int "nothing cached" 0 (Plan_cache.length cache)
+  | Error _, _ -> Alcotest.fail "resilient compile should degrade, not fail");
+  (* the same cache serves clean compiles normally afterwards *)
+  let clean_cache = Session.make_resilient_cache () in
+  (match Session.compile_resilient_cached clean_cache Arch.v100 g with
+  | Ok _, o1 ->
+      check_bool "clean compile misses then caches" true (o1 = Plan_cache.Miss)
+  | Error _, _ -> Alcotest.fail "clean compile failed");
+  match Session.compile_resilient_cached clean_cache Arch.v100 g with
+  | Ok _, o2 -> check_bool "clean recompile hits" true (o2 = Plan_cache.Hit)
+  | Error _, _ -> Alcotest.fail "clean recompile failed"
+
+(* --- Execution contexts ------------------------------------------------- *)
+
+let context_workloads () =
+  [ ("serving", serving_graph ()) ]
+  @ List.map
+      (fun (e : Astitch_workloads.Zoo.entry) -> (e.name, e.tiny ()))
+      Astitch_workloads.Zoo.all
+
+let test_context_bit_identical () =
+  List.iter
+    (fun (name, g) ->
+      let plan = Astitch_core.Astitch.compile Arch.v100 g in
+      let ctx = Executor.create_context plan in
+      (* several rounds with different params: buffer reuse must never
+         leak one run's values into the next *)
+      List.iter
+        (fun seed ->
+          let params = Session.random_params ~seed g in
+          let fresh = Executor.run plan ~params in
+          let reused = Executor.run_context ctx ~params in
+          List.iteri
+            (fun i (a, b) ->
+              if not (Tensor.equal_approx ~eps:0. a b) then
+                Alcotest.failf
+                  "%s (seed %d) output %d: context diverges from run by %g"
+                  name seed i (Tensor.max_abs_diff a b))
+            (List.combine fresh reused))
+        [ 1; 7; 1902 ])
+    (context_workloads ())
+
+let test_context_across_backends () =
+  let g = serving_graph () in
+  let params = Session.random_params g in
+  List.iter
+    (fun (b : Backend_intf.t) ->
+      let plan = b.compile Arch.v100 g in
+      let ctx = Executor.create_context plan in
+      let fresh = Executor.run plan ~params in
+      let reused = Executor.run_context ctx ~params in
+      List.iter2
+        (fun a b' ->
+          check_bool
+            (Printf.sprintf "%s context bit-identical" b.name)
+            true
+            (Tensor.equal_approx ~eps:0. a b'))
+        fresh reused)
+    [
+      Astitch_backends.Tf_backend.backend;
+      Astitch_backends.Xla_backend.backend;
+      Astitch_core.Astitch.full_backend;
+    ]
+
+let test_context_missing_param () =
+  let g = serving_graph () in
+  let plan = Astitch_core.Astitch.compile Arch.v100 g in
+  let ctx = Executor.create_context plan in
+  let params = Session.random_params g in
+  (* dropping a binding raises the interpreter's error, as run does *)
+  match Executor.run_context ctx ~params:(List.tl params) with
+  | _ -> Alcotest.fail "expected Missing_parameter"
+  | exception Interp.Missing_parameter _ -> ()
+
+(* --- Parallel compilation ----------------------------------------------- *)
+
+let marshal_plan (p : Kernel_plan.t) = Marshal.to_string p []
+
+let parallel_config domains =
+  { Astitch_core.Config.full with compile_domains = domains }
+
+let test_parallel_equals_sequential_zoo () =
+  List.iter
+    (fun (e : Astitch_workloads.Zoo.entry) ->
+      let g = e.tiny () in
+      let seq =
+        Astitch_core.Astitch.compile ~config:(parallel_config 1) Arch.v100 g
+      in
+      let par =
+        Astitch_core.Astitch.compile ~config:(parallel_config 4) Arch.v100 g
+      in
+      check_bool (e.name ^ ": parallel plan byte-identical") true
+        (String.equal (marshal_plan seq) (marshal_plan par)))
+    Astitch_workloads.Zoo.all
+
+let test_parallel_equals_sequential_resilient () =
+  List.iter
+    (fun (e : Astitch_workloads.Zoo.entry) ->
+      let g = e.tiny () in
+      let compile domains =
+        match
+          Session.compile_resilient ~config:(parallel_config domains)
+            Arch.v100 g
+        with
+        | Ok r -> (marshal_plan r.Session.result.plan, r.Session.report)
+        | Error e -> Alcotest.failf "resilient compile failed: %s"
+                       (Compile_error.to_string e)
+      in
+      let plan_seq, report_seq = compile 1 in
+      let plan_par, report_par = compile 4 in
+      check_bool (e.name ^ ": resilient parallel byte-identical") true
+        (String.equal plan_seq plan_par);
+      check_int (e.name ^ ": same degradation events")
+        (List.length report_seq) (List.length report_par))
+    Astitch_workloads.Zoo.all
+
+let test_parallel_equals_sequential_random =
+  QCheck.Test.make ~count:30 ~name:"parallel compile == sequential (random)"
+    QCheck.(make Gen.(int_bound 100_000))
+    (fun seed ->
+      let g = Astitch_workloads.Synthetic.random_graph ~seed ~nodes:24 () in
+      let compile domains =
+        match
+          Astitch_core.Astitch.compile ~config:(parallel_config domains)
+            Arch.v100 g
+        with
+        | p -> Ok (marshal_plan p)
+        | exception Compile_error.Error e -> Error (Compile_error.to_string e)
+      in
+      compile 1 = compile 3)
+
+let test_parallel_map_exception_order () =
+  (* lowest failing index wins, as in a sequential left-to-right map *)
+  match
+    Astitch_core.Parallel.mapi ~domains:4
+      (fun i () -> if i >= 2 then failwith (string_of_int i) else i)
+      [ (); (); (); (); () ]
+  with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Failure m -> check_string "first failure surfaced" "2" m
+
+let () =
+  Alcotest.run "serving"
+    [
+      ( "fingerprint",
+        [
+          Alcotest.test_case "stable across constructions" `Quick
+            test_fingerprint_stable;
+          Alcotest.test_case "dead-code invariant" `Quick
+            test_fingerprint_dead_code_invariant;
+          Alcotest.test_case "semantically sensitive" `Quick
+            test_fingerprint_sensitive;
+          Alcotest.test_case "output order sensitive" `Quick
+            test_fingerprint_output_order;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit returns identical plan" `Quick
+            test_cache_hit_identity;
+          Alcotest.test_case "key separates arch/config/graph" `Quick
+            test_cache_key_separates;
+          Alcotest.test_case "LRU eviction order" `Quick
+            test_lru_eviction_order;
+          Alcotest.test_case "fault-injected compiles bypass" `Quick
+            test_fault_injected_compile_bypasses_cache;
+          Alcotest.test_case "degraded compiles bypass" `Quick
+            test_degraded_compile_bypasses_cache;
+        ] );
+      ( "context",
+        [
+          Alcotest.test_case "bit-identical to run (zoo)" `Quick
+            test_context_bit_identical;
+          Alcotest.test_case "bit-identical across backends" `Quick
+            test_context_across_backends;
+          Alcotest.test_case "missing parameter raises" `Quick
+            test_context_missing_param;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "zoo plans byte-identical" `Quick
+            test_parallel_equals_sequential_zoo;
+          Alcotest.test_case "resilient plans byte-identical" `Quick
+            test_parallel_equals_sequential_resilient;
+          QCheck_alcotest.to_alcotest test_parallel_equals_sequential_random;
+          Alcotest.test_case "exception order deterministic" `Quick
+            test_parallel_map_exception_order;
+        ] );
+    ]
