@@ -1,21 +1,26 @@
 (* Serving-path benchmarks: compile-once/run-many vs compile-every-time.
 
-   For each zoo workload we time the four legs of a serving request:
+   For each zoo workload we time the five legs of a serving request:
      cold compile   - Session.compile, nothing cached
      cached compile - Session.compile_cached on a warm cache (a hit)
      fresh run      - Executor.run (re-walks kernel lists, allocates
                       every intermediate)
-     context run    - Executor.run_context on a prepared context
+     context run    - Executor.run_context on a reference (non-fused)
+                      context: prebound buffers, per-node instructions
+     fused run      - Executor.run_context on a fused context: register
+                      scalarization, block staging, arena buffers
    and report the steady-state request speedup
-     (cold compile + fresh run) / (cached compile + context run),
-   plus sequential vs parallel compile wall time at the recommended
-   domain count.  Results go to BENCH_serving.json as one "key": value
-   per line, so the regression checker (and CI) can read it back without
-   a JSON library.
+     (cold compile + fresh run) / (cached compile + fused run),
+   plus fused-vs-reference-context speedup and sequential vs parallel
+   compile wall time at the recommended domain count.  Results go to
+   BENCH_serving.json as one "key": value per line, so the regression
+   checker (and CI) can read it back without a JSON library.
 
    [check] compares a fresh quick run against a committed baseline:
    the per-workload serving speedup must not regress below half the
-   baseline's, and at least two workloads must keep a >= 5x speedup. *)
+   baseline's, at least two workloads must keep a >= 4x speedup, and the
+   fused engine must not run slower than the reference context on the
+   small-kernel workloads (ASR, DIEN). *)
 
 open Astitch_simt
 open Astitch_runtime
@@ -26,6 +31,8 @@ type row = {
   cached_compile_us : float;
   fresh_run_us : float;
   context_run_us : float;
+  fused_run_us : float;
+  fused_speedup : float;
   cold_request_us : float;
   serving_request_us : float;
   speedup : float;
@@ -63,9 +70,13 @@ let bench_workload ~runs (entry : Astitch_workloads.Zoo.entry) ~tiny =
   (* run legs, on the same plan *)
   let plan = (Session.compile backend arch g).Session.plan in
   let fresh_run_us = time_us ~runs (fun () -> Executor.run plan ~params) in
-  let ctx = Executor.create_context plan in
+  let ctx = Executor.create_context ~fused:false plan in
   let context_run_us =
     time_us ~runs (fun () -> Executor.run_context ctx ~params)
+  in
+  let fctx = Executor.create_context ~fused:true plan in
+  let fused_run_us =
+    time_us ~runs (fun () -> Executor.run_context fctx ~params)
   in
   (* parallel vs sequential compile *)
   let par_domains = Astitch_core.Parallel.recommended_domains () in
@@ -80,13 +91,15 @@ let bench_workload ~runs (entry : Astitch_workloads.Zoo.entry) ~tiny =
     time_us ~runs (fun () -> compile_with_domains par_domains)
   in
   let cold_request_us = cold_compile_us +. fresh_run_us in
-  let serving_request_us = cached_compile_us +. context_run_us in
+  let serving_request_us = cached_compile_us +. fused_run_us in
   {
     name = entry.name;
     cold_compile_us;
     cached_compile_us;
     fresh_run_us;
     context_run_us;
+    fused_run_us;
+    fused_speedup = context_run_us /. fused_run_us;
     cold_request_us;
     serving_request_us;
     speedup = cold_request_us /. serving_request_us;
@@ -100,16 +113,17 @@ let bench_workload ~runs (entry : Astitch_workloads.Zoo.entry) ~tiny =
 
 let print_table rows =
   Printf.printf "=== Serving fast path (medians, us) ===\n";
-  Printf.printf "%-12s %12s %12s %12s %12s %9s %12s %12s %8s\n" "workload"
-    "cold-comp" "cached-comp" "fresh-run" "ctx-run" "speedup" "seq-comp"
-    "par-comp" "par-x";
+  Printf.printf "%-12s %12s %12s %12s %12s %12s %8s %9s %12s %12s %8s\n"
+    "workload" "cold-comp" "cached-comp" "fresh-run" "ctx-run" "fused-run"
+    "fused-x" "speedup" "seq-comp" "par-comp" "par-x";
   List.iter
     (fun r ->
       Printf.printf
-        "%-12s %12.1f %12.1f %12.1f %12.1f %8.1fx %12.1f %12.1f %7.2fx\n"
+        "%-12s %12.1f %12.1f %12.1f %12.1f %12.1f %7.2fx %8.1fx %12.1f \
+         %12.1f %7.2fx\n"
         r.name r.cold_compile_us r.cached_compile_us r.fresh_run_us
-        r.context_run_us r.speedup r.seq_compile_us r.par_compile_us
-        r.par_speedup)
+        r.context_run_us r.fused_run_us r.fused_speedup r.speedup
+        r.seq_compile_us r.par_compile_us r.par_speedup)
     rows
 
 (* One "key": value per line so the checker can read it back with a line
@@ -129,6 +143,8 @@ let write_json ~path ~quick rows =
       p "      \"cached_compile_us\": %.1f,\n" r.cached_compile_us;
       p "      \"fresh_run_us\": %.1f,\n" r.fresh_run_us;
       p "      \"context_run_us\": %.1f,\n" r.context_run_us;
+      p "      \"fused_run_us\": %.1f,\n" r.fused_run_us;
+      p "      \"fused_speedup\": %.2f,\n" r.fused_speedup;
       p "      \"cold_request_us\": %.1f,\n" r.cold_request_us;
       p "      \"serving_request_us\": %.1f,\n" r.serving_request_us;
       p "      \"speedup\": %.2f,\n" r.speedup;
@@ -212,6 +228,20 @@ let check ~label base rows =
         "only %d workload(s) keep a >= 4x serving speedup (need >= 2)"
         (List.length fast)
       :: !failures;
+  (* Fused execution must never lose to the reference context, gated on
+     the workloads where per-kernel overhead is least amortized.  Uses
+     the current run's own legs, so baselines predating the fused engine
+     still parse. *)
+  List.iter
+    (fun r ->
+      if List.mem r.name [ "ASR"; "DIEN" ] && r.fused_speedup < 1.0 then
+        failures :=
+          Printf.sprintf
+            "%s: fused execution is %.2fx vs the reference context \
+             (must stay >= 1.0x)"
+            r.name r.fused_speedup
+          :: !failures)
+    rows;
   match !failures with
   | [] ->
       Printf.printf "serving bench check OK (%d workloads vs %s)\n"

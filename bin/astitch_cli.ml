@@ -2,6 +2,7 @@
 
    astitch_cli inspect <model>            graph statistics
    astitch_cli compile <model> [-b NAME]  compile + plan summary
+   astitch_cli run <model> [-b NAME]      compile + execute on random params
    astitch_cli cuda <model> [-b NAME]     pseudo-CUDA of the plan
    astitch_cli dot <model>                Graphviz of the graph
    astitch_cli bench [EXPERIMENT]         paper tables/figures
@@ -9,7 +10,10 @@
 
    compile/compare take --resilient (per-cluster graceful degradation,
    prints the degradation report) and repeatable
-   --inject SITE:MODE[:SEED[:FUEL]] fault-injection options. *)
+   --inject SITE:MODE[:SEED[:FUEL]] fault-injection options.
+   run/compare/bench take --fused/--no-fused to pick the execution
+   engine (fused is the default; kernels the fused engine cannot lower
+   fall back to the reference path with a logged reason). *)
 
 open Cmdliner
 open Astitch_ir
@@ -73,6 +77,23 @@ let tiny_arg =
 let arch_arg =
   Arg.(value & opt string "v100" & info [ "arch" ] ~docv:"ARCH"
          ~doc:"Device model: v100, t4 or a100.")
+
+let fused_arg =
+  Arg.(
+    value
+    & vflag true
+        [
+          ( true,
+            info [ "fused" ]
+              ~doc:
+                "Execute through the fused engine: register scalarization, \
+                 per-block staging, arena buffers (default).  Kernels the \
+                 engine cannot lower automatically fall back to the \
+                 reference path; each fallback logs its reason to stderr." );
+          ( false,
+            info [ "no-fused" ]
+              ~doc:"Execute through the reference per-node engine." );
+        ])
 
 let resilient_arg =
   Arg.(value & flag
@@ -256,6 +277,49 @@ let compile model backend training tiny arch resilient injects use_cache
             Format.printf "%a@." Profile.pp_breakdown result.profile;
             `Ok ())
 
+let log_fallbacks ctx =
+  List.iter
+    (fun (kernel, reason) ->
+      Printf.eprintf "fallback: kernel %s -> reference path (%s)\n%!" kernel
+        reason)
+    (Executor.context_fallbacks ctx)
+
+let run_model model backend training tiny arch seed repeat fused profile_exec
+    =
+  match (lookup_model model ~training ~tiny, lookup_backend backend) with
+  | Error e, _ | _, Error e -> `Error (false, e)
+  | Ok g, Ok b ->
+      with_arch arch (fun arch ->
+          let r = Session.compile b arch g in
+          let ctx =
+            Executor.create_context ~fused ~timed:profile_exec r.Session.plan
+          in
+          log_fallbacks ctx;
+          let params = Session.random_params ~seed g in
+          let repeat = Stdlib.max 1 repeat in
+          let outputs = ref [] in
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to repeat do
+            outputs := Executor.run_context ctx ~params
+          done;
+          let per_run_us =
+            (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int repeat
+          in
+          List.iteri
+            (fun i t ->
+              let data = Astitch_tensor.Tensor.data t in
+              let sum = Array.fold_left ( +. ) 0. data in
+              Printf.printf "output %d: shape %s  sum %.6g\n" i
+                (Shape.to_string (Astitch_tensor.Tensor.shape t))
+                sum)
+            !outputs;
+          Printf.printf "%d run(s), %.1f us/run, %s execution\n" repeat
+            per_run_us
+            (if fused then "fused" else "reference");
+          if profile_exec then
+            Format.printf "%a@." Profile.pp_exec (Executor.exec_report ctx);
+          `Ok ())
+
 let cuda model backend training tiny arch =
   match (lookup_model model ~training ~tiny, lookup_backend backend) with
   | Error e, _ | _, Error e -> `Error (false, e)
@@ -272,22 +336,37 @@ let dot model training tiny =
       print_string (Dot.to_string g);
       `Ok ()
 
-let compare_cmd model training tiny arch resilient injects =
+let compare_cmd model training tiny arch resilient injects fused =
   match (lookup_model model ~training ~tiny, parse_injects injects) with
   | Error e, _ | _, Error e -> `Error (false, e)
   | Ok g, Ok faults ->
       with_arch arch (fun arch ->
-          Printf.printf "%-10s %10s %8s %14s %14s\n" "backend" "kernels" "CPY"
-            "time (us)" "vs TF";
+          let params = Session.random_params ~seed:11 g in
+          Printf.printf "%-10s %10s %8s %14s %14s %12s\n" "backend" "kernels"
+            "CPY" "time (us)" "vs TF"
+            (if fused then "run (us)" else "ref-run (us)");
           let tf_time = ref 0. in
           let print_row name (r : Session.result) =
             let t = r.profile.Profile.total_time_us in
             if name = "tf" then tf_time := t;
-            Printf.printf "%-10s %10d %8d %14.1f %13.2fx\n" name
+            (* measured execution of this backend's plan, median of 3 *)
+            let ctx = Executor.create_context ~fused r.Session.plan in
+            log_fallbacks ctx;
+            ignore (Executor.run_context ctx ~params);
+            let samples =
+              Array.init 3 (fun _ ->
+                  let t0 = Unix.gettimeofday () in
+                  ignore
+                    (Sys.opaque_identity (Executor.run_context ctx ~params));
+                  (Unix.gettimeofday () -. t0) *. 1e6)
+            in
+            Array.sort compare samples;
+            Printf.printf "%-10s %10d %8d %14.1f %13.2fx %12.1f\n" name
               (Profile.mem_kernel_count r.profile)
               (Kernel_plan.cpy_count r.plan)
               t
               (if !tf_time > 0. then !tf_time /. t else 1.)
+              samples.(1)
           in
           List.iter (fun (name, b) -> print_row name (Session.compile b arch g))
             backends;
@@ -369,7 +448,8 @@ let parse_file path backend arch =
               Format.printf "%a@." Profile.pp_breakdown r.profile;
               `Ok ())
 
-let bench experiment =
+let bench experiment fused =
+  Astitch_experiments.Experiments.fused_exec_default := fused;
   match experiment with
   | None ->
       Astitch_experiments.Experiments.run_all ();
@@ -442,7 +522,33 @@ let compare_cmds =
     Term.(
       ret
         (const compare_cmd $ model_arg $ training_arg $ tiny_arg $ arch_arg
-       $ resilient_arg $ inject_arg))
+       $ resilient_arg $ inject_arg $ fused_arg))
+
+let run_cmd =
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+           ~doc:"Seed for the random parameter values.")
+  in
+  let run_repeat_arg =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N"
+           ~doc:"Execute N times on the prepared context and report the \
+                 mean per-run wall time.")
+  in
+  let profile_exec_arg =
+    Arg.(value & flag
+         & info [ "profile-exec" ]
+             ~doc:"Print per-kernel execution counters: wall time, bytes \
+                   materialized vs scalarized/staged, arena high-water \
+                   mark.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Compile a workload and execute it on random parameters")
+    Term.(
+      ret
+        (const run_model $ model_arg $ backend_arg $ training_arg $ tiny_arg
+       $ arch_arg $ seed_arg $ run_repeat_arg $ fused_arg
+       $ profile_exec_arg))
 
 let bench_cmd =
   let exp_arg =
@@ -451,7 +557,7 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Reproduce the paper's tables and figures")
-    Term.(ret (const bench $ exp_arg))
+    Term.(ret (const bench $ exp_arg $ fused_arg))
 
 let explain_cmd =
   let top_arg =
@@ -490,8 +596,8 @@ let main =
        ~doc:"AStitch (ASPLOS'22) reproduction: ML-compiler stitching on a \
              simulated SIMT GPU")
     [
-      inspect_cmd; compile_cmd; cuda_cmd; dot_cmd; compare_cmds; bench_cmd;
-      text_cmd; parse_cmd; explain_cmd;
+      inspect_cmd; compile_cmd; run_cmd; cuda_cmd; dot_cmd; compare_cmds;
+      bench_cmd; text_cmd; parse_cmd; explain_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -23,16 +23,16 @@ let fit_shared ~budget entries =
     let by_size_desc =
       List.sort (fun (_, a) (_, b) -> compare b a) entries
     in
-    let rec demote kept total = function
-      | [] -> (kept, [])
-      | ((id, bytes) :: rest : (Op.node_id * int) list) ->
-          if total <= budget then (kept @ ((id, bytes) :: rest), [])
-          else
-            let kept', demoted = demote kept (total - bytes) rest in
-            (kept', (id, bytes) :: demoted)
+    (* walk the size-descending list accumulating demotions until the
+       remainder fits; the survivors are exactly the unwalked tail, so no
+       list is ever rebuilt by append *)
+    let rec demote acc total = function
+      | [] -> ([], List.rev acc)
+      | ((id, bytes) :: rest : (Op.node_id * int) list) as entries ->
+          if total <= budget then (entries, List.rev acc)
+          else demote ((id, bytes) :: acc) (total - bytes) rest
     in
-    let kept, demoted = demote [] total by_size_desc in
-    (kept, demoted)
+    demote [] total by_size_desc
   end
 
 (* --- Global scratch planning ------------------------------------------- *)
@@ -134,3 +134,86 @@ let check_no_aliasing allocations =
         pairs rest
   in
   pairs allocations
+
+(* --- Device buffer slot planning ---------------------------------------- *)
+
+(* The same liveness idea applied to full device tensors, for the fused
+   execution engine: positions are kernel indices rather than in-kernel op
+   positions, and instead of byte offsets in one arena we hand out *slots*
+   - whole buffers keyed by exact element count, because the runtime's
+   tensors insist on data length = num_elements, so only same-sized nodes
+   can share storage.  Two nodes may share a slot only when their live
+   ranges are disjoint (strictly: the earlier holder's last read precedes
+   the later holder's defining kernel). *)
+
+type slot_assignment = {
+  node : Op.node_id;
+  slot : int; (* dense slot index; one backing buffer per slot *)
+  elems : int; (* element count = exact size class of the slot *)
+  def_pos : int; (* kernel position that materializes the node *)
+  last_pos : int; (* last kernel position that reads the buffer *)
+}
+
+let plan_slots entries =
+  let entries =
+    List.sort
+      (fun (n1, _, d1, _) (n2, _, d2, _) -> compare (d1, n1) (d2, n2))
+      entries
+  in
+  let next_slot = ref 0 in
+  let slots : (int * int) list ref = ref [] in (* (slot, elems), built rev *)
+  (* free slots per size class, smallest slot id first for determinism *)
+  let free : (int, int list) Hashtbl.t = Hashtbl.create 16 in
+  let live : slot_assignment list ref = ref [] in
+  let release_dead pos =
+    let dead, alive = List.partition (fun a -> a.last_pos < pos) !live in
+    live := alive;
+    List.iter
+      (fun a ->
+        let fl = Option.value ~default:[] (Hashtbl.find_opt free a.elems) in
+        Hashtbl.replace free a.elems (List.sort compare (a.slot :: fl)))
+      dead
+  in
+  let assignments =
+    List.map
+      (fun (node, elems, def_pos, last_pos) ->
+        release_dead def_pos;
+        let slot =
+          match Hashtbl.find_opt free elems with
+          | Some (s :: rest) ->
+              Hashtbl.replace free elems rest;
+              s
+          | Some [] | None ->
+              let s = !next_slot in
+              incr next_slot;
+              slots := (s, elems) :: !slots;
+              s
+        in
+        let a = { node; slot; elems; def_pos; last_pos } in
+        live := a :: !live;
+        a)
+      entries
+  in
+  (assignments, List.rev !slots)
+
+(* Invariant mirrored from [check_no_aliasing]: two assignments to the
+   same slot must have disjoint live ranges. *)
+let check_slot_exclusive assignments =
+  let rec pairs = function
+    | [] -> ()
+    | a :: rest ->
+        List.iter
+          (fun b ->
+            if
+              a.slot = b.slot
+              && a.def_pos <= b.last_pos
+              && b.def_pos <= a.last_pos
+            then
+              Compile_error.fail ~pass:"exec-arena"
+                ~ops:[ a.node; b.node ] Compile_error.Scratch_aliasing
+                "arena slot %d shared by nodes %d and %d while both live"
+                a.slot a.node b.node)
+          rest;
+        pairs rest
+  in
+  pairs assignments

@@ -25,3 +25,25 @@ val plan_scratch :
 val check_no_aliasing : allocation list -> unit
 (** @raise Astitch_plan.Compile_error.Error (kind [Scratch_aliasing]) if
     two live allocations overlap. *)
+
+type slot_assignment = {
+  node : Op.node_id;
+  slot : int;  (** dense slot index; one backing buffer per slot *)
+  elems : int;  (** element count = exact size class of the slot *)
+  def_pos : int;  (** kernel position that materializes the node *)
+  last_pos : int;  (** last kernel position that reads the buffer *)
+}
+
+val plan_slots :
+  (Op.node_id * int * int * int) list ->
+  slot_assignment list * (int * int) list
+(** Liveness-driven slot planning for the fused engine's full device
+    buffers, over [(node, elems, def_kernel, last_read_kernel)] entries.
+    Slots are exact-size classes (tensors insist on data length =
+    num_elements); a slot is reused only when its previous holder's last
+    read strictly precedes the new holder's defining kernel.  Returns the
+    per-node assignments and the [(slot, elems)] table. *)
+
+val check_slot_exclusive : slot_assignment list -> unit
+(** @raise Astitch_plan.Compile_error.Error (kind [Scratch_aliasing]) if
+    two assignments share a slot while their live ranges overlap. *)

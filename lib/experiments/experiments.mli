@@ -20,6 +20,10 @@ val result : Astitch_workloads.Zoo.entry -> mode -> Backend_intf.t ->
 
 val total_ms : Astitch_workloads.Zoo.entry -> mode -> Backend_intf.t -> float
 
+val fused_exec_default : bool ref
+(** Engine the "exec" experiment puts under test (default [true] =
+    fused); the CLI's [bench --no-fused] flips it. *)
+
 val all : (string * string * (unit -> unit)) list
 (** [(id, description, run)] for every experiment. *)
 

@@ -1,0 +1,231 @@
+(* Kernel -> tape lowering for the fused execution engine.
+
+   The planner records, per op, where its value lives (Table 1's four
+   stitching schemes mapped to placements); this module turns each kernel
+   into the structural recipe the runtime executor compiles into closures:
+
+   - Register ops become [Inline] - recomputed per consumer read, zero
+     materialization (the paper's Local scheme);
+   - Shared_mem ops become [Staged] - kept in a per-block slab sized from
+     the thread mapping's contiguous block geometry (Regional scheme);
+   - Device_mem / Global_scratch ops become [Materialize] - the only
+     values that touch full buffers, drawn from the liveness arena - or
+     [Alias] when a reshape can view existing full storage.
+
+   Lowering is purely structural (no tensor values): it classifies roles,
+   validates that every read is of an available value under the plan's
+   own ordering (mirroring the availability invariant the reference
+   executor enforces dynamically), and computes plan-wide liveness
+   intervals - in kernel positions - for every buffer the fused engine
+   must allocate.  Kernels that use an unsupported pattern lower to
+   [Fallback] with a reason; the executor runs those through the
+   reference per-node path, so a bad plan still fails exactly where the
+   reference executor would fail. *)
+
+open Astitch_ir
+
+type role =
+  | Inline (* Register: recomputed inside consumer loops *)
+  | Staged of { block_elems : int } (* Shared_mem: per-block slab *)
+  | Materialize of { scratch : bool } (* full buffer from the arena *)
+  | Alias of { root : Op.node_id } (* reshape view of full storage *)
+
+type kernel_tape = {
+  kernel : Kernel_plan.kernel;
+  pos : int; (* kernel position in plan order *)
+  roles : (Op.node_id * role) list; (* op order, first occurrence only *)
+  materialized : Op.node_id list; (* ids set computed when the kernel ran *)
+  purged : Op.node_id list; (* on-chip ids unavailable after the kernel *)
+}
+
+type lowered =
+  | Fused of kernel_tape
+  | Fallback of { kernel : Kernel_plan.kernel; pos : int; reason : string }
+
+type interval = {
+  node : Op.node_id;
+  elems : int;
+  def_pos : int;
+  last_pos : int; (* [num_positions] when the buffer backs an output *)
+}
+
+type t = {
+  plan : Kernel_plan.t;
+  kernels : lowered list; (* plan order *)
+  intervals : interval list; (* fused-materialized buffers only *)
+  num_positions : int; (* kernel count; the output-read position *)
+}
+
+(* Keep in sync with [Scalar_eval.scalarizable] (lib/tensor): ops whose
+   output element is a pure function of operand elements.  Scatter_add's
+   writes are input-driven and Parameter is external storage. *)
+let scalarizable : Op.t -> bool = function
+  | Op.Parameter _ | Op.Scatter_add _ -> false
+  | _ -> true
+
+exception Reject of string
+
+let reject fmt = Printf.ksprintf (fun s -> raise (Reject s)) fmt
+
+let lower (plan : Kernel_plan.t) : t =
+  let g = plan.graph in
+  let n = Graph.num_nodes g in
+  let num_positions = List.length plan.kernels in
+  (* full-storage availability across kernels, mirroring the reference
+     executor's computed flags: leaves up front, Device_mem results after
+     their kernel, on-chip results never (purged at the kernel boundary) *)
+  let avail = Array.init n (fun id -> Kernel_plan.is_leaf g id) in
+  (* def table for fused-materialized buffers *)
+  let def = Array.make n None in
+  let lower_kernel pos (k : Kernel_plan.kernel) =
+    let seen : (Op.node_id, role) Hashtbl.t = Hashtbl.create 16 in
+    (* a read is direct when it can see full storage: a leaf, an earlier
+       kernel's device result, or full storage defined earlier in this
+       kernel *)
+    let direct id =
+      match Hashtbl.find_opt seen id with
+      | Some (Materialize _ | Alias _) -> true
+      | Some (Inline | Staged _) -> false
+      | None -> avail.(id)
+    in
+    let roles = ref [] in
+    List.iter
+      (fun (o : Kernel_plan.compiled_op) ->
+        if not (Hashtbl.mem seen o.id) then begin
+          let nd = Graph.node g o.id in
+          List.iter
+            (fun p ->
+              if not (Hashtbl.mem seen p || avail.(p)) then
+                reject "op %d reads %d which is not available" o.id p)
+            (Graph.operands g o.id);
+          let role =
+            match o.placement with
+            | Kernel_plan.Register ->
+                if scalarizable nd.op then Inline
+                else reject "op %d (%s) cannot be scalarized" o.id
+                    (Op.mnemonic nd.op)
+            | Kernel_plan.Shared_mem -> (
+                if not (scalarizable nd.op) then
+                  reject "op %d (%s) cannot be staged" o.id
+                    (Op.mnemonic nd.op);
+                match Thread_mapping.contiguous_outputs_per_block o.mapping with
+                | None ->
+                    reject "op %d: no contiguous block geometry to stage"
+                      o.id
+                | Some c ->
+                    let total = Graph.num_elements g o.id in
+                    Staged
+                      { block_elems = Stdlib.max 1 (Stdlib.min c total) })
+            | Kernel_plan.Device_mem | Kernel_plan.Global_scratch -> (
+                match nd.op with
+                | Op.Parameter _ ->
+                    reject "op %d: parameter inside a kernel" o.id
+                | Op.Reshape { input } when direct input ->
+                    Alias { root = input }
+                | _ ->
+                    if def.(o.id) <> None then
+                      reject "op %d rematerialized by a later kernel" o.id;
+                    Materialize
+                      { scratch = o.placement = Kernel_plan.Global_scratch })
+          in
+          Hashtbl.replace seen o.id role;
+          roles := (o.id, role) :: !roles
+        end)
+      k.ops;
+    let roles = List.rev !roles in
+    let materialized =
+      List.filter_map
+        (fun (id, r) ->
+          match r with Materialize _ | Alias _ -> Some id | _ -> None)
+        roles
+    in
+    let purged =
+      List.filter_map
+        (fun (o : Kernel_plan.compiled_op) ->
+          match o.placement with
+          | Kernel_plan.Device_mem -> None
+          | Kernel_plan.Register | Kernel_plan.Shared_mem
+          | Kernel_plan.Global_scratch ->
+              Some o.id)
+        k.ops
+    in
+    { kernel = k; pos; roles; materialized; purged }
+  in
+  let kernels =
+    List.mapi
+      (fun pos (k : Kernel_plan.kernel) ->
+        let lowered =
+          match lower_kernel pos k with
+          | tape -> Fused tape
+          | exception Reject reason -> Fallback { kernel = k; pos; reason }
+        in
+        (* availability and def-table updates are identical either way:
+           the reference path enforces the same visibility dynamically *)
+        List.iter
+          (fun (o : Kernel_plan.compiled_op) ->
+            match o.placement with
+            | Kernel_plan.Device_mem -> avail.(o.id) <- true
+            | Kernel_plan.Register | Kernel_plan.Shared_mem
+            | Kernel_plan.Global_scratch ->
+                avail.(o.id) <- false)
+          k.ops;
+        (match lowered with
+        | Fused tape ->
+            List.iter
+              (fun (id, r) ->
+                match r with
+                | Materialize _ ->
+                    def.(id) <- Some (pos, Graph.num_elements g id)
+                | _ -> ())
+              tape.roles
+        | Fallback _ -> ());
+        lowered)
+      plan.kernels
+  in
+  (* plan-wide storage roots: follow reshape edges down to the first node
+     that owns its own buffer (has a def entry) or is not a reshape;
+     reads and outputs then pin the owning buffer, so a view can never
+     outlive the storage it aliases *)
+  let rec storage_root id =
+    if def.(id) <> None then id
+    else
+      match (Graph.node g id).op with
+      | Op.Reshape { input } -> storage_root input
+      | _ -> id
+  in
+  let last = Array.make n (-1) in
+  List.iteri
+    (fun pos (k : Kernel_plan.kernel) ->
+      List.iter
+        (fun (o : Kernel_plan.compiled_op) ->
+          List.iter
+            (fun p ->
+              let r = storage_root p in
+              if last.(r) < pos then last.(r) <- pos)
+            (Graph.operands g o.id))
+        k.ops)
+    plan.kernels;
+  List.iter
+    (fun id -> last.(storage_root id) <- num_positions)
+    (Graph.outputs g);
+  let intervals =
+    List.concat_map
+      (function
+        | Fallback _ -> []
+        | Fused tape ->
+            List.filter_map
+              (fun (id, r) ->
+                match (r, def.(id)) with
+                | Materialize _, Some (def_pos, elems) ->
+                    Some
+                      {
+                        node = id;
+                        elems;
+                        def_pos;
+                        last_pos = Stdlib.max def_pos last.(id);
+                      }
+                | _ -> None)
+              tape.roles)
+      kernels
+  in
+  { plan; kernels; intervals; num_positions }

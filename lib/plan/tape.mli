@@ -1,0 +1,49 @@
+(** Kernel -> tape lowering for the fused execution engine: classify
+    every op of every kernel into its storage role (scalarized register,
+    per-block staged slab, full arena buffer, or reshape view), validate
+    availability structurally, and compute plan-wide liveness intervals
+    for the buffers the engine must allocate.  Kernels using an
+    unsupported pattern lower to [Fallback] with a reason and run through
+    the reference per-node path instead. *)
+
+open Astitch_ir
+
+type role =
+  | Inline  (** Register: recomputed inside consumer loops *)
+  | Staged of { block_elems : int }  (** Shared_mem: per-block slab *)
+  | Materialize of { scratch : bool }  (** full buffer from the arena *)
+  | Alias of { root : Op.node_id }  (** reshape view of full storage *)
+
+type kernel_tape = {
+  kernel : Kernel_plan.kernel;
+  pos : int;  (** kernel position in plan order *)
+  roles : (Op.node_id * role) list;  (** op order, first occurrence only *)
+  materialized : Op.node_id list;  (** ids set computed when the kernel ran *)
+  purged : Op.node_id list;  (** on-chip ids unavailable after the kernel *)
+}
+
+type lowered =
+  | Fused of kernel_tape
+  | Fallback of { kernel : Kernel_plan.kernel; pos : int; reason : string }
+
+type interval = {
+  node : Op.node_id;
+  elems : int;
+  def_pos : int;
+  last_pos : int;  (** [num_positions] when the buffer backs an output *)
+}
+
+type t = {
+  plan : Kernel_plan.t;
+  kernels : lowered list;  (** plan order *)
+  intervals : interval list;  (** fused-materialized buffers only *)
+  num_positions : int;  (** kernel count; the output-read position *)
+}
+
+val lower : Kernel_plan.t -> t
+(** Structural lowering; never raises.  Interval last positions account
+    for reads through reshape views (a view can never outlive the storage
+    it aliases) and pin output buffers to [num_positions]. *)
+
+val scalarizable : Op.t -> bool
+(** Structural mirror of [Scalar_eval.scalarizable] (lib/tensor). *)

@@ -65,34 +65,96 @@ let run (plan : Kernel_plan.t) ~params : Tensor.t list =
 
    [run] above re-walks the kernel lists and allocates a fresh tensor per
    op on every call.  For serving, a plan is compiled once and executed
-   many times, so the per-run work should be exactly the numeric loops:
-   [create_context] flattens the kernels into an instruction array,
-   preallocates one destination buffer per evaluated node, evaluates
-   constants/iotas once, and pre-resolves parameter slots.  [run_context]
-   then binds parameters, replays the instruction array through
-   [Interp.eval_node_into], and copies out the outputs - no list
-   traversal, and no allocation beyond the output copies (plus O(1) view
-   records for reshape ops, which alias their operand's storage).
+   many times, so [create_context] compiles the plan once into per-kernel
+   execution recipes and [run_context] replays them.
 
-   Because [eval_node_into] writes the same elements in the same order as
-   the allocating evaluation, [run_context] is bit-identical to [run]. *)
+   Two recipes exist per kernel.  The *fused* recipe (default) finally
+   makes the runtime honor the plan's stitching schemes instead of
+   re-deriving every value with [Interp.eval_node]:
+
+   - Register ops are scalarized: [Scalar_eval] compiles them into
+     element closures evaluated inside their consumers' loops - zero
+     materialization (the paper's Local scheme);
+   - Shared_mem ops are staged per block: a reusable slab sized from the
+     thread mapping's contiguous block geometry holds one block's worth
+     of elements, refilled on block change (Regional scheme);
+   - only Device_mem / Global_scratch values touch full buffers, and
+     those come from a liveness-driven arena ([Astitch_core.Mem_planner.plan_slots]):
+     nodes with disjoint live ranges share one backing array, so the
+     context allocates strictly fewer full buffers than it executes ops;
+   - reshapes of full storage are bound as views (O(1) per run).
+
+   Kernels whose tape lowering hits an unsupported pattern (see [Tape])
+   fall back to the *reference* recipe - the PR 2 instruction array over
+   [Interp.eval_node_into] with one preallocated buffer per node - and
+   the two recipes compose within one context: fused kernels maintain the
+   same computed/purged availability flags the reference steps check.
+
+   Bit-identity: every fused loop writes output elements in ascending
+   linear order, and each element is produced by exactly the float
+   operations, in exactly the order, of the matching [Interp] case
+   ([Scalar_eval] documents the per-op argument; reductions fold their
+   contributing inputs in ascending linear order, which is precisely the
+   order [Interp]'s global ascending sweep feeds each accumulator).
+   Values are pure functions of operand elements, so recomputing them
+   (scalarization) or re-staging them (slabs) cannot change a bit. *)
 
 type instr =
   | Eval of { nd : Graph.node; operands : int array }
   | Purge of int array (* on-chip values dying at a kernel boundary *)
+
+(* One staged (Shared_mem) value: a slab holding one block of elements.
+   [fill] is tied after the element closure exists (it captures it). *)
+type slab = {
+  total : int;
+  block_elems : int;
+  sdata : float array;
+  mutable cur_block : int; (* -1 = empty; reset per kernel execution *)
+  mutable fill : int -> unit;
+}
+
+type action =
+  | Loop of { dst : float array; n : int; elem : int -> float }
+      (* materialize via a precompiled scalarized loop *)
+  | Scatter of {
+      dst : float array;
+      idx : int -> float;
+      upd : int -> float;
+      k : int;
+      row : int;
+      rows : int;
+    } (* scatter_add with scalarized index/update operands *)
+  | Bind_view of { id : int; root : int; shape : Shape.t }
+
+type fused_kernel = {
+  actions : action array;
+  slabs : slab array;
+  set_computed : int array; (* materialized ids, flagged after the kernel *)
+  fpurged : int array; (* on-chip ids, unflagged after the kernel *)
+  fprof : Profile.exec_kernel;
+}
+
+type kernel_exec =
+  | Fused_k of fused_kernel
+  | Ref_k of { steps : instr array; rprof : Profile.exec_kernel }
 
 type context = {
   plan : Kernel_plan.t;
   values : Tensor.t array; (* node id -> current value *)
   computed : bool array; (* node id -> available this run *)
   base_computed : bool array; (* run-start template: constants/iotas *)
-  bufs : Tensor.t option array; (* preallocated destinations *)
+  bufs : Tensor.t option array; (* reference-path destinations *)
   param_slots : (int * string * Shape.t) array; (* id, name, declared *)
-  steps : instr array;
+  kernels : kernel_exec array; (* plan order *)
   output_ids : int array;
+  report : Profile.exec_report;
+  timed : bool;
 }
 
-let create_context (plan : Kernel_plan.t) : context =
+let bytes_of elems = 8 * elems (* host tensors are unboxed float64 *)
+
+let create_context ?(fused = true) ?(timed = false) (plan : Kernel_plan.t) :
+    context =
   let g = plan.graph in
   let n = Graph.num_nodes g in
   let values = Array.make n (Tensor.scalar 0.) in
@@ -134,29 +196,285 @@ let create_context (plan : Kernel_plan.t) : context =
       [] g
     |> List.rev |> Array.of_list
   in
-  let steps = ref [] in
+  (* ---- tape lowering + arena planning (fused mode) ---- *)
+  let lowered, intervals =
+    if fused then
+      let t = Tape.lower plan in
+      (t.Tape.kernels, t.Tape.intervals)
+    else
+      ( List.mapi
+          (fun pos k ->
+            Tape.Fallback
+              { kernel = k; pos; reason = "fused execution disabled" })
+          plan.kernels,
+        [] )
+  in
+  let assignments, slot_table =
+    Astitch_core.Mem_planner.plan_slots
+      (List.map
+         (fun (iv : Tape.interval) ->
+           (iv.node, iv.elems, iv.def_pos, iv.last_pos))
+         intervals)
+  in
+  Astitch_core.Mem_planner.check_slot_exclusive assignments;
+  let slot_arrays =
+    let a = Array.make (List.length slot_table) [||] in
+    List.iter (fun (s, elems) -> a.(s) <- Array.make elems 0.) slot_table;
+    a
+  in
+  (* bind every arena-backed node once: differently-shaped tensors over a
+     shared slot array are just records; the data is the slot *)
+  let arena = Array.make n None in
+  List.iter
+    (fun (a : Astitch_core.Mem_planner.slot_assignment) ->
+      let t = Tensor.create (Graph.shape g a.node) slot_arrays.(a.slot) in
+      arena.(a.node) <- Some t;
+      values.(a.node) <- t)
+    assignments;
+  (* ---- per-kernel compilation ---- *)
+  let lower_reference (k : Kernel_plan.kernel) reason =
+    let steps = ref [] in
+    List.iter
+      (fun (o : Kernel_plan.compiled_op) ->
+        let nd = Graph.node g o.id in
+        ignore (buffer_for nd);
+        steps :=
+          Eval { nd; operands = Array.of_list (Graph.operands g o.id) }
+          :: !steps)
+      k.ops;
+    let purged =
+      List.filter_map
+        (fun (o : Kernel_plan.compiled_op) ->
+          match o.placement with
+          | Kernel_plan.Device_mem -> None
+          | Kernel_plan.Register | Kernel_plan.Shared_mem
+          | Kernel_plan.Global_scratch ->
+              Some o.id)
+        k.ops
+    in
+    if purged <> [] then steps := Purge (Array.of_list purged) :: !steps;
+    let rprof : Profile.exec_kernel =
+      {
+        kname = k.name;
+        fused = false;
+        fallback = reason;
+        ops = List.length k.ops;
+        loops = List.length k.ops;
+        bytes_materialized =
+          List.fold_left
+            (fun acc (o : Kernel_plan.compiled_op) ->
+              let nd = Graph.node g o.id in
+              if wants_buffer nd then acc + bytes_of (Graph.num_elements g o.id)
+              else acc)
+            0 k.ops;
+        bytes_scalarized = 0;
+        slab_bytes = 0;
+        bytes_staged = 0;
+        restages = 0;
+        wall_ns = 0.;
+        runs = 0;
+      }
+    in
+    Ref_k { steps = Array.of_list (List.rev !steps); rprof }
+  in
+  let lower_fused (kt : Tape.kernel_tape) =
+    let k = kt.kernel in
+    let fprof : Profile.exec_kernel =
+      {
+        kname = k.name;
+        fused = true;
+        fallback = None;
+        ops = List.length k.ops;
+        loops = 0;
+        bytes_materialized = 0;
+        bytes_scalarized = 0;
+        slab_bytes = 0;
+        bytes_staged = 0;
+        restages = 0;
+        wall_ns = 0.;
+        runs = 0;
+      }
+    in
+    let roles : (int, Tape.role) Hashtbl.t = Hashtbl.create 16 in
+    List.iter (fun (id, r) -> Hashtbl.replace roles id r) kt.roles;
+    let accessors : (int, int -> float) Hashtbl.t = Hashtbl.create 16 in
+    let slabs = ref [] in
+    (* full-storage element reads: capture the backing array when the
+       binding is static (arena slots, pre-evaluated constants), read
+       through [values] when it is rebound per run (parameters, views,
+       reference-kernel results) *)
+    let storage_read id =
+      match arena.(id) with
+      | Some t ->
+          let arr = Tensor.data t in
+          fun j -> arr.(j)
+      | None ->
+          if base_computed.(id) then
+            let arr = Tensor.data values.(id) in
+            fun j -> arr.(j)
+          else fun j -> Tensor.get_linear values.(id) j
+    in
+    let rec accessor id =
+      match Hashtbl.find_opt accessors id with
+      | Some f -> f
+      | None ->
+          let f =
+            match Hashtbl.find_opt roles id with
+            | None | Some (Tape.Materialize _) -> storage_read id
+            | Some (Tape.Alias { root }) ->
+                (* a reshape view preserves linear order: read the root *)
+                accessor root
+            | Some Tape.Inline ->
+                fprof.bytes_scalarized <-
+                  fprof.bytes_scalarized + bytes_of (Graph.num_elements g id);
+                Scalar_eval.compile g (Graph.node g id) ~operand:accessor
+            | Some (Tape.Staged { block_elems }) ->
+                let total = Graph.num_elements g id in
+                let sl =
+                  {
+                    total;
+                    block_elems;
+                    sdata = Array.make block_elems 0.;
+                    cur_block = -1;
+                    fill = ignore;
+                  }
+                in
+                slabs := sl :: !slabs;
+                fprof.slab_bytes <- fprof.slab_bytes + bytes_of block_elems;
+                let elem =
+                  Scalar_eval.compile g (Graph.node g id) ~operand:accessor
+                in
+                sl.fill <-
+                  (fun b ->
+                    let lo = b * block_elems in
+                    let hi = Stdlib.min total (lo + block_elems) in
+                    for j = lo to hi - 1 do
+                      sl.sdata.(j - lo) <- elem j
+                    done;
+                    fprof.bytes_staged <-
+                      fprof.bytes_staged + bytes_of (hi - lo);
+                    (* a backwards move means a consumer re-visits blocks
+                       it already staged: irregular access, re-staged *)
+                    if b < sl.cur_block then fprof.restages <- fprof.restages + 1);
+                fun j ->
+                  let b = j / block_elems in
+                  if sl.cur_block <> b then begin
+                    sl.fill b;
+                    sl.cur_block <- b
+                  end;
+                  sl.sdata.(j - (b * block_elems))
+          in
+          Hashtbl.replace accessors id f;
+          f
+    in
+    let actions =
+      List.filter_map
+        (fun ((id, role) : int * Tape.role) ->
+          let nd = Graph.node g id in
+          match role with
+          | Tape.Inline | Tape.Staged _ -> None (* consumed lazily *)
+          | Tape.Alias { root } ->
+              Some (Bind_view { id; root; shape = nd.shape })
+          | Tape.Materialize _ -> (
+              let dst =
+                match arena.(id) with
+                | Some t -> t
+                | None -> assert false (* every Materialize role has a slot *)
+              in
+              fprof.loops <- fprof.loops + 1;
+              fprof.bytes_materialized <-
+                fprof.bytes_materialized + bytes_of (Tensor.num_elements dst);
+              (* materialization always runs through precompiled element
+                 closures: bit-identical to [Interp.eval_node_into] (see
+                 [Scalar_eval]) but with the per-run setup - stride
+                 tables, shape checks, per-element index allocation -
+                 paid once at context creation *)
+              match nd.op with
+              | Op.Scatter_add { indices; updates; rows } ->
+                  let us = Graph.shape g updates in
+                  let kdim = Shape.dim us 0 in
+                  Some
+                    (Scatter
+                       {
+                         dst = Tensor.data dst;
+                         idx = accessor indices;
+                         upd = accessor updates;
+                         k = kdim;
+                         row = Shape.num_elements us / kdim;
+                         rows;
+                       })
+              | _ ->
+                  let elem =
+                    Scalar_eval.compile g nd ~operand:accessor
+                  in
+                  Some
+                    (Loop
+                       {
+                         dst = Tensor.data dst;
+                         n = Tensor.num_elements dst;
+                         elem;
+                       })))
+        kt.roles
+    in
+    Fused_k
+      {
+        actions = Array.of_list actions;
+        slabs = Array.of_list !slabs;
+        set_computed = Array.of_list kt.materialized;
+        fpurged = Array.of_list kt.purged;
+        fprof;
+      }
+  in
+  let kernels =
+    List.map
+      (function
+        | Tape.Fused kt -> lower_fused kt
+        | Tape.Fallback { kernel; reason; _ } ->
+            lower_reference kernel (Some reason))
+      lowered
+    |> Array.of_list
+  in
+  (* ---- profile report ---- *)
+  let requested = Hashtbl.create 64 in
   List.iter
     (fun (k : Kernel_plan.kernel) ->
       List.iter
         (fun (o : Kernel_plan.compiled_op) ->
-          let nd = Graph.node g o.id in
-          ignore (buffer_for nd);
-          steps :=
-            Eval { nd; operands = Array.of_list (Graph.operands g o.id) }
-            :: !steps)
-        k.ops;
-      let purged =
-        List.filter_map
-          (fun (o : Kernel_plan.compiled_op) ->
-            match o.placement with
-            | Kernel_plan.Device_mem -> None
-            | Kernel_plan.Register | Kernel_plan.Shared_mem
-            | Kernel_plan.Global_scratch ->
-                Some o.id)
-          k.ops
-      in
-      if purged <> [] then steps := Purge (Array.of_list purged) :: !steps)
+          if wants_buffer (Graph.node g o.id) then
+            Hashtbl.replace requested o.id (Graph.num_elements g o.id))
+        k.ops)
     plan.kernels;
+  let fallback_bufs =
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun (k : Kernel_plan.kernel) ->
+        List.iter
+          (fun (o : Kernel_plan.compiled_op) ->
+            if bufs.(o.id) <> None then Hashtbl.replace seen o.id ())
+          k.ops)
+      plan.kernels;
+    Hashtbl.length seen
+  in
+  let report : Profile.exec_report =
+    {
+      exec_kernels =
+        Array.to_list kernels
+        |> List.map (function
+             | Fused_k f -> f.fprof
+             | Ref_k r -> r.rprof);
+      nodes_executed =
+        List.fold_left
+          (fun acc (k : Kernel_plan.kernel) -> acc + List.length k.ops)
+          0 plan.kernels;
+      buffers_requested = Hashtbl.length requested;
+      buffers_allocated = Array.length slot_arrays + fallback_bufs;
+      arena_bytes =
+        Array.fold_left (fun acc a -> acc + bytes_of (Array.length a)) 0
+          slot_arrays;
+      naive_bytes =
+        Hashtbl.fold (fun _ elems acc -> acc + bytes_of elems) requested 0;
+    }
+  in
   {
     plan;
     values;
@@ -164,11 +482,20 @@ let create_context (plan : Kernel_plan.t) : context =
     base_computed;
     bufs;
     param_slots;
-    steps = Array.of_list (List.rev !steps);
+    kernels;
     output_ids = Array.of_list (Graph.outputs g);
+    report;
+    timed;
   }
 
 let context_plan ctx = ctx.plan
+let exec_report ctx = ctx.report
+
+let context_fallbacks ctx =
+  List.filter_map
+    (fun (k : Profile.exec_kernel) ->
+      match k.fallback with Some r -> Some (k.kname, r) | None -> None)
+    ctx.report.exec_kernels
 
 let run_context (ctx : context) ~params : Tensor.t list =
   let g = ctx.plan.Kernel_plan.graph in
@@ -195,14 +522,52 @@ let run_context (ctx : context) ~params : Tensor.t list =
           computed.(id) <- true)
     ctx.param_slots;
   Array.iter
-    (function
-      | Eval { nd; operands } ->
-          Array.iter require operands;
-          values.(nd.id) <-
-            Interp.eval_node_into g values ~params ~dst:ctx.bufs.(nd.id) nd;
-          computed.(nd.id) <- true
-      | Purge ids -> Array.iter (fun id -> computed.(id) <- false) ids)
-    ctx.steps;
+    (fun ke ->
+      let t0 = if ctx.timed then Unix.gettimeofday () else 0. in
+      (match ke with
+      | Fused_k fk ->
+          (* slab contents are stale across runs (parameters changed) *)
+          Array.iter (fun sl -> sl.cur_block <- -1) fk.slabs;
+          Array.iter
+            (function
+              | Loop { dst; n; elem } ->
+                  for i = 0 to n - 1 do
+                    dst.(i) <- elem i
+                  done
+              | Scatter { dst; idx; upd; k; row; rows } ->
+                  Array.fill dst 0 (Array.length dst) 0.;
+                  let clamp i = Stdlib.max 0 (Stdlib.min (rows - 1) i) in
+                  for r = 0 to k - 1 do
+                    let d = clamp (int_of_float (idx r)) in
+                    for off = 0 to row - 1 do
+                      let j = (d * row) + off in
+                      dst.(j) <- dst.(j) +. upd ((r * row) + off)
+                    done
+                  done
+              | Bind_view { id; root; shape } ->
+                  values.(id) <- Tensor.reshape values.(root) shape)
+            fk.actions;
+          Array.iter (fun id -> computed.(id) <- true) fk.set_computed;
+          Array.iter (fun id -> computed.(id) <- false) fk.fpurged
+      | Ref_k { steps; _ } ->
+          Array.iter
+            (function
+              | Eval { nd; operands } ->
+                  Array.iter require operands;
+                  values.(nd.id) <-
+                    Interp.eval_node_into g values ~params ~dst:ctx.bufs.(nd.id)
+                      nd;
+                  computed.(nd.id) <- true
+              | Purge ids -> Array.iter (fun id -> computed.(id) <- false) ids)
+            steps);
+      if ctx.timed then begin
+        let prof =
+          match ke with Fused_k f -> f.fprof | Ref_k r -> r.rprof
+        in
+        prof.wall_ns <- prof.wall_ns +. ((Unix.gettimeofday () -. t0) *. 1e9);
+        prof.runs <- prof.runs + 1
+      end)
+    ctx.kernels;
   Array.fold_right
     (fun id acc ->
       require id;

@@ -22,18 +22,34 @@ val run_and_check :
     @raise Execution_error on divergence. *)
 
 type context
-(** A plan prepared for repeated execution: kernels flattened to an
-    instruction array, one preallocated destination buffer per evaluated
-    node, constants/iotas folded at preparation time, and parameter slots
-    pre-resolved.  Not safe for concurrent use (buffers are shared across
-    calls). *)
+(** A plan prepared for repeated execution.  By default each kernel is
+    compiled into a fused recipe that honors the plan's stitching
+    schemes: Register values are scalarized into consumer loops,
+    Shared_mem values are staged per block in reusable slabs, and only
+    Device_mem/Global_scratch values get full buffers - drawn from a
+    liveness-driven arena, so strictly fewer buffers exist than ops run.
+    Kernels with unsupported patterns fall back (with a reason, see
+    {!context_fallbacks}) to the reference per-node instruction path.
+    Not safe for concurrent use (buffers are shared across calls). *)
 
-val create_context : Kernel_plan.t -> context
-(** Prepare [plan] for repeated execution.  The one-time cost is
+val create_context : ?fused:bool -> ?timed:bool -> Kernel_plan.t -> context
+(** Prepare [plan] for repeated execution.  [fused] (default [true],
+    matching [Config.full.fused_exec]) selects the fused engine;
+    [~fused:false] forces the reference path for every kernel.  [timed]
+    (default [false]) accumulates per-kernel wall time into the
+    {!exec_report} at a small per-run cost.  The one-time cost is
     proportional to the plan; each subsequent {!run_context} call does
     only the numeric work plus output copies. *)
 
 val context_plan : context -> Kernel_plan.t
+
+val exec_report : context -> Profile.exec_report
+(** Measured execution counters: per-kernel fused/reference mode, bytes
+    materialized vs scalarized/staged, arena high-water mark.  Staging
+    traffic and wall time accumulate as the context runs. *)
+
+val context_fallbacks : context -> (string * string) list
+(** [(kernel, reason)] for every kernel running on the reference path. *)
 
 val run_context :
   context -> params:(string * Tensor.t) list -> Tensor.t list

@@ -166,3 +166,69 @@ let pp_breakdown fmt t =
     (mem_kernel_count t)
     (List.length (Kernel_plan.compute_intensive_kernels t.plan))
     (Kernel_plan.cpy_count t.plan)
+
+(* --- Measured execution profiling (fused engine) -------------------------- *)
+
+(* Unlike the simulated counters above, these are *measured* on the host:
+   the fused execution engine fills one [exec_kernel] per plan kernel at
+   context-creation time (the static byte accounting) and updates the
+   mutable fields as it runs (staging traffic, wall time when timing is
+   enabled). *)
+
+type exec_kernel = {
+  kname : string;
+  fused : bool;
+  fallback : string option; (* why the kernel runs on the reference path *)
+  ops : int;
+  mutable loops : int; (* materialization loops the fused tape runs *)
+  mutable bytes_materialized : int; (* full-buffer bytes written per run *)
+  mutable bytes_scalarized : int; (* register values never materialized *)
+  mutable slab_bytes : int; (* shared-slab capacity for staged values *)
+  mutable bytes_staged : int; (* slab fills, accumulated across runs *)
+  mutable restages : int; (* slab fills beyond one pass per consumer *)
+  mutable wall_ns : float; (* accumulated when timing is enabled *)
+  mutable runs : int;
+}
+
+type exec_report = {
+  exec_kernels : exec_kernel list; (* plan order *)
+  nodes_executed : int; (* ops across all kernels *)
+  buffers_requested : int; (* values the reference path would materialize *)
+  buffers_allocated : int; (* arena slots actually backing them *)
+  arena_bytes : int; (* arena high-water mark *)
+  naive_bytes : int; (* full-buffer bytes without scalarization/arena *)
+}
+
+let exec_total_staged r =
+  List.fold_left (fun acc k -> acc + k.bytes_staged) 0 r.exec_kernels
+
+let pp_exec fmt r =
+  let fused, fell =
+    List.partition (fun k -> k.fused) r.exec_kernels
+  in
+  Format.fprintf fmt
+    "@[<v>exec: %d kernels (%d fused, %d reference), %d ops@,\
+     buffers: %d requested -> %d arena slots (%d bytes high water, naive %d)@,\
+     traffic/run: %d bytes materialized, %d scalarized away, %d slab bytes@]"
+    (List.length r.exec_kernels)
+    (List.length fused) (List.length fell) r.nodes_executed
+    r.buffers_requested r.buffers_allocated r.arena_bytes r.naive_bytes
+    (List.fold_left (fun a k -> a + k.bytes_materialized) 0 r.exec_kernels)
+    (List.fold_left (fun a k -> a + k.bytes_scalarized) 0 r.exec_kernels)
+    (List.fold_left (fun a k -> a + k.slab_bytes) 0 r.exec_kernels);
+  List.iter
+    (fun k ->
+      Format.fprintf fmt
+        "@,%-24s %s %2d ops %2d loops  mat %8dB  reg %8dB  slab %6dB  \
+         staged %8dB (%d restages)%s%s"
+        k.kname
+        (if k.fused then "fused" else "ref  ")
+        k.ops k.loops k.bytes_materialized k.bytes_scalarized k.slab_bytes
+        k.bytes_staged k.restages
+        (if k.runs > 0 && k.wall_ns > 0. then
+           Printf.sprintf "  %.2fus/run" (k.wall_ns /. float_of_int k.runs /. 1e3)
+         else "")
+        (match k.fallback with
+        | Some r -> Printf.sprintf "  [%s]" r
+        | None -> ""))
+    r.exec_kernels

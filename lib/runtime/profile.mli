@@ -43,3 +43,38 @@ val avg_occupancy : kernel_profile list -> float
 val avg_sm_efficiency : kernel_profile list -> float
 val mem_kernel_count : t -> int
 val pp_breakdown : Format.formatter -> t -> unit
+
+(** {1 Measured execution profiling}
+
+    Filled by the fused execution engine: static byte accounting at
+    context-creation time, mutable counters (staging traffic, wall time
+    when timing is enabled) updated as the context runs. *)
+
+type exec_kernel = {
+  kname : string;
+  fused : bool;
+  fallback : string option;
+      (** why the kernel runs on the reference path *)
+  ops : int;
+  mutable loops : int;  (** materialization loops the fused tape runs *)
+  mutable bytes_materialized : int;  (** full-buffer bytes written per run *)
+  mutable bytes_scalarized : int;  (** register values never materialized *)
+  mutable slab_bytes : int;  (** shared-slab capacity for staged values *)
+  mutable bytes_staged : int;  (** slab fills, accumulated across runs *)
+  mutable restages : int;  (** slab fills beyond one pass per consumer *)
+  mutable wall_ns : float;  (** accumulated when timing is enabled *)
+  mutable runs : int;
+}
+
+type exec_report = {
+  exec_kernels : exec_kernel list;  (** plan order *)
+  nodes_executed : int;  (** ops across all kernels *)
+  buffers_requested : int;
+      (** values the reference path would materialize *)
+  buffers_allocated : int;  (** arena slots actually backing them *)
+  arena_bytes : int;  (** arena high-water mark *)
+  naive_bytes : int;  (** full-buffer bytes without scalarization/arena *)
+}
+
+val exec_total_staged : exec_report -> int
+val pp_exec : Format.formatter -> exec_report -> unit

@@ -1,0 +1,289 @@
+(* Per-element ("register") evaluation of graph ops.
+
+   The fused execution engine computes Register-placement values inside
+   its consumers' loops instead of materializing them.  [compile] turns
+   one node into an element accessor [int -> float] over the node's
+   output linear index, given accessors for its operands.  Every case
+   performs the same float operations in the same order as the matching
+   case of [Interp.eval_node_into] restricted to one output element, and
+   the same integer index arithmetic, so a loop that calls the accessor
+   for i = 0..n-1 is bit-identical to the interpreter's materializing
+   evaluation.
+
+   Reductions deserve the one-line proof: [Interp] sweeps all input
+   linear indices ascending, dispatching each into its output
+   accumulator.  Restricted to a single accumulator that is exactly "its
+   contributing input indices, ascending" - and that is the order the
+   per-element fold below visits them in (reduced axes ascending, i.e.
+   strides descending, lexicographic = ascending linear order). *)
+
+open Astitch_ir
+
+exception Unsupported of string
+
+let unsupported fmt = Printf.ksprintf (fun s -> raise (Unsupported s)) fmt
+
+(* Ops whose single output element is a pure function of operand
+   elements; [Scatter_add] writes are input-driven (no per-output
+   formula) and [Parameter] is external storage, not a computation. *)
+let scalarizable : Op.t -> bool = function
+  | Op.Parameter _ | Op.Scatter_add _ -> false
+  | _ -> true
+
+(* Row-major multi-index decode of [i] by [strides] into [dst]; the same
+   div/mod walk [Shape.multi_index] performs. *)
+let decode strides i dst =
+  let rem = ref i in
+  for d = 0 to Array.length strides - 1 do
+    dst.(d) <- !rem / strides.(d);
+    rem := !rem mod strides.(d)
+  done
+
+let compile (g : Graph.t) (nd : Graph.node)
+    ~(operand : Op.node_id -> int -> float) : int -> float =
+  let out_shape = nd.shape in
+  let shape_of id = Graph.shape g id in
+  match nd.op with
+  | Op.Parameter { name } -> unsupported "parameter %s has no element formula" name
+  | Op.Constant { value } -> fun _ -> value
+  | Op.Iota { axis } ->
+      fun i -> float_of_int (Shape.multi_index out_shape i).(axis)
+  | Op.Unary { kind; input } ->
+      let f = Interp.unary_fn kind and s = operand input in
+      fun i -> f (s i)
+  | Op.Binary { kind; lhs; rhs } ->
+      let f = Interp.binary_fn kind and a = operand lhs and b = operand rhs in
+      fun i -> f (a i) (b i)
+  | Op.Select { pred; on_true; on_false } ->
+      let p = operand pred and t = operand on_true and f = operand on_false in
+      fun i -> if p i <> 0. then t i else f i
+  | Op.Broadcast { input; dims } ->
+      (* same stride table as Interp: output axis dims.(a) advances the
+         input by the input's stride of axis a, replicated axes by 0 *)
+      let s = operand input in
+      let rank = Shape.rank out_shape in
+      let out_strides = Shape.strides out_shape in
+      let in_strides = Shape.strides (shape_of input) in
+      let bstride = Array.make rank 0 in
+      Array.iteri (fun a d -> bstride.(d) <- in_strides.(a)) dims;
+      fun i ->
+        let rem = ref i and src = ref 0 in
+        for d = 0 to rank - 1 do
+          src := !src + (!rem / out_strides.(d) * bstride.(d));
+          rem := !rem mod out_strides.(d)
+        done;
+        s !src
+  | Op.Reshape { input } ->
+      (* row-major linear order is preserved across reshape *)
+      operand input
+  | Op.Transpose { input; perm } ->
+      let s = operand input in
+      let out_strides = Shape.strides out_shape in
+      let in_strides = Shape.strides (shape_of input) in
+      (* out axis oi advances the input linearly by stride of in axis
+         perm.(oi): the linear form of Interp's in_idx.(perm.(oi)) <-
+         out_idx.(oi) *)
+      let tstride =
+        Array.mapi (fun oi p -> ignore oi; in_strides.(p)) perm
+      in
+      fun i ->
+        let rem = ref i and src = ref 0 in
+        for d = 0 to Array.length out_strides - 1 do
+          src := !src + (!rem / out_strides.(d) * tstride.(d));
+          rem := !rem mod out_strides.(d)
+        done;
+        s !src
+  | Op.Reduce { input; kind; axes } ->
+      let s = operand input in
+      let in_shape = shape_of input in
+      let in_strides = Shape.strides in_shape in
+      let in_rank = Shape.rank in_shape in
+      let reduced =
+        let r = Array.copy axes in
+        Array.sort compare r;
+        r
+      in
+      let kept =
+        Array.of_list
+          (List.filter
+             (fun ax -> not (Array.exists (fun a -> a = ax) reduced))
+             (List.init in_rank Fun.id))
+      in
+      let out_strides = Shape.strides out_shape in
+      let init = Interp.reduce_init kind in
+      let step = Interp.reduce_step kind in
+      let mean_n =
+        if kind = Op.Mean then
+          float_of_int (Shape.elements_along in_shape axes)
+        else 1.
+      in
+      let rdims = Array.map (fun ax -> Shape.dim in_shape ax) reduced in
+      let rstrides = Array.map (fun ax -> in_strides.(ax)) reduced in
+      let nred = Array.length reduced in
+      let rc = Array.make (Stdlib.max 1 nred) 0 in
+      fun j ->
+        (* base input offset from the kept coordinates of output j *)
+        let rem = ref j and base = ref 0 in
+        Array.iteri
+          (fun d ax ->
+            base := !base + (!rem / out_strides.(d) * in_strides.(ax));
+            rem := !rem mod out_strides.(d))
+          kept;
+        (* fold contributing inputs in ascending linear order: odometer
+           over the reduced axes, most-significant (largest-stride) first *)
+        Array.fill rc 0 (Stdlib.max 1 nred) 0;
+        let acc = ref init in
+        let continue_ = ref true in
+        while !continue_ do
+          let off = ref 0 in
+          for d = 0 to nred - 1 do
+            off := !off + (rc.(d) * rstrides.(d))
+          done;
+          acc := step !acc (s (!base + !off));
+          (* increment the odometer, last axis fastest *)
+          let d = ref (nred - 1) in
+          let carried = ref true in
+          while !carried && !d >= 0 do
+            rc.(!d) <- rc.(!d) + 1;
+            if rc.(!d) < rdims.(!d) then carried := false
+            else begin
+              rc.(!d) <- 0;
+              decr d
+            end
+          done;
+          if !carried then continue_ := false
+        done;
+        if kind = Op.Mean then !acc /. mean_n else !acc
+  | Op.Concat { inputs; axis } ->
+      let srcs = Array.of_list (List.map operand inputs) in
+      let shapes = Array.of_list (List.map shape_of inputs) in
+      let strides = Array.map Shape.strides shapes in
+      let axis_dims = Array.map (fun sh -> Shape.dim sh axis) shapes in
+      let out_strides = Shape.strides out_shape in
+      let rank = Shape.rank out_shape in
+      let idx = Array.make rank 0 in
+      fun i ->
+        decode out_strides i idx;
+        let rec pick seg offset =
+          if idx.(axis) < offset + axis_dims.(seg) then begin
+            let src = ref 0 in
+            for d = 0 to rank - 1 do
+              let x = if d = axis then idx.(d) - offset else idx.(d) in
+              src := !src + (x * strides.(seg).(d))
+            done;
+            srcs.(seg) !src
+          end
+          else pick (seg + 1) (offset + axis_dims.(seg))
+        in
+        pick 0 0
+  | Op.Slice { input; starts; stops = _ } ->
+      let s = operand input in
+      let in_strides = Shape.strides (shape_of input) in
+      let out_strides = Shape.strides out_shape in
+      let rank = Shape.rank out_shape in
+      let idx = Array.make rank 0 in
+      fun i ->
+        decode out_strides i idx;
+        let src = ref 0 in
+        for d = 0 to rank - 1 do
+          src := !src + ((idx.(d) + starts.(d)) * in_strides.(d))
+        done;
+        s !src
+  | Op.Pad { input; low; high = _ } ->
+      let s = operand input in
+      let in_shape = shape_of input in
+      let in_strides = Shape.strides in_shape in
+      let out_strides = Shape.strides out_shape in
+      let rank = Shape.rank out_shape in
+      let idx = Array.make rank 0 in
+      fun i ->
+        decode out_strides i idx;
+        let src = ref 0 and inside = ref true in
+        for d = 0 to rank - 1 do
+          let x = idx.(d) - low.(d) in
+          if x < 0 || x >= Shape.dim in_shape d then inside := false
+          else src := !src + (x * in_strides.(d))
+        done;
+        if !inside then s !src else 0.
+  | Op.Gather { params; indices } ->
+      let p = operand params and idx = operand indices in
+      let ps = shape_of params in
+      let n = Shape.dim ps 0 in
+      let row = Shape.num_elements ps / n in
+      let clamp i = Stdlib.max 0 (Stdlib.min (n - 1) i) in
+      fun i ->
+        let r = i / row and off = i mod row in
+        let src = clamp (int_of_float (idx r)) in
+        p ((src * row) + off)
+  | Op.Scatter_add _ ->
+      unsupported "scatter_add %d has no per-output element formula" nd.id
+  | Op.Max_pool { input; window; stride } ->
+      let x = operand input in
+      let in_strides = Shape.strides (shape_of input) in
+      let out_strides = Shape.strides out_shape in
+      let idx = Array.make 4 0 in
+      fun i ->
+        decode out_strides i idx;
+        let nb = idx.(0) and oy = idx.(1) and ox = idx.(2) and cc = idx.(3) in
+        let best = ref Float.neg_infinity in
+        for wy = 0 to window - 1 do
+          for wx = 0 to window - 1 do
+            let v =
+              x
+                ((nb * in_strides.(0))
+                + (((oy * stride) + wy) * in_strides.(1))
+                + (((ox * stride) + wx) * in_strides.(2))
+                + (cc * in_strides.(3)))
+            in
+            if v > !best then best := v
+          done
+        done;
+        !best
+  | Op.Dot { lhs; rhs } ->
+      let a = operand lhs and b = operand rhs in
+      let ashape = shape_of lhs in
+      let r = Shape.rank ashape in
+      let m = (ashape :> int array).(r - 2)
+      and k = (ashape :> int array).(r - 1) in
+      let n = (shape_of rhs :> int array).(r - 1) in
+      fun l ->
+        let bt = l / (m * n) in
+        let rem = l mod (m * n) in
+        let i = rem / n and j = rem mod n in
+        let acc = ref 0. in
+        for kk = 0 to k - 1 do
+          acc :=
+            !acc
+            +. (a ((bt * m * k) + (i * k) + kk)
+               *. b ((bt * k * n) + (kk * n) + j))
+        done;
+        !acc
+  | Op.Conv2d { input; filter; stride } ->
+      let x = operand input and w = operand filter in
+      let xs = shape_of input and ws = shape_of filter in
+      let c = Shape.dim xs 3 in
+      let kh = Shape.dim ws 0 and kw = Shape.dim ws 1 in
+      let in_strides = Shape.strides xs in
+      let w_strides = Shape.strides ws in
+      let out_strides = Shape.strides out_shape in
+      let idx = Array.make 4 0 in
+      fun i ->
+        decode out_strides i idx;
+        let nb = idx.(0) and oy = idx.(1) and ox = idx.(2) and oz = idx.(3) in
+        let acc = ref 0. in
+        for ky = 0 to kh - 1 do
+          for kx = 0 to kw - 1 do
+            for ci = 0 to c - 1 do
+              let iy = (oy * stride) + ky and ix = (ox * stride) + kx in
+              acc :=
+                !acc
+                +. (x
+                      ((nb * in_strides.(0)) + (iy * in_strides.(1))
+                      + (ix * in_strides.(2)) + (ci * in_strides.(3)))
+                   *. w
+                        ((ky * w_strides.(0)) + (kx * w_strides.(1))
+                        + (ci * w_strides.(2)) + (oz * w_strides.(3))))
+            done
+          done
+        done;
+        !acc

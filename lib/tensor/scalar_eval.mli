@@ -1,0 +1,28 @@
+(** Per-element ("register") evaluation of graph ops for the fused
+    execution engine: one node becomes an accessor over its output linear
+    index, computed from operand accessors with exactly the float
+    operations - in exactly the order - of the matching
+    {!Interp.eval_node_into} case, so loops over these accessors are
+    bit-identical to materializing evaluation. *)
+
+open Astitch_ir
+
+exception Unsupported of string
+
+val scalarizable : Op.t -> bool
+(** Ops whose output element is a pure function of operand elements.
+    [Scatter_add] (input-driven writes) and [Parameter] (external
+    storage) are not. *)
+
+val compile :
+  Graph.t ->
+  Graph.node ->
+  operand:(Op.node_id -> int -> float) ->
+  int ->
+  float
+(** [compile g nd ~operand] is [nd]'s element accessor; [operand id i]
+    must return element [i] of operand [id].  The returned closure owns
+    scratch state and is not reentrant, but operand accessors of distinct
+    nodes never recurse into each other (the graph is a DAG), so nesting
+    is safe.
+    @raise Unsupported when [not (scalarizable nd.op)]. *)

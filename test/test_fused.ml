@@ -1,0 +1,356 @@
+(* The fused execution engine (tape lowering, register scalarization,
+   per-block staging, the slot arena).
+
+   The load-bearing claims, each tested directly:
+   - fused execution is bit-identical to Executor.run and Interp.run on
+     every zoo workload, across backends, context and non-context paths,
+     and on QCheck-random graphs;
+   - the slot arena never shares a backing buffer between overlapping
+     live ranges, and the fused engine allocates strictly fewer full
+     buffers than it executes ops on stitched plans;
+   - Regional staging stays bit-identical when the block geometry does
+     not divide the staged element count (irregular tail blocks);
+   - kernels the tape cannot lower fall back to the reference path with
+     a reason, and the mixed context is still bit-identical;
+   - fit_shared demotes largest-first and keeps everything under budget;
+   - Config.fused_exec is a runtime knob: it does not change the plan
+     cache key. *)
+
+open Astitch_ir
+open Astitch_tensor
+open Astitch_simt
+open Astitch_plan
+open Astitch_runtime
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let backend_named = function
+  | "astitch" -> Astitch_core.Astitch.full_backend
+  | "xla" -> Astitch_backends.Xla_backend.backend
+  | "tf" -> Astitch_backends.Tf_backend.backend
+  | n -> Alcotest.failf "unknown backend %s" n
+
+let compile_tiny backend (e : Astitch_workloads.Zoo.entry) =
+  (Session.compile (backend_named backend) Arch.v100 (e.tiny ())).Session.plan
+
+let check_outputs msg expected got =
+  check_int (msg ^ ": output count") (List.length expected) (List.length got);
+  List.iteri
+    (fun i (a, b) ->
+      check_bool (Printf.sprintf "%s: output %d bitwise" msg i) true
+        (Tensor.equal_approx ~eps:0. a b))
+    (List.combine expected got)
+
+(* --- Bit-identity --------------------------------------------------------- *)
+
+(* fused == reference context == fresh run == interpreter, on two
+   different parameter sets through the same context (exercises buffer
+   and slab reuse across calls) *)
+let test_zoo_bit_identical () =
+  List.iter
+    (fun (e : Astitch_workloads.Zoo.entry) ->
+      List.iter
+        (fun backend ->
+          let plan = compile_tiny backend e in
+          let g = plan.Kernel_plan.graph in
+          let fused = Executor.create_context ~fused:true plan in
+          let reference = Executor.create_context ~fused:false plan in
+          List.iter
+            (fun seed ->
+              let params = Session.random_params ~seed g in
+              let fo = Executor.run_context fused ~params in
+              let label = Printf.sprintf "%s/%s/seed%d" e.name backend seed in
+              check_outputs (label ^ " vs reference context")
+                (Executor.run_context reference ~params)
+                fo;
+              check_outputs (label ^ " vs fresh run")
+                (Executor.run plan ~params) fo;
+              check_outputs (label ^ " vs interp") (Interp.run g ~params) fo)
+            [ 7; 1902 ])
+        [ "astitch"; "xla"; "tf" ])
+    Astitch_workloads.Zoo.all
+
+(* AStitch plans place on-chip values, so every zoo workload must fuse
+   without fallbacks and allocate strictly fewer full buffers than it
+   executes ops *)
+let test_zoo_fewer_buffers_than_ops () =
+  List.iter
+    (fun (e : Astitch_workloads.Zoo.entry) ->
+      let plan = compile_tiny "astitch" e in
+      let ctx = Executor.create_context ~fused:true plan in
+      check_int (e.name ^ ": no fallbacks") 0
+        (List.length (Executor.context_fallbacks ctx));
+      let r = Executor.exec_report ctx in
+      check_bool
+        (Printf.sprintf "%s: %d buffers < %d ops" e.name
+           r.Profile.buffers_allocated r.Profile.nodes_executed)
+        true
+        (r.Profile.buffers_allocated < r.Profile.nodes_executed);
+      (* scalarization must actually happen for the claim to mean much *)
+      let params = Session.random_params ~seed:3 plan.Kernel_plan.graph in
+      ignore (Executor.run_context ctx ~params);
+      let r = Executor.exec_report ctx in
+      check_bool (e.name ^ ": some bytes scalarized away") true
+        (List.fold_left
+           (fun acc (k : Profile.exec_kernel) -> acc + k.bytes_scalarized)
+           0 r.Profile.exec_kernels
+        > 0))
+    Astitch_workloads.Zoo.all
+
+let test_random_graphs_bit_identical =
+  QCheck.Test.make ~count:30 ~name:"fused == run == interp (random graphs)"
+    QCheck.(make Gen.(int_bound 100_000))
+    (fun seed ->
+      let g =
+        Astitch_workloads.Synthetic.random_graph ~seed ~nodes:24 ()
+      in
+      let plan =
+        (Session.compile Astitch_core.Astitch.full_backend Arch.v100 g)
+          .Session.plan
+      in
+      let params = Session.random_params ~seed g in
+      let ctx = Executor.create_context ~fused:true plan in
+      let fo = Executor.run_context ctx ~params in
+      let same a b =
+        List.for_all2 (fun x y -> Tensor.equal_approx ~eps:0. x y) a b
+      in
+      same fo (Executor.run plan ~params) && same fo (Interp.run g ~params))
+
+(* --- Slot arena ----------------------------------------------------------- *)
+
+module Mem = Astitch_core.Mem_planner
+
+let test_arena_reuse_and_exclusivity () =
+  (* (node, elems, def, last): 1 dies before 3 defines -> same slot;
+     2 overlaps both but is a different size anyway *)
+  let assignments, slots =
+    Mem.plan_slots [ (1, 16, 0, 1); (2, 8, 0, 3); (3, 16, 2, 3) ]
+  in
+  let slot_of n =
+    (List.find (fun (a : Mem.slot_assignment) -> a.node = n) assignments)
+      .slot
+  in
+  check_int "two buffers for three nodes" 2 (List.length slots);
+  check_int "disjoint same-size lifetimes share a slot" (slot_of 1)
+    (slot_of 3);
+  check_bool "different sizes never share" true (slot_of 2 <> slot_of 1);
+  Mem.check_slot_exclusive assignments;
+  (* equal last/def positions overlap (the reader runs in the defining
+     kernel's position or later): no reuse *)
+  let a2, s2 = Mem.plan_slots [ (1, 16, 0, 2); (3, 16, 2, 3) ] in
+  check_int "touching lifetimes do not share" 2 (List.length s2);
+  Mem.check_slot_exclusive a2
+
+let test_arena_exclusivity_raises () =
+  let overlapping =
+    [
+      { Mem.node = 1; slot = 0; elems = 4; def_pos = 0; last_pos = 2 };
+      { Mem.node = 2; slot = 0; elems = 4; def_pos = 1; last_pos = 3 };
+    ]
+  in
+  match Mem.check_slot_exclusive overlapping with
+  | () -> Alcotest.fail "expected Scratch_aliasing"
+  | exception Compile_error.Error _ -> ()
+
+let test_arena_random_exclusive =
+  QCheck.Test.make ~count:200 ~name:"random intervals: slots stay exclusive"
+    QCheck.(
+      list_of_size Gen.(1 -- 30)
+        (triple (int_bound 20) (int_bound 6) (int_bound 20)))
+    (fun raw ->
+      let entries =
+        List.mapi
+          (fun i (def, len, elems) ->
+            (i, (4 * elems) + 4, def, def + len))
+          raw
+      in
+      let assignments, slots = Mem.plan_slots entries in
+      Mem.check_slot_exclusive assignments;
+      List.length slots <= List.length entries)
+
+(* --- fit_shared ----------------------------------------------------------- *)
+
+let test_fit_shared () =
+  (* under budget: untouched, original order *)
+  let kept, demoted =
+    Mem.fit_shared ~budget:500 [ (1, 100); (2, 50); (3, 200) ]
+  in
+  check_bool "under budget keeps everything in order" true
+    (kept = [ (1, 100); (2, 50); (3, 200) ] && demoted = []);
+  (* over budget: largest demoted first, until the remainder fits *)
+  let kept, demoted =
+    Mem.fit_shared ~budget:160 [ (1, 100); (2, 50); (3, 200) ]
+  in
+  check_bool "largest buffer demoted" true (demoted = [ (3, 200) ]);
+  check_bool "survivors fit" true
+    (List.fold_left (fun acc (_, b) -> acc + b) 0 kept <= 160);
+  let _, demoted =
+    Mem.fit_shared ~budget:50 [ (1, 80); (2, 60); (3, 40); (4, 20) ]
+  in
+  check_bool "multiple demotions, largest first" true
+    (demoted = [ (1, 80); (2, 60); (3, 40) ])
+
+(* --- Plan surgery helpers ------------------------------------------------- *)
+
+(* rewrite the thread mapping of the first Shared_mem op found *)
+let rewrite_first_shared plan ~mapping =
+  let hit = ref None in
+  let kernels =
+    List.map
+      (fun (k : Kernel_plan.kernel) ->
+        let ops =
+          List.map
+            (fun (o : Kernel_plan.compiled_op) ->
+              if
+                !hit = None && o.placement = Kernel_plan.Shared_mem
+              then begin
+                hit := Some o.id;
+                { o with mapping = mapping o }
+              end
+              else o)
+            k.ops
+        in
+        { k with ops })
+      plan.Kernel_plan.kernels
+  in
+  (!hit, { plan with kernels })
+
+(* --- Regional staging at irregular block geometry -------------------------- *)
+
+let test_irregular_staging () =
+  let exercised = ref 0 in
+  List.iter
+    (fun (e : Astitch_workloads.Zoo.entry) ->
+      let plan = compile_tiny "astitch" e in
+      let g = plan.Kernel_plan.graph in
+      (* force a block geometry whose per-block element count does not
+         divide the staged total, so the last block is a short tail *)
+      let hit, plan' =
+        rewrite_first_shared plan ~mapping:(fun o ->
+            let total = Graph.num_elements g o.id in
+            let grid =
+              (* smallest grid with an irregular tail, if one exists *)
+              List.find_opt
+                (fun grid ->
+                  let bk = (total + grid - 1) / grid in
+                  grid > 1 && bk > 0 && total mod bk <> 0)
+                (List.init total (fun i -> i + 1))
+              |> Option.value ~default:1
+            in
+            Thread_mapping.Elementwise
+              { elements = total; block = 32; grid; rows = None })
+      in
+      match hit with
+      | None -> ()
+      | Some _ ->
+          incr exercised;
+          let ctx = Executor.create_context ~fused:true plan' in
+          check_int (e.name ^ ": still fuses with irregular blocks") 0
+            (List.length (Executor.context_fallbacks ctx));
+          let params = Session.random_params ~seed:5 g in
+          check_outputs
+            (e.name ^ ": irregular staging bitwise")
+            (Interp.run g ~params)
+            (Executor.run_context ctx ~params);
+          let r = Executor.exec_report ctx in
+          check_bool (e.name ^ ": staging traffic recorded") true
+            (Profile.exec_total_staged r > 0))
+    Astitch_workloads.Zoo.all;
+  check_bool "at least one workload staged irregularly" true (!exercised > 0)
+
+(* --- Fallback ------------------------------------------------------------- *)
+
+(* A Shared_mem op mapped as a column reduce has no contiguous block
+   geometry: its kernel must fall back with a reason, and the mixed
+   fused/reference context must still be bit-identical (the mapping is
+   irrelevant to the reference path). *)
+let test_fallback_reason_and_identity () =
+  let exercised = ref 0 in
+  List.iter
+    (fun (e : Astitch_workloads.Zoo.entry) ->
+      let plan = compile_tiny "astitch" e in
+      let g = plan.Kernel_plan.graph in
+      let hit, plan' =
+        rewrite_first_shared plan ~mapping:(fun o ->
+            let total = Graph.num_elements g o.id in
+            Thread_mapping.Column_reduce
+              { rows = 1; row_length = total; block = 32; grid = 1 })
+      in
+      match hit with
+      | None -> ()
+      | Some _ ->
+          incr exercised;
+          let ctx = Executor.create_context ~fused:true plan' in
+          (match Executor.context_fallbacks ctx with
+          | [ (_, reason) ] ->
+              check_bool
+                (e.name ^ ": reason names the missing geometry")
+                true
+                (String.length reason > 0)
+          | fs ->
+              Alcotest.failf "%s: expected exactly 1 fallback, got %d"
+                e.name (List.length fs));
+          let params = Session.random_params ~seed:5 g in
+          check_outputs
+            (e.name ^ ": mixed context bitwise")
+            (Interp.run g ~params)
+            (Executor.run_context ctx ~params))
+    Astitch_workloads.Zoo.all;
+  check_bool "at least one workload fell back" true (!exercised > 0)
+
+let test_disabled_engine_is_all_reference () =
+  let plan = compile_tiny "astitch" (List.hd Astitch_workloads.Zoo.all) in
+  let ctx = Executor.create_context ~fused:false plan in
+  check_int "every kernel on the reference path"
+    (List.length plan.Kernel_plan.kernels)
+    (List.length (Executor.context_fallbacks ctx))
+
+(* --- Config --------------------------------------------------------------- *)
+
+let test_fused_exec_not_in_cache_key () =
+  let open Astitch_core.Config in
+  Alcotest.(check string)
+    "fused_exec is runtime-only: same cache key either way"
+    (cache_key full)
+    (cache_key { full with fused_exec = false })
+
+let () =
+  Alcotest.run "fused"
+    [
+      ( "bit-identity",
+        [
+          Alcotest.test_case "zoo x backends x seeds" `Quick
+            test_zoo_bit_identical;
+          QCheck_alcotest.to_alcotest test_random_graphs_bit_identical;
+        ] );
+      ( "arena",
+        [
+          Alcotest.test_case "reuse and exclusivity" `Quick
+            test_arena_reuse_and_exclusivity;
+          Alcotest.test_case "overlap raises" `Quick
+            test_arena_exclusivity_raises;
+          QCheck_alcotest.to_alcotest test_arena_random_exclusive;
+          Alcotest.test_case "fewer buffers than ops" `Quick
+            test_zoo_fewer_buffers_than_ops;
+        ] );
+      ( "shared-memory",
+        [
+          Alcotest.test_case "fit_shared demotion order" `Quick
+            test_fit_shared;
+          Alcotest.test_case "irregular block staging" `Quick
+            test_irregular_staging;
+        ] );
+      ( "fallback",
+        [
+          Alcotest.test_case "reason + mixed-context identity" `Quick
+            test_fallback_reason_and_identity;
+          Alcotest.test_case "disabled engine" `Quick
+            test_disabled_engine_is_all_reference;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "fused_exec outside the cache key" `Quick
+            test_fused_exec_not_in_cache_key;
+        ] );
+    ]
