@@ -144,6 +144,38 @@ let pp_cache_stats (s : Plan_cache.stats) =
     "cache: %d hits, %d misses, %d insertions, %d evictions, %d bypasses\n"
     s.hits s.misses s.insertions s.evictions s.bypasses
 
+(* --- Observability surface ------------------------------------------------- *)
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Collect compile/exec spans and write a Chrome trace-event \
+                 JSON file (loadable in Perfetto or chrome://tracing).")
+
+let metrics_arg =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Print the metrics registry (counters, gauges, latency \
+                 histograms with p50/p95/p99) when the command finishes.")
+
+(* Install a trace sink around [f] when [--trace FILE] was given; on the
+   way out export the collected records and, with [--metrics], dump the
+   process-wide registry.  The finally block runs even when [f] fails, so
+   a trace of a crashing run is still written. *)
+let with_obs ~trace ~metrics f =
+  if trace <> None then Astitch_obs.Trace.install ();
+  Fun.protect
+    ~finally:(fun () ->
+      (match trace with
+      | Some path ->
+          let records = Astitch_obs.Trace.uninstall () in
+          Astitch_obs.Chrome_trace.to_file ~path records;
+          Printf.printf "trace: %d records -> %s\n" (List.length records) path
+      | None -> ());
+      if metrics then
+        Format.printf "%a@." Astitch_obs.Metrics.pp Astitch_obs.Metrics.default)
+    f
+
 (* --- Subcommands ------------------------------------------------------------ *)
 
 let inspect model training tiny =
@@ -285,18 +317,37 @@ let log_fallbacks ctx =
     (Executor.context_fallbacks ctx)
 
 let run_model model backend training tiny arch seed repeat fused profile_exec
-    =
+    use_cache trace metrics =
   match (lookup_model model ~training ~tiny, lookup_backend backend) with
   | Error e, _ | _, Error e -> `Error (false, e)
   | Ok g, Ok b ->
       with_arch arch (fun arch ->
-          let r = Session.compile b arch g in
-          let ctx =
-            Executor.create_context ~fused ~timed:profile_exec r.Session.plan
+          with_obs ~trace ~metrics (fun () ->
+          let repeat = Stdlib.max 1 repeat in
+          let r =
+            if use_cache then begin
+              (* one cached compile per run iteration: the first is a miss,
+                 the rest hit, and the stats line proves it *)
+              let cache = Session.make_cache () in
+              let last = ref None in
+              for i = 1 to repeat do
+                let r, outcome = Session.compile_cached cache b arch g in
+                Printf.printf "compile %d/%d: %s\n" i repeat
+                  (Plan_cache.outcome_to_string outcome);
+                last := Some r
+              done;
+              pp_cache_stats (Plan_cache.stats cache);
+              Option.get !last
+            end
+            else Session.compile b arch g
           in
+          (* --profile-exec, --metrics and --trace all need per-kernel wall
+             time, so any of them implies a timed context: wall_ns is never
+             silently zero in a profiled report *)
+          let timed = profile_exec || metrics || trace <> None in
+          let ctx = Executor.create_context ~fused ~timed r.Session.plan in
           log_fallbacks ctx;
           let params = Session.random_params ~seed g in
-          let repeat = Stdlib.max 1 repeat in
           let outputs = ref [] in
           let t0 = Unix.gettimeofday () in
           for _ = 1 to repeat do
@@ -316,9 +367,11 @@ let run_model model backend training tiny arch seed repeat fused profile_exec
           Printf.printf "%d run(s), %.1f us/run, %s execution\n" repeat
             per_run_us
             (if fused then "fused" else "reference");
+          if profile_exec || metrics then
+            Profile.publish_exec (Executor.exec_report ctx);
           if profile_exec then
             Format.printf "%a@." Profile.pp_exec (Executor.exec_report ctx);
-          `Ok ())
+          `Ok ()))
 
 let cuda model backend training tiny arch =
   match (lookup_model model ~training ~tiny, lookup_backend backend) with
@@ -336,11 +389,13 @@ let dot model training tiny =
       print_string (Dot.to_string g);
       `Ok ()
 
-let compare_cmd model training tiny arch resilient injects fused =
+let compare_cmd model training tiny arch resilient injects fused trace metrics
+    =
   match (lookup_model model ~training ~tiny, parse_injects injects) with
   | Error e, _ | _, Error e -> `Error (false, e)
   | Ok g, Ok faults ->
       with_arch arch (fun arch ->
+          with_obs ~trace ~metrics (fun () ->
           let params = Session.random_params ~seed:11 g in
           Printf.printf "%-10s %10s %8s %14s %14s %12s\n" "backend" "kernels"
             "CPY" "time (us)" "vs TF"
@@ -379,7 +434,7 @@ let compare_cmd model training tiny arch resilient injects fused =
                 Format.printf "%a@." Astitch_core.Degradation.pp_report report;
                 `Ok ()
           end
-          else `Ok ())
+          else `Ok ()))
 
 let explain model backend training tiny arch top =
   match (lookup_model model ~training ~tiny, lookup_backend backend) with
@@ -448,29 +503,159 @@ let parse_file path backend arch =
               Format.printf "%a@." Profile.pp_breakdown r.profile;
               `Ok ())
 
-let bench experiment fused =
+let bench experiment fused trace metrics =
   Astitch_experiments.Experiments.fused_exec_default := fused;
-  match experiment with
-  | None ->
-      Astitch_experiments.Experiments.run_all ();
-      `Ok ()
-  | Some name -> (
-      match
-        List.find_opt
-          (fun (n, _, _) -> n = name)
-          Astitch_experiments.Experiments.all
-      with
-      | Some (_, _, f) ->
-          f ();
-          `Ok ()
+  with_obs ~trace ~metrics (fun () ->
+      match experiment with
       | None ->
-          `Error
-            ( false,
-              Printf.sprintf "unknown experiment %s (try: %s)" name
-                (String.concat ", "
-                   (List.map
-                      (fun (n, _, _) -> n)
-                      Astitch_experiments.Experiments.all)) ))
+          Astitch_experiments.Experiments.run_all ();
+          `Ok ()
+      | Some name -> (
+          match
+            List.find_opt
+              (fun (n, _, _) -> n = name)
+              Astitch_experiments.Experiments.all
+          with
+          | Some (_, _, f) ->
+              f ();
+              `Ok ()
+          | None ->
+              `Error
+                ( false,
+                  Printf.sprintf "unknown experiment %s (try: %s)" name
+                    (String.concat ", "
+                       (List.map
+                          (fun (n, _, _) -> n)
+                          Astitch_experiments.Experiments.all)) )))
+
+(* --- The trace command ------------------------------------------------------ *)
+
+(* Every compile phase the stitch pipeline runs; [trace --check] requires
+   each to appear in the exported file (the CI smoke job greps for the
+   same list). *)
+let required_phases =
+  [
+    "clustering";
+    "remote-stitching";
+    "dominant-grouping";
+    "schedule-propagation";
+    "locality-placement";
+    "mem-planning";
+    "launch-config";
+    "codegen";
+    "kernel-schedule";
+    "run-context";
+  ]
+
+(* Re-parse the exported file with the in-tree JSON parser and assert the
+   structure real consumers rely on: a traceEvents array whose entries
+   have name/ph/pid/ts, covering every compile phase and at least one
+   execution span per plan kernel. *)
+let validate_trace path (plan : Kernel_plan.t) =
+  let ( let* ) = Result.bind in
+  let module J = Astitch_obs.Json_check in
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let* root = J.parse text in
+  let* events =
+    match Option.bind (J.member "traceEvents" root) J.as_arr with
+    | Some evs -> Ok evs
+    | None -> Error "no traceEvents array"
+  in
+  let* names =
+    List.fold_left
+      (fun acc ev ->
+        let* acc = acc in
+        match
+          ( Option.bind (J.member "name" ev) J.as_str,
+            Option.bind (J.member "ph" ev) J.as_str )
+        with
+        | Some name, Some _ ->
+            if
+              J.member "pid" ev = None
+              || (J.member "ts" ev = None
+                 && Option.bind (J.member "ph" ev) J.as_str <> Some "M")
+            then Error (Printf.sprintf "event %S lacks pid/ts" name)
+            else
+              let cat =
+                Option.value ~default:""
+                  (Option.bind (J.member "cat" ev) J.as_str)
+              in
+              Ok ((name, cat) :: acc)
+        | _ -> Error "event without name/ph")
+      (Ok []) events
+  in
+  let* () =
+    match
+      List.filter
+        (fun phase -> not (List.mem_assoc phase names))
+        required_phases
+    with
+    | [] -> Ok ()
+    | missing ->
+        Error ("missing compile phases: " ^ String.concat ", " missing)
+  in
+  let* () =
+    match
+      List.filter
+        (fun (k : Kernel_plan.kernel) ->
+          not (List.exists (fun (n, c) -> n = k.name && c = "exec") names))
+        plan.kernels
+    with
+    | [] -> Ok ()
+    | ks ->
+        Error
+          ("kernels without an execution span: "
+          ^ String.concat ", "
+              (List.map (fun (k : Kernel_plan.kernel) -> k.name) ks))
+  in
+  Ok (List.length events)
+
+let trace_model model backend training tiny arch seed repeat out check summary
+    =
+  match (lookup_model model ~training ~tiny, lookup_backend backend) with
+  | Error e, _ | _, Error e -> `Error (false, e)
+  | Ok g, Ok b ->
+      with_arch arch (fun arch ->
+          Astitch_obs.Trace.install ();
+          let finished =
+            Fun.protect
+              ~finally:(fun () ->
+                if Astitch_obs.Trace.installed () then
+                  ignore (Astitch_obs.Trace.uninstall ()))
+              (fun () ->
+                let r = Session.compile b arch g in
+                let ctx =
+                  Executor.create_context ~fused:true ~timed:true
+                    r.Session.plan
+                in
+                let params = Session.random_params ~seed g in
+                for _ = 1 to Stdlib.max 1 repeat do
+                  ignore (Executor.run_context ctx ~params)
+                done;
+                Profile.publish_exec (Executor.exec_report ctx);
+                (r.Session.plan, Astitch_obs.Trace.uninstall ()))
+          in
+          let plan, records = finished in
+          Astitch_obs.Chrome_trace.to_file ~path:out records;
+          Printf.printf "trace: %d records -> %s\n" (List.length records) out;
+          if summary then begin
+            Format.printf "%a@." Astitch_obs.Summary.pp records;
+            Format.printf "%a@." Astitch_obs.Metrics.pp
+              Astitch_obs.Metrics.default
+          end;
+          if check then
+            match validate_trace out plan with
+            | Ok n ->
+                Printf.printf "check: OK (%d events, all %d compile phases, \
+                               %d kernels covered)\n"
+                  n
+                  (List.length required_phases)
+                  (List.length plan.Kernel_plan.kernels);
+                `Ok ()
+            | Error e -> `Error (false, "trace check failed: " ^ e)
+          else `Ok ())
 
 (* --- Command wiring ----------------------------------------------------------- *)
 
@@ -522,7 +707,7 @@ let compare_cmds =
     Term.(
       ret
         (const compare_cmd $ model_arg $ training_arg $ tiny_arg $ arch_arg
-       $ resilient_arg $ inject_arg $ fused_arg))
+       $ resilient_arg $ inject_arg $ fused_arg $ trace_arg $ metrics_arg))
 
 let run_cmd =
   let seed_arg =
@@ -548,7 +733,7 @@ let run_cmd =
       ret
         (const run_model $ model_arg $ backend_arg $ training_arg $ tiny_arg
        $ arch_arg $ seed_arg $ run_repeat_arg $ fused_arg
-       $ profile_exec_arg))
+       $ profile_exec_arg $ cache_arg $ trace_arg $ metrics_arg))
 
 let bench_cmd =
   let exp_arg =
@@ -557,7 +742,43 @@ let bench_cmd =
   in
   Cmd.v
     (Cmd.info "bench" ~doc:"Reproduce the paper's tables and figures")
-    Term.(ret (const bench $ exp_arg $ fused_arg))
+    Term.(ret (const bench $ exp_arg $ fused_arg $ trace_arg $ metrics_arg))
+
+let trace_cmd =
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+           ~doc:"Seed for the random parameter values.")
+  in
+  let trace_repeat_arg =
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N"
+           ~doc:"Execute N times so per-kernel spans repeat.")
+  in
+  let out_arg =
+    Arg.(value & opt string "trace.json" & info [ "out"; "o" ] ~docv:"FILE"
+           ~doc:"Output path for the Chrome trace-event JSON.")
+  in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Re-parse the emitted file and verify it is valid JSON \
+                   covering every compile phase and one execution span per \
+                   kernel; exit non-zero otherwise.")
+  in
+  let summary_arg =
+    Arg.(value & flag
+         & info [ "summary" ]
+             ~doc:"Also print the aggregated text summary and the metrics \
+                   registry.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Compile and execute a workload under the trace sink and export \
+             a Chrome trace-event JSON file")
+    Term.(
+      ret
+        (const trace_model $ model_arg $ backend_arg $ training_arg
+       $ tiny_arg $ arch_arg $ seed_arg $ trace_repeat_arg $ out_arg
+       $ check_arg $ summary_arg))
 
 let explain_cmd =
   let top_arg =
@@ -597,7 +818,7 @@ let main =
              simulated SIMT GPU")
     [
       inspect_cmd; compile_cmd; run_cmd; cuda_cmd; dot_cmd; compare_cmds;
-      bench_cmd; text_cmd; parse_cmd; explain_cmd;
+      bench_cmd; text_cmd; parse_cmd; explain_cmd; trace_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -23,6 +23,22 @@ open Astitch_ir
 open Astitch_simt
 open Astitch_plan
 module FC = Astitch_backends.Fusion_common
+module Trace = Astitch_obs.Trace
+module Metrics = Astitch_obs.Metrics
+
+(* Observability: every step down the ladder counts against
+   [fallback.degradations] and, when a trace sink is installed, emits a
+   "degrade" instant carrying the scope and the rung transition. *)
+let note_degrade cluster from_level to_level =
+  Metrics.(inc (counter default "fallback.degradations"));
+  if Trace.enabled () then
+    Trace.instant ~phase:"fallback" "degrade"
+      ~attrs:
+        [
+          ("cluster", Trace.Str cluster);
+          ("from", Trace.Str (Degradation.level_to_string from_level));
+          ("to", Trace.Str (Degradation.level_to_string to_level));
+        ]
 
 (* --- Terminal constructors (uninstrumented) ----------------------------- *)
 
@@ -114,6 +130,7 @@ let compile_armed (config : Config.t) (arch : Arch.t) g :
     (Kernel_plan.t * Degradation.report, Compile_error.t) result =
   let events = ref [] in
   let record cluster from_level to_level error =
+    note_degrade cluster from_level to_level;
     events :=
       { Degradation.cluster; from_level; to_level; error } :: !events
   in
@@ -122,7 +139,10 @@ let compile_armed (config : Config.t) (arch : Arch.t) g :
      pass [check_kernel] in isolation. *)
   let attempt ~pass (f : unit -> Kernel_plan.kernel list) =
     let t0 = Sys.time () in
-    match Compile_error.protect ~pass f with
+    match
+      Compile_error.protect ~pass (fun () ->
+          Trace.with_span ~phase:"fallback" pass f)
+    with
     | Error e -> Error e
     | Ok ks -> (
         let elapsed = Sys.time () -. t0 in
@@ -273,6 +293,7 @@ let compile_armed (config : Config.t) (arch : Arch.t) g :
        truly broken plan returns a structured error instead of looping. *)
     let assemble ks =
       Compile_error.protect ~pass:"kernel-schedule" (fun () ->
+          Trace.with_span ~phase:"compile" "kernel-schedule" @@ fun () ->
           let sorted =
             Kernel_plan.toposort_kernels g (ks @ Lowering.library_kernels arch g)
           in
@@ -413,7 +434,8 @@ let compile_armed (config : Config.t) (arch : Arch.t) g :
     let clusters =
       match
         Compile_error.protect ~pass:"clustering" (fun () ->
-            Clustering.clusters g)
+            Trace.with_span ~phase:"compile" "clustering" (fun () ->
+                Clustering.clusters g))
       with
       | Ok cs -> cs
       | Error e ->
@@ -434,8 +456,9 @@ let compile_armed (config : Config.t) (arch : Arch.t) g :
       if config.remote_stitching then
         match
           Compile_error.protect ~pass:"remote-stitching" (fun () ->
-              Clustering.remote_stitch_groups
-                ~max_merge_width:config.max_remote_merge_width g clusters)
+              Trace.with_span ~phase:"compile" "remote-stitching" (fun () ->
+                  Clustering.remote_stitch_groups
+                    ~max_merge_width:config.max_remote_merge_width g clusters))
         with
         | Ok groups -> groups
         | Error e ->
@@ -462,6 +485,7 @@ let compile_armed (config : Config.t) (arch : Arch.t) g :
         (fun i parts ->
           let local = ref [] in
           let record cluster from_level to_level error =
+            note_degrade cluster from_level to_level;
             local :=
               { Degradation.cluster; from_level; to_level; error } :: !local
           in

@@ -21,6 +21,16 @@ let mapi ~domains f items =
   let d = Stdlib.max 1 (Stdlib.min domains n) in
   if d = 1 || n <= 1 then sequential_mapi f items
   else begin
+    let sid =
+      if Astitch_obs.Trace.enabled () then
+        Astitch_obs.Trace.span_begin ~phase:"compile" "parallel-map"
+          ~attrs:
+            [
+              ("items", Astitch_obs.Trace.Int n);
+              ("domains", Astitch_obs.Trace.Int d);
+            ]
+      else 0
+    in
     let results :
         ('b, exn * Printexc.raw_backtrace) result option array =
       Array.make n None
@@ -38,6 +48,7 @@ let mapi ~domains f items =
     let spawned = List.init (d - 1) (fun _ -> Domain.spawn worker) in
     worker ();
     List.iter Domain.join spawned;
+    Astitch_obs.Trace.span_end sid;
     (* deterministic merge: input order, first failure wins *)
     Array.to_list
       (Array.map

@@ -12,6 +12,7 @@
 open Astitch_ir
 open Astitch_simt
 open Astitch_plan
+module Trace = Astitch_obs.Trace
 
 (* --- Per-cluster compilation -------------------------------------------- *)
 
@@ -22,7 +23,7 @@ type node_role = {
   mutable recompute : int;
 }
 
-let compile_cluster (config : Config.t) (arch : Arch.t) g ~(name : string)
+let compile_cluster_body (config : Config.t) (arch : Arch.t) g ~(name : string)
     ~(smem_budget : int) ~(group_base : int) (nodes : Op.node_id list) :
     Kernel_plan.kernel =
   let in_cluster = Hashtbl.create 16 in
@@ -36,7 +37,8 @@ let compile_cluster (config : Config.t) (arch : Arch.t) g ~(name : string)
   in
   (* Step 1: dominants and groups *)
   let groups =
-    Dominant.group_ops ~merging:config.dominant_merging g ~nodes ~escaping
+    Trace.with_span ~phase:"compile" "dominant-grouping" (fun () ->
+        Dominant.group_ops ~merging:config.dominant_merging g ~nodes ~escaping)
   in
   let occurrences = Dominant.occurrences groups in
   let is_candidate =
@@ -52,6 +54,14 @@ let compile_cluster (config : Config.t) (arch : Arch.t) g ~(name : string)
      element-wise groups to their producer's row partition *)
   let group_of = Hashtbl.create 16 in
   let group_index = Hashtbl.create 16 in
+  let group_mapping : (Op.node_id, Thread_mapping.t) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let dominant_mapping id =
+    if config.adaptive_thread_mapping then Adaptive_mapping.for_dominant arch g id
+    else Astitch_backends.Fusion_common.naive_mapping arch g id
+  in
+  Trace.with_span ~phase:"compile" "schedule-propagation" (fun () ->
   List.iteri
     (fun i (grp : Dominant.group) ->
       List.iter
@@ -62,13 +72,6 @@ let compile_cluster (config : Config.t) (arch : Arch.t) g ~(name : string)
           end)
         grp.members)
     groups;
-  let group_mapping : (Op.node_id, Thread_mapping.t) Hashtbl.t =
-    Hashtbl.create 16
-  in
-  let dominant_mapping id =
-    if config.adaptive_thread_mapping then Adaptive_mapping.for_dominant arch g id
-    else Astitch_backends.Fusion_common.naive_mapping arch g id
-  in
   List.iter
     (fun (grp : Dominant.group) ->
       let d = grp.dominant in
@@ -107,7 +110,7 @@ let compile_cluster (config : Config.t) (arch : Arch.t) g ~(name : string)
       in
       List.iter (fun id -> Hashtbl.replace group_mapping id mapping) grp.members;
       Hashtbl.replace group_mapping d mapping)
-    groups;
+    groups);
   (* Sub-dominant reduces keep a reduce-shaped mapping of their own (their
      geometry differs from the final dominant's); everything else shares
      the group schedule through element-wise propagation. *)
@@ -159,6 +162,7 @@ let compile_cluster (config : Config.t) (arch : Arch.t) g ~(name : string)
                  | None -> node_mapping c)
                consumers)
   in
+  Trace.with_span ~phase:"compile" "locality-placement" (fun () ->
   List.iter
     (fun id ->
       let mapping = node_mapping id in
@@ -222,8 +226,10 @@ let compile_cluster (config : Config.t) (arch : Arch.t) g ~(name : string)
             (Hashtbl.find_opt total_recompute id)
       in
       role.recompute <- Stdlib.min 1_000_000 (Stdlib.max 1 r))
-    nodes;
+    nodes);
   (* shared-memory budget: demote overflowing regional buffers to global *)
+  let smem_per_block, scratch_bytes, barriers =
+    Trace.with_span ~phase:"compile" "mem-planning" (fun () ->
   let budget = smem_budget in
   let shared_entries =
     List.filter_map
@@ -281,7 +287,11 @@ let compile_cluster (config : Config.t) (arch : Arch.t) g ~(name : string)
            && in_cluster_consumers id <> [])
          nodes)
   in
+  (smem_per_block, scratch_bytes, barriers))
+  in
   (* launch configuration *)
+  let launch =
+    Trace.with_span ~phase:"compile" "launch-config" (fun () ->
   let block =
     List.fold_left
       (fun acc id ->
@@ -295,10 +305,10 @@ let compile_cluster (config : Config.t) (arch : Arch.t) g ~(name : string)
       1 nodes
   in
   let lc = Launch_config.plan arch ~block ~shared_mem_per_block:smem_per_block in
-  let launch =
-    Launch.make ~regs_per_thread:lc.regs_per_thread
-      ~shared_mem_per_block:smem_per_block ~grid ~block ()
+  Launch.make ~regs_per_thread:lc.regs_per_thread
+    ~shared_mem_per_block:smem_per_block ~grid ~block ())
   in
+  Trace.with_span ~phase:"compile" "codegen" (fun () ->
   let ops =
     List.map
       (fun id ->
@@ -353,7 +363,18 @@ let compile_cluster (config : Config.t) (arch : Arch.t) g ~(name : string)
                     { o with placement = Kernel_plan.Register }
                   else o)
                 kernel.ops;
-          })
+          }))
+
+let compile_cluster (config : Config.t) (arch : Arch.t) g ~(name : string)
+    ~(smem_budget : int) ~(group_base : int) (nodes : Op.node_id list) :
+    Kernel_plan.kernel =
+  if not (Trace.enabled ()) then
+    compile_cluster_body config arch g ~name ~smem_budget ~group_base nodes
+  else
+    Trace.with_span ~phase:"compile" "cluster"
+      ~attrs:[ ("cluster", Trace.Str name); ("ops", Trace.Int (List.length nodes)) ]
+      (fun () ->
+        compile_cluster_body config arch g ~name ~smem_budget ~group_base nodes)
 
 (* --- Whole-graph compilation -------------------------------------------- *)
 
@@ -412,22 +433,27 @@ let combine_parts (arch : Arch.t) ~name = function
 let compile_with_armed (config : Config.t) (arch : Arch.t) g : Kernel_plan.t =
   if not config.hierarchical_data_reuse then
     (* ATM ablation: XLA's fusion scopes, adaptive mappings only *)
-    Astitch_backends.Fusion_common.compile ~name:"atm"
-      ~cut_edge:Astitch_backends.Xla_backend.For_ablation.cut_edge
-      ~mapping_for_root:(fun arch g id ->
-        if
-          config.adaptive_thread_mapping
-          && Op.is_reduce (Graph.op g id)
-        then Adaptive_mapping.for_dominant arch g id
-        else Astitch_backends.Fusion_common.naive_mapping arch g id)
-      arch g
+    Trace.with_span ~phase:"compile" "fusion-codegen" (fun () ->
+        Astitch_backends.Fusion_common.compile ~name:"atm"
+          ~cut_edge:Astitch_backends.Xla_backend.For_ablation.cut_edge
+          ~mapping_for_root:(fun arch g id ->
+            if
+              config.adaptive_thread_mapping
+              && Op.is_reduce (Graph.op g id)
+            then Adaptive_mapping.for_dominant arch g id
+            else Astitch_backends.Fusion_common.naive_mapping arch g id)
+          arch g)
   else begin
-    let clusters = Clustering.clusters g in
+    let clusters =
+      Trace.with_span ~phase:"compile" "clustering" (fun () ->
+          Clustering.clusters g)
+    in
     let cluster_groups =
-      if config.remote_stitching then
-        Clustering.remote_stitch_groups
-          ~max_merge_width:config.max_remote_merge_width g clusters
-      else List.map (fun c -> [ c ]) clusters
+      Trace.with_span ~phase:"compile" "remote-stitching" (fun () ->
+          if config.remote_stitching then
+            Clustering.remote_stitch_groups
+              ~max_merge_width:config.max_remote_merge_width g clusters
+          else List.map (fun c -> [ c ]) clusters)
     in
     (* Each group's kernel depends only on (g, config, arch): the groups
        compile independently and merge back in input order, so the plan
@@ -464,22 +490,23 @@ let compile_with_armed (config : Config.t) (arch : Arch.t) g : Kernel_plan.t =
       Parallel.mapi ~domains compile_group cluster_groups
       |> List.filter_map Fun.id
     in
-    let kernels =
-      Kernel_plan.toposort_kernels g
-        (stitch_kernels @ Lowering.library_kernels arch g)
-    in
-    let plan =
-      {
-        Kernel_plan.arch;
-        graph = g;
-        kernels;
-        memcpys = Lowering.output_memcpys g;
-        memsets = Lowering.atomic_memsets kernels;
-        memcpy_bytes = Lowering.output_bytes g;
-      }
-    in
-    Kernel_plan.check plan;
-    plan
+    Trace.with_span ~phase:"compile" "kernel-schedule" (fun () ->
+        let kernels =
+          Kernel_plan.toposort_kernels g
+            (stitch_kernels @ Lowering.library_kernels arch g)
+        in
+        let plan =
+          {
+            Kernel_plan.arch;
+            graph = g;
+            kernels;
+            memcpys = Lowering.output_memcpys g;
+            memsets = Lowering.atomic_memsets kernels;
+            memcpy_bytes = Lowering.output_bytes g;
+          }
+        in
+        Kernel_plan.check plan;
+        plan)
   end
 
 (* Arm the config's fault plans for the duration of one compile, so

@@ -1,0 +1,8 @@
+(** Chrome trace-event JSON exporter (loadable in Perfetto and
+    chrome://tracing).  Spans become complete events ("ph":"X") with
+    microsecond ts/dur, instants become "ph":"i"; the emitting domain is
+    the tid, span/parent ids travel in [args]. *)
+
+val to_string : ?process_name:string -> Trace.record list -> string
+val to_buffer : Buffer.t -> ?process_name:string -> Trace.record list -> unit
+val to_file : path:string -> ?process_name:string -> Trace.record list -> unit

@@ -1,0 +1,28 @@
+(* Injectable clocks for the trace layer.
+
+   Timestamps are plain [int] nanoseconds (63 bits cover ~292 years), so
+   reading a clock never allocates - int64 would box on every read and
+   break the zero-cost-when-disabled guarantee of the instrumentation.
+
+   The wall clock is what production traces use; tests inject a manual
+   clock whose every read advances by a fixed step, which makes trace
+   output byte-deterministic (each record gets a distinct, predictable
+   timestamp with no reliance on the host). *)
+
+type t = unit -> int
+
+let wall_ns : t = fun () -> int_of_float (Unix.gettimeofday () *. 1e9)
+
+(* A deterministic clock: every read returns the current value and
+   advances by [step].  Backed by an atomic so concurrent domains can
+   share one manual clock without torn reads (each still gets a unique
+   timestamp). *)
+type manual = { cell : int Atomic.t; step : int }
+
+let manual ?(start = 0) ?(step = 1_000) () =
+  if step <= 0 then invalid_arg "Clock.manual: step must be > 0";
+  { cell = Atomic.make start; step }
+
+let read (m : manual) : t = fun () -> Atomic.fetch_and_add m.cell m.step
+let advance m ns = ignore (Atomic.fetch_and_add m.cell ns)
+let now m = Atomic.get m.cell

@@ -1,0 +1,27 @@
+(** Injectable clocks for the trace layer.
+
+    Timestamps are [int] nanoseconds: reading a clock never allocates,
+    which keeps disabled instrumentation allocation-free. *)
+
+type t = unit -> int
+(** A clock: returns the current time in nanoseconds. *)
+
+val wall_ns : t
+(** Host wall clock ([Unix.gettimeofday]), in nanoseconds. *)
+
+type manual
+(** A deterministic test clock: every read advances by a fixed step, so
+    two identical runs produce identical timestamps.  Domain-safe. *)
+
+val manual : ?start:int -> ?step:int -> unit -> manual
+(** Fresh manual clock starting at [start] (default 0) advancing [step]
+    (default 1000ns) per read.  @raise Invalid_argument if [step <= 0]. *)
+
+val read : manual -> t
+(** The reading function: returns the current value, then advances. *)
+
+val advance : manual -> int -> unit
+(** Skip the clock forward by [ns] without producing a reading. *)
+
+val now : manual -> int
+(** Current value without advancing. *)

@@ -1,0 +1,171 @@
+(* A minimal strict JSON parser.
+
+   The tree has no JSON library (DESIGN.md dependency policy), but the
+   Chrome-trace exporter's output must be provably loadable by real
+   consumers (Perfetto, chrome://tracing, python -m json).  This parser
+   exists to close that loop in-process: the `trace --check` CLI path and
+   the test suite parse the emitted file with it and then assert on the
+   structure.  It accepts exactly the JSON grammar (RFC 8259) minus
+   number edge cases nobody emits: no NaN/Infinity literals, no
+   trailing commas, no comments. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Bad of string
+
+let parse (s : string) : (t, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail fmt =
+    Printf.ksprintf (fun m -> raise (Bad (Printf.sprintf "%s at %d" m !pos))) fmt
+  in
+  let peek () = if !pos < n then s.[!pos] else '\255' in
+  let next () =
+    let c = peek () in
+    incr pos;
+    c
+  in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' ->
+        incr pos;
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = c then incr pos else fail "expected %C, got %C" c (peek ())
+  in
+  let literal word v =
+    String.iter expect word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match next () with
+      | '"' -> Buffer.contents b
+      | '\\' -> (
+          (match next () with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'n' -> Buffer.add_char b '\n'
+          | 'r' -> Buffer.add_char b '\r'
+          | 't' -> Buffer.add_char b '\t'
+          | 'u' ->
+              if !pos + 4 > n then fail "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> fail "bad \\u escape %S" hex
+              in
+              (* BMP-only decoding is enough for our own output *)
+              if code < 0x80 then Buffer.add_char b (Char.chr code)
+              else Buffer.add_string b (Printf.sprintf "\\u%s" hex)
+          | c -> fail "bad escape %C" c);
+          go ())
+      | '\255' -> fail "unterminated string"
+      | c when Char.code c < 0x20 -> fail "unescaped control %C" c
+      | c ->
+          Buffer.add_char b c;
+          go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = '-' then incr pos;
+    let digits () =
+      let d0 = !pos in
+      while peek () >= '0' && peek () <= '9' do
+        incr pos
+      done;
+      if !pos = d0 then fail "expected digit"
+    in
+    digits ();
+    if peek () = '.' then begin
+      incr pos;
+      digits ()
+    end;
+    (match peek () with
+    | 'e' | 'E' ->
+        incr pos;
+        (match peek () with '+' | '-' -> incr pos | _ -> ());
+        digits ()
+    | _ -> ());
+    let text = String.sub s start (!pos - start) in
+    match float_of_string_opt text with
+    | Some f -> Num f
+    | None -> fail "bad number %S" text
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = '}' then begin
+          incr pos;
+          Obj []
+        end
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match next () with
+            | ',' -> members ((k, v) :: acc)
+            | '}' -> Obj (List.rev ((k, v) :: acc))
+            | c -> fail "expected ',' or '}', got %C" c
+          in
+          members []
+    | '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = ']' then begin
+          incr pos;
+          Arr []
+        end
+        else
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match next () with
+            | ',' -> elems (v :: acc)
+            | ']' -> Arr (List.rev (v :: acc))
+            | c -> fail "expected ',' or ']', got %C" c
+          in
+          elems []
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | '-' | '0' .. '9' -> parse_number ()
+    | c -> fail "unexpected %C" c
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad m -> Error m
+
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+let as_arr = function Arr l -> Some l | _ -> None
+let as_str = function Str s -> Some s | _ -> None
+let as_num = function Num f -> Some f | _ -> None

@@ -1,0 +1,22 @@
+(** Minimal strict JSON parser (RFC 8259 grammar; no comments, no
+    trailing commas, BMP-only unicode escapes) used to validate the
+    Chrome-trace exporter's output in-process - the tree deliberately
+    has no JSON library dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Whole-input parse; [Error] carries a message with a byte offset. *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on non-objects and missing keys. *)
+
+val as_arr : t -> t list option
+val as_str : t -> string option
+val as_num : t -> float option

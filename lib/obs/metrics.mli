@@ -1,0 +1,69 @@
+(** Metrics registry: counters, gauges and log-bucketed histograms with
+    p50/p95/p99 quantile estimation.
+
+    Always on (unlike tracing): every update is one atomic
+    read-modify-write with no allocation.  Registration is get-or-create
+    by name; registering an existing name as a different kind raises
+    [Invalid_argument].  All metric types are safe to update from
+    concurrent domains. *)
+
+type t
+(** A registry. *)
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+val default : t
+(** The process-wide registry instrumented modules publish into. *)
+
+val counter : t -> string -> counter
+val inc : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+val gauge : t -> string -> gauge
+val set : gauge -> float -> unit
+val set_max : gauge -> float -> unit
+(** Raise the gauge to [v] if larger (high-water marks). *)
+
+val gauge_value : gauge -> float
+
+val histogram : t -> string -> histogram
+(** Geometric buckets of ratio 2^(1/4): quantile estimates are within
+    ~9.5% of the true sample value over ~1e-9 .. 1.5e12. *)
+
+val observe : histogram -> float -> unit
+(** Record one observation (non-positive and non-finite values clamp to
+    the lowest bucket). *)
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+val hist_mean : histogram -> float
+
+val quantile : histogram -> float -> float
+(** [quantile h q] for [q] in [0,1]; 0 when empty.  Returns the
+    geometric midpoint of the bucket holding the rank-[ceil(q*n)]
+    observation. *)
+
+type sample =
+  | Counter_s of { name : string; count : int }
+  | Gauge_s of { name : string; level : float }
+  | Hist_s of {
+      name : string;
+      n : int;
+      total : float;
+      p50 : float;
+      p95 : float;
+      p99 : float;
+    }
+
+val snapshot : t -> sample list
+(** Point-in-time view, sorted by name. *)
+
+val reset : t -> unit
+(** Zero every registered metric (tests; the registry keeps its names). *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable dump of {!snapshot}. *)

@@ -1,0 +1,69 @@
+(* Human-readable roll-up of a trace: spans aggregated by (phase, name)
+   with count / total / max wall time, events by (phase, name) with
+   counts.  The cheap complement to the Chrome exporter when there is no
+   Perfetto at hand. *)
+
+type srow = {
+  mutable count : int;
+  mutable total_ns : int;
+  mutable max_ns : int;
+}
+
+let pp ppf (records : Trace.record list) =
+  let spans : (string * string, srow) Hashtbl.t = Hashtbl.create 32 in
+  let events : (string * string, int ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      match r with
+      | Trace.Span sp ->
+          let key = (sp.Trace.phase, sp.Trace.name) in
+          let row =
+            match Hashtbl.find_opt spans key with
+            | Some row -> row
+            | None ->
+                let row = { count = 0; total_ns = 0; max_ns = 0 } in
+                Hashtbl.add spans key row;
+                row
+          in
+          let d = Stdlib.max 0 (sp.Trace.end_ns - sp.Trace.start_ns) in
+          row.count <- row.count + 1;
+          row.total_ns <- row.total_ns + d;
+          row.max_ns <- Stdlib.max row.max_ns d
+      | Trace.Event e ->
+          let key = (e.Trace.ephase, e.Trace.ename) in
+          (match Hashtbl.find_opt events key with
+          | Some n -> incr n
+          | None -> Hashtbl.add events key (ref 1)))
+    records;
+  let srows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) spans [] in
+  let srows =
+    List.sort
+      (fun (_, a) (_, b) -> compare (b.total_ns, b.count) (a.total_ns, a.count))
+      srows
+  in
+  let us ns = float_of_int ns /. 1e3 in
+  Format.fprintf ppf "@[<v>trace summary: %d span kinds, %d event kinds@,"
+    (List.length srows) (Hashtbl.length events);
+  if srows <> [] then begin
+    Format.fprintf ppf "  %-22s %-28s %6s %12s %12s@," "phase" "span" "count"
+      "total_us" "max_us";
+    List.iter
+      (fun ((phase, name), row) ->
+        Format.fprintf ppf "  %-22s %-28s %6d %12.1f %12.1f@," phase name
+          row.count (us row.total_ns) (us row.max_ns))
+      srows
+  end;
+  if Hashtbl.length events > 0 then begin
+    let erows = Hashtbl.fold (fun k n acc -> (k, !n) :: acc) events [] in
+    let erows =
+      List.sort (fun (ka, na) (kb, nb) -> compare (nb, ka) (na, kb)) erows
+    in
+    Format.fprintf ppf "  %-22s %-28s %6s@," "phase" "event" "count";
+    List.iter
+      (fun ((phase, name), n) ->
+        Format.fprintf ppf "  %-22s %-28s %6d@," phase name n)
+      erows
+  end;
+  Format.fprintf ppf "@]"
+
+let to_string records = Format.asprintf "%a" pp records

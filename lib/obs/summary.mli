@@ -1,0 +1,6 @@
+(** Human-readable trace roll-up: spans aggregated by (phase, name) with
+    count/total/max wall time sorted by total descending, plus event
+    counts. *)
+
+val pp : Format.formatter -> Trace.record list -> unit
+val to_string : Trace.record list -> string

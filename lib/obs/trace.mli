@@ -1,0 +1,75 @@
+(** Structured trace spans and events, collected into per-domain ring
+    buffers behind one globally installed sink.
+
+    Zero-cost when disabled: with no sink installed every entry point
+    returns immediately without allocating ([span_begin] returns the
+    reserved id 0).  Emission is lock-free within a domain - each domain
+    owns its buffer - so concurrent emitters never corrupt each other's
+    records. *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+type attrs = (string * value) list
+
+type span = {
+  id : int;
+  parent : int;  (** 0 = root (no enclosing span on this domain) *)
+  name : string;
+  phase : string;  (** coarse category: compile / exec / cache / fault... *)
+  domain : int;  (** emitting domain, the Chrome-trace tid *)
+  start_ns : int;
+  end_ns : int;
+  attrs : attrs;
+}
+
+type event = {
+  ename : string;
+  ephase : string;
+  edomain : int;
+  ts_ns : int;
+  eattrs : attrs;
+}
+
+type record = Span of span | Event of event
+
+val install : ?clock:Clock.t -> ?capacity:int -> unit -> unit
+(** Install a fresh sink (replacing any previous one).  [clock] defaults
+    to {!Clock.wall_ns}; [capacity] (default 65536) bounds each domain's
+    ring buffer - overflow overwrites the oldest records and is counted
+    by {!dropped}.  @raise Invalid_argument if [capacity <= 0]. *)
+
+val uninstall : unit -> record list
+(** Remove the sink, returning everything collected (see {!records}). *)
+
+val installed : unit -> bool
+
+val enabled : unit -> bool
+(** Alias of {!installed}; the guard hot paths use before building
+    attribute lists. *)
+
+val span_begin : ?attrs:attrs -> phase:string -> string -> int
+(** Open a span on the calling domain; returns its id (0 when disabled).
+    The parent is the innermost span still open on this domain. *)
+
+val span_end : ?attrs:attrs -> int -> unit
+(** Close the span (extra [attrs] are appended).  Children left open are
+    auto-closed at the same timestamp; id 0 and unknown ids are no-ops. *)
+
+val instant : ?attrs:attrs -> phase:string -> string -> unit
+(** Emit a point event. *)
+
+val with_span : ?attrs:attrs -> phase:string -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span.  An escaping exception closes the span
+    with an ["error"] attribute and re-raises. *)
+
+val records : unit -> record list
+(** Everything collected so far, merged across domains and sorted by
+    timestamp (span start).  Spans still open are not included.  Call
+    after the traced work has quiesced; emission concurrent with
+    collection may miss the newest records. *)
+
+val dropped : unit -> int
+(** Records lost to ring-buffer overflow, summed over domains. *)
+
+val open_spans : unit -> int
+(** Spans currently open on the calling domain (tests use this to assert
+    balanced begin/end). *)

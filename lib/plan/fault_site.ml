@@ -89,6 +89,16 @@ let check site ~pass =
   | Some (p, fuel) -> (
       decr fuel;
       incr fired_count;
+      Astitch_obs.Metrics.(inc (counter default "fault.fired"));
+      if Astitch_obs.Trace.enabled () then
+        Astitch_obs.Trace.instant ~phase:"fault" "fault-fired"
+          ~attrs:
+            [
+              ("site", Astitch_obs.Trace.Str (site_to_string site));
+              ("mode", Astitch_obs.Trace.Str (mode_to_string p.mode));
+              ("pass", Astitch_obs.Trace.Str pass);
+              ("seed", Astitch_obs.Trace.Int p.seed);
+            ];
       match p.mode with
       | Corrupt -> Some p.seed
       | Raise ->

@@ -12,10 +12,13 @@
 open Astitch_ir
 open Astitch_tensor
 open Astitch_plan
+module Trace = Astitch_obs.Trace
 
 exception Execution_error of string
 
 let run (plan : Kernel_plan.t) ~params : Tensor.t list =
+  let traced = Trace.enabled () in
+  let rsid = if traced then Trace.span_begin ~phase:"exec" "run" else 0 in
   let g = plan.graph in
   let n = Graph.num_nodes g in
   let values = Array.make n (Tensor.scalar 0.) in
@@ -36,6 +39,7 @@ let run (plan : Kernel_plan.t) ~params : Tensor.t list =
     g;
   List.iter
     (fun (k : Kernel_plan.kernel) ->
+      let ksid = if traced then Trace.span_begin ~phase:"exec" k.name else 0 in
       List.iter
         (fun (o : Kernel_plan.compiled_op) ->
           List.iter require (Graph.operands g o.id);
@@ -53,8 +57,10 @@ let run (plan : Kernel_plan.t) ~params : Tensor.t list =
           | Kernel_plan.Register | Kernel_plan.Shared_mem
           | Kernel_plan.Global_scratch ->
               computed.(o.id) <- false)
-        k.ops)
+        k.ops;
+      if ksid <> 0 then Trace.span_end ksid)
     plan.kernels;
+  if rsid <> 0 then Trace.span_end rsid;
   List.map
     (fun id ->
       require id;
@@ -153,8 +159,7 @@ type context = {
 
 let bytes_of elems = 8 * elems (* host tensors are unboxed float64 *)
 
-let create_context ?(fused = true) ?(timed = false) (plan : Kernel_plan.t) :
-    context =
+let create_context_body ~fused ~timed (plan : Kernel_plan.t) : context =
   let g = plan.graph in
   let n = Graph.num_nodes g in
   let values = Array.make n (Tensor.scalar 0.) in
@@ -488,6 +493,18 @@ let create_context ?(fused = true) ?(timed = false) (plan : Kernel_plan.t) :
     timed;
   }
 
+let create_context ?(fused = true) ?(timed = false) (plan : Kernel_plan.t) :
+    context =
+  if not (Trace.enabled ()) then create_context_body ~fused ~timed plan
+  else
+    Trace.with_span ~phase:"exec" "create-context"
+      ~attrs:
+        [
+          ("fused", Trace.Bool fused);
+          ("kernels", Trace.Int (List.length plan.Kernel_plan.kernels));
+        ]
+      (fun () -> create_context_body ~fused ~timed plan)
+
 let context_plan ctx = ctx.plan
 let exec_report ctx = ctx.report
 
@@ -498,6 +515,11 @@ let context_fallbacks ctx =
     ctx.report.exec_kernels
 
 let run_context (ctx : context) ~params : Tensor.t list =
+  (* [traced] is decided once per run: with no sink installed the ids stay
+     0 and no per-kernel code below allocates (the zero-cost contract the
+     test suite pins down with [Gc.minor_words]). *)
+  let traced = Trace.enabled () in
+  let rsid = if traced then Trace.span_begin ~phase:"exec" "run-context" else 0 in
   let g = ctx.plan.Kernel_plan.graph in
   let values = ctx.values and computed = ctx.computed in
   Array.blit ctx.base_computed 0 computed 0 (Array.length computed);
@@ -523,6 +545,14 @@ let run_context (ctx : context) ~params : Tensor.t list =
     ctx.param_slots;
   Array.iter
     (fun ke ->
+      let ksid =
+        if traced then
+          Trace.span_begin ~phase:"exec"
+            (match ke with
+            | Fused_k f -> f.fprof.Profile.kname
+            | Ref_k r -> r.rprof.Profile.kname)
+        else 0
+      in
       let t0 = if ctx.timed then Unix.gettimeofday () else 0. in
       (match ke with
       | Fused_k fk ->
@@ -566,8 +596,17 @@ let run_context (ctx : context) ~params : Tensor.t list =
         in
         prof.wall_ns <- prof.wall_ns +. ((Unix.gettimeofday () -. t0) *. 1e9);
         prof.runs <- prof.runs + 1
-      end)
+      end;
+      if ksid <> 0 then
+        Trace.span_end ksid
+          ~attrs:
+            [
+              ( "fused",
+                Trace.Bool
+                  (match ke with Fused_k _ -> true | Ref_k _ -> false) );
+            ])
     ctx.kernels;
+  if rsid <> 0 then Trace.span_end rsid;
   Array.fold_right
     (fun id acc ->
       require id;

@@ -13,6 +13,17 @@
    those through [note_bypass] - so a hit is always a full-strength
    artifact. *)
 
+module Trace = Astitch_obs.Trace
+module Metrics = Astitch_obs.Metrics
+
+(* Global cache observability: per-cache [stats] stay the source of truth
+   for callers holding the cache; the process-wide metrics registry gets
+   the same increments (summed over caches) so `--metrics` and the text
+   exporter see cache behaviour without plumbing a handle through. *)
+let note what =
+  Metrics.(inc (counter default ("plan_cache." ^ what)));
+  if Trace.enabled () then Trace.instant ~phase:"cache" ("cache-" ^ what)
+
 type stats = {
   hits : int;
   misses : int;
@@ -53,9 +64,11 @@ let find t k =
   | Some e ->
       touch t e;
       t.stats <- { t.stats with hits = t.stats.hits + 1 };
+      note "hit";
       Some e.value
   | None ->
       t.stats <- { t.stats with misses = t.stats.misses + 1 };
+      note "miss";
       None
 
 (* Evict the least-recently-used entry (smallest tick). *)
@@ -72,7 +85,8 @@ let evict_one t =
   | None -> ()
   | Some (k, _) ->
       Hashtbl.remove t.table k;
-      t.stats <- { t.stats with evictions = t.stats.evictions + 1 }
+      t.stats <- { t.stats with evictions = t.stats.evictions + 1 };
+      note "eviction"
 
 let add t k v =
   (match Hashtbl.find_opt t.table k with
@@ -80,9 +94,12 @@ let add t k v =
   | None -> if Hashtbl.length t.table >= t.capacity then evict_one t);
   t.tick <- t.tick + 1;
   Hashtbl.replace t.table k { value = v; last_used = t.tick };
-  t.stats <- { t.stats with insertions = t.stats.insertions + 1 }
+  t.stats <- { t.stats with insertions = t.stats.insertions + 1 };
+  note "insertion"
 
-let note_bypass t = t.stats <- { t.stats with bypasses = t.stats.bypasses + 1 }
+let note_bypass t =
+  t.stats <- { t.stats with bypasses = t.stats.bypasses + 1 };
+  note "bypass"
 
 type outcome = Hit | Miss | Bypassed
 

@@ -232,3 +232,37 @@ let pp_exec fmt r =
         | Some r -> Printf.sprintf "  [%s]" r
         | None -> ""))
     r.exec_kernels
+
+(* Bridge the measured execution counters into the metrics registry, so
+   `--metrics`, the trace CLI and the serving bench see execution
+   behaviour alongside the compile/cache metrics.  Byte counters
+   accumulate (counters sum across reports); capacity-like quantities are
+   high-water gauges; per-kernel wall time (when timing was enabled)
+   lands in a log-bucketed histogram for p50/p95/p99. *)
+let publish_exec ?(metrics = Astitch_obs.Metrics.default) (r : exec_report) =
+  let module M = Astitch_obs.Metrics in
+  let c name v = M.add (M.counter metrics name) v in
+  c "exec.reports" 1;
+  c "exec.kernels" (List.length r.exec_kernels);
+  c "exec.kernels_fused"
+    (List.length (List.filter (fun k -> k.fused) r.exec_kernels));
+  c "exec.kernels_reference"
+    (List.length (List.filter (fun k -> not k.fused) r.exec_kernels));
+  c "exec.nodes_executed" r.nodes_executed;
+  c "exec.bytes_materialized"
+    (List.fold_left (fun a k -> a + k.bytes_materialized) 0 r.exec_kernels);
+  c "exec.bytes_scalarized"
+    (List.fold_left (fun a k -> a + k.bytes_scalarized) 0 r.exec_kernels);
+  c "exec.bytes_staged" (exec_total_staged r);
+  c "exec.restages"
+    (List.fold_left (fun a k -> a + k.restages) 0 r.exec_kernels);
+  M.set_max (M.gauge metrics "exec.arena_bytes") (float_of_int r.arena_bytes);
+  M.set_max
+    (M.gauge metrics "exec.buffers_allocated")
+    (float_of_int r.buffers_allocated);
+  let h = M.histogram metrics "exec.kernel_wall_us" in
+  List.iter
+    (fun k ->
+      if k.runs > 0 && k.wall_ns > 0. then
+        M.observe h (k.wall_ns /. float_of_int k.runs /. 1e3))
+    r.exec_kernels

@@ -78,3 +78,9 @@ type exec_report = {
 
 val exec_total_staged : exec_report -> int
 val pp_exec : Format.formatter -> exec_report -> unit
+
+val publish_exec : ?metrics:Astitch_obs.Metrics.t -> exec_report -> unit
+(** Publish the report's counters into a metrics registry (default: the
+    process-wide one): byte/kernel counters accumulate, arena capacity is
+    a high-water gauge, and per-kernel mean wall time (timed contexts
+    only) feeds the ["exec.kernel_wall_us"] histogram. *)

@@ -4,6 +4,7 @@
 open Astitch_ir
 open Astitch_tensor
 open Astitch_plan
+module Trace = Astitch_obs.Trace
 
 type result = {
   backend_name : string;
@@ -12,9 +13,21 @@ type result = {
 }
 
 let compile (backend : Backend_intf.t) arch g =
-  let plan = backend.compile arch g in
-  let profile = Profile.profile ~config:backend.cost_config plan in
-  { backend_name = backend.name; plan; profile }
+  let attrs =
+    if Trace.enabled () then
+      [
+        ("backend", Trace.Str backend.Backend_intf.name);
+        ("arch", Trace.Str arch.Astitch_simt.Arch.name);
+      ]
+    else []
+  in
+  Trace.with_span ~phase:"session" "compile" ~attrs (fun () ->
+      let plan = backend.compile arch g in
+      let profile =
+        Trace.with_span ~phase:"session" "profile-estimate" (fun () ->
+            Profile.profile ~config:backend.cost_config plan)
+      in
+      { backend_name = backend.name; plan; profile })
 
 type resilient = {
   result : result;
@@ -27,17 +40,24 @@ type resilient = {
    config and a healthy graph the report is empty and the plan matches
    [Astitch.compile] exactly. *)
 let compile_resilient ?(config = Astitch_core.Config.full) arch g =
-  match Astitch_core.Fallback.compile config arch g with
-  | Error e -> Error e
-  | Ok (plan, report) ->
-      let profile =
-        Profile.profile ~config:Astitch_core.Astitch.cost_config plan
-      in
-      Ok
-        {
-          result = { backend_name = "AStitch-resilient"; plan; profile };
-          report;
-        }
+  let attrs =
+    if Trace.enabled () then
+      [ ("arch", Trace.Str arch.Astitch_simt.Arch.name) ]
+    else []
+  in
+  Trace.with_span ~phase:"session" "compile-resilient" ~attrs (fun () ->
+      match Astitch_core.Fallback.compile config arch g with
+      | Error e -> Error e
+      | Ok (plan, report) ->
+          let profile =
+            Trace.with_span ~phase:"session" "profile-estimate" (fun () ->
+                Profile.profile ~config:Astitch_core.Astitch.cost_config plan)
+          in
+          Ok
+            {
+              result = { backend_name = "AStitch-resilient"; plan; profile };
+              report;
+            })
 
 (* --- Compile-once caching ---------------------------------------------
 

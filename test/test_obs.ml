@@ -1,0 +1,472 @@
+(* The observability layer: trace spans/events, the metrics registry,
+   the Chrome-trace exporter and the instrumentation hooks.
+
+   The load-bearing claims, each tested directly:
+   - spans nest well-formedly per domain and the exporter's output is
+     valid JSON a real consumer can load;
+   - under an injectable manual clock the whole export is deterministic;
+   - with no sink installed the hot-path entry points allocate nothing;
+   - concurrent domain emitters never interleave or corrupt records
+     (per-domain ring buffers), checked as a QCheck property;
+   - compiling instruments every pipeline phase, executing instruments
+     every kernel, and cache/fallback/fault activity lands in the
+     metrics registry. *)
+
+open Astitch_simt
+open Astitch_plan
+open Astitch_runtime
+module Trace = Astitch_obs.Trace
+module Metrics = Astitch_obs.Metrics
+module Clock = Astitch_obs.Clock
+module Chrome = Astitch_obs.Chrome_trace
+module J = Astitch_obs.Json_check
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let with_manual_sink f =
+  Trace.install ~clock:(Clock.read (Clock.manual ())) ();
+  Fun.protect
+    ~finally:(fun () -> if Trace.installed () then ignore (Trace.uninstall ()))
+    f
+
+let spans records =
+  List.filter_map (function Trace.Span s -> Some s | _ -> None) records
+
+let events records =
+  List.filter_map (function Trace.Event e -> Some e | _ -> None) records
+
+let span_names records =
+  List.map (fun (s : Trace.span) -> s.Trace.name) (spans records)
+
+(* --- Spans ---------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  let records =
+    with_manual_sink (fun () ->
+        Trace.with_span ~phase:"t" "outer" (fun () ->
+            Trace.with_span ~phase:"t" "inner" (fun () ->
+                Trace.instant ~phase:"t" "tick"));
+        Trace.records ())
+  in
+  let find name =
+    List.find (fun (s : Trace.span) -> s.Trace.name = name) (spans records)
+  in
+  let outer = find "outer" and inner = find "inner" in
+  check_int "inner's parent is outer" outer.Trace.id inner.Trace.parent;
+  check_int "outer is a root" 0 outer.Trace.parent;
+  check_bool "parent interval contains child" true
+    (outer.Trace.start_ns <= inner.Trace.start_ns
+    && inner.Trace.end_ns <= outer.Trace.end_ns);
+  check_int "event between the span ends" 1 (List.length (events records));
+  check_bool "ids are distinct and nonzero" true
+    (outer.Trace.id > 0 && inner.Trace.id > 0
+    && outer.Trace.id <> inner.Trace.id)
+
+let test_span_auto_close () =
+  let records =
+    with_manual_sink (fun () ->
+        let a = Trace.span_begin ~phase:"t" "a" in
+        let _b = Trace.span_begin ~phase:"t" "b" in
+        (* ending the parent auto-closes the still-open child *)
+        Trace.span_end a;
+        check_int "stack is balanced" 0 (Trace.open_spans ());
+        Trace.records ())
+  in
+  let find name =
+    List.find (fun (s : Trace.span) -> s.Trace.name = name) (spans records)
+  in
+  check_int "both spans closed" 2 (List.length (spans records));
+  check_int "child closed at the parent's end" (find "a").Trace.end_ns
+    (find "b").Trace.end_ns
+
+let test_with_span_exception () =
+  let records =
+    with_manual_sink (fun () ->
+        (try
+           Trace.with_span ~phase:"t" "boom" (fun () -> failwith "injected")
+         with Failure _ -> ());
+        Trace.records ())
+  in
+  match spans records with
+  | [ s ] ->
+      check_string "span survived the exception" "boom" s.Trace.name;
+      check_bool "error attribute recorded" true
+        (List.mem_assoc "error" s.Trace.attrs)
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l)
+
+let test_ring_overflow () =
+  Trace.install ~clock:(Clock.read (Clock.manual ())) ~capacity:8 ();
+  for i = 1 to 20 do
+    Trace.instant ~phase:"t" (Printf.sprintf "e%d" i)
+  done;
+  check_int "dropped counts the overflow" 12 (Trace.dropped ());
+  let records = Trace.uninstall () in
+  check_int "ring keeps the newest 8" 8 (List.length records);
+  check_string "oldest survivor is e13" "e13"
+    (match List.hd records with Trace.Event e -> e.Trace.ename | _ -> "?")
+
+(* --- Chrome exporter ------------------------------------------------------ *)
+
+let sample_records () =
+  with_manual_sink (fun () ->
+      Trace.with_span ~phase:"compile" "clustering"
+        ~attrs:[ ("n", Trace.Int 3); ("note", Trace.Str "a\"b\\c\n") ]
+        (fun () -> Trace.instant ~phase:"cache" "cache-hit");
+      Trace.records ())
+
+let test_chrome_json_valid () =
+  let text = Chrome.to_string (sample_records ()) in
+  match J.parse text with
+  | Error e -> Alcotest.failf "exporter output does not parse: %s" e
+  | Ok root -> (
+      check_string "displayTimeUnit" "ms"
+        (Option.value ~default:"?"
+           (Option.bind (J.member "displayTimeUnit" root) J.as_str));
+      match Option.bind (J.member "traceEvents" root) J.as_arr with
+      | None -> Alcotest.fail "no traceEvents array"
+      | Some evs ->
+          check_int "metadata + span + instant" 3 (List.length evs);
+          List.iter
+            (fun ev ->
+              check_bool "every event has name and ph" true
+                (J.member "name" ev <> None && J.member "ph" ev <> None))
+            evs;
+          let span =
+            List.find
+              (fun ev ->
+                Option.bind (J.member "ph" ev) J.as_str = Some "X")
+              evs
+          in
+          check_bool "span has ts/dur/cat/tid/args" true
+            (J.member "ts" span <> None
+            && J.member "dur" span <> None
+            && J.member "cat" span <> None
+            && J.member "tid" span <> None
+            && J.member "args" span <> None);
+          let args = Option.get (J.member "args" span) in
+          check_bool "attrs travel in args" true
+            (Option.bind (J.member "n" args) J.as_num = Some 3.);
+          check_string "escaped string round-trips" "a\"b\\c\n"
+            (Option.value ~default:"?"
+               (Option.bind (J.member "note" args) J.as_str)))
+
+let test_deterministic_export () =
+  let once () = Chrome.to_string (sample_records ()) in
+  check_string "two manual-clock runs export identical JSON" (once ())
+    (once ())
+
+(* --- Zero cost when disabled --------------------------------------------- *)
+
+let test_disabled_no_alloc () =
+  if Trace.installed () then ignore (Trace.uninstall ());
+  (* warm up so any one-time setup is out of the measured window *)
+  let id = Trace.span_begin ~phase:"exec" "warm" in
+  Trace.span_end id;
+  let before = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    let id = Trace.span_begin ~phase:"exec" "kernel" in
+    Trace.span_end id;
+    Trace.instant ~phase:"exec" "tick";
+    ignore (Trace.enabled ())
+  done;
+  let allocated = Gc.minor_words () -. before in
+  Alcotest.(check (float 0.))
+    "no sink => no allocation on the span hot path" 0. allocated
+
+(* --- Concurrent emitters (qcheck) ----------------------------------------- *)
+
+let prop_concurrent_domains =
+  QCheck2.Test.make ~name:"concurrent domain emitters never corrupt records"
+    ~count:25
+    QCheck2.Gen.(pair (int_range 2 4) (int_range 1 20))
+    (fun (ndomains, per_domain) ->
+      Trace.install ~clock:(Clock.read (Clock.manual ())) ();
+      let emit idx () =
+        for j = 1 to per_domain do
+          let id =
+            Trace.span_begin ~phase:(Printf.sprintf "p%d" idx)
+              (Printf.sprintf "d%d-%d" idx j)
+          in
+          Trace.instant ~phase:(Printf.sprintf "p%d" idx)
+            (Printf.sprintf "e%d-%d" idx j);
+          Trace.span_end id
+        done
+      in
+      let doms =
+        List.init (ndomains - 1) (fun i -> Domain.spawn (emit (i + 1)))
+      in
+      emit 0 ();
+      List.iter Domain.join doms;
+      let records = Trace.uninstall () in
+      let ok = ref true in
+      for idx = 0 to ndomains - 1 do
+        let prefix = Printf.sprintf "d%d-" idx in
+        let mine =
+          List.filter
+            (fun (s : Trace.span) ->
+              String.length s.Trace.name >= String.length prefix
+              && String.sub s.Trace.name 0 (String.length prefix) = prefix)
+            (spans records)
+        in
+        if List.length mine <> per_domain then ok := false;
+        (* every record of one emitter is intact: phase matches the name,
+           timestamps are ordered, and all share one domain id *)
+        List.iter
+          (fun (s : Trace.span) ->
+            if s.Trace.phase <> Printf.sprintf "p%d" idx then ok := false;
+            if s.Trace.end_ns < s.Trace.start_ns then ok := false)
+          mine;
+        match mine with
+        | [] -> ok := false
+        | s0 :: rest ->
+            List.iter
+              (fun (s : Trace.span) ->
+                if s.Trace.domain <> s0.Trace.domain then ok := false)
+              rest
+      done;
+      let total_spans = List.length (spans records) in
+      if total_spans <> ndomains * per_domain then ok := false;
+      !ok)
+
+(* --- Metrics -------------------------------------------------------------- *)
+
+let test_counters_gauges () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "c" in
+  Metrics.inc c;
+  Metrics.add c 4;
+  check_int "counter accumulates" 5 (Metrics.value c);
+  check_bool "get-or-create returns the same counter" true
+    (Metrics.value (Metrics.counter reg "c") = 5);
+  let g = Metrics.gauge reg "g" in
+  Metrics.set g 2.5;
+  Metrics.set_max g 1.0;
+  Alcotest.(check (float 1e-9)) "set_max keeps the high water" 2.5
+    (Metrics.gauge_value g);
+  Metrics.set_max g 7.0;
+  Alcotest.(check (float 1e-9)) "set_max raises" 7.0 (Metrics.gauge_value g);
+  check_bool "re-registering as a different kind rejects" true
+    (match Metrics.histogram reg "c" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_histogram_quantiles () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "lat" in
+  for i = 1 to 1000 do
+    Metrics.observe h (float_of_int i)
+  done;
+  check_int "count" 1000 (Metrics.hist_count h);
+  let within q expect =
+    let v = Metrics.quantile h q in
+    let rel = Float.abs (v -. expect) /. expect in
+    if rel > 0.15 then
+      Alcotest.failf "q%.0f: %.1f not within 15%% of %.1f" (100. *. q) v
+        expect
+  in
+  within 0.50 500.;
+  within 0.95 950.;
+  within 0.99 990.;
+  let mean = Metrics.hist_mean h in
+  check_bool "mean close to 500.5" true (Float.abs (mean -. 500.5) < 1.)
+
+let test_snapshot_reset () =
+  let reg = Metrics.create () in
+  Metrics.inc (Metrics.counter reg "b");
+  Metrics.set (Metrics.gauge reg "a") 3.;
+  Metrics.observe (Metrics.histogram reg "c") 10.;
+  (match Metrics.snapshot reg with
+  | [ Metrics.Gauge_s { name = "a"; _ }; Metrics.Counter_s { name = "b"; _ };
+      Metrics.Hist_s { name = "c"; n = 1; _ } ] ->
+      ()
+  | _ -> Alcotest.fail "snapshot shape/order");
+  Metrics.reset reg;
+  check_int "reset zeroes counters" 0 (Metrics.value (Metrics.counter reg "b"));
+  check_int "reset zeroes histograms" 0
+    (Metrics.hist_count (Metrics.histogram reg "c"))
+
+(* --- Pipeline instrumentation -------------------------------------------- *)
+
+let crnn_tiny () =
+  match Astitch_workloads.Zoo.find "CRNN" with
+  | Some e -> e.tiny ()
+  | None -> Alcotest.fail "no CRNN in the zoo"
+
+let compile_phases =
+  [
+    "clustering"; "remote-stitching"; "dominant-grouping";
+    "schedule-propagation"; "locality-placement"; "mem-planning";
+    "launch-config"; "codegen"; "kernel-schedule";
+  ]
+
+let test_compile_spans () =
+  let records =
+    with_manual_sink (fun () ->
+        ignore
+          (Session.compile Astitch_core.Astitch.full_backend Arch.v100
+             (crnn_tiny ()));
+        Trace.records ())
+  in
+  let names = span_names records in
+  List.iter
+    (fun phase ->
+      check_bool (phase ^ " span present") true (List.mem phase names))
+    compile_phases;
+  check_bool "session compile span present" true (List.mem "compile" names);
+  check_bool "per-cluster spans present" true (List.mem "cluster" names);
+  (* nesting well-formedness across the whole compile: every non-root
+     span's parent exists and its interval contains the child *)
+  let by_id = Hashtbl.create 128 in
+  List.iter
+    (fun (s : Trace.span) -> Hashtbl.replace by_id s.Trace.id s)
+    (spans records);
+  List.iter
+    (fun (s : Trace.span) ->
+      if s.Trace.parent <> 0 then
+        match Hashtbl.find_opt by_id s.Trace.parent with
+        | None -> Alcotest.failf "span %s has a dangling parent" s.Trace.name
+        | Some p ->
+            check_bool
+              (Printf.sprintf "%s nested in %s" s.Trace.name p.Trace.name)
+              true
+              (p.Trace.start_ns <= s.Trace.start_ns
+              && s.Trace.end_ns <= p.Trace.end_ns))
+    (spans records)
+
+let test_exec_spans_and_timing () =
+  let g = crnn_tiny () in
+  let r = Session.compile Astitch_core.Astitch.full_backend Arch.v100 g in
+  let params = Session.random_params g in
+  let ctx, records =
+    with_manual_sink (fun () ->
+        let ctx = Executor.create_context ~fused:true ~timed:true r.plan in
+        ignore (Executor.run_context ctx ~params);
+        (ctx, Trace.records ()))
+  in
+  let names = span_names records in
+  check_bool "run-context span present" true (List.mem "run-context" names);
+  check_bool "create-context span present" true
+    (List.mem "create-context" names);
+  List.iter
+    (fun (k : Kernel_plan.kernel) ->
+      check_bool (k.name ^ " has an execution span") true
+        (List.mem k.name names))
+    r.plan.Kernel_plan.kernels;
+  (* a timed context never reports wall_ns silently zero across the run *)
+  let report = Executor.exec_report ctx in
+  List.iter
+    (fun (k : Profile.exec_kernel) ->
+      check_int (k.kname ^ " counted its run") 1 k.runs)
+    report.Profile.exec_kernels;
+  check_bool "total measured wall time is positive" true
+    (List.fold_left
+       (fun acc (k : Profile.exec_kernel) -> acc +. k.wall_ns)
+       0. report.Profile.exec_kernels
+    > 0.)
+
+let test_cache_metrics () =
+  let g = crnn_tiny () in
+  let v name = Metrics.value (Metrics.counter Metrics.default name) in
+  let h0 = v "plan_cache.hit" and m0 = v "plan_cache.miss" in
+  let i0 = v "plan_cache.insertion" in
+  let cache = Session.make_cache () in
+  ignore
+    (Session.compile_cached cache Astitch_core.Astitch.full_backend Arch.v100 g);
+  ignore
+    (Session.compile_cached cache Astitch_core.Astitch.full_backend Arch.v100 g);
+  check_int "one miss published" (m0 + 1) (v "plan_cache.miss");
+  check_int "one insertion published" (i0 + 1) (v "plan_cache.insertion");
+  check_int "one hit published" (h0 + 1) (v "plan_cache.hit")
+
+let test_fault_and_degrade_events () =
+  let g = crnn_tiny () in
+  let config =
+    {
+      Astitch_core.Config.full with
+      faults = [ Fault_site.plan ~mode:Fault_site.Raise Fault_site.Mem_planning ];
+    }
+  in
+  let fired0 = Metrics.value (Metrics.counter Metrics.default "fault.fired") in
+  let deg0 =
+    Metrics.value (Metrics.counter Metrics.default "fallback.degradations")
+  in
+  let report, records =
+    with_manual_sink (fun () ->
+        match Session.compile_resilient ~config Arch.v100 g with
+        | Error e -> Alcotest.failf "resilient compile failed: %s"
+                       (Compile_error.to_string e)
+        | Ok { report; _ } -> (report, Trace.records ()))
+  in
+  check_bool "the ladder stepped down" true
+    (not (Astitch_core.Degradation.is_empty report));
+  let enames = List.map (fun (e : Trace.event) -> e.Trace.ename) (events records) in
+  check_bool "fault-fired event emitted" true (List.mem "fault-fired" enames);
+  check_bool "degrade event emitted" true (List.mem "degrade" enames);
+  check_bool "fault.fired counter bumped" true
+    (Metrics.value (Metrics.counter Metrics.default "fault.fired") > fired0);
+  check_bool "fallback.degradations counter bumped" true
+    (Metrics.value (Metrics.counter Metrics.default "fallback.degradations")
+    > deg0)
+
+let test_publish_exec () =
+  let g = crnn_tiny () in
+  let r = Session.compile Astitch_core.Astitch.full_backend Arch.v100 g in
+  let ctx = Executor.create_context ~fused:true ~timed:true r.plan in
+  let params = Session.random_params g in
+  for _ = 1 to 3 do
+    ignore (Executor.run_context ctx ~params)
+  done;
+  let reg = Metrics.create () in
+  Profile.publish_exec ~metrics:reg (Executor.exec_report ctx);
+  let v name = Metrics.value (Metrics.counter reg name) in
+  check_int "one report" 1 (v "exec.reports");
+  check_bool "kernels counted" true (v "exec.kernels" > 0);
+  check_int "fused + reference = kernels" (v "exec.kernels")
+    (v "exec.kernels_fused" + v "exec.kernels_reference");
+  check_bool "arena gauge set" true
+    (Metrics.gauge_value (Metrics.gauge reg "exec.arena_bytes") > 0.);
+  check_bool "wall-time histogram fed" true
+    (Metrics.hist_count (Metrics.histogram reg "exec.kernel_wall_us") > 0)
+
+(* --- Suite ---------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "auto-close" `Quick test_span_auto_close;
+          Alcotest.test_case "exception" `Quick test_with_span_exception;
+          Alcotest.test_case "ring overflow" `Quick test_ring_overflow;
+        ] );
+      ( "chrome",
+        [
+          Alcotest.test_case "valid JSON" `Quick test_chrome_json_valid;
+          Alcotest.test_case "deterministic" `Quick test_deterministic_export;
+        ] );
+      ( "cost",
+        [ Alcotest.test_case "disabled = no alloc" `Quick test_disabled_no_alloc ]
+      );
+      ( "concurrency",
+        [ QCheck_alcotest.to_alcotest ~long:false prop_concurrent_domains ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters + gauges" `Quick test_counters_gauges;
+          Alcotest.test_case "histogram quantiles" `Quick
+            test_histogram_quantiles;
+          Alcotest.test_case "snapshot + reset" `Quick test_snapshot_reset;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "compile spans" `Quick test_compile_spans;
+          Alcotest.test_case "exec spans + timing" `Quick
+            test_exec_spans_and_timing;
+          Alcotest.test_case "cache metrics" `Quick test_cache_metrics;
+          Alcotest.test_case "fault + degrade events" `Quick
+            test_fault_and_degrade_events;
+          Alcotest.test_case "publish_exec" `Quick test_publish_exec;
+        ] );
+    ]
