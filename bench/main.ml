@@ -72,6 +72,11 @@ let () =
   | [| _; "serving"; "quick"; "--check"; baseline |] ->
       Serving_bench.run ~quick:true ~baseline ()
   | [| _; "serving"; "--check"; baseline |] -> Serving_bench.run ~baseline ()
+  | [| _; "serve" |] -> Serve_bench.run ()
+  | [| _; "serve"; "quick" |] -> Serve_bench.run ~quick:true ()
+  | [| _; "serve"; "quick"; "--check"; baseline |] ->
+      Serve_bench.run ~quick:true ~baseline ()
+  | [| _; "serve"; "--check"; baseline |] -> Serve_bench.run ~baseline ()
   | [| _; name |] -> (
       try Experiments.run name
       with Astitch_plan.Compile_error.Error e ->
@@ -79,6 +84,6 @@ let () =
         exit 1)
   | _ ->
       prerr_endline
-        "usage: main.exe [experiment-id|bechamel|serving [quick] [--check \
-         BASELINE]]";
+        "usage: main.exe [experiment-id|bechamel|serving|serve [quick] \
+         [--check BASELINE]]";
       exit 1

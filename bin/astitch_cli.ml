@@ -7,6 +7,8 @@
    astitch_cli dot <model>                Graphviz of the graph
    astitch_cli bench [EXPERIMENT]         paper tables/figures
    astitch_cli compare <model>            all backends side by side
+   astitch_cli serve [MODEL...]           batched serving with a synthetic
+                                          open-loop request generator
 
    compile/compare take --resilient (per-cluster graceful degradation,
    prints the degradation report) and repeatable
@@ -207,6 +209,7 @@ let compile model backend training tiny arch resilient injects use_cache
   | Error e, _, _ | _, Error e, _ | _, _, Error e -> `Error (false, e)
   | Ok g, Ok b, Ok faults ->
       let repeat = Stdlib.max 1 repeat in
+      let jobs = Astitch_core.Config.resolve_domains jobs in
       with_arch arch (fun arch ->
           if resilient then begin
             match config_for_backend backend with
@@ -657,6 +660,196 @@ let trace_model model backend training tiny arch seed repeat out check summary
             | Error e -> `Error (false, "trace check failed: " ^ e)
           else `Ok ())
 
+(* --- Serving ---------------------------------------------------------------- *)
+
+(* Serving traces carry batch spans, not compile phases: require
+   well-formed trace-event JSON with at least one "serve"-category span
+   (the per-batch execution record the smoke test relies on). *)
+let validate_serve_trace path =
+  let ( let* ) = Result.bind in
+  let module J = Astitch_obs.Json_check in
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let* root = J.parse text in
+  let* events =
+    match Option.bind (J.member "traceEvents" root) J.as_arr with
+    | Some evs -> Ok evs
+    | None -> Error "no traceEvents array"
+  in
+  let* cats =
+    List.fold_left
+      (fun acc ev ->
+        let* acc = acc in
+        match
+          ( Option.bind (J.member "name" ev) J.as_str,
+            Option.bind (J.member "ph" ev) J.as_str )
+        with
+        | Some name, Some ph ->
+            if J.member "pid" ev = None || (J.member "ts" ev = None && ph <> "M")
+            then Error (Printf.sprintf "event %S lacks pid/ts" name)
+            else
+              Ok
+                (Option.value ~default:""
+                   (Option.bind (J.member "cat" ev) J.as_str)
+                :: acc)
+        | _ -> Error "event without name/ph")
+      (Ok []) events
+  in
+  if List.mem "serve" cats then Ok (List.length events)
+  else Error "no serve-phase batch span in the trace"
+
+let resolve_serve_models names =
+  let names = if names = [] then [ "ASR"; "DIEN" ] else names in
+  List.fold_left
+    (fun acc name ->
+      Result.bind acc (fun acc ->
+          match Astitch_workloads.Zoo.find name with
+          | Some e ->
+              Ok ({ Astitch_serve.Serve.name = e.name; build = e.batched } :: acc)
+          | None -> Error ("unknown model " ^ name)))
+    (Ok []) names
+  |> Result.map List.rev
+
+let hist_line name =
+  let h = Astitch_obs.Metrics.histogram Astitch_obs.Metrics.default name in
+  let q p = Astitch_obs.Metrics.quantile h p in
+  Printf.sprintf "p50 %.0f  p95 %.0f  p99 %.0f  (n=%d)" (q 0.5) (q 0.95)
+    (q 0.99)
+    (Astitch_obs.Metrics.hist_count h)
+
+let serve_cmd_impl models workers max_batch max_wait_us queue_depth requests
+    arrival deadline_us verify_every seed arch fused trace metrics check =
+  match resolve_serve_models models with
+  | Error e -> `Error (false, e)
+  | Ok models ->
+      with_arch arch (fun arch ->
+          let module Serve = Astitch_serve.Serve in
+          let module Request = Astitch_serve.Request in
+          let result =
+            with_obs ~trace ~metrics (fun () ->
+                let config =
+                  {
+                    Serve.default_config with
+                    workers;
+                    max_batch;
+                    max_wait_us;
+                    queue_depth;
+                    default_deadline_us = deadline_us;
+                    arch;
+                    fused;
+                    verify_every;
+                    seed;
+                  }
+                in
+                let server = Serve.create ~config models in
+                let n_models = List.length models in
+                Printf.printf
+                  "serve: %d model%s, %d workers, max-batch %d, window %.0fus, \
+                   depth %d\n\
+                   %!"
+                  n_models
+                  (if n_models = 1 then "" else "s")
+                  workers max_batch max_wait_us queue_depth;
+                Serve.warm server;
+                (* Open loop: request i arrives at its own scheduled time
+                   (exponential inter-arrivals at [arrival] req/s),
+                   whether or not earlier requests finished - so overload
+                   builds queue depth instead of slowing the generator. *)
+                let st = Random.State.make [| seed |] in
+                let t0 = Unix.gettimeofday () in
+                let clock = ref 0. in
+                let rejected = ref 0 in
+                let tickets =
+                  List.filter_map
+                    (fun i ->
+                      (if arrival > 0. then begin
+                         let gap =
+                           -.Float.log (1. -. Random.State.float st 1.)
+                           /. arrival
+                         in
+                         clock := !clock +. gap;
+                         let until = t0 +. !clock -. Unix.gettimeofday () in
+                         if until > 0. then Unix.sleepf until
+                       end);
+                      let model =
+                        (List.nth models (i mod n_models)).Serve.name
+                      in
+                      let params =
+                        Serve.random_request server ~model ~seed:(seed + i)
+                      in
+                      match Serve.submit_async server ~model ~params with
+                      | Ok t -> Some (i, t)
+                      | Error _ ->
+                          incr rejected;
+                          None)
+                    (List.init requests Fun.id)
+                in
+                Serve.drain server;
+                let wall = Unix.gettimeofday () -. t0 in
+                let done_n = ref 0
+                and failed = ref 0
+                and degraded = ref 0
+                and shed = ref 0 in
+                List.iter
+                  (fun (i, t) ->
+                    match Serve.await server t with
+                    | Request.Done { degraded = d; _ } ->
+                        incr done_n;
+                        if d then incr degraded
+                    | Request.Overloaded _ -> incr shed
+                    | Request.Failed m ->
+                        incr failed;
+                        Printf.printf "request %d FAILED: %s\n" i m)
+                  tickets;
+                Serve.shutdown server;
+                let s = Serve.stats server in
+                Printf.printf "admitted %d  rejected %d  shed %d\n"
+                  s.submitted !rejected !shed;
+                Printf.printf "completed %d  degraded %d  failed %d\n" !done_n
+                  !degraded !failed;
+                let mean_batch =
+                  Astitch_obs.Metrics.hist_mean
+                    (Astitch_obs.Metrics.histogram Astitch_obs.Metrics.default
+                       "serve.batch_size")
+                in
+                Printf.printf
+                  "batches %d  mean batch %.2f  max queue depth %d\n" s.batches
+                  mean_batch s.max_depth_seen;
+                Printf.printf "wall %.3fs  throughput %.1f req/s\n" wall
+                  (float_of_int !done_n /. Float.max wall 1e-9);
+                Printf.printf "latency us:    %s\n" (hist_line "serve.request_us");
+                Printf.printf "queue wait us: %s\n"
+                  (hist_line "serve.queue_wait_us");
+                (!done_n, !failed, !shed, !rejected))
+          in
+          let done_n, failed, shed, rejected = result in
+          if not check then `Ok ()
+          else
+            let accounted = done_n + failed + shed + rejected in
+            if failed > 0 then
+              `Error (false, Printf.sprintf "check: %d requests failed" failed)
+            else if done_n = 0 then `Error (false, "check: nothing completed")
+            else if accounted <> requests then
+              `Error
+                ( false,
+                  Printf.sprintf "check: %d of %d requests unaccounted for"
+                    (requests - accounted) requests )
+            else
+              let trace_ok =
+                match trace with
+                | None -> Ok 0
+                | Some path -> validate_serve_trace path
+              in
+              match trace_ok with
+              | Error e -> `Error (false, "check: trace invalid: " ^ e)
+              | Ok events ->
+                  Printf.printf
+                    "check: OK (%d completed, 0 failed%s)\n" done_n
+                    (if trace = None then ""
+                     else Printf.sprintf ", %d trace events" events);
+                  `Ok ())
+
 (* --- Command wiring ----------------------------------------------------------- *)
 
 let inspect_cmd =
@@ -679,7 +872,8 @@ let repeat_arg =
 let jobs_arg =
   Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
          ~doc:"Compile cluster groups on N domains (AStitch-family \
-               backends; plans are identical at any setting).")
+               backends; plans are identical at any setting).  0 means \
+               auto: the machine's recommended domain count, uncapped.")
 
 let compile_cmd =
   Cmd.v
@@ -811,6 +1005,75 @@ let parse_cmd =
     (Cmd.info "parse" ~doc:"Parse a textual-IR file, compile and profile it")
     Term.(ret (const parse_file $ file_arg $ backend_arg $ arch_arg))
 
+let serve_cmd =
+  let models_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"MODEL"
+           ~doc:"Zoo models to serve (default: ASR DIEN).")
+  in
+  let workers_arg =
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker domains executing batches (0 = caller-runs: \
+                 batches execute on the submitting thread during \
+                 await/drain).")
+  in
+  let max_batch_arg =
+    Arg.(value & opt int 8 & info [ "max-batch" ] ~docv:"N"
+           ~doc:"Largest batch bucket (buckets are powers of two up to \
+                 this).")
+  in
+  let max_wait_arg =
+    Arg.(value & opt float 2000. & info [ "max-wait-us" ] ~docv:"US"
+           ~doc:"Batching window: a request is never held longer than this \
+                 waiting for batchmates.")
+  in
+  let queue_depth_arg =
+    Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"N"
+           ~doc:"Admission-control bound: past this backlog, submissions \
+                 are refused with a structured overload instead of \
+                 queuing.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 100 & info [ "requests" ] ~docv:"N"
+           ~doc:"Total synthetic requests to generate (round-robin across \
+                 the models).")
+  in
+  let arrival_arg =
+    Arg.(value & opt float 0. & info [ "arrival" ] ~docv:"RATE"
+           ~doc:"Open-loop arrival rate in requests/second (exponential \
+                 inter-arrivals); 0 submits as fast as possible.")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some float) None & info [ "deadline-us" ] ~docv:"US"
+           ~doc:"Per-request deadline relative to submission; expired \
+                 requests are shed, not executed.")
+  in
+  let verify_arg =
+    Arg.(value & opt int 0 & info [ "verify-every" ] ~docv:"N"
+           ~doc:"Every Nth batch, re-execute its first request alone and \
+                 assert the batched outputs are bit-identical (0 = off).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+           ~doc:"Seed for weights, request payloads and arrivals.")
+  in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Exit non-zero unless every admitted request completed \
+                   without failure; with --trace, also re-parse the \
+                   emitted JSON and require per-batch serve spans.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the batched serving runtime under a synthetic open-loop \
+             request generator")
+    Term.(
+      ret
+        (const serve_cmd_impl $ models_arg $ workers_arg $ max_batch_arg
+       $ max_wait_arg $ queue_depth_arg $ requests_arg $ arrival_arg
+       $ deadline_arg $ verify_arg $ seed_arg $ arch_arg $ fused_arg
+       $ trace_arg $ metrics_arg $ check_arg))
+
 let main =
   Cmd.group
     (Cmd.info "astitch_cli" ~version:"1.0"
@@ -818,7 +1081,7 @@ let main =
              simulated SIMT GPU")
     [
       inspect_cmd; compile_cmd; run_cmd; cuda_cmd; dot_cmd; compare_cmds;
-      bench_cmd; text_cmd; parse_cmd; explain_cmd; trace_cmd;
+      bench_cmd; text_cmd; parse_cmd; explain_cmd; trace_cmd; serve_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -40,6 +40,15 @@ let full =
     fused_exec = true;
   }
 
+(* Resolve a requested domain count: [0] (or negative) means "auto", the
+   machine's recommended count.  This is where the old hard [min 8] cap
+   in Parallel.recommended_domains moved: the clamp is a configuration
+   decision, and the only remaining floor is 1. *)
+let resolve_domains requested =
+  if requested <= 0 then Parallel.recommended_domains () else requested
+
+let auto_domains () = { full with compile_domains = resolve_domains 0 }
+
 (* The "ATM" ablation: adaptive thread mapping on XLA's fusion plan. *)
 let atm_only = { full with hierarchical_data_reuse = false;
                  dominant_merging = false; remote_stitching = false }

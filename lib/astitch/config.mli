@@ -23,6 +23,16 @@ type t = {
 
 val full : t
 
+val resolve_domains : int -> int
+(** [resolve_domains n] is [n] for positive [n] and the machine's
+    recommended domain count for [n <= 0] ("auto").  The old hard cap of
+    8 domains lives nowhere anymore: [compile_domains] is honored as
+    given. *)
+
+val auto_domains : unit -> t
+(** [full] with [compile_domains] resolved to the machine's recommended
+    domain count. *)
+
 val atm_only : t
 (** Adaptive thread mapping on XLA's fusion plan (Table 4 "ATM"). *)
 

@@ -61,5 +61,9 @@ let mapi ~domains f items =
 
 let map ~domains f items = mapi ~domains (fun _ x -> f x) items
 
+(* The machine's recommended domain count, uncapped.  Callers that want
+   fewer domains say so through [Config.compile_domains] (CLI [-j], the
+   serving worker pool's [workers]); hardcoding a ceiling here silently
+   wasted cores on wide machines. *)
 let recommended_domains () =
-  Stdlib.max 1 (Stdlib.min 8 (Domain.recommended_domain_count ()))
+  Stdlib.max 1 (Domain.recommended_domain_count ())

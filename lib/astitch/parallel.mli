@@ -18,5 +18,7 @@ val map : domains:int -> ('a -> 'b) -> 'a list -> 'b list
 val mapi : domains:int -> (int -> 'a -> 'b) -> 'a list -> 'b list
 
 val recommended_domains : unit -> int
-(** [Domain.recommended_domain_count] clamped to [1, 8] — a sensible
-    default for [Config.compile_domains]. *)
+(** [Domain.recommended_domain_count], at least 1 — the default for
+    [Config.compile_domains] when the caller asks for "auto" (CLI
+    [-j 0], {!Config.auto_domains}).  No hidden ceiling: capping is the
+    configuration's job, not this module's. *)

@@ -97,16 +97,23 @@ let bucket_index v =
     if i < 0 then 0 else if i >= nbuckets then nbuckets - 1 else i
 
 (* Geometric midpoint of bucket [i] - the representative a quantile
-   query returns. *)
+   query returns.  Bucket 0 is the underflow bucket (zero, negative and
+   non-finite observations); its representative is exactly 0., so a
+   histogram of all-zero latencies reports p50 = 0 rather than a
+   nonsensical 1e-9. *)
 let bucket_value i =
-  Float.exp (log_gamma *. (float_of_int (i - offset) +. 0.5))
+  if i = 0 then 0.
+  else Float.exp (log_gamma *. (float_of_int (i - offset) +. 0.5))
 
 let observe h v =
   ignore (Atomic.fetch_and_add h.buckets.(bucket_index v) 1);
   ignore (Atomic.fetch_and_add h.hcount 1);
-  ignore
-    (Atomic.fetch_and_add h.sum_milli
-       (int_of_float (Float.round (v *. 1000.))))
+  (* NaN/infinite observations land in an edge bucket above; keep them
+     out of the fixed-point sum too (int_of_float nan is unspecified). *)
+  let milli =
+    if Float.is_finite v then int_of_float (Float.round (v *. 1000.)) else 0
+  in
+  ignore (Atomic.fetch_and_add h.sum_milli milli)
 
 let hist_count h = Atomic.get h.hcount
 let hist_sum h = float_of_int (Atomic.get h.sum_milli) /. 1000.
@@ -115,10 +122,15 @@ let hist_mean h =
   let n = hist_count h in
   if n = 0 then 0. else hist_sum h /. float_of_int n
 
+(* Quantiles must be total: an empty histogram (a serving run that shed
+   every request, a bench leg that never sampled) answers 0 for every q,
+   and a NaN q clamps like an out-of-range one instead of poisoning the
+   rank arithmetic. *)
 let quantile h q =
   let total = hist_count h in
   if total = 0 then 0.
   else begin
+    let q = if Float.is_nan q then 1. else q in
     let q = Float.max 0. (Float.min 1. q) in
     let rank =
       Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int total)))

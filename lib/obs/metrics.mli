@@ -43,9 +43,11 @@ val hist_sum : histogram -> float
 val hist_mean : histogram -> float
 
 val quantile : histogram -> float -> float
-(** [quantile h q] for [q] in [0,1]; 0 when empty.  Returns the
-    geometric midpoint of the bucket holding the rank-[ceil(q*n)]
-    observation. *)
+(** [quantile h q] for [q] in [0,1]; 0 when empty (never raises or
+    returns NaN, whatever [q]).  Returns the geometric midpoint of the
+    bucket holding the rank-[ceil(q*n)] observation; the underflow
+    bucket (zero/negative/non-finite observations) answers exactly 0.
+    Out-of-range [q] clamps to [0,1]; NaN [q] behaves like 1. *)
 
 type sample =
   | Counter_s of { name : string; count : int }

@@ -11,7 +11,18 @@
    the entry with the smallest tick (strict LRU, deterministic).  The
    cache never stores degraded or fault-injected results - callers route
    those through [note_bypass] - so a hit is always a full-strength
-   artifact. *)
+   artifact.
+
+   The cache is safe for concurrent domains: every operation that reads
+   or mutates the table, the tick or the stats record holds [mu].  The
+   serving worker pool shares one cache across all workers, so lookups,
+   insertions and evictions race freely; the mutex keeps the LRU
+   invariants (tick monotonicity, length <= capacity, stats consistent
+   with table contents) intact under that load.  [find_or_compute] runs
+   [compute] OUTSIDE the lock - compilation is slow and must overlap
+   across domains - so two domains may compile the same key
+   concurrently; the second [add] replaces the first, which is sound
+   because equal keys imply interchangeable artifacts. *)
 
 module Trace = Astitch_obs.Trace
 module Metrics = Astitch_obs.Metrics
@@ -38,6 +49,7 @@ let zero_stats =
 type 'a entry = { value : 'a; mutable last_used : int }
 
 type 'a t = {
+  mu : Mutex.t;
   capacity : int;
   table : (string, 'a entry) Hashtbl.t;
   mutable tick : int;
@@ -46,32 +58,56 @@ type 'a t = {
 
 let create ?(capacity = 128) () =
   if capacity <= 0 then invalid_arg "Plan_cache.create: capacity must be > 0";
-  { capacity; table = Hashtbl.create (2 * capacity); tick = 0; stats = zero_stats }
+  {
+    mu = Mutex.create ();
+    capacity;
+    table = Hashtbl.create (2 * capacity);
+    tick = 0;
+    stats = zero_stats;
+  }
 
 let key ~fingerprint ~arch ~config =
   Printf.sprintf "%s|%s|%s" fingerprint arch config
 
-let length t = Hashtbl.length t.table
+(* Run [f] holding the cache lock; metrics/trace emission stays outside
+   the critical section (the metrics registry has its own synchronization
+   and the trace sink is per-domain). *)
+let locked t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+      Mutex.unlock t.mu;
+      v
+  | exception e ->
+      Mutex.unlock t.mu;
+      raise e
+
+let length t = locked t (fun () -> Hashtbl.length t.table)
 let capacity t = t.capacity
-let stats t = t.stats
+let stats t = locked t (fun () -> t.stats)
 
 let touch t e =
   t.tick <- t.tick + 1;
   e.last_used <- t.tick
 
 let find t k =
-  match Hashtbl.find_opt t.table k with
-  | Some e ->
-      touch t e;
-      t.stats <- { t.stats with hits = t.stats.hits + 1 };
-      note "hit";
-      Some e.value
-  | None ->
-      t.stats <- { t.stats with misses = t.stats.misses + 1 };
-      note "miss";
-      None
+  let r =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table k with
+        | Some e ->
+            touch t e;
+            t.stats <- { t.stats with hits = t.stats.hits + 1 };
+            Some e.value
+        | None ->
+            t.stats <- { t.stats with misses = t.stats.misses + 1 };
+            None)
+  in
+  note (match r with Some _ -> "hit" | None -> "miss");
+  r
 
-(* Evict the least-recently-used entry (smallest tick). *)
+(* Evict the least-recently-used entry (smallest tick).  Caller holds
+   the lock.  Returns whether an eviction happened so the metric can be
+   emitted outside the critical section. *)
 let evict_one t =
   let victim =
     Hashtbl.fold
@@ -82,23 +118,36 @@ let evict_one t =
       t.table None
   in
   match victim with
-  | None -> ()
+  | None -> false
   | Some (k, _) ->
       Hashtbl.remove t.table k;
       t.stats <- { t.stats with evictions = t.stats.evictions + 1 };
-      note "eviction"
+      true
 
+(* Re-adding an existing key (concurrent domains racing on the same
+   compile) is an in-place update: it counts as neither insertion nor
+   eviction, so [length = insertions - evictions] holds at all times. *)
 let add t k v =
-  (match Hashtbl.find_opt t.table k with
-  | Some _ -> Hashtbl.remove t.table k
-  | None -> if Hashtbl.length t.table >= t.capacity then evict_one t);
-  t.tick <- t.tick + 1;
-  Hashtbl.replace t.table k { value = v; last_used = t.tick };
-  t.stats <- { t.stats with insertions = t.stats.insertions + 1 };
-  note "insertion"
+  let replaced, evicted =
+    locked t (fun () ->
+        let replaced = Hashtbl.mem t.table k in
+        let evicted =
+          (not replaced)
+          && Hashtbl.length t.table >= t.capacity
+          && evict_one t
+        in
+        t.tick <- t.tick + 1;
+        Hashtbl.replace t.table k { value = v; last_used = t.tick };
+        if not replaced then
+          t.stats <- { t.stats with insertions = t.stats.insertions + 1 };
+        (replaced, evicted))
+  in
+  if evicted then note "eviction";
+  note (if replaced then "replacement" else "insertion")
 
 let note_bypass t =
-  t.stats <- { t.stats with bypasses = t.stats.bypasses + 1 };
+  locked t (fun () ->
+      t.stats <- { t.stats with bypasses = t.stats.bypasses + 1 });
   note "bypass"
 
 type outcome = Hit | Miss | Bypassed
@@ -111,7 +160,9 @@ let outcome_to_string = function
 (* The caching protocol in one place: look up, or compile and - only when
    the compiler says the artifact is cacheable - insert.  Degraded and
    fault-injected compiles return [cacheable = false] and are counted as
-   bypasses, never stored. *)
+   bypasses, never stored.  [compute] runs outside the cache lock, so
+   concurrent domains can miss on the same key and compile in parallel;
+   both insertions are sound (equal keys, interchangeable values). *)
 let find_or_compute t k ~compute =
   match find t k with
   | Some v -> (v, Hit)

@@ -6,7 +6,14 @@
     settings, so a hit can be served verbatim.  Degraded or
     fault-injected compiles must never be inserted; route them through
     {!note_bypass} (or return [cacheable = false] from
-    {!find_or_compute}). *)
+    {!find_or_compute}).
+
+    Safe for concurrent domains: all table/stat mutation is serialized
+    behind an internal mutex, so one cache can back a whole serving
+    worker pool.  {!find_or_compute} runs its [compute] outside the
+    lock; two domains may therefore compile the same key concurrently,
+    and the later insertion replaces the earlier (sound, since equal
+    keys imply interchangeable artifacts). *)
 
 type stats = {
   hits : int;
@@ -32,7 +39,9 @@ val find : 'a t -> string -> 'a option
 
 val add : 'a t -> string -> 'a -> unit
 (** Insert, evicting the least-recently-used entry when full.  Re-adding
-    an existing key replaces its value (no spurious eviction). *)
+    an existing key replaces its value in place - no spurious eviction,
+    and no insertion count either, so [length = insertions - evictions]
+    is an invariant. *)
 
 val note_bypass : 'a t -> unit
 (** Record a compile that deliberately skipped the cache. *)

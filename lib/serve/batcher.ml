@@ -1,0 +1,43 @@
+(* Dynamic-batching policy: when to dispatch, and at what bucket size.
+
+   Pure decision logic - the scheduler feeds it queue state under its
+   lock and acts on the verdict.  Batch sizes are quantised to power-of-
+   two buckets {1, 2, 4, ..., max_batch} so the worker pool compiles and
+   reuses one executor context per (model x bucket) instead of one per
+   arbitrary batch size; tail batches pad up to their bucket.
+
+   Dispatch fires when any of:
+     - a full [max_batch] is waiting (no reason to wait longer);
+     - the oldest pending request has waited [max_wait_us] (bounds the
+       latency cost of batching: a lone request is never held past the
+       batching window);
+     - the server is draining (flush everything now). *)
+
+type policy = { max_batch : int; max_wait_us : float }
+
+let policy ~max_batch ~max_wait_us =
+  if max_batch < 1 then invalid_arg "Batcher.policy: max_batch must be >= 1";
+  if max_wait_us < 0. then
+    invalid_arg "Batcher.policy: max_wait_us must be >= 0";
+  { max_batch; max_wait_us }
+
+let max_wait_us p = p.max_wait_us
+let max_batch p = p.max_batch
+
+(* Smallest power of two >= [n], capped at [max_batch]. *)
+let bucket p n =
+  if n < 1 then invalid_arg "Batcher.bucket: n must be >= 1";
+  let rec up b = if b >= n then b else up (2 * b) in
+  Stdlib.min p.max_batch (up 1)
+
+let buckets p =
+  let rec go b acc = if b > p.max_batch then List.rev acc else go (2 * b) (b :: acc) in
+  go 1 []
+
+type decision = Dispatch of int  (** dequeue this many now *) | Wait
+
+let decide p ~pending ~oldest_wait_us ~draining =
+  if pending <= 0 then Wait
+  else if pending >= p.max_batch then Dispatch p.max_batch
+  else if draining || oldest_wait_us >= p.max_wait_us then Dispatch pending
+  else Wait

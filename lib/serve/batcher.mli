@@ -1,0 +1,23 @@
+(** Dynamic-batching policy: when to dispatch, and at what bucket.
+
+    Pure decision logic over queue state; the scheduler acts on it. *)
+
+type policy
+
+val policy : max_batch:int -> max_wait_us:float -> policy
+val max_wait_us : policy -> float
+val max_batch : policy -> int
+
+val bucket : policy -> int -> int
+(** Smallest power of two >= the request count, capped at [max_batch] -
+    the executor-context granularity the worker pool compiles for. *)
+
+val buckets : policy -> int list
+(** Every bucket the policy can produce: [1; 2; 4; ...; max_batch]. *)
+
+type decision = Dispatch of int  (** dequeue this many now *) | Wait
+
+val decide :
+  policy -> pending:int -> oldest_wait_us:float -> draining:bool -> decision
+(** Dispatch on a full batch, an expired batching window
+    ([oldest_wait_us] >= [max_wait_us]), or a draining server. *)

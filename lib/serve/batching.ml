@@ -1,0 +1,241 @@
+(* Dynamic-batching shape analysis, packing and unpacking.
+
+   The batcher may merge requests only when the merged execution is
+   BIT-IDENTICAL to running each request alone - the whole contract of
+   the serving runtime.  That property is per-builder: a builder family
+   [build : batch -> graph] qualifies when every parameter either keeps
+   its shape as the batch grows (a shared weight) or scales exactly one
+   axis linearly with the batch (a per-request input), and every output
+   does the same.  We discover the classification structurally instead
+   of trusting annotations: build the graph at batch 1 and at batch 2,
+   diff every parameter and output shape, and reject anything that does
+   not fit ([Not_batchable]).  The numeric half of the contract - no op
+   mixes rows across requests - cannot be decided from shapes alone; it
+   is enforced by the bit-identity test suite over every served builder
+   (zoo workloads and random graphs), and double-checked at runtime by
+   the [verify] sampling hook in the worker pool.
+
+   Packing concatenates each per-request parameter along its batch axis
+   in request order and pads the tail batch by replicating the last
+   request's binding (replication keeps padded rows numerically benign -
+   no zeros flowing into logs or rsqrt that the real rows never see).
+   Unpacking slices each output back along its batch axis; padded rows
+   are simply never read. *)
+
+open Astitch_ir
+open Astitch_tensor
+
+exception Not_batchable of string
+
+let not_batchable fmt = Printf.ksprintf (fun m -> raise (Not_batchable m)) fmt
+
+type axis_info = { axis : int; extent : int }
+
+type spec = {
+  build : int -> Graph.t;
+  base : Graph.t;
+  fingerprint : string;
+  request_params : (string * axis_info) list;
+  shared_params : (string * Shape.t) list;
+  outputs : axis_info option list;
+}
+
+(* --- Shape diffing ------------------------------------------------------- *)
+
+(* Classify one (batch-1 shape, batch-2 shape) pair: equal shapes are
+   batch-invariant; exactly one axis doubling is the batch axis. *)
+let diff_axis ~what s1 s2 =
+  let d1 = Shape.to_list s1 and d2 = Shape.to_list s2 in
+  if List.length d1 <> List.length d2 then
+    not_batchable "%s: rank changes with batch (%s vs %s)" what
+      (Shape.to_string s1) (Shape.to_string s2);
+  let diffs =
+    List.mapi (fun i d -> (i, d, List.nth d2 i)) d1
+    |> List.filter (fun (_, a, b) -> a <> b)
+  in
+  match diffs with
+  | [] -> None
+  | [ (axis, e1, e2) ] when e2 = 2 * e1 -> Some { axis; extent = e1 }
+  | _ ->
+      not_batchable "%s: shape does not scale one axis linearly (%s vs %s)"
+        what (Shape.to_string s1) (Shape.to_string s2)
+
+let param_shapes g =
+  List.map
+    (fun id ->
+      match Graph.op g id with
+      | Op.Parameter { name } -> (name, Graph.shape g id)
+      | _ -> assert false)
+    (Graph.parameters g)
+
+let output_shapes g = List.map (Graph.shape g) (Graph.outputs g)
+
+let analyze build =
+  let base = build 1 in
+  let g2 = build 2 in
+  let p1 = param_shapes base and p2 = param_shapes g2 in
+  if List.length p1 <> List.length p2 then
+    not_batchable "parameter count changes with batch (%d vs %d)"
+      (List.length p1) (List.length p2);
+  let request_params, shared_params =
+    List.fold_left
+      (fun (req, shared) (name, s1) ->
+        match List.assoc_opt name p2 with
+        | None -> not_batchable "parameter %s disappears at batch 2" name
+        | Some s2 -> (
+            match diff_axis ~what:("parameter " ^ name) s1 s2 with
+            | Some info -> ((name, info) :: req, shared)
+            | None -> (req, (name, s1) :: shared)))
+      ([], []) p1
+  in
+  let o1 = output_shapes base and o2 = output_shapes g2 in
+  if List.length o1 <> List.length o2 then
+    not_batchable "output count changes with batch (%d vs %d)"
+      (List.length o1) (List.length o2);
+  let outputs =
+    List.mapi
+      (fun i s1 ->
+        diff_axis ~what:(Printf.sprintf "output %d" i) s1 (List.nth o2 i))
+      o1
+  in
+  if request_params = [] then
+    not_batchable "no per-request parameters: nothing to batch";
+  {
+    build;
+    base;
+    fingerprint = Fingerprint.of_graph base;
+    request_params = List.rev request_params;
+    shared_params = List.rev shared_params;
+    outputs;
+  }
+
+(* --- Tensor surgery along an axis ---------------------------------------- *)
+
+(* Row-major concat of same-shape-elsewhere tensors along [axis]. *)
+let concat_axis ~axis ts =
+  match ts with
+  | [] -> invalid_arg "Batching.concat_axis: empty"
+  | first :: _ ->
+      let shape = Shape.to_list (Tensor.shape first) in
+      let outer =
+        List.filteri (fun i _ -> i < axis) shape |> List.fold_left ( * ) 1
+      in
+      let inner =
+        List.filteri (fun i _ -> i > axis) shape |> List.fold_left ( * ) 1
+      in
+      let seg t = Shape.dim (Tensor.shape t) axis * inner in
+      let total_axis =
+        List.fold_left (fun a t -> a + Shape.dim (Tensor.shape t) axis) 0 ts
+      in
+      let out_shape =
+        List.mapi (fun i d -> if i = axis then total_axis else d) shape
+      in
+      let dst = Array.make (outer * total_axis * inner) 0. in
+      let row_bytes = total_axis * inner in
+      let pos = ref 0 in
+      List.iter
+        (fun t ->
+          let src = Tensor.data t in
+          let s = seg t in
+          for o = 0 to outer - 1 do
+            Array.blit src (o * s) dst ((o * row_bytes) + !pos) s
+          done;
+          pos := !pos + s)
+        ts;
+      Tensor.create (Shape.of_list out_shape) dst
+
+(* Slice [lo, hi) along [axis]. *)
+let slice_axis ~axis ~lo ~hi t =
+  let shape = Shape.to_list (Tensor.shape t) in
+  let dim = List.nth shape axis in
+  if lo < 0 || hi > dim || lo >= hi then
+    invalid_arg
+      (Printf.sprintf "Batching.slice_axis: [%d,%d) out of <%d>" lo hi dim);
+  let outer =
+    List.filteri (fun i _ -> i < axis) shape |> List.fold_left ( * ) 1
+  in
+  let inner =
+    List.filteri (fun i _ -> i > axis) shape |> List.fold_left ( * ) 1
+  in
+  let out_shape =
+    List.mapi (fun i d -> if i = axis then hi - lo else d) shape
+  in
+  let src = Tensor.data t in
+  let seg = (hi - lo) * inner in
+  let dst = Array.make (outer * seg) 0. in
+  for o = 0 to outer - 1 do
+    Array.blit src (((o * dim) + lo) * inner) dst (o * seg) seg
+  done;
+  Tensor.create (Shape.of_list out_shape) dst
+
+(* --- Packing / unpacking ------------------------------------------------- *)
+
+let base_param_shape spec name =
+  match
+    Option.map (Graph.shape spec.base) (Graph.find_parameter spec.base name)
+  with
+  | Some s -> s
+  | None -> not_batchable "parameter %s not in the base graph" name
+
+(* Validate one request's bindings: exactly the per-request parameters,
+   each at its batch-1 shape. *)
+let check_request spec params =
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name spec.request_params) then
+        not_batchable "binding %s is not a per-request parameter" name)
+    params;
+  List.iter
+    (fun (name, _) ->
+      match List.assoc_opt name params with
+      | None -> not_batchable "request lacks a binding for %s" name
+      | Some t ->
+          let want = base_param_shape spec name in
+          if not (Shape.equal (Tensor.shape t) want) then
+            not_batchable "binding %s has shape %s, want %s" name
+              (Shape.to_string (Tensor.shape t))
+              (Shape.to_string want))
+    spec.request_params
+
+let pack spec ~batch requests =
+  let n = List.length requests in
+  if n = 0 then invalid_arg "Batching.pack: no requests";
+  if n > batch then
+    invalid_arg
+      (Printf.sprintf "Batching.pack: %d requests exceed batch %d" n batch);
+  List.iter (check_request spec) requests;
+  let last = List.nth requests (n - 1) in
+  let padded =
+    requests @ List.init (batch - n) (fun _ -> last)
+  in
+  List.map
+    (fun (name, info) ->
+      let parts = List.map (fun r -> List.assoc name r) padded in
+      (name, concat_axis ~axis:info.axis parts))
+    spec.request_params
+
+let unpack spec ~count outputs =
+  if List.length outputs <> List.length spec.outputs then
+    invalid_arg "Batching.unpack: output arity mismatch";
+  List.init count (fun i ->
+      List.map2
+        (fun info t ->
+          match info with
+          | None -> Tensor.copy t
+          | Some { axis; extent } ->
+              slice_axis ~axis ~lo:(i * extent) ~hi:((i + 1) * extent) t)
+        spec.outputs outputs)
+
+(* Deterministic per-request bindings (the serving analogue of
+   [Session.random_params], restricted to per-request parameters). *)
+let random_request spec ~seed =
+  List.mapi
+    (fun i (name, _) ->
+      (name, Tensor.random ~seed:(seed + (31 * i)) (base_param_shape spec name)))
+    spec.request_params
+
+let random_shared spec ~seed =
+  List.mapi
+    (fun i (name, shape) ->
+      (name, Tensor.random ~seed:(seed + 17 + (37 * i)) shape))
+    spec.shared_params

@@ -1,0 +1,91 @@
+(* Bounded per-model FIFO of pending requests.
+
+   Pure data structure: the scheduler wraps every call in its own mutex,
+   so nothing here synchronises.  Admission control lives at [push] -
+   when the total backlog across models reaches [depth] the push is
+   refused and the scheduler turns that refusal into a structured
+   [Overloaded Queue_full], instead of letting the backlog (and tail
+   latency) grow without bound. *)
+
+type 'a t = {
+  depth : int;
+  by_model : (string, 'a Stdlib.Queue.t) Hashtbl.t;
+  mutable count : int;
+  mutable max_depth_seen : int;
+}
+
+let create ~depth =
+  if depth < 1 then invalid_arg "Serve_queue.create: depth must be >= 1";
+  { depth; by_model = Hashtbl.create 8; count = 0; max_depth_seen = 0 }
+
+let length t = t.count
+let max_depth_seen t = t.max_depth_seen
+let is_empty t = t.count = 0
+
+let model_queue t model =
+  match Hashtbl.find_opt t.by_model model with
+  | Some q -> q
+  | None ->
+      let q = Stdlib.Queue.create () in
+      Hashtbl.add t.by_model model q;
+      q
+
+let push t ~model v =
+  if t.count >= t.depth then false
+  else begin
+    Stdlib.Queue.push v (model_queue t model);
+    t.count <- t.count + 1;
+    if t.count > t.max_depth_seen then t.max_depth_seen <- t.count;
+    true
+  end
+
+(* The pending count for one model, and a peek at its oldest entry. *)
+let pending t ~model =
+  match Hashtbl.find_opt t.by_model model with
+  | None -> 0
+  | Some q -> Stdlib.Queue.length q
+
+let oldest t ~model =
+  match Hashtbl.find_opt t.by_model model with
+  | None -> None
+  | Some q -> Stdlib.Queue.peek_opt q
+
+(* Dequeue up to [max] requests of one model, FIFO order. *)
+let take t ~model ~max =
+  let q = model_queue t model in
+  let rec go acc n =
+    if n = 0 then List.rev acc
+    else
+      match Stdlib.Queue.take_opt q with
+      | None -> List.rev acc
+      | Some v ->
+          t.count <- t.count - 1;
+          go (v :: acc) (n - 1)
+  in
+  go [] max
+
+(* Remove entries matching [pred] from every model queue (deadline
+   shedding).  Returns the removed entries in FIFO order per model. *)
+let remove_if t pred =
+  let removed = ref [] in
+  Hashtbl.iter
+    (fun _ q ->
+      let keep = Stdlib.Queue.create () in
+      Stdlib.Queue.iter
+        (fun v ->
+          if pred v then begin
+            removed := v :: !removed;
+            t.count <- t.count - 1
+          end
+          else Stdlib.Queue.push v keep)
+        q;
+      Stdlib.Queue.clear q;
+      Stdlib.Queue.transfer keep q)
+    t.by_model;
+  List.rev !removed
+
+(* Models with at least one pending request. *)
+let models t =
+  Hashtbl.fold
+    (fun m q acc -> if Stdlib.Queue.is_empty q then acc else m :: acc)
+    t.by_model []

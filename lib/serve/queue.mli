@@ -1,0 +1,27 @@
+(** Bounded per-model FIFO of pending requests.
+
+    Not thread-safe on its own: the scheduler owns the lock.  The bound
+    is the admission-control line - [push] refuses rather than queue
+    past [depth]. *)
+
+type 'a t
+
+val create : depth:int -> 'a t
+val length : 'a t -> int
+val max_depth_seen : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> model:string -> 'a -> bool
+(** [false] when the total backlog is already at [depth]. *)
+
+val pending : 'a t -> model:string -> int
+val oldest : 'a t -> model:string -> 'a option
+
+val take : 'a t -> model:string -> max:int -> 'a list
+(** Dequeue up to [max] requests of [model], FIFO order. *)
+
+val remove_if : 'a t -> ('a -> bool) -> 'a list
+(** Remove and return every entry matching the predicate (shedding). *)
+
+val models : 'a t -> string list
+(** Models with at least one pending request. *)

@@ -1,0 +1,43 @@
+(* A serving request and its lifecycle.
+
+   Requests are submitted against a named model with per-request
+   parameter bindings at batch 1; the runtime owns everything else
+   (shared weights, batching, compilation, execution).  Every submitted
+   request resolves to exactly one [outcome]: served, structurally
+   rejected/shed ([Overloaded] - the admission-control contract, never
+   an unbounded queue), or failed after the degradation ladder ran dry.
+   Timestamps are wall-clock microseconds ([Unix.gettimeofday *. 1e6]),
+   matching the obs layer's latency histograms. *)
+
+open Astitch_tensor
+
+type overload =
+  | Queue_full  (** rejected at submission: the bounded queue is at depth *)
+  | Deadline_exceeded  (** shed at dispatch: waited past its deadline *)
+  | Shutting_down  (** rejected at submission: the server is draining *)
+
+let overload_to_string = function
+  | Queue_full -> "queue-full"
+  | Deadline_exceeded -> "deadline-exceeded"
+  | Shutting_down -> "shutting-down"
+
+type outcome =
+  | Done of {
+      outputs : Tensor.t list;
+      latency_us : float;  (** submission to completion *)
+      batch : int;  (** bucket size this request was served at *)
+      degraded : bool;  (** served on the per-request fallback path *)
+    }
+  | Overloaded of overload
+  | Failed of string
+
+type t = {
+  id : int;
+  model : string;
+  params : (string * Tensor.t) list;  (** per-request bindings, batch 1 *)
+  submitted_us : float;
+  deadline_us : float option;  (** absolute; [None] = wait forever *)
+}
+
+let expired ~now_us t =
+  match t.deadline_us with None -> false | Some d -> now_us > d

@@ -1,0 +1,32 @@
+(** A serving request and its lifecycle. *)
+
+open Astitch_tensor
+
+type overload =
+  | Queue_full  (** rejected at submission: the bounded queue is at depth *)
+  | Deadline_exceeded  (** shed at dispatch: waited past its deadline *)
+  | Shutting_down  (** rejected at submission: the server is draining *)
+
+val overload_to_string : overload -> string
+
+type outcome =
+  | Done of {
+      outputs : Tensor.t list;
+      latency_us : float;  (** submission to completion *)
+      batch : int;  (** bucket size this request was served at *)
+      degraded : bool;  (** served on the per-request fallback path *)
+    }
+  | Overloaded of overload
+      (** the structured admission-control result: the request was never
+          executed, by design, instead of queuing without bound *)
+  | Failed of string  (** the degradation ladder ran dry for this request *)
+
+type t = {
+  id : int;
+  model : string;
+  params : (string * Tensor.t) list;  (** per-request bindings, batch 1 *)
+  submitted_us : float;  (** wall-clock microseconds *)
+  deadline_us : float option;  (** absolute; [None] = wait forever *)
+}
+
+val expired : now_us:float -> t -> bool

@@ -1,0 +1,307 @@
+(* Request scheduler: the concurrent heart of the serving runtime.
+
+   One mutex guards the bounded queue, the completion table and every
+   counter; workers and submitters meet only here.  Two conditions:
+   [nonempty] wakes workers when work (or shutdown) arrives, [done_cond]
+   wakes waiters when an outcome lands.
+
+   The OCaml stdlib has no timed condition wait, so the batching window
+   is enforced by polling: a worker that sees pending-but-not-yet-
+   dispatchable work sleeps a fraction of the window ([poll_s]) and
+   re-evaluates, while a worker that sees an empty queue blocks on
+   [nonempty] and costs nothing.  The poll interval is max_wait/4
+   clamped to [50us, 200us], so a window is missed by at most a quarter
+   of itself and an idle-but-pending server burns at most a few
+   thousand wakeups per second across the pool.
+
+   Admission control is synchronous: [submit] either admits (the caller
+   will find an outcome under the request id) or returns the structured
+   overload immediately - a refused request never occupies queue space
+   and never has a dangling outcome entry.  Deadline shedding is
+   asynchronous: expired requests are removed at dispatch time and
+   completed as [Overloaded Deadline_exceeded]. *)
+
+open Astitch_obs
+module Rq = Queue
+
+type batch = {
+  model : string;
+  requests : Request.t list;  (** FIFO, length in [1, bucket] *)
+  bucket : int;  (** power-of-two context size to execute at *)
+}
+
+type t = {
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  done_cond : Condition.t;
+  queue : Request.t Rq.t;
+  policy : Batcher.policy;
+  poll_s : float;
+  outcomes : (int, Request.outcome) Hashtbl.t;
+  mutable outstanding : int;  (** admitted, outcome not yet recorded *)
+  mutable draining : bool;
+  mutable stopped : bool;
+  mutable submitted : int;
+  mutable rejected : int;
+  mutable shed : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable degraded : int;
+  mutable batches : int;
+  (* obs: published so `serve --metrics` and the smoke test see the
+     runtime from the outside *)
+  m_depth : Metrics.gauge;
+  m_submitted : Metrics.counter;
+  m_rejected : Metrics.counter;
+  m_shed : Metrics.counter;
+  m_completed : Metrics.counter;
+  m_failed : Metrics.counter;
+  m_degraded : Metrics.counter;
+  m_wait_us : Metrics.histogram;
+}
+
+let create ~policy ~queue_depth =
+  let r = Metrics.default in
+  {
+    mu = Mutex.create ();
+    nonempty = Condition.create ();
+    done_cond = Condition.create ();
+    queue = Rq.create ~depth:queue_depth;
+    policy;
+    poll_s =
+      1e-6 *. Float.min 200. (Float.max 50. (Batcher.max_wait_us policy /. 4.));
+    outcomes = Hashtbl.create 64;
+    outstanding = 0;
+    draining = false;
+    stopped = false;
+    submitted = 0;
+    rejected = 0;
+    shed = 0;
+    completed = 0;
+    failed = 0;
+    degraded = 0;
+    batches = 0;
+    m_depth = Metrics.gauge r "serve.queue_depth";
+    m_submitted = Metrics.counter r "serve.submitted";
+    m_rejected = Metrics.counter r "serve.rejected";
+    m_shed = Metrics.counter r "serve.shed";
+    m_completed = Metrics.counter r "serve.completed";
+    m_failed = Metrics.counter r "serve.failed";
+    m_degraded = Metrics.counter r "serve.degraded";
+    m_wait_us = Metrics.histogram r "serve.queue_wait_us";
+  }
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+let locked t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+      Mutex.unlock t.mu;
+      v
+  | exception e ->
+      Mutex.unlock t.mu;
+      raise e
+
+let publish_depth t = Metrics.set t.m_depth (float_of_int (Rq.length t.queue))
+
+(* Record an outcome under the scheduler lock and wake waiters. *)
+let complete_locked t id outcome =
+  (match outcome with
+  | Request.Done { degraded; _ } ->
+      t.completed <- t.completed + 1;
+      if degraded then t.degraded <- t.degraded + 1;
+      Metrics.inc t.m_completed;
+      if degraded then Metrics.inc t.m_degraded
+  | Request.Overloaded _ ->
+      t.shed <- t.shed + 1;
+      Metrics.inc t.m_shed
+  | Request.Failed _ ->
+      t.failed <- t.failed + 1;
+      Metrics.inc t.m_failed);
+  Hashtbl.replace t.outcomes id outcome;
+  t.outstanding <- t.outstanding - 1;
+  Condition.broadcast t.done_cond
+
+let complete t id outcome = locked t (fun () -> complete_locked t id outcome)
+
+let submit t (req : Request.t) =
+  locked t (fun () ->
+      if t.stopped || t.draining then begin
+        t.rejected <- t.rejected + 1;
+        Metrics.inc t.m_rejected;
+        Error Request.Shutting_down
+      end
+      else if not (Rq.push t.queue ~model:req.model req) then begin
+        t.rejected <- t.rejected + 1;
+        Metrics.inc t.m_rejected;
+        Error Request.Queue_full
+      end
+      else begin
+        t.submitted <- t.submitted + 1;
+        t.outstanding <- t.outstanding + 1;
+        Metrics.inc t.m_submitted;
+        publish_depth t;
+        Condition.signal t.nonempty;
+        Ok ()
+      end)
+
+(* Shed every queued request past its deadline; their outcome is the
+   structured overload, never a silent drop. *)
+let shed_expired_locked t =
+  let now = now_us () in
+  let dead = Rq.remove_if t.queue (Request.expired ~now_us:now) in
+  List.iter
+    (fun (r : Request.t) ->
+      complete_locked t r.id (Request.Overloaded Request.Deadline_exceeded))
+    dead;
+  if dead <> [] then publish_depth t
+
+(* Under the lock: find the dispatchable model whose head request is the
+   oldest (global FIFO fairness across models). *)
+let pick_locked t =
+  let now = now_us () in
+  let draining = t.draining || t.stopped in
+  List.fold_left
+    (fun best model ->
+      match Rq.oldest t.queue ~model with
+      | None -> best
+      | Some (head : Request.t) -> (
+          let pending = Rq.pending t.queue ~model in
+          let wait = now -. head.submitted_us in
+          match Batcher.decide t.policy ~pending ~oldest_wait_us:wait ~draining with
+          | Batcher.Wait -> best
+          | Batcher.Dispatch n -> (
+              match best with
+              | Some (_, _, best_sub) when best_sub <= head.submitted_us -> best
+              | _ -> Some (model, n, head.submitted_us))))
+    None (Rq.models t.queue)
+
+(* Under the lock: shed, pick, and take the next dispatchable batch. *)
+let dispatch_locked t =
+  shed_expired_locked t;
+  match pick_locked t with
+  | None -> None
+  | Some (model, n, _) ->
+      let requests = Rq.take t.queue ~model ~max:n in
+      publish_depth t;
+      t.batches <- t.batches + 1;
+      let now = now_us () in
+      List.iter
+        (fun (r : Request.t) ->
+          Metrics.observe t.m_wait_us (now -. r.submitted_us))
+        requests;
+      Some
+        {
+          model;
+          requests;
+          bucket = Batcher.bucket t.policy (List.length requests);
+        }
+
+(* Block until a batch is ready, the queue has pending-but-waiting work
+   (then poll the batching window), or shutdown empties the world. *)
+let rec next_batch t =
+  let action =
+    locked t (fun () ->
+        match dispatch_locked t with
+        | Some b -> `Batch b
+        | None ->
+            if Rq.is_empty t.queue then
+              if t.stopped then `Exit
+              else begin
+                (* nothing pending: sleep free of charge *)
+                Condition.wait t.nonempty t.mu;
+                `Retry
+              end
+            else `Poll)
+  in
+  match action with
+  | `Batch b -> Some b
+  | `Exit -> None
+  | `Retry -> next_batch t
+  | `Poll ->
+      Unix.sleepf t.poll_s;
+      next_batch t
+
+(* Non-blocking variant for caller-runs pumping: never sleeps, never
+   waits.  [`Waiting] means requests are pending but every batching
+   window is still open. *)
+let try_next_batch t =
+  locked t (fun () ->
+      match dispatch_locked t with
+      | Some b -> `Batch b
+      | None -> if Rq.is_empty t.queue then `Empty else `Waiting)
+
+let poll_interval_s t = t.poll_s
+let outstanding t = locked t (fun () -> t.outstanding)
+
+let await t id =
+  locked t (fun () ->
+      let rec go () =
+        match Hashtbl.find_opt t.outcomes id with
+        | Some o ->
+            Hashtbl.remove t.outcomes id;
+            o
+        | None ->
+            Condition.wait t.done_cond t.mu;
+            go ()
+      in
+      go ())
+
+let poll t id =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.outcomes id with
+      | Some o ->
+          Hashtbl.remove t.outcomes id;
+          Some o
+      | None -> None)
+
+(* Flush everything in flight, then accept again.  While draining,
+   submissions are refused ([Shutting_down]) and the batcher dispatches
+   immediately instead of holding the window open. *)
+let drain_with t ~pump =
+  locked t (fun () ->
+      t.draining <- true;
+      Condition.broadcast t.nonempty);
+  pump ();
+  locked t (fun () ->
+      while t.outstanding > 0 do
+        Condition.wait t.done_cond t.mu
+      done;
+      t.draining <- false)
+
+let drain t = drain_with t ~pump:ignore
+
+let shutdown t =
+  locked t (fun () ->
+      t.stopped <- true;
+      Condition.broadcast t.nonempty;
+      Condition.broadcast t.done_cond)
+
+type stats = {
+  submitted : int;
+  rejected : int;
+  shed : int;
+  completed : int;
+  failed : int;
+  degraded : int;
+  batches : int;
+  outstanding : int;
+  queue_depth : int;
+  max_depth_seen : int;
+}
+
+let stats t =
+  locked t (fun () ->
+      {
+        submitted = t.submitted;
+        rejected = t.rejected;
+        shed = t.shed;
+        completed = t.completed;
+        failed = t.failed;
+        degraded = t.degraded;
+        batches = t.batches;
+        outstanding = t.outstanding;
+        queue_depth = Rq.length t.queue;
+        max_depth_seen = Rq.max_depth_seen t.queue;
+      })

@@ -1,0 +1,76 @@
+(** Request scheduler: bounded admission, deadline shedding, and
+    batch dispatch to the worker pool.
+
+    Safe for concurrent use from any number of submitter threads and
+    worker domains.  [submit] is the admission-control line: it either
+    admits the request (an outcome will eventually appear under its id)
+    or returns the structured overload synchronously. *)
+
+type t
+
+type batch = {
+  model : string;
+  requests : Request.t list;  (** FIFO, length in [1, bucket] *)
+  bucket : int;  (** power-of-two context size to execute at *)
+}
+
+val create : policy:Batcher.policy -> queue_depth:int -> t
+
+val submit : t -> Request.t -> (unit, Request.overload) result
+(** Admit or refuse.  Refusals ([Queue_full], [Shutting_down]) never
+    occupy queue space and never produce an outcome entry. *)
+
+val next_batch : t -> batch option
+(** Worker entry point: block until a batch is ready.  Sheds expired
+    requests (completing them as [Overloaded Deadline_exceeded]) before
+    each pick.  [None] means the scheduler is shut down and drained -
+    the worker should exit. *)
+
+val try_next_batch : t -> [ `Batch of batch | `Waiting | `Empty ]
+(** Non-blocking [next_batch] for caller-runs pumping.  [`Waiting]
+    means requests are pending but every batching window is still
+    open; the caller should sleep [poll_interval_s] and retry. *)
+
+val poll_interval_s : t -> float
+(** The batching-window poll interval (max_wait/4 clamped to
+    [50us, 200us]) - what a pumping caller should sleep on [`Waiting]. *)
+
+val outstanding : t -> int
+(** Admitted requests whose outcome has not yet been recorded. *)
+
+val complete : t -> int -> Request.outcome -> unit
+(** Record the outcome for an admitted request id and wake waiters. *)
+
+val await : t -> int -> Request.outcome
+(** Block until the outcome for [id] lands; consumes the entry. *)
+
+val poll : t -> int -> Request.outcome option
+(** Non-blocking [await]; consumes the entry when present. *)
+
+val drain : t -> unit
+(** Flush: refuse new submissions, dispatch pending work immediately,
+    block until nothing is outstanding, then accept again. *)
+
+val drain_with : t -> pump:(unit -> unit) -> unit
+(** [drain] for caller-runs mode: after the drain flag is raised (so
+    the batcher stops holding windows open and submitters are refused),
+    [pump] runs on the calling thread to execute the backlog, then the
+    drain completes once nothing is outstanding. *)
+
+val shutdown : t -> unit
+(** Stop accepting and let workers exit once the queue empties. *)
+
+type stats = {
+  submitted : int;
+  rejected : int;
+  shed : int;
+  completed : int;
+  failed : int;
+  degraded : int;
+  batches : int;
+  outstanding : int;
+  queue_depth : int;
+  max_depth_seen : int;
+}
+
+val stats : t -> stats

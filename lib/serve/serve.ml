@@ -1,0 +1,196 @@
+(* The serving front end: load models, submit requests, get outcomes.
+
+   [create] analyzes every registered builder for batchability, fixes
+   its shared weights deterministically from the config seed (a served
+   model's weights do not change between requests - only per-request
+   parameters do), and spins up the scheduler plus worker pool.  After
+   that the surface is small: [submit]/[submit_async] with per-request
+   bindings, [drain] to flush, [shutdown] to stop, [stats] to look.
+
+   Admission control is the submit path: a request either comes back
+   with a ticket (its outcome will land) or with the structured
+   [Request.overload] - the server never queues beyond [queue_depth]
+   and never blocks a submitter on a full queue. *)
+
+open Astitch_ir
+open Astitch_runtime
+
+type model = { name : string; build : batch:int -> Graph.t }
+
+type config = {
+  workers : int;
+  max_batch : int;
+  max_wait_us : float;  (** batching window *)
+  queue_depth : int;  (** admission-control bound, across models *)
+  default_deadline_us : float option;  (** relative; [None] = no deadline *)
+  arch : Astitch_simt.Arch.t;
+  fused : bool;
+  cache_capacity : int;
+  verify_every : int;  (** bit-identity spot checks; 0 = off *)
+  seed : int;  (** shared-weight generation *)
+}
+
+let default_config =
+  {
+    workers = 2;
+    max_batch = 8;
+    max_wait_us = 2_000.;
+    queue_depth = 64;
+    default_deadline_us = None;
+    arch = Astitch_simt.Arch.v100;
+    fused = true;
+    cache_capacity = 64;
+    verify_every = 0;
+    seed = 42;
+  }
+
+type t = {
+  config : config;
+  scheduler : Scheduler.t;
+  pool : Worker_pool.t;
+  models : (string, Worker_pool.model_state) Hashtbl.t;
+  next_id : int Atomic.t;
+  mutable closed : bool;
+}
+
+(* A stable per-model seed offset so two models in one server don't get
+   identical weights. *)
+let model_seed ~seed name =
+  seed + (Hashtbl.hash name land 0xffff)
+
+let create ?(config = default_config) models =
+  if models = [] then invalid_arg "Serve.create: no models";
+  if config.workers < 0 then invalid_arg "Serve.create: workers must be >= 0";
+  let table = Hashtbl.create (List.length models) in
+  List.iter
+    (fun m ->
+      if Hashtbl.mem table m.name then
+        invalid_arg (Printf.sprintf "Serve.create: duplicate model %s" m.name);
+      let spec = Batching.analyze (fun b -> m.build ~batch:b) in
+      let shared =
+        Batching.random_shared spec ~seed:(model_seed ~seed:config.seed m.name)
+      in
+      Hashtbl.add table m.name
+        {
+          Worker_pool.spec;
+          shared;
+          mu = Mutex.create ();
+          contexts = Hashtbl.create 4;
+        })
+    models;
+  let policy =
+    Batcher.policy ~max_batch:config.max_batch ~max_wait_us:config.max_wait_us
+  in
+  let scheduler = Scheduler.create ~policy ~queue_depth:config.queue_depth in
+  let cache = Session.make_cache ~capacity:config.cache_capacity () in
+  let pool =
+    Worker_pool.create ~scheduler ~models:table ~cache ~arch:config.arch
+      ~fused:config.fused ~verify_every:config.verify_every
+      ~workers:config.workers
+  in
+  {
+    config;
+    scheduler;
+    pool;
+    models = table;
+    next_id = Atomic.make 1;
+    closed = false;
+  }
+
+let model_state t name =
+  match Hashtbl.find_opt t.models name with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Serve: unknown model %s" name)
+
+let spec t ~model = (model_state t model).Worker_pool.spec
+
+let warm t =
+  Worker_pool.warm t.pool
+    ~buckets:
+      (Batcher.buckets
+         (Batcher.policy ~max_batch:t.config.max_batch
+            ~max_wait_us:t.config.max_wait_us))
+
+(* A ticket names an admitted request; redeem it with [await]. *)
+type ticket = int
+
+let submit_async ?deadline_us t ~model ~params =
+  ignore (model_state t model);
+  let now = Unix.gettimeofday () *. 1e6 in
+  let rel =
+    match deadline_us with
+    | Some _ as d -> d
+    | None -> t.config.default_deadline_us
+  in
+  let id = Atomic.fetch_and_add t.next_id 1 in
+  let req =
+    {
+      Request.id;
+      model;
+      params;
+      submitted_us = now;
+      deadline_us = Option.map (fun d -> now +. d) rel;
+    }
+  in
+  match Scheduler.submit t.scheduler req with
+  | Ok () -> Ok id
+  | Error o -> Error o
+
+(* [workers = 0] is caller-runs mode: no worker domains exist, so the
+   thread that wants an outcome executes batches itself. *)
+let inline t = t.config.workers = 0
+
+let await t ticket =
+  if inline t then Worker_pool.await_pumping t.pool ticket
+  else Scheduler.await t.scheduler ticket
+
+let poll t ticket = Scheduler.poll t.scheduler ticket
+
+let submit ?deadline_us t ~model ~params =
+  match submit_async ?deadline_us t ~model ~params with
+  | Ok ticket -> await t ticket
+  | Error o -> Request.Overloaded o
+
+(* Deterministic per-request bindings: what the CLI generator and the
+   benches feed the server. *)
+let random_request t ~model ~seed =
+  Batching.random_request (spec t ~model) ~seed
+
+(* The weights the server bound at load time - what a reference
+   (solo) execution must use to reproduce served outputs. *)
+let shared_weights t ~model = (model_state t model).Worker_pool.shared
+
+let drain t =
+  if inline t then
+    Scheduler.drain_with t.scheduler ~pump:(fun () -> Worker_pool.pump t.pool)
+  else Scheduler.drain t.scheduler
+
+let shutdown t =
+  if not t.closed then begin
+    t.closed <- true;
+    drain t;
+    Scheduler.shutdown t.scheduler;
+    Worker_pool.join t.pool
+  end
+
+type stats = Scheduler.stats = {
+  submitted : int;
+  rejected : int;
+  shed : int;
+  completed : int;
+  failed : int;
+  degraded : int;
+  batches : int;
+  outstanding : int;
+  queue_depth : int;
+  max_depth_seen : int;
+}
+
+let stats t = Scheduler.stats t.scheduler
+
+let pp_stats fmt (s : stats) =
+  Format.fprintf fmt
+    "submitted %d  completed %d  degraded %d  failed %d  rejected %d  shed %d@ \
+     batches %d  outstanding %d  queue %d (max %d)"
+    s.submitted s.completed s.degraded s.failed s.rejected s.shed s.batches
+    s.outstanding s.queue_depth s.max_depth_seen

@@ -1,0 +1,108 @@
+(** Batched serving runtime front end.
+
+    Load batch-parameterized model builders, then submit requests with
+    per-request parameter bindings; the runtime batches compatible
+    requests dynamically, executes them on a pool of worker domains
+    with reused executor contexts, and hands back per-request outputs
+    bit-identical to solo execution.  Admission is bounded: past
+    [queue_depth] the server answers [Overloaded] instead of queuing. *)
+
+open Astitch_ir
+open Astitch_tensor
+
+type model = {
+  name : string;
+  build : batch:int -> Graph.t;
+      (** must be batchable per [Batching.analyze] *)
+}
+
+type config = {
+  workers : int;
+      (** worker domains; 0 = caller-runs mode (no domains - [await],
+          [submit] and [drain] execute batches on the calling thread;
+          right for single-core machines and embedding in an existing
+          loop).  [poll] never makes progress by itself in this mode. *)
+  max_batch : int;  (** largest bucket *)
+  max_wait_us : float;  (** batching window *)
+  queue_depth : int;  (** admission-control bound, across models *)
+  default_deadline_us : float option;  (** relative; [None] = no deadline *)
+  arch : Astitch_simt.Arch.t;
+  fused : bool;
+  cache_capacity : int;  (** shared plan cache entries *)
+  verify_every : int;  (** bit-identity spot checks; 0 = off *)
+  seed : int;  (** shared-weight generation *)
+}
+
+val default_config : config
+(** 2 workers, max_batch 8, 2ms window, depth 64, no deadline, v100,
+    fused, cache 64, no verification, seed 42. *)
+
+type t
+
+val create : ?config:config -> model list -> t
+(** Analyze every builder for batchability, fix shared weights
+    deterministically, spawn the workers.
+    @raise Batching.Not_batchable if a builder cannot batch.
+    @raise Invalid_argument on duplicate or empty model lists. *)
+
+val warm : t -> unit
+(** Pre-compile every (model, bucket) so first requests don't pay
+    compile latency. *)
+
+type ticket = int
+
+val submit_async :
+  ?deadline_us:float ->
+  t ->
+  model:string ->
+  params:(string * Tensor.t) list ->
+  (ticket, Request.overload) result
+(** Admit or refuse, without blocking.  [deadline_us] is relative to
+    now and overrides the config default.
+    @raise Invalid_argument on an unknown model. *)
+
+val await : t -> ticket -> Request.outcome
+(** Block until the outcome lands; consumes the ticket.  In caller-runs
+    mode ([workers = 0]) this executes batches on the calling thread. *)
+
+val poll : t -> ticket -> Request.outcome option
+
+val submit :
+  ?deadline_us:float ->
+  t ->
+  model:string ->
+  params:(string * Tensor.t) list ->
+  Request.outcome
+(** [submit_async] + [await]; refusals come back as [Overloaded]. *)
+
+val random_request : t -> model:string -> seed:int -> (string * Tensor.t) list
+(** Deterministic per-request bindings for [model] (generators, tests,
+    benches). *)
+
+val spec : t -> model:string -> Batching.spec
+
+val shared_weights : t -> model:string -> (string * Tensor.t) list
+(** The weights the server fixed at load time - what a reference solo
+    execution must bind to reproduce served outputs. *)
+
+val drain : t -> unit
+(** Flush all outstanding work, then resume accepting. *)
+
+val shutdown : t -> unit
+(** Drain, stop the scheduler, join every worker.  Idempotent. *)
+
+type stats = Scheduler.stats = {
+  submitted : int;
+  rejected : int;
+  shed : int;
+  completed : int;
+  failed : int;
+  degraded : int;
+  batches : int;
+  outstanding : int;
+  queue_depth : int;
+  max_depth_seen : int;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

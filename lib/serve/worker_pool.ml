@@ -1,0 +1,294 @@
+(* Domain worker pool: turns scheduled batches into outcomes.
+
+   Each worker is an OCaml 5 domain looping on [Scheduler.next_batch].
+   Execution state is pooled per (model x bucket): a compiled executor
+   context is checked out for the duration of one batch and checked back
+   in afterwards, so steady-state serving does zero compilation and zero
+   plan-level allocation - only the numeric work.  Contexts are NOT
+   concurrent-safe (they reuse buffers across runs), hence the pool:
+   two workers serving the same (model, bucket) simultaneously each get
+   their own context, and the pool grows to the observed concurrency.
+
+   Compilation goes through the shared domain-safe [Session.cache], so
+   two workers racing to compile the same bucket duplicate at most the
+   planning work, never the cached artifact.
+
+   Failure never takes the server down.  A batch that raises anywhere
+   (packing, execution, unpacking) falls back to serving each of its
+   requests alone at batch 1 through the degradation ladder
+   ([Session.compile_resilient]); requests that still fail resolve to
+   [Failed], and everything else in the server keeps going. *)
+
+open Astitch_ir
+open Astitch_tensor
+open Astitch_runtime
+open Astitch_obs
+
+type model_state = {
+  spec : Batching.spec;
+  shared : (string * Tensor.t) list;  (** weight bindings, fixed at load *)
+  mu : Mutex.t;  (** guards [contexts] *)
+  contexts : (int, Executor.context list ref) Hashtbl.t;
+      (** bucket -> free list *)
+}
+
+type t = {
+  scheduler : Scheduler.t;
+  models : (string, model_state) Hashtbl.t;
+  cache : Session.cache;
+  arch : Astitch_simt.Arch.t;
+  fused : bool;
+  verify_every : int;  (** re-check batch i vs solo when i mod n = 0 *)
+  batch_counter : int Atomic.t;
+  mutable domains : unit Domain.t list;
+  m_batch_size : Metrics.histogram;
+  m_padded : Metrics.counter;
+  m_batches : Metrics.counter;
+  m_request_us : Metrics.histogram;
+  m_verified : Metrics.counter;
+}
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+(* --- Context pool -------------------------------------------------------- *)
+
+let free_list m bucket =
+  match Hashtbl.find_opt m.contexts bucket with
+  | Some l -> l
+  | None ->
+      let l = ref [] in
+      Hashtbl.add m.contexts bucket l;
+      l
+
+(* Check out a context for [bucket], compiling one if the free list is
+   empty.  Compilation happens OUTSIDE the model lock: two workers
+   racing on a cold bucket both compile (through the shared plan cache,
+   so the expensive half is shared) and both contexts join the pool. *)
+let checkout pool m bucket =
+  let cached =
+    Mutex.lock m.mu;
+    let l = free_list m bucket in
+    let c =
+      match !l with
+      | ctx :: rest ->
+          l := rest;
+          Some ctx
+      | [] -> None
+    in
+    Mutex.unlock m.mu;
+    c
+  in
+  match cached with
+  | Some ctx -> ctx
+  | None ->
+      let g = m.spec.Batching.build bucket in
+      let result, _outcome =
+        Session.compile_cached pool.cache Astitch_core.Astitch.full_backend
+          pool.arch g
+      in
+      Executor.create_context ~fused:pool.fused result.Session.plan
+
+let checkin m bucket ctx =
+  Mutex.lock m.mu;
+  let l = free_list m bucket in
+  l := ctx :: !l;
+  Mutex.unlock m.mu
+
+(* --- Serving one batch --------------------------------------------------- *)
+
+let bitwise_equal a b =
+  Shape.equal (Tensor.shape a) (Tensor.shape b)
+  &&
+  let da = Tensor.data a and db = Tensor.data b in
+  let n = Array.length da in
+  let rec go i = i >= n || (Float.equal da.(i) db.(i) && go (i + 1)) in
+  go 0
+
+(* Bit-identity spot check: serve the batch's first request alone at
+   bucket 1 and compare against its slice of the batched outputs.  A
+   mismatch means a row-dependent builder slipped past analysis - that
+   is a server bug, not a request failure, so it raises (and the batch
+   falls back to the per-request path, which is trivially identical). *)
+let verify_first pool m (req : Request.t) sliced =
+  let ctx = checkout pool m 1 in
+  let solo =
+    Fun.protect
+      ~finally:(fun () -> checkin m 1 ctx)
+      (fun () ->
+        Executor.run_context ctx ~params:(m.shared @ req.params))
+  in
+  if not (List.for_all2 bitwise_equal solo sliced) then
+    failwith "batched outputs diverge from solo execution";
+  Metrics.inc pool.m_verified
+
+let complete_done pool t0 ~bucket ~degraded (req : Request.t) outputs =
+  let latency = now_us () -. req.submitted_us in
+  ignore t0;
+  Metrics.observe pool.m_request_us latency;
+  Scheduler.complete pool.scheduler req.id
+    (Request.Done { outputs; latency_us = latency; batch = bucket; degraded })
+
+(* The degradation path: each request alone, batch 1, through the
+   resilient compile ladder.  Never raises. *)
+let serve_fallback pool m (requests : Request.t list) =
+  List.iter
+    (fun (req : Request.t) ->
+      match
+        Session.compile_resilient pool.arch (m.spec.Batching.build 1)
+      with
+      | Error e ->
+          Scheduler.complete pool.scheduler req.id
+            (Request.Failed (Astitch_plan.Compile_error.to_string e))
+      | Ok { result; _ } -> (
+          match
+            Executor.run result.Session.plan ~params:(m.shared @ req.params)
+          with
+          | outputs ->
+              complete_done pool 0. ~bucket:1 ~degraded:true req outputs
+          | exception e ->
+              Scheduler.complete pool.scheduler req.id
+                (Request.Failed (Printexc.to_string e))))
+    requests
+
+let serve_batch pool (batch : Scheduler.batch) =
+  let m = Hashtbl.find pool.models batch.model in
+  let n = List.length batch.requests in
+  let seq = Atomic.fetch_and_add pool.batch_counter 1 in
+  Metrics.inc pool.m_batches;
+  Metrics.observe pool.m_batch_size (float_of_int n);
+  Metrics.add pool.m_padded (batch.bucket - n);
+  let attrs =
+    [
+      ("model", Trace.Str batch.model);
+      ("bucket", Trace.Int batch.bucket);
+      ("requests", Trace.Int n);
+    ]
+  in
+  Trace.with_span ~attrs ~phase:"serve"
+    (Printf.sprintf "batch:%s" batch.model) (fun () ->
+      match
+        let ctx = checkout pool m batch.bucket in
+        let outputs =
+          Fun.protect
+            ~finally:(fun () -> checkin m batch.bucket ctx)
+            (fun () ->
+              let packed =
+                Batching.pack m.spec ~batch:batch.bucket
+                  (List.map (fun (r : Request.t) -> r.params) batch.requests)
+              in
+              Executor.run_context ctx ~params:(m.shared @ packed))
+        in
+        let per_request = Batching.unpack m.spec ~count:n outputs in
+        (if pool.verify_every > 0 && seq mod pool.verify_every = 0 then
+           match (batch.requests, per_request) with
+           | req :: _, sliced :: _ -> verify_first pool m req sliced
+           | _ -> ());
+        per_request
+      with
+      | per_request ->
+          List.iter2
+            (fun req outs ->
+              complete_done pool 0. ~bucket:batch.bucket ~degraded:false req
+                outs)
+            batch.requests per_request
+      | exception _ -> serve_fallback pool m batch.requests)
+
+(* --- Caller-runs (inline) mode ------------------------------------------- *)
+
+(* With [workers = 0] no domains exist and the thread that wants
+   progress makes it.  On a single-core machine this sidesteps the
+   stop-the-world synchronization that worker domains would impose on
+   every minor collection; batching and context reuse carry the win.
+
+   [pump] serves every dispatchable batch on the calling domain,
+   sleeping out still-open batching windows, and returns once the
+   queue is empty.  During a drain the window is forced shut, so the
+   sleep branch never runs there. *)
+let rec pump pool =
+  match Scheduler.try_next_batch pool.scheduler with
+  | `Batch b ->
+      serve_batch pool b;
+      pump pool
+  | `Waiting ->
+      Unix.sleepf (Scheduler.poll_interval_s pool.scheduler);
+      pump pool
+  | `Empty -> ()
+
+(* Inline [await]: pump until the outcome for [id] lands.  [`Empty]
+   with work still outstanding means another caller is mid-batch with
+   our request - poll until its completion lands. *)
+let await_pumping pool id =
+  let rec go () =
+    match Scheduler.poll pool.scheduler id with
+    | Some o -> o
+    | None -> (
+        match Scheduler.try_next_batch pool.scheduler with
+        | `Batch b ->
+            serve_batch pool b;
+            go ()
+        | `Waiting ->
+            Unix.sleepf (Scheduler.poll_interval_s pool.scheduler);
+            go ()
+        | `Empty ->
+            if Scheduler.outstanding pool.scheduler = 0 then
+              invalid_arg "Serve.await: unknown or already-consumed ticket"
+            else begin
+              Unix.sleepf (Scheduler.poll_interval_s pool.scheduler);
+              go ()
+            end)
+  in
+  go ()
+
+(* --- Pool lifecycle ------------------------------------------------------ *)
+
+let worker_loop pool () =
+  let rec go () =
+    match Scheduler.next_batch pool.scheduler with
+    | None -> ()
+    | Some batch ->
+        serve_batch pool batch;
+        go ()
+  in
+  go ()
+
+let create ~scheduler ~models ~cache ~arch ~fused ~verify_every ~workers =
+  if workers < 0 then invalid_arg "Worker_pool.create: workers must be >= 0";
+  let r = Metrics.default in
+  let pool =
+    {
+      scheduler;
+      models;
+      cache;
+      arch;
+      fused;
+      verify_every;
+      batch_counter = Atomic.make 1;
+      domains = [];
+      m_batch_size = Metrics.histogram r "serve.batch_size";
+      m_padded = Metrics.counter r "serve.padded";
+      m_batches = Metrics.counter r "serve.batches";
+      m_request_us = Metrics.histogram r "serve.request_us";
+      m_verified = Metrics.counter r "serve.verified";
+    }
+  in
+  pool.domains <-
+    List.init workers (fun _ -> Domain.spawn (worker_loop pool));
+  pool
+
+(* Blocks until every worker exits; call after [Scheduler.shutdown]. *)
+let join pool =
+  List.iter Domain.join pool.domains;
+  pool.domains <- []
+
+(* Pre-compile the given buckets for every model so the first requests
+   don't pay compilation latency (the CLI does this before the clock
+   starts). *)
+let warm pool ~buckets =
+  Hashtbl.iter
+    (fun _ m ->
+      List.iter
+        (fun bucket ->
+          let ctx = checkout pool m bucket in
+          checkin m bucket ctx)
+        buckets)
+    pool.models

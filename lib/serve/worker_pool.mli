@@ -1,0 +1,54 @@
+(** Domain worker pool: executes scheduled batches on pooled contexts.
+
+    Workers are OCaml 5 domains looping on [Scheduler.next_batch].
+    Executor contexts are pooled per (model x bucket) - contexts are not
+    concurrent-safe, so each is owned by one worker for the duration of
+    one batch.  A failing batch degrades to per-request execution
+    through the resilient compile ladder; the pool never crashes the
+    server. *)
+
+open Astitch_tensor
+open Astitch_runtime
+
+type model_state = {
+  spec : Batching.spec;
+  shared : (string * Tensor.t) list;  (** weight bindings, fixed at load *)
+  mu : Mutex.t;
+  contexts : (int, Executor.context list ref) Hashtbl.t;
+}
+
+type t
+
+val create :
+  scheduler:Scheduler.t ->
+  models:(string, model_state) Hashtbl.t ->
+  cache:Session.cache ->
+  arch:Astitch_simt.Arch.t ->
+  fused:bool ->
+  verify_every:int ->
+  workers:int ->
+  t
+(** Spawn [workers] domains immediately.  [workers = 0] is caller-runs
+    mode: no domains; progress is made by [pump]/[await_pumping] on the
+    calling thread.  [verify_every] > 0 re-executes the first request of
+    every n-th batch alone and asserts the batched outputs are
+    bit-identical (a serving self-check; 0 disables). *)
+
+val pump : t -> unit
+(** Caller-runs mode: serve every dispatchable batch on the calling
+    domain (sleeping out open batching windows) until the queue is
+    empty.  Safe alongside worker domains too - it just competes for
+    batches. *)
+
+val await_pumping : t -> int -> Request.outcome
+(** Caller-runs [Scheduler.await]: pump batches on the calling domain
+    until the outcome for the given request id lands; consumes it.
+    Raises [Invalid_argument] for an unknown or already-consumed id
+    once nothing is outstanding. *)
+
+val join : t -> unit
+(** Block until every worker exits.  Call after [Scheduler.shutdown]. *)
+
+val warm : t -> buckets:int list -> unit
+(** Pre-compile the given buckets for every model (hide compile latency
+    from the first requests). *)

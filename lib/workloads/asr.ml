@@ -32,9 +32,16 @@ let tiny_config =
   { frames = 12; mel = 8; conv_channels = 2; layers = 1; hidden = 8;
     heads = 2; ffn_hidden = 16; vocab = 8 }
 
-let build_forward b (c : config) =
+(* [batch] utterances in one graph.  Every op is row-independent per
+   utterance (convs act per image, the token axis is flattened
+   batch-major, attention mixes tokens only within one utterance), so
+   the batched graph computes exactly the per-utterance scalar sequences
+   of the batch-1 graph: the serving batcher relies on outputs slicing
+   back bit-identical.  At [batch = 1] this emits the historical ASR
+   graph node for node. *)
+let build_forward b (c : config) ~batch =
   (* conv subsampling: two stride-2 3x3 convs with relu *)
-  let x = Builder.parameter b "features" [ 1; c.frames; c.mel; 1 ] in
+  let x = Builder.parameter b "features" [ batch; c.frames; c.mel; 1 ] in
   let f1 = Builder.parameter b "conv1.w" [ 3; 3; 1; c.conv_channels ] in
   let c1 = Builder.relu b (Builder.conv2d b ~stride:2 x f1) in
   let f2 =
@@ -44,10 +51,10 @@ let build_forward b (c : config) =
   let c2_shape = Shape.to_list (Builder.shape_of b c2) in
   let t', m', ch =
     match c2_shape with
-    | [ 1; t; m; ch ] -> (t, m, ch)
+    | [ n; t; m; ch ] when n = batch -> (t, m, ch)
     | _ -> Graph.ill_formed "asr: unexpected conv output shape"
   in
-  let flat = Builder.reshape b c2 [ t'; m' * ch ] in
+  let flat = Builder.reshape b c2 [ batch * t'; m' * ch ] in
   let w_in = Builder.parameter b "proj.w" [ m' * ch; c.hidden ] in
   let b_in = Builder.parameter b "proj.b" [ c.hidden ] in
   let x = Blocks.dense b flat ~weight:w_in ~bias:b_in in
@@ -57,7 +64,7 @@ let build_forward b (c : config) =
       let x =
         Blocks.encoder_layer b
           ~name:(Printf.sprintf "enc%d" i)
-          ~x ~heads:c.heads ~seq:t' ~batch:1 ~hidden:c.hidden
+          ~x ~heads:c.heads ~seq:t' ~batch ~hidden:c.hidden
           ~ffn_hidden:c.ffn_hidden
       in
       stack x (i + 1)
@@ -69,7 +76,13 @@ let build_forward b (c : config) =
 
 let inference ?(config = inference_config) () =
   let b = Builder.create () in
-  let out = build_forward b config in
+  let out = build_forward b config ~batch:1 in
   Builder.finish b ~outputs:[ out ]
 
 let tiny () = inference ~config:tiny_config ()
+
+let batched ?(config = tiny_config) ~batch () =
+  if batch < 1 then invalid_arg "Asr.batched: batch must be >= 1";
+  let b = Builder.create () in
+  let out = build_forward b config ~batch in
+  Builder.finish b ~outputs:[ out ]

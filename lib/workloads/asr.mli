@@ -18,3 +18,11 @@ val inference_config : config
 val tiny_config : config
 val inference : ?config:config -> unit -> Graph.t
 val tiny : unit -> Graph.t
+
+val batched : ?config:config -> batch:int -> unit -> Graph.t
+(** [batch] utterances in one graph (default config: {!tiny_config}).
+    Row-independent per utterance: outputs slice back bit-identical to
+    per-utterance batch-1 runs, which is what the serving batcher packs
+    against.  [~batch:1] matches {!inference} on the same config node
+    for node.
+    @raise Invalid_argument if [batch < 1]. *)

@@ -62,3 +62,10 @@ let training ?(config = training_config) () =
 
 let tiny () = inference ~config:tiny_config ()
 let tiny_training () = training ~config:tiny_config ()
+
+(* [batch] sequences in one graph: the token axis is batch-major
+   ([batch*seq; hidden]) and attention mixes tokens only within one
+   sequence, so outputs slice back bit-identical per sequence. *)
+let batched ?(config = tiny_config) ~batch () =
+  if batch < 1 then invalid_arg "Bert.batched: batch must be >= 1";
+  inference ~config:{ config with batch } ()

@@ -16,3 +16,12 @@ val inference_config : config
 val tiny_config : config
 val inference : ?config:config -> unit -> Graph.t
 val tiny : unit -> Graph.t
+
+val batched : ?config:config -> batch:int -> unit -> Graph.t
+(** [batch] images in one graph (default config: {!tiny_config}).
+    Unlike {!inference}, every statistic (standardization, instance
+    norm) is computed per image, so each image's scalar sequence is
+    independent of its batch mates and outputs slice back bit-identical
+    to per-image batch-1 runs; request [i] owns output rows
+    [i*w' .. (i+1)*w').
+    @raise Invalid_argument if [batch < 1]. *)

@@ -130,3 +130,12 @@ let training ?(config = training_config) () =
 
 let tiny () = inference ~config:tiny_config ()
 let tiny_training () = training ~config:tiny_config ()
+
+(* [batch] users in one graph.  The candidate-pool branch is
+   batch-independent (same item table and ids whatever the batch), so
+   its parameters stay shared across a served batch; everything keyed by
+   the batch axis (h0, behavior.*, target_item) is row-independent, and
+   outputs slice back bit-identical per user. *)
+let batched ?(config = tiny_config) ~batch () =
+  if batch < 1 then invalid_arg "Dien.batched: batch must be >= 1";
+  inference ~config:{ config with batch } ()

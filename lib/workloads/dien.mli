@@ -20,3 +20,10 @@ val inference : ?config:config -> unit -> Graph.t
 val training : ?config:config -> unit -> Graph.t
 val tiny : unit -> Graph.t
 val tiny_training : unit -> Graph.t
+
+val batched : ?config:config -> batch:int -> unit -> Graph.t
+(** Inference at the given batch (default config: {!tiny_config} with
+    its batch replaced).  The candidate-pool branch stays
+    batch-independent (shared parameters); per-user inputs are
+    row-independent, so outputs slice back bit-identical per user.
+    @raise Invalid_argument if [batch < 1]. *)

@@ -93,3 +93,10 @@ let training ?(config = training_config) () =
 
 let tiny () = inference ~config:tiny_config ()
 let tiny_training () = training ~config:tiny_config ()
+
+(* [batch] sentences in one graph; the vocabulary log-softmax reduces
+   over the last axis only, so every token row is independent and the
+   batched outputs slice back bit-identical per sentence. *)
+let batched ?(config = tiny_config) ~batch () =
+  if batch < 1 then invalid_arg "Transformer.batched: batch must be >= 1";
+  inference ~config:{ config with batch } ()

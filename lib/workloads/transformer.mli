@@ -22,3 +22,9 @@ val inference : ?config:config -> unit -> Graph.t
 val training : ?config:config -> unit -> Graph.t
 val tiny : unit -> Graph.t
 val tiny_training : unit -> Graph.t
+
+val batched : ?config:config -> batch:int -> unit -> Graph.t
+(** Inference at the given batch (default config: {!tiny_config} with
+    its batch replaced).  Row-independent per sentence: outputs slice
+    back bit-identical to per-sentence batch-1 runs.
+    @raise Invalid_argument if [batch < 1]. *)

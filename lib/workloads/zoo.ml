@@ -8,6 +8,7 @@ type entry = {
   inference : unit -> Graph.t;
   training : (unit -> Graph.t) option;
   tiny : unit -> Graph.t;
+  batched : batch:int -> Graph.t;
   train_batch : int option;
   infer_batch : int;
 }
@@ -20,6 +21,7 @@ let all =
       inference = (fun () -> Crnn.inference ());
       training = None;
       tiny = Crnn.tiny;
+      batched = (fun ~batch -> Crnn.batched ~batch ());
       train_batch = None;
       infer_batch = 1;
     };
@@ -29,6 +31,7 @@ let all =
       inference = (fun () -> Asr.inference ());
       training = None;
       tiny = Asr.tiny;
+      batched = (fun ~batch -> Asr.batched ~batch ());
       train_batch = None;
       infer_batch = 1;
     };
@@ -38,6 +41,7 @@ let all =
       inference = (fun () -> Bert.inference ());
       training = Some (fun () -> Bert.training ());
       tiny = Bert.tiny;
+      batched = (fun ~batch -> Bert.batched ~batch ());
       train_batch = Some 12;
       infer_batch = 200;
     };
@@ -47,6 +51,7 @@ let all =
       inference = (fun () -> Transformer.inference ());
       training = Some (fun () -> Transformer.training ());
       tiny = Transformer.tiny;
+      batched = (fun ~batch -> Transformer.batched ~batch ());
       train_batch = Some 4096;
       infer_batch = 1;
     };
@@ -56,6 +61,7 @@ let all =
       inference = (fun () -> Dien.inference ());
       training = Some (fun () -> Dien.training ());
       tiny = Dien.tiny;
+      batched = (fun ~batch -> Dien.batched ~batch ());
       train_batch = Some 256;
       infer_batch = 256;
     };

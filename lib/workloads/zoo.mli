@@ -8,6 +8,10 @@ type entry = {
   inference : unit -> Graph.t;
   training : (unit -> Graph.t) option;
   tiny : unit -> Graph.t;
+  batched : batch:int -> Graph.t;
+      (** Test-size inference graph at the given batch, row-independent
+          per request: outputs slice back bit-identical to batch-1 runs
+          of the same builder.  What the serving runtime executes. *)
   train_batch : int option;
   infer_batch : int;
 }

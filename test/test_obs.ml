@@ -272,6 +272,45 @@ let test_histogram_quantiles () =
   let mean = Metrics.hist_mean h in
   check_bool "mean close to 500.5" true (Float.abs (mean -. 500.5) < 1.)
 
+(* The serving runtime reads p50/p95/p99 off histograms that may not
+   have seen a single sample yet (a server queried before its first
+   request); the quantile path must degrade to 0, never crash or go
+   NaN, whatever the inputs. *)
+let test_quantile_edge_cases () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "empty" in
+  List.iter
+    (fun q ->
+      let v = Metrics.quantile h q in
+      check_bool
+        (Printf.sprintf "empty histogram q=%f answers 0" q)
+        true (v = 0.))
+    [ 0.; 0.5; 0.95; 0.99; 1.; -1.; 2.; Float.nan ];
+  check_bool "empty mean is finite" true
+    (Float.is_finite (Metrics.hist_mean h));
+  (* pathological observations land in the underflow bucket and report 0 *)
+  let p = Metrics.histogram reg "pathological" in
+  List.iter (Metrics.observe p)
+    [ 0.; -5.; Float.nan; Float.infinity; Float.neg_infinity ];
+  check_int "all pathological observations counted" 5 (Metrics.hist_count p);
+  List.iter
+    (fun q ->
+      let v = Metrics.quantile p q in
+      check_bool
+        (Printf.sprintf "underflow bucket q=%f answers exactly 0" q)
+        true (v = 0.))
+    [ 0.5; 0.95; 0.99 ];
+  (* one real sample among garbage: high quantiles find it, and no
+     query returns NaN *)
+  Metrics.observe p 100.;
+  let v = Metrics.quantile p 1.0 in
+  check_bool "q1 lands near the real sample" true (v > 50. && v < 200.);
+  List.iter
+    (fun q ->
+      check_bool "no quantile query returns NaN" false
+        (Float.is_nan (Metrics.quantile p q)))
+    [ 0.; 0.25; 0.5; 0.75; 0.95; 0.99; 1.; Float.nan ]
+
 let test_snapshot_reset () =
   let reg = Metrics.create () in
   Metrics.inc (Metrics.counter reg "b");
@@ -457,6 +496,8 @@ let () =
           Alcotest.test_case "counters + gauges" `Quick test_counters_gauges;
           Alcotest.test_case "histogram quantiles" `Quick
             test_histogram_quantiles;
+          Alcotest.test_case "quantile edge cases" `Quick
+            test_quantile_edge_cases;
           Alcotest.test_case "snapshot + reset" `Quick test_snapshot_reset;
         ] );
       ( "pipeline",

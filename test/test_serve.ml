@@ -1,0 +1,649 @@
+(* The batched serving runtime.
+
+   The load-bearing claims, each tested directly:
+   - [Batching.analyze] classifies per-request vs shared parameters and
+     batch-carrying vs invariant outputs, and rejects builders that do
+     not scale exactly one axis;
+   - pack/unpack is lossless and padding replicates the last request;
+   - THE serving invariant: batched execution (including padded tail
+     batches) is bit-identical to running every request alone - as a
+     unit test on hand builders and every zoo workload at batch
+     {1,3,8}, and as a qcheck property over random row-independent
+     builders and random request counts;
+   - the server end-to-end: all submitted requests come back [Done]
+     with solo-identical outputs; admission control refuses past the
+     queue bound with a structured [Overloaded] and sheds expired
+     requests as [Deadline_exceeded] (visible in serve.shed); a
+     poisoned request fails alone without taking down its batchmates
+     or the server;
+   - the batcher policy's dispatch algebra;
+   - the plan cache stays coherent when hammered from many domains. *)
+
+open Astitch_ir
+open Astitch_tensor
+open Astitch_simt
+open Astitch_runtime
+open Astitch_serve
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let bitwise_equal a b =
+  Shape.equal (Tensor.shape a) (Tensor.shape b)
+  && Array.for_all2 Float.equal (Tensor.data a) (Tensor.data b)
+
+let check_outputs_identical what expected got =
+  check_int (what ^ ": output arity") (List.length expected) (List.length got);
+  List.iteri
+    (fun i (e, g) ->
+      check_bool (Printf.sprintf "%s: output %d bit-identical" what i) true
+        (bitwise_equal e g))
+    (List.combine expected got)
+
+(* --- Fixture builders ---------------------------------------------------- *)
+
+(* The canonical batchable family: per-request rows through a dense
+   layer, softmax, layer norm - plus a batch-invariant second output
+   derived only from the shared weights. *)
+let mlp_build ~batch =
+  let k = 6 in
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ batch; k ] in
+  let w = Builder.parameter b "w" [ k; k ] in
+  let bias = Builder.parameter b "bias" [ k ] in
+  let gamma = Builder.parameter b "gamma" [ k ] in
+  let beta = Builder.parameter b "beta" [ k ] in
+  let h =
+    Builder.add b (Builder.dot b x w)
+      (Builder.broadcast b bias ~dims:[ 1 ] [ batch; k ])
+  in
+  let h = Builder.gelu b h in
+  let h = Builder.layer_norm b h ~gamma ~beta in
+  let out = Builder.softmax b h in
+  let aux = Builder.tanh b w in
+  Builder.finish b ~outputs:[ out; aux ]
+
+(* Scales two axes with the batch: must be rejected. *)
+let two_axis_build ~batch =
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ batch; batch + 1 ] in
+  Builder.finish b ~outputs:[ Builder.tanh b x ]
+
+(* No per-request parameter at all: nothing to batch. *)
+let weights_only_build ~batch:_ =
+  let b = Builder.create () in
+  let w = Builder.parameter b "w" [ 4; 4 ] in
+  Builder.finish b ~outputs:[ Builder.exp b w ]
+
+(* A random row-independent builder family.  The op menu never mixes
+   rows (elementwise, last-axis softmax, dense against shared weights,
+   row-wise mean centering), so batched execution must be bit-identical
+   to solo execution for any of these.  All structural choices are
+   drawn before the returned closure, so every batch size builds the
+   same family member. *)
+let random_batchable ~seed =
+  let st = Random.State.make [| seed |] in
+  let k = 2 + Random.State.int st 5 in
+  let depth = 1 + Random.State.int st 4 in
+  let ops = List.init depth (fun _ -> Random.State.int st 6) in
+  fun ~batch ->
+    let b = Builder.create () in
+    let x = Builder.parameter b "x" [ batch; k ] in
+    let w = Builder.parameter b "w" [ k; k ] in
+    let bias = Builder.parameter b "bias" [ k ] in
+    let v =
+      List.fold_left
+        (fun v op ->
+          match op with
+          | 0 -> Builder.tanh b v
+          | 1 -> Builder.softmax b v
+          | 2 ->
+              Builder.add b (Builder.dot b v w)
+                (Builder.broadcast b bias ~dims:[ 1 ] [ batch; k ])
+          | 3 -> Builder.gelu b v
+          | 4 ->
+              (* row-wise mean centering: reduce over the feature axis
+                 only, never across requests *)
+              let m = Builder.reduce_mean b ~axes:[ 1 ] v in
+              Builder.sub b v (Builder.broadcast b m ~dims:[ 0 ] [ batch; k ])
+          | _ -> Builder.sigmoid b (Builder.mul b v v))
+        x ops
+    in
+    Builder.finish b ~outputs:[ v; Builder.exp b w ]
+
+(* --- Batching analysis --------------------------------------------------- *)
+
+let test_analyze_classifies () =
+  let spec = Batching.analyze (fun n -> mlp_build ~batch:n) in
+  check_int "one per-request parameter" 1 (List.length spec.request_params);
+  let name, info = List.hd spec.request_params in
+  Alcotest.(check string) "it is x" "x" name;
+  check_int "batch axis 0" 0 info.axis;
+  check_int "extent 1 at batch 1" 1 info.extent;
+  check_int "four shared parameters" 4 (List.length spec.shared_params);
+  (match spec.outputs with
+  | [ Some { axis = 0; extent = 1 }; None ] -> ()
+  | _ -> Alcotest.fail "outputs misclassified");
+  check_bool "fingerprint is the batch-1 graph's" true
+    (String.equal spec.fingerprint (Fingerprint.of_graph (mlp_build ~batch:1)))
+
+let test_analyze_rejects_two_axis () =
+  match Batching.analyze (fun n -> two_axis_build ~batch:n) with
+  | exception Batching.Not_batchable _ -> ()
+  | _ -> Alcotest.fail "two-axis scaling must be rejected"
+
+let test_analyze_rejects_weights_only () =
+  match Batching.analyze (fun n -> weights_only_build ~batch:n) with
+  | exception Batching.Not_batchable _ -> ()
+  | _ -> Alcotest.fail "builder without per-request parameters must be rejected"
+
+let test_concat_slice_roundtrip () =
+  let ts =
+    List.init 5 (fun i -> Tensor.random ~seed:(100 + i) (Shape.of_list [ 2; 3; 4 ]))
+  in
+  List.iter
+    (fun axis ->
+      let cat = Batching.concat_axis ~axis ts in
+      List.iteri
+        (fun i t ->
+          let lo = i * Shape.dim (Tensor.shape t) axis in
+          let hi = lo + Shape.dim (Tensor.shape t) axis in
+          check_bool
+            (Printf.sprintf "axis %d part %d survives the roundtrip" axis i)
+            true
+            (bitwise_equal t (Batching.slice_axis ~axis ~lo ~hi cat)))
+        ts)
+    [ 0; 1; 2 ]
+
+let test_pack_pads_with_last () =
+  let spec = Batching.analyze (fun n -> mlp_build ~batch:n) in
+  let reqs = List.init 3 (fun i -> Batching.random_request spec ~seed:(7 * i)) in
+  let packed = Batching.pack spec ~batch:4 reqs in
+  let x = List.assoc "x" packed in
+  check_bool "packed to the bucket" true
+    (Shape.equal (Tensor.shape x) (Shape.of_list [ 4; 6 ]));
+  let last = List.assoc "x" (List.nth reqs 2) in
+  check_bool "pad row replicates the last request" true
+    (bitwise_equal last (Batching.slice_axis ~axis:0 ~lo:3 ~hi:4 x));
+  check_bool "row 2 is the last request too" true
+    (bitwise_equal last (Batching.slice_axis ~axis:0 ~lo:2 ~hi:3 x))
+
+let test_pack_rejects_bad_shape () =
+  let spec = Batching.analyze (fun n -> mlp_build ~batch:n) in
+  let bad = [ ("x", Tensor.random ~seed:1 (Shape.of_list [ 1; 5 ])) ] in
+  match Batching.pack spec ~batch:1 [ bad ] with
+  | exception Batching.Not_batchable _ -> ()
+  | _ -> Alcotest.fail "wrong-shaped binding must be rejected"
+
+(* --- Bit-identity -------------------------------------------------------- *)
+
+(* Run [count] requests through the batched graph at [bucket] (padding
+   when count < bucket) and compare every slice against solo batch-1
+   interpretation.  Pure interpreter - no compiler in the loop - so a
+   failure here indicts the batching transform itself. *)
+let assert_bit_identity ~what build ~count ~bucket =
+  let spec = Batching.analyze (fun n -> build ~batch:n) in
+  let shared = Batching.random_shared spec ~seed:999 in
+  let reqs = List.init count (fun i -> Batching.random_request spec ~seed:i) in
+  let packed = Batching.pack spec ~batch:bucket reqs in
+  let batched_out =
+    Interp.run (build ~batch:bucket) ~params:(shared @ packed)
+  in
+  let sliced = Batching.unpack spec ~count batched_out in
+  List.iteri
+    (fun i req ->
+      let solo = Interp.run spec.base ~params:(shared @ req) in
+      check_outputs_identical
+        (Printf.sprintf "%s request %d/%d bucket %d" what i count bucket)
+        solo (List.nth sliced i))
+    reqs
+
+let test_bit_identity_mlp () =
+  assert_bit_identity ~what:"mlp" mlp_build ~count:4 ~bucket:4;
+  assert_bit_identity ~what:"mlp padded" mlp_build ~count:3 ~bucket:4;
+  assert_bit_identity ~what:"mlp solo" mlp_build ~count:1 ~bucket:1
+
+let prop_bit_identity_random =
+  QCheck2.Test.make ~name:"random row-independent builders are batchable"
+    ~count:40
+    QCheck2.Gen.(pair (int_range 0 5_000) (int_range 1 8))
+    (fun (seed, count) ->
+      let build = random_batchable ~seed in
+      let bucket =
+        let rec up b = if b >= count then b else up (2 * b) in
+        up 1
+      in
+      assert_bit_identity
+        ~what:(Printf.sprintf "random(seed=%d)" seed)
+        build ~count ~bucket;
+      true)
+
+(* Every zoo workload, both through the interpreter (transform-level
+   identity) and through the full compiler + fused executor at batch
+   {1,3,8} - 3 exercises the padded tail into bucket 4. *)
+let test_zoo_batched_build_compile_run () =
+  List.iter
+    (fun (e : Astitch_workloads.Zoo.entry) ->
+      List.iter
+        (fun n ->
+          let g = e.batched ~batch:n in
+          let plan = Astitch_core.Astitch.compile Arch.v100 g in
+          let params = Session.random_params g in
+          let out = Astitch_runtime.Executor.run plan ~params in
+          check_bool
+            (Printf.sprintf "%s batch %d runs" e.name n)
+            true (out <> []))
+        [ 1; 3; 8 ])
+    Astitch_workloads.Zoo.all
+
+let test_zoo_batched_bit_identity () =
+  List.iter
+    (fun (e : Astitch_workloads.Zoo.entry) ->
+      (* padded: 3 requests in bucket 4 *)
+      let spec = Batching.analyze (fun n -> e.batched ~batch:n) in
+      let shared = Batching.random_shared spec ~seed:4242 in
+      let reqs = List.init 3 (fun i -> Batching.random_request spec ~seed:i) in
+      let packed = Batching.pack spec ~batch:4 reqs in
+      let g4 = e.batched ~batch:4 in
+      let plan4 = Astitch_core.Astitch.compile Arch.v100 g4 in
+      let batched_out =
+        Astitch_runtime.Executor.run plan4 ~params:(shared @ packed)
+      in
+      let sliced = Batching.unpack spec ~count:3 batched_out in
+      let plan1 = Astitch_core.Astitch.compile Arch.v100 spec.base in
+      List.iteri
+        (fun i req ->
+          let solo =
+            Astitch_runtime.Executor.run plan1 ~params:(shared @ req)
+          in
+          check_outputs_identical
+            (Printf.sprintf "%s padded request %d" e.name i)
+            solo (List.nth sliced i))
+        reqs)
+    Astitch_workloads.Zoo.all
+
+(* --- Batcher policy ------------------------------------------------------ *)
+
+let test_batcher_buckets () =
+  let p = Batcher.policy ~max_batch:8 ~max_wait_us:1000. in
+  Alcotest.(check (list int)) "buckets" [ 1; 2; 4; 8 ] (Batcher.buckets p);
+  List.iter
+    (fun (n, want) ->
+      check_int (Printf.sprintf "bucket of %d" n) want (Batcher.bucket p n))
+    [ (1, 1); (2, 2); (3, 4); (4, 4); (5, 8); (8, 8); (9, 8); (100, 8) ]
+
+let test_batcher_decisions () =
+  let p = Batcher.policy ~max_batch:4 ~max_wait_us:1000. in
+  let decide = Batcher.decide p in
+  check_bool "empty waits" true
+    (decide ~pending:0 ~oldest_wait_us:1e9 ~draining:true = Batcher.Wait);
+  check_bool "full batch dispatches" true
+    (decide ~pending:4 ~oldest_wait_us:0. ~draining:false = Batcher.Dispatch 4);
+  check_bool "overfull clamps to max" true
+    (decide ~pending:9 ~oldest_wait_us:0. ~draining:false = Batcher.Dispatch 4);
+  check_bool "window open waits" true
+    (decide ~pending:2 ~oldest_wait_us:500. ~draining:false = Batcher.Wait);
+  check_bool "window expired dispatches partial" true
+    (decide ~pending:2 ~oldest_wait_us:1000. ~draining:false
+    = Batcher.Dispatch 2);
+  check_bool "draining flushes immediately" true
+    (decide ~pending:2 ~oldest_wait_us:0. ~draining:true = Batcher.Dispatch 2)
+
+(* --- The server end-to-end ----------------------------------------------- *)
+
+let mlp_model = { Serve.name = "mlp"; build = (fun ~batch -> mlp_build ~batch) }
+
+let serve_config ?(workers = 2) ?(max_batch = 4) ?(max_wait_us = 500.)
+    ?(queue_depth = 64) () =
+  {
+    Serve.default_config with
+    workers;
+    max_batch;
+    max_wait_us;
+    queue_depth;
+    verify_every = 3;
+  }
+
+let test_serve_end_to_end () =
+  let server = Serve.create ~config:(serve_config ()) [ mlp_model ] in
+  Fun.protect
+    ~finally:(fun () -> Serve.shutdown server)
+    (fun () ->
+      let spec = Serve.spec server ~model:"mlp" in
+      let shared = Serve.shared_weights server ~model:"mlp" in
+      let n = 24 in
+      let reqs =
+        List.init n (fun i -> Serve.random_request server ~model:"mlp" ~seed:i)
+      in
+      let tickets =
+        List.map
+          (fun params ->
+            match Serve.submit_async server ~model:"mlp" ~params with
+            | Ok t -> t
+            | Error o ->
+                Alcotest.failf "request refused: %s"
+                  (Request.overload_to_string o))
+          reqs
+      in
+      List.iteri
+        (fun i ticket ->
+          match Serve.await server ticket with
+          | Request.Done { outputs; batch; degraded; latency_us } ->
+              check_bool "not degraded" false degraded;
+              check_bool "latency positive" true (latency_us > 0.);
+              check_bool "bucket sane" true (batch >= 1 && batch <= 4);
+              let solo =
+                Interp.run spec.base ~params:(shared @ List.nth reqs i)
+              in
+              check_outputs_identical
+                (Printf.sprintf "served request %d" i)
+                solo outputs
+          | Request.Overloaded o ->
+              Alcotest.failf "request %d overloaded: %s" i
+                (Request.overload_to_string o)
+          | Request.Failed m -> Alcotest.failf "request %d failed: %s" i m)
+        tickets;
+      let s = Serve.stats server in
+      check_int "all submitted" n s.submitted;
+      check_int "all completed" n s.completed;
+      check_int "nothing rejected" 0 s.rejected;
+      check_int "nothing shed" 0 s.shed;
+      check_int "nothing failed" 0 s.failed;
+      check_int "nothing outstanding" 0 s.outstanding;
+      check_bool "batching actually happened" true (s.batches <= n))
+
+let test_serve_weights_match_spec () =
+  (* [Serve.random_request] and the server's internal shared weights are
+     both deterministic; a second server with the same seed serves
+     bit-identical results. *)
+  let run_once () =
+    let server = Serve.create ~config:(serve_config ()) [ mlp_model ] in
+    Fun.protect
+      ~finally:(fun () -> Serve.shutdown server)
+      (fun () ->
+        let params = Serve.random_request server ~model:"mlp" ~seed:5 in
+        match Serve.submit server ~model:"mlp" ~params with
+        | Request.Done { outputs; _ } -> outputs
+        | _ -> Alcotest.fail "request did not complete")
+  in
+  check_outputs_identical "two servers, same seed, same answer" (run_once ())
+    (run_once ())
+
+let test_caller_runs_mode () =
+  (* workers = 0: no domains; [await] and [drain] pump batches on the
+     calling thread.  Same bit-identity contract as the pooled path. *)
+  let server =
+    Serve.create ~config:(serve_config ~workers:0 ()) [ mlp_model ]
+  in
+  Fun.protect
+    ~finally:(fun () -> Serve.shutdown server)
+    (fun () ->
+      let spec = Serve.spec server ~model:"mlp" in
+      let shared = Serve.shared_weights server ~model:"mlp" in
+      (* await-pumping without a drain: the awaiting thread itself must
+         wait out the batching window and execute the batch *)
+      let p0 = Serve.random_request server ~model:"mlp" ~seed:0 in
+      (match Serve.submit server ~model:"mlp" ~params:p0 with
+      | Request.Done { outputs; degraded; _ } ->
+          check_bool "not degraded" false degraded;
+          check_outputs_identical "caller-runs await"
+            (Interp.run spec.base ~params:(shared @ p0))
+            outputs
+      | _ -> Alcotest.fail "caller-runs submit must complete");
+      (* drain-pumping: a backlog of async submissions flushes on the
+         draining thread, batched *)
+      let n = 9 in
+      let reqs =
+        List.init n (fun i ->
+            Serve.random_request server ~model:"mlp" ~seed:(100 + i))
+      in
+      let tickets =
+        List.map
+          (fun params ->
+            match Serve.submit_async server ~model:"mlp" ~params with
+            | Ok t -> t
+            | Error o ->
+                Alcotest.failf "request refused: %s"
+                  (Request.overload_to_string o))
+          reqs
+      in
+      Serve.drain server;
+      List.iteri
+        (fun i ticket ->
+          match Serve.poll server ticket with
+          | Some (Request.Done { outputs; _ }) ->
+              check_outputs_identical
+                (Printf.sprintf "caller-runs drained request %d" i)
+                (Interp.run spec.base ~params:(shared @ List.nth reqs i))
+                outputs
+          | _ -> Alcotest.failf "request %d not completed by drain" i)
+        tickets;
+      let s = Serve.stats server in
+      check_int "all completed" (n + 1) s.completed;
+      check_bool "backlog was batched" true (s.batches < n + 1))
+
+let test_admission_control () =
+  (* max_batch 8 with only 4 queue slots and an hour-long window: the
+     worker can never assemble a batch, so the queue fills and stays
+     full - admission must refuse deterministically. *)
+  let config =
+    serve_config ~workers:1 ~max_batch:8 ~max_wait_us:3.6e9 ~queue_depth:4 ()
+  in
+  let server = Serve.create ~config [ mlp_model ] in
+  Fun.protect
+    ~finally:(fun () -> Serve.shutdown server)
+    (fun () ->
+      let outcomes =
+        List.init 10 (fun i ->
+            Serve.submit_async server ~model:"mlp"
+              ~params:(Serve.random_request server ~model:"mlp" ~seed:i))
+      in
+      let admitted, refused =
+        List.partition (function Ok _ -> true | Error _ -> false) outcomes
+      in
+      check_int "exactly queue_depth admitted" 4 (List.length admitted);
+      check_int "the rest refused" 6 (List.length refused);
+      List.iter
+        (function
+          | Error Request.Queue_full -> ()
+          | Error o ->
+              Alcotest.failf "wrong overload: %s" (Request.overload_to_string o)
+          | Ok _ -> ())
+        refused;
+      (* drain flushes the stuck partial batch *)
+      Serve.drain server;
+      List.iter
+        (function
+          | Ok t -> (
+              match Serve.await server t with
+              | Request.Done _ -> ()
+              | _ -> Alcotest.fail "admitted request must complete")
+          | Error _ -> ())
+        outcomes;
+      let s = Serve.stats server in
+      check_int "rejected counted" 6 s.rejected;
+      check_int "admitted completed" 4 s.completed)
+
+let test_deadline_shedding () =
+  let before =
+    Astitch_obs.Metrics.value
+      (Astitch_obs.Metrics.counter Astitch_obs.Metrics.default "serve.shed")
+  in
+  (* Batch can't fill (max_batch 8, window 1h), so the requests sit
+     until their 2ms deadline passes and the dispatch loop sheds them. *)
+  let config =
+    serve_config ~workers:1 ~max_batch:8 ~max_wait_us:3.6e9 ~queue_depth:64 ()
+  in
+  let server = Serve.create ~config [ mlp_model ] in
+  Fun.protect
+    ~finally:(fun () -> Serve.shutdown server)
+    (fun () ->
+      let tickets =
+        List.init 3 (fun i ->
+            match
+              Serve.submit_async server ~deadline_us:2_000. ~model:"mlp"
+                ~params:(Serve.random_request server ~model:"mlp" ~seed:i)
+            with
+            | Ok t -> t
+            | Error _ -> Alcotest.fail "admission refused an empty queue")
+      in
+      List.iter
+        (fun t ->
+          match Serve.await server t with
+          | Request.Overloaded Request.Deadline_exceeded -> ()
+          | Request.Done _ -> Alcotest.fail "expired request must be shed"
+          | o ->
+              Alcotest.failf "unexpected outcome: %s"
+                (match o with
+                | Request.Failed m -> m
+                | Request.Overloaded ov -> Request.overload_to_string ov
+                | _ -> "done"))
+        tickets;
+      let s = Serve.stats server in
+      check_int "all shed" 3 s.shed;
+      let after =
+        Astitch_obs.Metrics.value
+          (Astitch_obs.Metrics.counter Astitch_obs.Metrics.default "serve.shed")
+      in
+      check_bool "serve.shed metric advanced" true (after >= before + 3))
+
+let test_poisoned_request_fails_alone () =
+  (* Two requests forced into one batch (max_batch 2, long window); one
+     has a wrong-shaped binding.  The batch path fails at pack, the
+     fallback serves them solo: the good one completes (degraded), the
+     bad one fails, the server survives and keeps serving. *)
+  let config =
+    serve_config ~workers:1 ~max_batch:2 ~max_wait_us:3.6e9 ~queue_depth:64 ()
+  in
+  let server = Serve.create ~config [ mlp_model ] in
+  Fun.protect
+    ~finally:(fun () -> Serve.shutdown server)
+    (fun () ->
+      let good = Serve.random_request server ~model:"mlp" ~seed:1 in
+      let bad = [ ("x", Tensor.random ~seed:2 (Shape.of_list [ 1; 5 ])) ] in
+      let t_good =
+        match Serve.submit_async server ~model:"mlp" ~params:good with
+        | Ok t -> t
+        | Error _ -> Alcotest.fail "good request refused"
+      in
+      let t_bad =
+        match Serve.submit_async server ~model:"mlp" ~params:bad with
+        | Ok t -> t
+        | Error _ -> Alcotest.fail "bad request refused"
+      in
+      (match Serve.await server t_good with
+      | Request.Done { degraded; _ } ->
+          check_bool "good batchmate served degraded" true degraded
+      | _ -> Alcotest.fail "good batchmate must complete");
+      (match Serve.await server t_bad with
+      | Request.Failed _ -> ()
+      | _ -> Alcotest.fail "poisoned request must fail");
+      (* the server still serves after the failure; the hour-long window
+         means a lone request only flushes on drain *)
+      (let t3 =
+         match
+           Serve.submit_async server ~model:"mlp"
+             ~params:(Serve.random_request server ~model:"mlp" ~seed:3)
+         with
+         | Ok t -> t
+         | Error _ -> Alcotest.fail "server must keep admitting"
+       in
+       Serve.drain server;
+       match Serve.await server t3 with
+       | Request.Done _ -> ()
+       | _ -> Alcotest.fail "server must keep serving after a failure");
+      let s = Serve.stats server in
+      check_int "one failure" 1 s.failed;
+      check_int "one degraded completion" 1 s.degraded)
+
+let test_unknown_model_rejected () =
+  let server =
+    Serve.create ~config:(serve_config ~workers:1 ()) [ mlp_model ]
+  in
+  Fun.protect
+    ~finally:(fun () -> Serve.shutdown server)
+    (fun () ->
+      match Serve.submit_async server ~model:"nope" ~params:[] with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "unknown model must raise")
+
+(* --- Plan cache under domain pressure ------------------------------------ *)
+
+let prop_plan_cache_domain_hammer =
+  QCheck2.Test.make ~name:"plan cache coherent under concurrent domains"
+    ~count:15
+    QCheck2.Gen.(int_range 0 1_000)
+    (fun seed ->
+      let cache : int Plan_cache.t = Plan_cache.create ~capacity:8 () in
+      let domains =
+        List.init 4 (fun d ->
+            Domain.spawn (fun () ->
+                let st = Random.State.make [| seed; d |] in
+                for i = 1 to 500 do
+                  let key = Printf.sprintf "k%d" (Random.State.int st 16) in
+                  match Plan_cache.find cache key with
+                  | Some _ -> ()
+                  | None -> Plan_cache.add cache key (d * 1000 + i)
+                done))
+      in
+      List.iter Domain.join domains;
+      let s = Plan_cache.stats cache in
+      Plan_cache.length cache <= 8
+      && s.hits + s.misses = 2000
+      && s.insertions >= s.evictions
+      && Plan_cache.length cache = s.insertions - s.evictions)
+
+(* --- Suite --------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "batching",
+        [
+          Alcotest.test_case "analyze classifies params and outputs" `Quick
+            test_analyze_classifies;
+          Alcotest.test_case "analyze rejects two-axis scaling" `Quick
+            test_analyze_rejects_two_axis;
+          Alcotest.test_case "analyze rejects weights-only builders" `Quick
+            test_analyze_rejects_weights_only;
+          Alcotest.test_case "concat/slice roundtrip" `Quick
+            test_concat_slice_roundtrip;
+          Alcotest.test_case "pack pads with the last request" `Quick
+            test_pack_pads_with_last;
+          Alcotest.test_case "pack rejects bad shapes" `Quick
+            test_pack_rejects_bad_shape;
+        ] );
+      ( "bit-identity",
+        [
+          Alcotest.test_case "mlp batched = solo (incl. padded)" `Quick
+            test_bit_identity_mlp;
+          QCheck_alcotest.to_alcotest prop_bit_identity_random;
+          Alcotest.test_case "zoo batched builders compile and run {1,3,8}"
+            `Quick test_zoo_batched_build_compile_run;
+          Alcotest.test_case "zoo padded batches slice back identical" `Quick
+            test_zoo_batched_bit_identity;
+        ] );
+      ( "batcher",
+        [
+          Alcotest.test_case "bucket quantization" `Quick test_batcher_buckets;
+          Alcotest.test_case "dispatch decisions" `Quick test_batcher_decisions;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "end-to-end: all served bit-identical" `Quick
+            test_serve_end_to_end;
+          Alcotest.test_case "deterministic across servers" `Quick
+            test_serve_weights_match_spec;
+          Alcotest.test_case "caller-runs mode (workers = 0)" `Quick
+            test_caller_runs_mode;
+          Alcotest.test_case "admission control refuses past the bound" `Quick
+            test_admission_control;
+          Alcotest.test_case "deadline shedding" `Quick test_deadline_shedding;
+          Alcotest.test_case "poisoned request fails alone" `Quick
+            test_poisoned_request_fails_alone;
+          Alcotest.test_case "unknown model rejected" `Quick
+            test_unknown_model_rejected;
+        ] );
+      ( "plan-cache-domains",
+        [ QCheck_alcotest.to_alcotest prop_plan_cache_domain_hammer ] );
+    ]
