@@ -106,9 +106,10 @@ let resilient_arg =
 let inject_arg =
   Arg.(value & opt_all string []
        & info [ "inject" ] ~docv:"SITE:MODE[:SEED[:FUEL]]"
-           ~doc:"Arm a deterministic compiler fault (repeatable). Sites: \
+           ~doc:"Arm a deterministic fault (repeatable). Compile sites: \
                  clustering, dominant-merging, mem-planning, launch-config, \
-                 codegen; modes: raise, corrupt.")
+                 codegen; runtime sites: kernel-exec, staged-restage, pack, \
+                 unpack, worker-loop; modes: raise, corrupt, stall.")
 
 let parse_injects specs =
   List.fold_left
@@ -124,7 +125,7 @@ let parse_injects specs =
                    "bad --inject %S (want SITE:MODE[:SEED[:FUEL]]; sites: %s)"
                    s
                    (String.concat ", "
-                      (List.map Fault.site_to_string Fault.all_sites)))))
+                      (List.map Fault.site_to_string Fault.every_site)))))
     (Ok []) specs
 
 (* Fault plans belong to an AStitch config; injecting into a baseline
@@ -718,16 +719,38 @@ let hist_line name =
     (q 0.99)
     (Astitch_obs.Metrics.hist_count h)
 
+(* Chaos mode arms every runtime fault site at once, seeded: alternating
+   raise/corrupt across the sites, two firings each.  Deterministic per
+   [--seed], so a CI failure replays exactly. *)
+let chaos_plans seed =
+  List.mapi
+    (fun i site ->
+      Fault.plan site
+        ~mode:(if (seed + i) mod 2 = 0 then Fault.Raise else Fault.Corrupt)
+        ~seed:(seed + (7 * i)) ~fuel:2)
+    Fault.runtime_sites
+
 let serve_cmd_impl models workers max_batch max_wait_us queue_depth requests
-    arrival deadline_us verify_every seed arch fused trace metrics check =
+    arrival deadline_us verify_every seed arch fused trace metrics chaos
+    injects retry_budget breaker_threshold check =
   match resolve_serve_models models with
   | Error e -> `Error (false, e)
-  | Ok models ->
+  | Ok models -> (
+      match parse_injects injects with
+      | Error e -> `Error (false, e)
+      | Ok inject_plans ->
+      let fault_plans =
+        inject_plans @ (if chaos then chaos_plans seed else [])
+      in
       with_arch arch (fun arch ->
           let module Serve = Astitch_serve.Serve in
           let module Request = Astitch_serve.Request in
+          let with_plans f =
+            if fault_plans = [] then f () else Fault.with_faults fault_plans f
+          in
           let result =
             with_obs ~trace ~metrics (fun () ->
+            with_plans (fun () ->
                 let config =
                   {
                     Serve.default_config with
@@ -740,6 +763,8 @@ let serve_cmd_impl models workers max_batch max_wait_us queue_depth requests
                     fused;
                     verify_every;
                     seed;
+                    retry_budget;
+                    breaker_threshold;
                   }
                 in
                 let server = Serve.create ~config models in
@@ -751,6 +776,10 @@ let serve_cmd_impl models workers max_batch max_wait_us queue_depth requests
                   n_models
                   (if n_models = 1 then "" else "s")
                   workers max_batch max_wait_us queue_depth;
+                if fault_plans <> [] then
+                  Printf.printf "chaos: %s\n%!"
+                    (String.concat " "
+                       (List.map Fault.plan_to_string fault_plans));
                 Serve.warm server;
                 (* Open loop: request i arrives at its own scheduled time
                    (exponential inter-arrivals at [arrival] req/s),
@@ -804,10 +833,16 @@ let serve_cmd_impl models workers max_batch max_wait_us queue_depth requests
                   tickets;
                 Serve.shutdown server;
                 let s = Serve.stats server in
+                let sup = Serve.supervision server in
                 Printf.printf "admitted %d  rejected %d  shed %d\n"
                   s.submitted !rejected !shed;
                 Printf.printf "completed %d  degraded %d  failed %d\n" !done_n
                   !degraded !failed;
+                Printf.printf
+                  "retried %d  restarts %d  quarantined %d  wedged %d  \
+                   breaker open/close %d/%d\n"
+                  s.retried sup.Serve.restarts sup.Serve.quarantined
+                  sup.Serve.wedged s.breaker_opens s.breaker_closes;
                 let mean_batch =
                   Astitch_obs.Metrics.hist_mean
                     (Astitch_obs.Metrics.histogram Astitch_obs.Metrics.default
@@ -821,7 +856,7 @@ let serve_cmd_impl models workers max_batch max_wait_us queue_depth requests
                 Printf.printf "latency us:    %s\n" (hist_line "serve.request_us");
                 Printf.printf "queue wait us: %s\n"
                   (hist_line "serve.queue_wait_us");
-                (!done_n, !failed, !shed, !rejected))
+                (!done_n, !failed, !shed, !rejected)))
           in
           let done_n, failed, shed, rejected = result in
           if not check then `Ok ()
@@ -848,7 +883,7 @@ let serve_cmd_impl models workers max_batch max_wait_us queue_depth requests
                     "check: OK (%d completed, 0 failed%s)\n" done_n
                     (if trace = None then ""
                      else Printf.sprintf ", %d trace events" events);
-                  `Ok ())
+                  `Ok ()))
 
 (* --- Command wiring ----------------------------------------------------------- *)
 
@@ -1063,6 +1098,24 @@ let serve_cmd =
                    without failure; with --trace, also re-parse the \
                    emitted JSON and require per-batch serve spans.")
   in
+  let chaos_arg =
+    Arg.(value & flag
+         & info [ "chaos" ]
+             ~doc:"Arm every runtime fault site (kernel-exec, \
+                   staged-restage, pack, unpack, worker-loop) with seeded \
+                   raise/corrupt faults while serving; supervision must \
+                   keep every request accounted for.")
+  in
+  let retry_budget_arg =
+    Arg.(value & opt int 2 & info [ "retry-budget" ] ~docv:"N"
+           ~doc:"Failed batch executions a request survives before \
+                 dropping to per-request fallback.")
+  in
+  let breaker_arg =
+    Arg.(value & opt int 4 & info [ "breaker-threshold" ] ~docv:"N"
+           ~doc:"Consecutive batch failures that open a model's circuit \
+                 breaker (0 disables breakers).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the batched serving runtime under a synthetic open-loop \
@@ -1072,7 +1125,8 @@ let serve_cmd =
         (const serve_cmd_impl $ models_arg $ workers_arg $ max_batch_arg
        $ max_wait_arg $ queue_depth_arg $ requests_arg $ arrival_arg
        $ deadline_arg $ verify_arg $ seed_arg $ arch_arg $ fused_arg
-       $ trace_arg $ metrics_arg $ check_arg))
+       $ trace_arg $ metrics_arg $ chaos_arg $ inject_arg
+       $ retry_budget_arg $ breaker_arg $ check_arg))
 
 let main =
   Cmd.group

@@ -475,7 +475,7 @@ let compile_armed (config : Config.t) (arch : Arch.t) g :
     let domains =
       if
         config.faults <> []
-        || Fault_site.active ()
+        || Fault_site.compile_active ()
         || config.compile_budget_s <> None
       then 1
       else config.compile_domains

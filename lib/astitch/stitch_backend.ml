@@ -464,7 +464,7 @@ let compile_with_armed (config : Config.t) (arch : Arch.t) g : Kernel_plan.t =
     let domains =
       if
         config.faults <> []
-        || Astitch_plan.Fault_site.active ()
+        || Astitch_plan.Fault_site.compile_active ()
         || config.compile_budget_s <> None
       then 1
       else config.compile_domains

@@ -1,20 +1,40 @@
 (** Deterministic fault-injection registry with named sites in the main
-    compiler passes.  Armed faults either raise a structured
-    [Compile_error] or corrupt a pass's result (seeded); [fuel] bounds how
-    many site hits fire, so degraded retries can succeed. *)
+    compiler passes and the serving runtime's execution path.  Armed
+    faults either raise a structured error, corrupt a site's result
+    (seeded), or stall (a seeded sleep); [fuel] bounds how many site
+    hits fire, so degraded retries can succeed.  Fuel and firing
+    counters are atomic — the registry is shared by compile domains and
+    serving worker domains. *)
 
 type site =
+  (* compile pipeline *)
   | Clustering
   | Dominant_merging
   | Mem_planning
   | Launch_config
   | Codegen
+  (* serving runtime *)
+  | Kernel_exec
+  | Staged_restage
+  | Pack
+  | Unpack
+  | Worker_loop
 
 val all_sites : site list
+(** The compile-pipeline sites (historical name: the resilience sweeps
+    index into this list positionally). *)
+
+val runtime_sites : site list
+(** The serving-runtime sites. *)
+
+val every_site : site list
+(** [all_sites @ runtime_sites]. *)
+
+val is_runtime_site : site -> bool
 val site_to_string : site -> string
 val site_of_string : string -> site option
 
-type mode = Raise | Corrupt
+type mode = Raise | Corrupt | Stall
 
 val mode_to_string : mode -> string
 val mode_of_string : string -> mode option
@@ -24,12 +44,34 @@ type plan = { site : site; mode : mode; seed : int; fuel : int }
 val plan : ?mode:mode -> ?seed:int -> ?fuel:int -> site -> plan
 (** Defaults: [mode = Raise], [seed = 0], [fuel = 1]. *)
 
+exception Runtime_fault of { site : site; seed : int; pass : string }
+(** What a [Raise]-mode runtime fault throws ({!check_runtime}); the
+    serving supervision layer catches it like any other worker crash. *)
+
+val stall_s : int -> float
+(** The seeded stall duration (1-10ms) a [Stall]-mode fault sleeps. *)
+
 val arm : plan list -> unit
-(** Replace the armed set and reset the firing counter. *)
+(** Replace the armed set and reset the firing counters. *)
 
 val disarm : unit -> unit
+
 val fired : unit -> int
+(** Total firings (compile + runtime) since the last {!arm}. *)
+
+val compile_fired : unit -> int
+(** Compile-site firings only — what the plan cache's fault watch
+    compares, so runtime-only faults don't poison compile caching. *)
+
 val active : unit -> bool
+(** Any armed fault with fuel left, at any site. *)
+
+val compile_active : unit -> bool
+(** An armed compile-site fault with fuel left exists. *)
+
+val runtime_active : unit -> bool
+(** An armed runtime-site fault with fuel left exists — the serving
+    path's cheap guard before consulting {!check_runtime}. *)
 
 val epoch : unit -> int
 (** Monotonic count of {!arm} calls.  An observer that snapshots the
@@ -37,6 +79,11 @@ val epoch : unit -> int
     even though the compile disarms before returning. *)
 
 val check : site -> pass:string -> int option
-(** Called at instrumentation points.  [Some seed] = corrupt the result;
-    raises [Compile_error.Error] with kind [Injected_fault] for an armed
-    [Raise] fault; [None] = proceed normally.  Consumes one fuel. *)
+(** Called at compile-pass instrumentation points.  [Some seed] =
+    corrupt the result; raises [Compile_error.Error] with kind
+    [Injected_fault] for an armed [Raise] fault; sleeps for [Stall];
+    [None] = proceed normally.  Consumes one fuel. *)
+
+val check_runtime : site -> pass:string -> int option
+(** {!check} for runtime sites: [Raise] throws {!Runtime_fault} instead
+    of a [Compile_error] (execution failures are not compile errors). *)

@@ -16,6 +16,27 @@ module Trace = Astitch_obs.Trace
 
 exception Execution_error of string
 
+(* --- Runtime fault instrumentation --------------------------------------
+
+   The reusable-context path ([create_context]/[run_context]) carries two
+   of the serving runtime's fault sites: [Kernel_exec] fires after each
+   kernel executes, [Staged_restage] inside slab refills.  [run] is
+   deliberately NOT instrumented: it is the terminal rung of the serving
+   degradation ladder (the per-request fallback), and keeping it
+   fault-free is what guarantees every request resolves to a structured
+   outcome even under persistent injected faults.
+
+   Corrupt mode perturbs one cell of a live buffer in place - silent
+   numeric damage with no exception, which only the serving layer's
+   poisoned-batch detection (comparing the fired counter around each
+   batch) can catch. *)
+let corrupt_cell arr seed =
+  let n = Array.length arr in
+  if n > 0 then begin
+    let i = abs seed mod n in
+    arr.(i) <- arr.(i) +. 1.0 +. float_of_int (seed land 0xff)
+  end
+
 let run (plan : Kernel_plan.t) ~params : Tensor.t list =
   let traced = Trace.enabled () in
   let rsid = if traced then Trace.span_begin ~phase:"exec" "run" else 0 in
@@ -360,7 +381,13 @@ let create_context_body ~fused ~timed (plan : Kernel_plan.t) : context =
                       fprof.bytes_staged + bytes_of (hi - lo);
                     (* a backwards move means a consumer re-visits blocks
                        it already staged: irregular access, re-staged *)
-                    if b < sl.cur_block then fprof.restages <- fprof.restages + 1);
+                    if b < sl.cur_block then fprof.restages <- fprof.restages + 1;
+                    match
+                      Fault_site.check_runtime Fault_site.Staged_restage
+                        ~pass:"staged-fill"
+                    with
+                    | None -> ()
+                    | Some fseed -> corrupt_cell sl.sdata fseed);
                 fun j ->
                   let b = j / block_elems in
                   if sl.cur_block <> b then begin
@@ -590,6 +617,38 @@ let run_context (ctx : context) ~params : Tensor.t list =
                   computed.(nd.id) <- true
               | Purge ids -> Array.iter (fun id -> computed.(id) <- false) ids)
             steps);
+      (* serving-runtime fault site: the kernel just "launched" - raise
+         models a failed launch, corrupt silently damages one cell of a
+         value this kernel materialized.  Unarmed cost is one empty-list
+         walk, preserving the zero-allocation contract. *)
+      (match
+         Fault_site.check_runtime Fault_site.Kernel_exec
+           ~pass:
+             (match ke with
+             | Fused_k f -> f.fprof.Profile.kname
+             | Ref_k r -> r.rprof.Profile.kname)
+       with
+      | None -> ()
+      | Some fseed -> (
+          match ke with
+          | Fused_k fk ->
+              let ids = fk.set_computed in
+              if Array.length ids > 0 then
+                corrupt_cell
+                  (Tensor.data values.(ids.(abs fseed mod Array.length ids)))
+                  fseed
+          | Ref_k { steps; _ } ->
+              let last =
+                Array.fold_left
+                  (fun acc i ->
+                    match i with
+                    | Eval { nd; _ } -> Some nd.id
+                    | Purge _ -> acc)
+                  None steps
+              in
+              (match last with
+              | Some id -> corrupt_cell (Tensor.data values.(id)) fseed
+              | None -> ())));
       if ctx.timed then begin
         let prof =
           match ke with Fused_k f -> f.fprof | Ref_k r -> r.rprof

@@ -2,11 +2,13 @@
 
    Re-exports the registry that lives next to the compiler passes
    ([Astitch_plan.Fault_site]) so tests and the CLI can arm faults
-   without depending on pass internals.  The contract under test: with
-   any fault armed, compilation either degrades to a plan that still
-   matches the reference interpreter or returns a structured
-   [Compile_error] — never a bare exception, never silent wrong
-   numerics. *)
+   without depending on pass internals.  The contract under test, per
+   layer: with any compile-site fault armed, compilation either degrades
+   to a plan that still matches the reference interpreter or returns a
+   structured [Compile_error]; with any runtime-site fault armed, every
+   admitted serving request still resolves to a structured outcome and
+   no corrupted value is ever delivered — never a bare exception, never
+   silent wrong numerics, never a lost request. *)
 
 module Site = Astitch_plan.Fault_site
 
@@ -16,8 +18,13 @@ type site = Site.site =
   | Mem_planning
   | Launch_config
   | Codegen
+  | Kernel_exec
+  | Staged_restage
+  | Pack
+  | Unpack
+  | Worker_loop
 
-type mode = Site.mode = Raise | Corrupt
+type mode = Site.mode = Raise | Corrupt | Stall
 
 type plan = Site.plan = {
   site : site;
@@ -26,7 +33,13 @@ type plan = Site.plan = {
   fuel : int;
 }
 
+exception
+  Runtime_fault = Site.Runtime_fault
+
 let all_sites = Site.all_sites
+let runtime_sites = Site.runtime_sites
+let every_site = Site.every_site
+let is_runtime_site = Site.is_runtime_site
 let site_to_string = Site.site_to_string
 let site_of_string = Site.site_of_string
 let mode_to_string = Site.mode_to_string

@@ -1,7 +1,10 @@
-(** Deterministic fault-injection harness over the compiler's named
-    sites.  Proves the resilience contract: under any injected fault,
-    compilation either degrades to an interpreter-identical plan or
-    returns a structured error — never a bare exception. *)
+(** Deterministic fault-injection harness over the compiler's and the
+    serving runtime's named sites.  Proves the resilience contract:
+    under any injected fault, compilation either degrades to an
+    interpreter-identical plan or returns a structured error, and
+    serving resolves every admitted request to a structured outcome —
+    never a bare exception, never silent wrong numerics, never a lost
+    request. *)
 
 type site = Astitch_plan.Fault_site.site =
   | Clustering
@@ -9,8 +12,13 @@ type site = Astitch_plan.Fault_site.site =
   | Mem_planning
   | Launch_config
   | Codegen
+  | Kernel_exec
+  | Staged_restage
+  | Pack
+  | Unpack
+  | Worker_loop
 
-type mode = Astitch_plan.Fault_site.mode = Raise | Corrupt
+type mode = Astitch_plan.Fault_site.mode = Raise | Corrupt | Stall
 
 type plan = Astitch_plan.Fault_site.plan = {
   site : site;
@@ -19,7 +27,24 @@ type plan = Astitch_plan.Fault_site.plan = {
   fuel : int;
 }
 
+exception
+  Runtime_fault of { site : site; seed : int; pass : string }
+(** Alias of {!Astitch_plan.Fault_site.Runtime_fault}: a runtime-site
+    [Raise] firing.  Serving supervision catches it (like any other
+    worker exception) and resolves the batch's requests by retry or
+    fallback — it must never escape to a caller. *)
+
 val all_sites : site list
+(** The compile-pipeline sites (the resilience sweeps index into this
+    list positionally). *)
+
+val runtime_sites : site list
+(** The serving-runtime sites: kernel-exec, staged-restage, pack,
+    unpack, worker-loop. *)
+
+val every_site : site list
+
+val is_runtime_site : site -> bool
 val site_to_string : site -> string
 val site_of_string : string -> site option
 val mode_to_string : mode -> string
@@ -34,7 +59,7 @@ val plan_of_string : string -> plan option
 val plan_to_string : plan -> string
 
 val inject : plan list -> unit
-(** Arm the registry (replaces any armed set, resets the counter). *)
+(** Arm the registry (replaces any armed set, resets the counters). *)
 
 val clear : unit -> unit
 val fired : unit -> int

@@ -41,10 +41,18 @@ type stats = {
   insertions : int;
   evictions : int;
   bypasses : int;
+  removals : int;
 }
 
 let zero_stats =
-  { hits = 0; misses = 0; insertions = 0; evictions = 0; bypasses = 0 }
+  {
+    hits = 0;
+    misses = 0;
+    insertions = 0;
+    evictions = 0;
+    bypasses = 0;
+    removals = 0;
+  }
 
 type 'a entry = { value : 'a; mutable last_used : int }
 
@@ -144,6 +152,24 @@ let add t k v =
   in
   if evicted then note "eviction";
   note (if replaced then "replacement" else "insertion")
+
+(* Explicit invalidation: serving quarantine evicts the plan behind a
+   batch that produced corrupt output, so the next checkout recompiles
+   instead of resurrecting the suspect artifact from cache.  Removals
+   are accounted separately from capacity evictions; the length
+   invariant becomes [length = insertions - evictions - removals]. *)
+let remove t k =
+  let removed =
+    locked t (fun () ->
+        if Hashtbl.mem t.table k then begin
+          Hashtbl.remove t.table k;
+          t.stats <- { t.stats with removals = t.stats.removals + 1 };
+          true
+        end
+        else false)
+  in
+  if removed then note "removal";
+  removed
 
 let note_bypass t =
   locked t (fun () ->

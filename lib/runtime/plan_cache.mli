@@ -21,6 +21,7 @@ type stats = {
   insertions : int;
   evictions : int;
   bypasses : int;  (** compiles that were deliberately not cached *)
+  removals : int;  (** explicit invalidations ({!remove}) *)
 }
 
 val zero_stats : stats
@@ -42,6 +43,11 @@ val add : 'a t -> string -> 'a -> unit
     an existing key replaces its value in place - no spurious eviction,
     and no insertion count either, so [length = insertions - evictions]
     is an invariant. *)
+
+val remove : 'a t -> string -> bool
+(** Invalidate one entry (quarantine evicting a suspect plan); [true]
+    when the key was present.  Counted in [removals], so
+    [length = insertions - evictions - removals] is an invariant. *)
 
 val note_bypass : 'a t -> unit
 (** Record a compile that deliberately skipped the cache. *)

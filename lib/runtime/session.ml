@@ -81,27 +81,36 @@ let make_resilient_cache ?capacity () : resilient_cache =
 (* Did a fault-injection window overlap this compile?  [arm] bumps the
    epoch and [disarm] leaves the counters in place, so comparing epoch
    and firing counter around the compile catches arming inside it even
-   though the compile disarms on the way out. *)
+   though the compile disarms on the way out.  Only compile-site faults
+   matter here: a serving process with runtime-site faults armed (chaos
+   mode) still produces full-strength plans, and refusing to cache them
+   would silently turn chaos runs into compile-bound ones. *)
 let with_fault_watch f =
-  let epoch0 = Fault_site.epoch () and fired0 = Fault_site.fired () in
-  let armed0 = Fault_site.active () in
+  let epoch0 = Fault_site.epoch () and fired0 = Fault_site.compile_fired () in
+  let armed0 = Fault_site.compile_active () in
   let x = f () in
   let clean =
     (not armed0)
-    && (not (Fault_site.active ()))
+    && (not (Fault_site.compile_active ()))
     && Fault_site.epoch () = epoch0
-    && Fault_site.fired () = fired0
+    && Fault_site.compile_fired () = fired0
   in
   (x, clean)
 
+let cache_key (backend : Backend_intf.t) arch g =
+  Plan_cache.key
+    ~fingerprint:(Fingerprint.of_graph g)
+    ~arch:arch.Astitch_simt.Arch.name ~config:backend.Backend_intf.name
+
 let compile_cached (cache : cache) (backend : Backend_intf.t) arch g =
-  let key =
-    Plan_cache.key
-      ~fingerprint:(Fingerprint.of_graph g)
-      ~arch:arch.Astitch_simt.Arch.name ~config:backend.Backend_intf.name
-  in
-  Plan_cache.find_or_compute cache key ~compute:(fun () ->
-      with_fault_watch (fun () -> compile backend arch g))
+  Plan_cache.find_or_compute cache (cache_key backend arch g)
+    ~compute:(fun () -> with_fault_watch (fun () -> compile backend arch g))
+
+(* Quarantine's cache eviction: when a batch served from a cached plan
+   produced corrupt output, drop the plan so the next checkout
+   recompiles it instead of trusting the suspect artifact. *)
+let uncache (cache : cache) (backend : Backend_intf.t) arch g =
+  Plan_cache.remove cache (cache_key backend arch g)
 
 let compile_resilient_cached ?(config = Astitch_core.Config.full)
     (cache : resilient_cache) arch g =

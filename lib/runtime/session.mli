@@ -40,9 +40,15 @@ val compile_cached :
   Astitch_simt.Arch.t ->
   Graph.t ->
   result * Plan_cache.outcome
-(** {!compile} behind an LRU cache.  A compile during which fault
-    injection was armed (at any point) is returned but never stored
-    ([Bypassed]). *)
+(** {!compile} behind an LRU cache.  A compile during which compile-site
+    fault injection was armed (at any point) is returned but never
+    stored ([Bypassed]); runtime-site faults don't affect caching. *)
+
+val uncache :
+  cache -> Backend_intf.t -> Astitch_simt.Arch.t -> Graph.t -> bool
+(** Invalidate the cached compile for this (graph, arch, backend) —
+    serving quarantine evicting a plan suspected of corrupt output.
+    [true] when an entry was present. *)
 
 val compile_resilient_cached :
   ?config:Astitch_core.Config.t ->

@@ -34,6 +34,16 @@ let buckets p =
   let rec go b acc = if b > p.max_batch then List.rev acc else go (2 * b) (b :: acc) in
   go 1 []
 
+(* How often the scheduler should re-examine an open batching window.
+   Stdlib condition variables have no timed wait, so workers poll; the
+   interval is a quarter of the window, clamped to [50, 200] us.  The
+   clamp bounds both sides: never so fine that polling burns a core on
+   tiny windows, never so coarse that shutdown or a filling batch waits
+   more than 200 us past the event (the promptness contract the
+   scheduler's stop check relies on). *)
+let poll_interval_us p =
+  Float.min 200. (Float.max 50. (p.max_wait_us /. 4.))
+
 type decision = Dispatch of int  (** dequeue this many now *) | Wait
 
 let decide p ~pending ~oldest_wait_us ~draining =

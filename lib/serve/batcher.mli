@@ -15,6 +15,11 @@ val bucket : policy -> int -> int
 val buckets : policy -> int list
 (** Every bucket the policy can produce: [1; 2; 4; ...; max_batch]. *)
 
+val poll_interval_us : policy -> float
+(** Polling interval for an open batching window: [max_wait_us / 4]
+    clamped to [50, 200] us.  Bounds how long a dispatch-worthy event
+    (window expiry, shutdown) can go unnoticed by a polling worker. *)
+
 type decision = Dispatch of int  (** dequeue this many now *) | Wait
 
 val decide :

@@ -211,7 +211,21 @@ let pack spec ~batch requests =
   List.map
     (fun (name, info) ->
       let parts = List.map (fun r -> List.assoc name r) padded in
-      (name, concat_axis ~axis:info.axis parts))
+      let packed = concat_axis ~axis:info.axis parts in
+      (* serving-runtime fault site: raise models a failed pack,
+         corrupt perturbs one cell of the freshly concatenated tensor
+         (safe to mutate in place - [concat_axis] allocates it) *)
+      (match
+         Astitch_plan.Fault_site.check_runtime
+           Astitch_plan.Fault_site.Pack ~pass:name
+       with
+      | None -> ()
+      | Some seed ->
+          let d = Tensor.data packed in
+          let nd = Array.length d in
+          if nd > 0 then
+            d.(abs seed mod nd) <- d.(abs seed mod nd) +. 1.);
+      (name, packed))
     spec.request_params
 
 let unpack spec ~count outputs =
@@ -220,10 +234,25 @@ let unpack spec ~count outputs =
   List.init count (fun i ->
       List.map2
         (fun info t ->
-          match info with
-          | None -> Tensor.copy t
-          | Some { axis; extent } ->
-              slice_axis ~axis ~lo:(i * extent) ~hi:((i + 1) * extent) t)
+          let sliced =
+            match info with
+            | None -> Tensor.copy t
+            | Some { axis; extent } ->
+                slice_axis ~axis ~lo:(i * extent) ~hi:((i + 1) * extent) t
+          in
+          (* serving-runtime fault site: corrupt perturbs the freshly
+             sliced (or copied) per-request output in place *)
+          (match
+             Astitch_plan.Fault_site.check_runtime
+               Astitch_plan.Fault_site.Unpack ~pass:"unpack"
+           with
+          | None -> ()
+          | Some seed ->
+              let d = Tensor.data sliced in
+              let nd = Array.length d in
+              if nd > 0 then
+                d.(abs seed mod nd) <- d.(abs seed mod nd) +. 1.);
+          sliced)
         spec.outputs outputs)
 
 (* Deterministic per-request bindings (the serving analogue of

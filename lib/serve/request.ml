@@ -15,11 +15,15 @@ type overload =
   | Queue_full  (** rejected at submission: the bounded queue is at depth *)
   | Deadline_exceeded  (** shed at dispatch: waited past its deadline *)
   | Shutting_down  (** rejected at submission: the server is draining *)
+  | Breaker_open
+      (** rejected fast: the model's circuit breaker is open after
+          consecutive batch failures *)
 
 let overload_to_string = function
   | Queue_full -> "queue-full"
   | Deadline_exceeded -> "deadline-exceeded"
   | Shutting_down -> "shutting-down"
+  | Breaker_open -> "breaker-open"
 
 type outcome =
   | Done of {
@@ -37,6 +41,9 @@ type t = {
   params : (string * Tensor.t) list;  (** per-request bindings, batch 1 *)
   submitted_us : float;
   deadline_us : float option;  (** absolute; [None] = wait forever *)
+  mutable attempts : int;
+      (** batch executions this request has been part of that failed;
+          supervision re-dispatches until the retry budget is spent *)
 }
 
 let expired ~now_us t =

@@ -6,6 +6,9 @@ type overload =
   | Queue_full  (** rejected at submission: the bounded queue is at depth *)
   | Deadline_exceeded  (** shed at dispatch: waited past its deadline *)
   | Shutting_down  (** rejected at submission: the server is draining *)
+  | Breaker_open
+      (** rejected fast: the model's circuit breaker is open after
+          consecutive batch failures *)
 
 val overload_to_string : overload -> string
 
@@ -27,6 +30,9 @@ type t = {
   params : (string * Tensor.t) list;  (** per-request bindings, batch 1 *)
   submitted_us : float;  (** wall-clock microseconds *)
   deadline_us : float option;  (** absolute; [None] = wait forever *)
+  mutable attempts : int;
+      (** failed batch executions so far; supervision re-dispatches
+          until the retry budget is spent, then falls back per-request *)
 }
 
 val expired : now_us:float -> t -> bool

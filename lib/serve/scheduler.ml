@@ -19,7 +19,28 @@
    overload immediately - a refused request never occupies queue space
    and never has a dangling outcome entry.  Deadline shedding is
    asynchronous: expired requests are removed at dispatch time and
-   completed as [Overloaded Deadline_exceeded]. *)
+   completed as [Overloaded Deadline_exceeded].
+
+   Supervision hooks (this file's share of the fault-tolerance story):
+
+   - Completion is idempotent, first-wins.  Wedge recovery can steal a
+     batch from a stalled worker and re-execute it; if the original
+     worker later finishes too, the second completion is counted as a
+     duplicate and dropped, so [outstanding] can never double-decrement
+     and an already-delivered outcome is never overwritten.
+
+   - [requeue] re-admits a request from a failed batch, bypassing
+     admission control (the request is already admitted and counted in
+     [outstanding]); retried requests sit in a dedicated FIFO that
+     dispatch drains first, one request per solo batch, so a poisoned
+     batchmate can't sink them twice.
+
+   - A per-model circuit breaker trips after [breaker_threshold]
+     consecutive batch failures.  While open, that model's submissions
+     and queued requests resolve fast as [Overloaded Breaker_open]
+     instead of burning workers on a plan that keeps failing; after
+     [breaker_cooldown_us] the next request is admitted as a half-open
+     probe, and its batch result closes or re-opens the breaker. *)
 
 open Astitch_obs
 module Rq = Queue
@@ -30,11 +51,32 @@ type batch = {
   bucket : int;  (** power-of-two context size to execute at *)
 }
 
+type breaker_state = [ `Closed | `Open | `Half_open ]
+
+let breaker_state_to_string = function
+  | `Closed -> "closed"
+  | `Open -> "open"
+  | `Half_open -> "half-open"
+
+type breaker = {
+  mutable bstate : breaker_state;
+  mutable consec : int;  (** consecutive batch failures while closed *)
+  mutable open_until : float;  (** wall-clock us; probe after this *)
+}
+
 type t = {
   mu : Mutex.t;
   nonempty : Condition.t;
   done_cond : Condition.t;
   queue : Request.t Rq.t;
+  retries : Request.t Stdlib.Queue.t;
+      (** failed-batch requests awaiting solo re-dispatch *)
+  resolved : (int, unit) Hashtbl.t;
+      (** ids whose outcome already landed - makes completion
+          first-wins under wedge-steal double execution *)
+  breakers : (string, breaker) Hashtbl.t;
+  breaker_threshold : int;  (** consecutive failures to open; 0 = off *)
+  breaker_cooldown_us : float;
   policy : Batcher.policy;
   poll_s : float;
   outcomes : (int, Request.outcome) Hashtbl.t;
@@ -48,6 +90,10 @@ type t = {
   mutable failed : int;
   mutable degraded : int;
   mutable batches : int;
+  mutable retried : int;
+  mutable duplicates : int;
+  mutable breaker_opens : int;
+  mutable breaker_closes : int;
   (* obs: published so `serve --metrics` and the smoke test see the
      runtime from the outside *)
   m_depth : Metrics.gauge;
@@ -58,18 +104,27 @@ type t = {
   m_failed : Metrics.counter;
   m_degraded : Metrics.counter;
   m_wait_us : Metrics.histogram;
+  m_retried : Metrics.counter;
+  m_duplicate : Metrics.counter;
+  m_breaker_open : Metrics.counter;
+  m_breaker_close : Metrics.counter;
 }
 
-let create ~policy ~queue_depth =
+let create ?(breaker_threshold = 4) ?(breaker_cooldown_us = 5_000.) ~policy
+    ~queue_depth () =
   let r = Metrics.default in
   {
     mu = Mutex.create ();
     nonempty = Condition.create ();
     done_cond = Condition.create ();
     queue = Rq.create ~depth:queue_depth;
+    retries = Stdlib.Queue.create ();
+    resolved = Hashtbl.create 64;
+    breakers = Hashtbl.create 8;
+    breaker_threshold;
+    breaker_cooldown_us;
     policy;
-    poll_s =
-      1e-6 *. Float.min 200. (Float.max 50. (Batcher.max_wait_us policy /. 4.));
+    poll_s = 1e-6 *. Batcher.poll_interval_us policy;
     outcomes = Hashtbl.create 64;
     outstanding = 0;
     draining = false;
@@ -81,6 +136,10 @@ let create ~policy ~queue_depth =
     failed = 0;
     degraded = 0;
     batches = 0;
+    retried = 0;
+    duplicates = 0;
+    breaker_opens = 0;
+    breaker_closes = 0;
     m_depth = Metrics.gauge r "serve.queue_depth";
     m_submitted = Metrics.counter r "serve.submitted";
     m_rejected = Metrics.counter r "serve.rejected";
@@ -89,6 +148,10 @@ let create ~policy ~queue_depth =
     m_failed = Metrics.counter r "serve.failed";
     m_degraded = Metrics.counter r "serve.degraded";
     m_wait_us = Metrics.histogram r "serve.queue_wait_us";
+    m_retried = Metrics.counter r "serve.retry";
+    m_duplicate = Metrics.counter r "serve.duplicate";
+    m_breaker_open = Metrics.counter r "serve.breaker_open";
+    m_breaker_close = Metrics.counter r "serve.breaker_close";
   }
 
 let now_us () = Unix.gettimeofday () *. 1e6
@@ -105,32 +168,118 @@ let locked t f =
 
 let publish_depth t = Metrics.set t.m_depth (float_of_int (Rq.length t.queue))
 
-(* Record an outcome under the scheduler lock and wake waiters. *)
+(* Record an outcome under the scheduler lock and wake waiters.
+   First-wins: wedge recovery may steal and re-execute a batch whose
+   original worker eventually finishes too, so the same id can complete
+   twice.  The first outcome is the one delivered; later attempts are
+   counted as duplicates and dropped without touching [outstanding]. *)
 let complete_locked t id outcome =
-  (match outcome with
-  | Request.Done { degraded; _ } ->
-      t.completed <- t.completed + 1;
-      if degraded then t.degraded <- t.degraded + 1;
-      Metrics.inc t.m_completed;
-      if degraded then Metrics.inc t.m_degraded
-  | Request.Overloaded _ ->
-      t.shed <- t.shed + 1;
-      Metrics.inc t.m_shed
-  | Request.Failed _ ->
-      t.failed <- t.failed + 1;
-      Metrics.inc t.m_failed);
-  Hashtbl.replace t.outcomes id outcome;
-  t.outstanding <- t.outstanding - 1;
-  Condition.broadcast t.done_cond
+  if Hashtbl.mem t.resolved id then begin
+    t.duplicates <- t.duplicates + 1;
+    Metrics.inc t.m_duplicate
+  end
+  else begin
+    Hashtbl.replace t.resolved id ();
+    (match outcome with
+    | Request.Done { degraded; _ } ->
+        t.completed <- t.completed + 1;
+        if degraded then t.degraded <- t.degraded + 1;
+        Metrics.inc t.m_completed;
+        if degraded then Metrics.inc t.m_degraded
+    | Request.Overloaded _ ->
+        t.shed <- t.shed + 1;
+        Metrics.inc t.m_shed
+    | Request.Failed _ ->
+        t.failed <- t.failed + 1;
+        Metrics.inc t.m_failed);
+    Hashtbl.replace t.outcomes id outcome;
+    t.outstanding <- t.outstanding - 1;
+    Condition.broadcast t.done_cond
+  end
 
 let complete t id outcome = locked t (fun () -> complete_locked t id outcome)
 
+(* --- Circuit breaker --------------------------------------------------- *)
+
+let breaker_for t model =
+  match Hashtbl.find_opt t.breakers model with
+  | Some b -> b
+  | None ->
+      let b = { bstate = `Closed; consec = 0; open_until = 0. } in
+      Hashtbl.replace t.breakers model b;
+      b
+
+let breaker_instant model transition =
+  if Trace.enabled () then
+    Trace.instant ~phase:"serve"
+      ("breaker-" ^ transition)
+      ~attrs:[ ("model", Trace.Str model) ]
+
+let open_breaker_locked t model (b : breaker) =
+  b.bstate <- `Open;
+  b.open_until <- now_us () +. t.breaker_cooldown_us;
+  t.breaker_opens <- t.breaker_opens + 1;
+  Metrics.inc t.m_breaker_open;
+  breaker_instant model "open"
+
+(* Every batch result feeds the model's breaker: a success closes it
+   (from half-open or even open - the worker proved the plan serves),
+   a failure opened-from-closed after [breaker_threshold] consecutive
+   misses, and a failed half-open probe re-opens for another cooldown. *)
+let note_batch_result t ~model ~ok =
+  locked t (fun () ->
+      if t.breaker_threshold > 0 then begin
+        let b = breaker_for t model in
+        if ok then begin
+          if b.bstate <> `Closed then begin
+            b.bstate <- `Closed;
+            t.breaker_closes <- t.breaker_closes + 1;
+            Metrics.inc t.m_breaker_close;
+            breaker_instant model "close"
+          end;
+          b.consec <- 0
+        end
+        else begin
+          b.consec <- b.consec + 1;
+          match b.bstate with
+          | `Half_open -> open_breaker_locked t model b
+          | `Closed when b.consec >= t.breaker_threshold ->
+              open_breaker_locked t model b
+          | `Open | `Closed -> ()
+        end
+      end)
+
+let breaker_state t model =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.breakers model with
+      | None -> `Closed
+      | Some b -> b.bstate)
+
+(* Under the lock: an open breaker past its cooldown moves to half-open
+   (the next admitted/queued request becomes the probe).  Returns the
+   state after any transition. *)
+let breaker_tick_locked (b : breaker) ~now =
+  if b.bstate = `Open && now >= b.open_until then b.bstate <- `Half_open;
+  b.bstate
+
 let submit t (req : Request.t) =
   locked t (fun () ->
+      let broken =
+        t.breaker_threshold > 0
+        &&
+        match Hashtbl.find_opt t.breakers req.model with
+        | None -> false
+        | Some b -> breaker_tick_locked b ~now:(now_us ()) = `Open
+      in
       if t.stopped || t.draining then begin
         t.rejected <- t.rejected + 1;
         Metrics.inc t.m_rejected;
         Error Request.Shutting_down
+      end
+      else if broken then begin
+        t.rejected <- t.rejected + 1;
+        Metrics.inc t.m_rejected;
+        Error Request.Breaker_open
       end
       else if not (Rq.push t.queue ~model:req.model req) then begin
         t.rejected <- t.rejected + 1;
@@ -177,26 +326,76 @@ let pick_locked t =
               | _ -> Some (model, n, head.submitted_us))))
     None (Rq.models t.queue)
 
-(* Under the lock: shed, pick, and take the next dispatchable batch. *)
+(* Shed every queued request of a model whose breaker is open: the
+   fast-rejection contract extends to requests admitted just before the
+   breaker tripped, and it keeps drain from pushing doomed batches
+   through a failing plan.  Expired cooldowns flip to half-open here
+   too, so a model with no new submissions still gets its probe. *)
+let shed_broken_locked t =
+  if t.breaker_threshold > 0 then begin
+    let now = now_us () in
+    List.iter
+      (fun model ->
+        match Hashtbl.find_opt t.breakers model with
+        | None -> ()
+        | Some b ->
+            if breaker_tick_locked b ~now = `Open then begin
+              let dead =
+                Rq.remove_if t.queue (fun (r : Request.t) -> r.model = model)
+              in
+              List.iter
+                (fun (r : Request.t) ->
+                  complete_locked t r.id
+                    (Request.Overloaded Request.Breaker_open))
+                dead;
+              if dead <> [] then publish_depth t
+            end)
+      (Rq.models t.queue)
+  end
+
+(* Under the lock: pop the next live retry.  Retried requests dispatch
+   solo (bucket 1): the batchmates that sank them the first time are
+   out of the picture, and a poisoned request can only sink itself. *)
+let rec take_retry_locked t =
+  match Stdlib.Queue.take_opt t.retries with
+  | None -> None
+  | Some (r : Request.t) ->
+      if Request.expired ~now_us:(now_us ()) r then begin
+        complete_locked t r.id (Request.Overloaded Request.Deadline_exceeded);
+        take_retry_locked t
+      end
+      else begin
+        t.batches <- t.batches + 1;
+        Metrics.observe t.m_wait_us (now_us () -. r.submitted_us);
+        Some { model = r.model; requests = [ r ]; bucket = 1 }
+      end
+
+(* Under the lock: shed, pick, and take the next dispatchable batch.
+   Retries dispatch ahead of queued work - they have already waited one
+   full batch execution. *)
 let dispatch_locked t =
   shed_expired_locked t;
-  match pick_locked t with
-  | None -> None
-  | Some (model, n, _) ->
-      let requests = Rq.take t.queue ~model ~max:n in
-      publish_depth t;
-      t.batches <- t.batches + 1;
-      let now = now_us () in
-      List.iter
-        (fun (r : Request.t) ->
-          Metrics.observe t.m_wait_us (now -. r.submitted_us))
-        requests;
-      Some
-        {
-          model;
-          requests;
-          bucket = Batcher.bucket t.policy (List.length requests);
-        }
+  shed_broken_locked t;
+  match take_retry_locked t with
+  | Some b -> Some b
+  | None -> (
+      match pick_locked t with
+      | None -> None
+      | Some (model, n, _) ->
+          let requests = Rq.take t.queue ~model ~max:n in
+          publish_depth t;
+          t.batches <- t.batches + 1;
+          let now = now_us () in
+          List.iter
+            (fun (r : Request.t) ->
+              Metrics.observe t.m_wait_us (now -. r.submitted_us))
+            requests;
+          Some
+            {
+              model;
+              requests;
+              bucket = Batcher.bucket t.policy (List.length requests);
+            })
 
 (* Block until a batch is ready, the queue has pending-but-waiting work
    (then poll the batching window), or shutdown empties the world. *)
@@ -206,7 +405,7 @@ let rec next_batch t =
         match dispatch_locked t with
         | Some b -> `Batch b
         | None ->
-            if Rq.is_empty t.queue then
+            if Rq.is_empty t.queue && Stdlib.Queue.is_empty t.retries then
               if t.stopped then `Exit
               else begin
                 (* nothing pending: sleep free of charge *)
@@ -220,7 +419,11 @@ let rec next_batch t =
   | `Exit -> None
   | `Retry -> next_batch t
   | `Poll ->
-      Unix.sleepf t.poll_s;
+      (* Re-check the stop flags before sleeping: a shutdown raised
+         between the dispatch attempt and this sleep must cost at most
+         one poll tick, not a full open window. *)
+      if not (locked t (fun () -> t.stopped || t.draining)) then
+        Unix.sleepf t.poll_s;
       next_batch t
 
 (* Non-blocking variant for caller-runs pumping: never sleeps, never
@@ -230,10 +433,33 @@ let try_next_batch t =
   locked t (fun () ->
       match dispatch_locked t with
       | Some b -> `Batch b
-      | None -> if Rq.is_empty t.queue then `Empty else `Waiting)
+      | None ->
+          if Rq.is_empty t.queue && Stdlib.Queue.is_empty t.retries then
+            `Empty
+          else `Waiting)
 
 let poll_interval_s t = t.poll_s
 let outstanding t = locked t (fun () -> t.outstanding)
+
+(* Re-admit a request from a failed batch for a solo re-dispatch.  No
+   admission control: the request is already admitted, already counted
+   in [outstanding], and refusing it here would lose it - [requeue]
+   therefore never refuses, even while draining or stopped (the worker
+   exit condition and [drain] both wait for the retry FIFO to empty). *)
+let requeue t (req : Request.t) =
+  locked t (fun () ->
+      t.retried <- t.retried + 1;
+      Metrics.inc t.m_retried;
+      if Trace.enabled () then
+        Trace.instant ~phase:"serve" "retry"
+          ~attrs:
+            [
+              ("model", Trace.Str req.model);
+              ("id", Trace.Int req.id);
+              ("attempts", Trace.Int req.attempts);
+            ];
+      Stdlib.Queue.push req t.retries;
+      Condition.signal t.nonempty)
 
 let await t id =
   locked t (fun () ->
@@ -289,6 +515,10 @@ type stats = {
   outstanding : int;
   queue_depth : int;
   max_depth_seen : int;
+  retried : int;
+  duplicates : int;
+  breaker_opens : int;
+  breaker_closes : int;
 }
 
 let stats t =
@@ -304,4 +534,8 @@ let stats t =
         outstanding = t.outstanding;
         queue_depth = Rq.length t.queue;
         max_depth_seen = Rq.max_depth_seen t.queue;
+        retried = t.retried;
+        duplicates = t.duplicates;
+        breaker_opens = t.breaker_opens;
+        breaker_closes = t.breaker_closes;
       })

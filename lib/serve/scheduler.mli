@@ -14,11 +14,28 @@ type batch = {
   bucket : int;  (** power-of-two context size to execute at *)
 }
 
-val create : policy:Batcher.policy -> queue_depth:int -> t
+val create :
+  ?breaker_threshold:int ->
+  ?breaker_cooldown_us:float ->
+  policy:Batcher.policy ->
+  queue_depth:int ->
+  unit ->
+  t
+(** [breaker_threshold] (default 4) is the consecutive-batch-failure
+    count that opens a model's circuit breaker; [0] disables breakers.
+    [breaker_cooldown_us] (default 5000) is how long an open breaker
+    refuses before admitting a half-open probe. *)
 
 val submit : t -> Request.t -> (unit, Request.overload) result
-(** Admit or refuse.  Refusals ([Queue_full], [Shutting_down]) never
-    occupy queue space and never produce an outcome entry. *)
+(** Admit or refuse.  Refusals ([Queue_full], [Shutting_down],
+    [Breaker_open]) never occupy queue space and never produce an
+    outcome entry. *)
+
+val requeue : t -> Request.t -> unit
+(** Re-admit a request from a failed batch for a solo re-dispatch.
+    Bypasses admission control (the request is already admitted and
+    counted in [outstanding]) and never refuses - losing a retried
+    request is not an option. *)
 
 val next_batch : t -> batch option
 (** Worker entry point: block until a batch is ready.  Sheds expired
@@ -39,7 +56,20 @@ val outstanding : t -> int
 (** Admitted requests whose outcome has not yet been recorded. *)
 
 val complete : t -> int -> Request.outcome -> unit
-(** Record the outcome for an admitted request id and wake waiters. *)
+(** Record the outcome for an admitted request id and wake waiters.
+    Idempotent, first-wins: completing an already-resolved id is
+    counted as a duplicate and otherwise ignored, so wedge-steal
+    double execution can't corrupt the accounting. *)
+
+val note_batch_result : t -> model:string -> ok:bool -> unit
+(** Feed a batch execution result to [model]'s circuit breaker:
+    [breaker_threshold] consecutive failures open it, a success closes
+    it, a failed half-open probe re-opens it for another cooldown. *)
+
+val breaker_state : t -> string -> [ `Closed | `Open | `Half_open ]
+(** Current breaker state for a model ([`Closed] if never tripped). *)
+
+val breaker_state_to_string : [ `Closed | `Open | `Half_open ] -> string
 
 val await : t -> int -> Request.outcome
 (** Block until the outcome for [id] lands; consumes the entry. *)
@@ -71,6 +101,10 @@ type stats = {
   outstanding : int;
   queue_depth : int;
   max_depth_seen : int;
+  retried : int;  (** failed-batch requests re-dispatched solo *)
+  duplicates : int;  (** completions dropped by first-wins *)
+  breaker_opens : int;
+  breaker_closes : int;
 }
 
 val stats : t -> stats

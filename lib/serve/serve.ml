@@ -28,6 +28,11 @@ type config = {
   cache_capacity : int;
   verify_every : int;  (** bit-identity spot checks; 0 = off *)
   seed : int;  (** shared-weight generation *)
+  retry_budget : int;  (** failed-batch re-dispatches per request *)
+  breaker_threshold : int;  (** consecutive failures to open; 0 = off *)
+  breaker_cooldown_us : float;  (** open-breaker fast-reject window *)
+  wedge_timeout_us : float;  (** stale-heartbeat bound mid-batch *)
+  restart_backoff_us : float;  (** base worker-respawn delay *)
 }
 
 let default_config =
@@ -42,6 +47,11 @@ let default_config =
     cache_capacity = 64;
     verify_every = 0;
     seed = 42;
+    retry_budget = 2;
+    breaker_threshold = 4;
+    breaker_cooldown_us = 5_000.;
+    wedge_timeout_us = 50_000.;
+    restart_backoff_us = 1_000.;
   }
 
 type t = {
@@ -81,12 +91,18 @@ let create ?(config = default_config) models =
   let policy =
     Batcher.policy ~max_batch:config.max_batch ~max_wait_us:config.max_wait_us
   in
-  let scheduler = Scheduler.create ~policy ~queue_depth:config.queue_depth in
+  let scheduler =
+    Scheduler.create ~breaker_threshold:config.breaker_threshold
+      ~breaker_cooldown_us:config.breaker_cooldown_us ~policy
+      ~queue_depth:config.queue_depth ()
+  in
   let cache = Session.make_cache ~capacity:config.cache_capacity () in
   let pool =
     Worker_pool.create ~scheduler ~models:table ~cache ~arch:config.arch
       ~fused:config.fused ~verify_every:config.verify_every
-      ~workers:config.workers
+      ~retry_budget:config.retry_budget
+      ~wedge_timeout_us:config.wedge_timeout_us
+      ~restart_backoff_us:config.restart_backoff_us ~workers:config.workers
   in
   {
     config;
@@ -130,6 +146,7 @@ let submit_async ?deadline_us t ~model ~params =
       params;
       submitted_us = now;
       deadline_us = Option.map (fun d -> now +. d) rel;
+      attempts = 0;
     }
   in
   match Scheduler.submit t.scheduler req with
@@ -184,13 +201,53 @@ type stats = Scheduler.stats = {
   outstanding : int;
   queue_depth : int;
   max_depth_seen : int;
+  retried : int;
+  duplicates : int;
+  breaker_opens : int;
+  breaker_closes : int;
 }
 
 let stats t = Scheduler.stats t.scheduler
 
+type supervision = Worker_pool.supervision = {
+  restarts : int;
+  quarantined : int;
+  wedged : int;
+  workers_alive : int;
+}
+
+let supervision t = Worker_pool.supervision t.pool
+let breaker_state t ~model = Scheduler.breaker_state t.scheduler model
+
+(* The per-run request ledger: where every admitted request ended up.
+   [lost] is the difference between what went in and what came out -
+   the supervision contract is that it is always 0 once the server is
+   drained, under any fault. *)
+type disposition = {
+  served : int;
+  d_degraded : int;
+  d_failed : int;
+  overloaded : int;
+  d_rejected : int;
+  lost : int;
+}
+
+let disposition t =
+  let s = stats t in
+  {
+    served = s.completed;
+    d_degraded = s.degraded;
+    d_failed = s.failed;
+    overloaded = s.shed;
+    d_rejected = s.rejected;
+    lost = s.submitted - s.completed - s.failed - s.shed - s.outstanding;
+  }
+
 let pp_stats fmt (s : stats) =
   Format.fprintf fmt
     "submitted %d  completed %d  degraded %d  failed %d  rejected %d  shed %d@ \
-     batches %d  outstanding %d  queue %d (max %d)"
+     batches %d  outstanding %d  queue %d (max %d)@ \
+     retried %d  duplicates %d  breaker open/close %d/%d"
     s.submitted s.completed s.degraded s.failed s.rejected s.shed s.batches
-    s.outstanding s.queue_depth s.max_depth_seen
+    s.outstanding s.queue_depth s.max_depth_seen s.retried s.duplicates
+    s.breaker_opens s.breaker_closes

@@ -31,11 +31,28 @@ type config = {
   cache_capacity : int;  (** shared plan cache entries *)
   verify_every : int;  (** bit-identity spot checks; 0 = off *)
   seed : int;  (** shared-weight generation *)
+  retry_budget : int;
+      (** how many failed batch executions a request survives before
+          dropping to the per-request fallback rung *)
+  breaker_threshold : int;
+      (** consecutive batch failures that open a model's circuit
+          breaker; 0 disables breakers *)
+  breaker_cooldown_us : float;
+      (** how long an open breaker fast-rejects before a half-open
+          probe is admitted *)
+  wedge_timeout_us : float;
+      (** a worker stuck mid-batch longer than this has its batch
+          stolen and recovered *)
+  restart_backoff_us : float;
+      (** base delay before respawning a dead worker; doubles per
+          consecutive death (capped at 128x) *)
 }
 
 val default_config : config
 (** 2 workers, max_batch 8, 2ms window, depth 64, no deadline, v100,
-    fused, cache 64, no verification, seed 42. *)
+    fused, cache 64, no verification, seed 42; retry budget 2, breaker
+    threshold 4 / cooldown 5ms, wedge timeout 50ms, restart backoff
+    1ms. *)
 
 type t
 
@@ -102,7 +119,36 @@ type stats = Scheduler.stats = {
   outstanding : int;
   queue_depth : int;
   max_depth_seen : int;
+  retried : int;  (** failed-batch requests re-dispatched solo *)
+  duplicates : int;  (** completions dropped by first-wins *)
+  breaker_opens : int;
+  breaker_closes : int;
 }
 
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit
+
+type supervision = Worker_pool.supervision = {
+  restarts : int;  (** worker domains respawned after a death *)
+  quarantined : int;  (** contexts retired after a fault-touched batch *)
+  wedged : int;  (** batches stolen from stalled workers *)
+  workers_alive : int;
+}
+
+val supervision : t -> supervision
+
+val breaker_state : t -> model:string -> [ `Closed | `Open | `Half_open ]
+
+type disposition = {
+  served : int;
+  d_degraded : int;
+  d_failed : int;
+  overloaded : int;  (** shed after admission (deadline, breaker) *)
+  d_rejected : int;  (** refused at submission *)
+  lost : int;
+      (** submitted - completed - failed - shed - outstanding; the
+          supervision contract keeps this at 0 after a drain, under any
+          fault *)
+}
+
+val disposition : t -> disposition

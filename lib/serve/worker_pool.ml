@@ -13,16 +13,32 @@
    two workers racing to compile the same bucket duplicate at most the
    planning work, never the cached artifact.
 
-   Failure never takes the server down.  A batch that raises anywhere
-   (packing, execution, unpacking) falls back to serving each of its
-   requests alone at batch 1 through the degradation ladder
-   ([Session.compile_resilient]); requests that still fail resolve to
-   [Failed], and everything else in the server keeps going. *)
+   Failure never takes the server down, and it never delivers corrupt
+   numerics.  The supervision layers, outermost first:
+
+   - A monitor domain watches per-worker heartbeats.  A dead worker
+     (its loop raised) is restarted with exponential backoff; a wedged
+     worker (alive but stuck mid-batch past [wedge_timeout_us]) has its
+     batch stolen and recovered - the scheduler's first-wins completion
+     makes the potential double execution harmless.
+
+   - A batch that raises OR during which any fault site fired is
+     treated as poisoned: its outputs are discarded, its context is
+     quarantined (never returned to the pool, and the plan behind it is
+     evicted from the compile cache), and its requests are re-dispatched
+     individually under a per-request retry budget.
+
+   - A request whose budget is spent falls back to solo execution
+     through the resilient compile ladder ([Session.compile_resilient]
+     + [Executor.run]) - the terminal rung, deliberately free of fault
+     instrumentation, so every request resolves to [Done] or [Failed].
+     Nothing is ever lost. *)
 
 open Astitch_ir
 open Astitch_tensor
 open Astitch_runtime
 open Astitch_obs
+module Fault_site = Astitch_plan.Fault_site
 
 type model_state = {
   spec : Batching.spec;
@@ -32,6 +48,27 @@ type model_state = {
       (** bucket -> free list *)
 }
 
+type worker_state = W_running | W_dead | W_stopped
+
+type slot = {
+  wid : int;
+  hb : float Atomic.t;  (** last heartbeat, wall-clock us *)
+  (* The remaining fields are guarded by the pool's [sup_mu]. *)
+  mutable dom : unit Domain.t option;
+  mutable inflight : Scheduler.batch option;
+  mutable wstate : worker_state;
+  mutable deaths : int;  (** consecutive deaths; resets on a served batch *)
+  mutable restart_at : float;  (** us; backoff gate for the next respawn *)
+  mutable wedge_flagged : bool;  (** current inflight batch already stolen *)
+}
+
+type supervision = {
+  restarts : int;
+  quarantined : int;
+  wedged : int;
+  workers_alive : int;
+}
+
 type t = {
   scheduler : Scheduler.t;
   models : (string, model_state) Hashtbl.t;
@@ -39,16 +76,39 @@ type t = {
   arch : Astitch_simt.Arch.t;
   fused : bool;
   verify_every : int;  (** re-check batch i vs solo when i mod n = 0 *)
+  retry_budget : int;  (** failed batch executions before fallback *)
+  wedge_timeout_us : float;
+  restart_backoff_us : float;
   batch_counter : int Atomic.t;
-  mutable domains : unit Domain.t list;
+  sup_mu : Mutex.t;  (** guards every slot's supervised fields *)
+  slots : slot array;
+  mutable monitor : unit Domain.t option;
+  stop_monitor : bool Atomic.t;
+  n_restarts : int Atomic.t;
+  n_quarantined : int Atomic.t;
+  n_wedged : int Atomic.t;
   m_batch_size : Metrics.histogram;
   m_padded : Metrics.counter;
   m_batches : Metrics.counter;
   m_request_us : Metrics.histogram;
   m_verified : Metrics.counter;
+  m_restart : Metrics.counter;
+  m_quarantine : Metrics.counter;
+  m_wedged : Metrics.counter;
+  g_alive : Metrics.gauge;
 }
 
 let now_us () = Unix.gettimeofday () *. 1e6
+
+let sup_locked pool f =
+  Mutex.lock pool.sup_mu;
+  match f () with
+  | v ->
+      Mutex.unlock pool.sup_mu;
+      v
+  | exception e ->
+      Mutex.unlock pool.sup_mu;
+      raise e
 
 (* --- Context pool -------------------------------------------------------- *)
 
@@ -94,6 +154,24 @@ let checkin m bucket ctx =
   l := ctx :: !l;
   Mutex.unlock m.mu
 
+(* A context a fault touched never rejoins the pool, and the plan it
+   was compiled from is evicted from the shared cache: the next
+   checkout for this bucket recompiles from scratch instead of trusting
+   either the mutated execution state or the cached artifact behind it.
+   (Contexts rewrite every buffer on each run, so this is deliberately
+   conservative - the cost is one recompile, the alternative is ever
+   having served numerics from a suspect context.) *)
+let quarantine pool m ~model ~bucket ctx =
+  ignore (ctx : Executor.context);
+  Atomic.incr pool.n_quarantined;
+  Metrics.inc pool.m_quarantine;
+  if Trace.enabled () then
+    Trace.instant ~phase:"serve" "quarantine"
+      ~attrs:[ ("model", Trace.Str model); ("bucket", Trace.Int bucket) ];
+  ignore
+    (Session.uncache pool.cache Astitch_core.Astitch.full_backend pool.arch
+       (m.spec.Batching.build bucket))
+
 (* --- Serving one batch --------------------------------------------------- *)
 
 let bitwise_equal a b =
@@ -108,18 +186,19 @@ let bitwise_equal a b =
    bucket 1 and compare against its slice of the batched outputs.  A
    mismatch means a row-dependent builder slipped past analysis - that
    is a server bug, not a request failure, so it raises (and the batch
-   falls back to the per-request path, which is trivially identical). *)
-let verify_first pool m (req : Request.t) sliced =
+   goes down the recovery path, which is trivially identical).  A solo
+   run that itself raises quarantines the verify context. *)
+let verify_first pool m ~model (req : Request.t) sliced =
   let ctx = checkout pool m 1 in
-  let solo =
-    Fun.protect
-      ~finally:(fun () -> checkin m 1 ctx)
-      (fun () ->
-        Executor.run_context ctx ~params:(m.shared @ req.params))
-  in
-  if not (List.for_all2 bitwise_equal solo sliced) then
-    failwith "batched outputs diverge from solo execution";
-  Metrics.inc pool.m_verified
+  match Executor.run_context ctx ~params:(m.shared @ req.params) with
+  | solo ->
+      checkin m 1 ctx;
+      if not (List.for_all2 bitwise_equal solo sliced) then
+        failwith "batched outputs diverge from solo execution";
+      Metrics.inc pool.m_verified
+  | exception e ->
+      quarantine pool m ~model ~bucket:1 ctx;
+      raise e
 
 let complete_done pool t0 ~bucket ~degraded (req : Request.t) outputs =
   let latency = now_us () -. req.submitted_us in
@@ -128,8 +207,11 @@ let complete_done pool t0 ~bucket ~degraded (req : Request.t) outputs =
   Scheduler.complete pool.scheduler req.id
     (Request.Done { outputs; latency_us = latency; batch = bucket; degraded })
 
-(* The degradation path: each request alone, batch 1, through the
-   resilient compile ladder.  Never raises. *)
+(* The terminal rung: each request alone, batch 1, through the
+   resilient compile ladder and the UN-instrumented [Executor.run].
+   Keeping fault sites out of this path is what makes the whole ladder
+   terminate: however chaotic the run, a request that reaches here
+   resolves to [Done] (degraded) or [Failed].  Never raises. *)
 let serve_fallback pool m (requests : Request.t list) =
   List.iter
     (fun (req : Request.t) ->
@@ -150,6 +232,22 @@ let serve_fallback pool m (requests : Request.t list) =
                 (Request.Failed (Printexc.to_string e))))
     requests
 
+(* Recovery for the requests of a batch that did not complete cleanly:
+   each request re-enters the scheduler for a solo re-dispatch while it
+   has retry budget left, and drops to the fallback rung when the
+   budget is spent.  Completion is idempotent, so recovering requests a
+   wedged worker might still finish is safe. *)
+let recover_requests pool (batch : Scheduler.batch) =
+  let m = Hashtbl.find pool.models batch.model in
+  List.iter
+    (fun (r : Request.t) ->
+      if r.attempts < pool.retry_budget then begin
+        r.attempts <- r.attempts + 1;
+        Scheduler.requeue pool.scheduler r
+      end
+      else serve_fallback pool m [ r ])
+    batch.requests
+
 let serve_batch pool (batch : Scheduler.batch) =
   let m = Hashtbl.find pool.models batch.model in
   let n = List.length batch.requests in
@@ -166,23 +264,35 @@ let serve_batch pool (batch : Scheduler.batch) =
   in
   Trace.with_span ~attrs ~phase:"serve"
     (Printf.sprintf "batch:%s" batch.model) (fun () ->
+      (* The context is tracked outside the happy path so the failure
+         handler knows whether there is one to quarantine. *)
+      let held = ref None in
       match
         let ctx = checkout pool m batch.bucket in
-        let outputs =
-          Fun.protect
-            ~finally:(fun () -> checkin m batch.bucket ctx)
-            (fun () ->
-              let packed =
-                Batching.pack m.spec ~batch:batch.bucket
-                  (List.map (fun (r : Request.t) -> r.params) batch.requests)
-              in
-              Executor.run_context ctx ~params:(m.shared @ packed))
+        held := Some ctx;
+        (* Snapshot AFTER checkout: a compile-site fault firing during
+           a cold-bucket compile surfaces as a compile error, not as
+           corrupt execution, and must not poison this batch. *)
+        let fired0 = Fault_site.fired () in
+        let packed =
+          Batching.pack m.spec ~batch:batch.bucket
+            (List.map (fun (r : Request.t) -> r.params) batch.requests)
         in
+        let outputs = Executor.run_context ctx ~params:(m.shared @ packed) in
         let per_request = Batching.unpack m.spec ~count:n outputs in
         (if pool.verify_every > 0 && seq mod pool.verify_every = 0 then
            match (batch.requests, per_request) with
-           | req :: _, sliced :: _ -> verify_first pool m req sliced
+           | req :: _, sliced :: _ -> verify_first pool m ~model:batch.model req sliced
            | _ -> ());
+        (* Corrupt-mode faults don't raise - they silently perturb
+           numerics.  Any site that fired during this batch poisons it:
+           outputs are discarded and the requests retried, so corrupt
+           results are never delivered and survivors stay bit-identical
+           to solo execution. *)
+        if Fault_site.fired () > fired0 then
+          failwith "fault fired during batch execution";
+        checkin m batch.bucket ctx;
+        held := None;
         per_request
       with
       | per_request ->
@@ -190,8 +300,27 @@ let serve_batch pool (batch : Scheduler.batch) =
             (fun req outs ->
               complete_done pool 0. ~bucket:batch.bucket ~degraded:false req
                 outs)
-            batch.requests per_request
-      | exception _ -> serve_fallback pool m batch.requests)
+            batch.requests per_request;
+          Scheduler.note_batch_result pool.scheduler ~model:batch.model
+            ~ok:true
+      | exception _ ->
+          (match !held with
+          | Some ctx -> quarantine pool m ~model:batch.model ~bucket:batch.bucket ctx
+          | None -> ());
+          Scheduler.note_batch_result pool.scheduler ~model:batch.model
+            ~ok:false;
+          recover_requests pool batch)
+
+(* The worker-loop fault site models the worker itself dying or
+   stalling with a batch in hand (as opposed to the batch failing).
+   [true] means "this worker just crashed": in a domain worker the
+   exception propagates to the supervision handler; in caller-runs mode
+   the caller recovers the batch inline. *)
+let worker_loop_fault () =
+  match Fault_site.check_runtime Fault_site.Worker_loop ~pass:"worker-loop" with
+  | Some _ -> true (* corrupt: worker-local state is toast *)
+  | None -> false
+  | exception Fault_site.Runtime_fault _ -> true
 
 (* --- Caller-runs (inline) mode ------------------------------------------- *)
 
@@ -203,11 +332,16 @@ let serve_batch pool (batch : Scheduler.batch) =
    [pump] serves every dispatchable batch on the calling domain,
    sleeping out still-open batching windows, and returns once the
    queue is empty.  During a drain the window is forced shut, so the
-   sleep branch never runs there. *)
+   sleep branch never runs there.  A worker-loop fault here plays the
+   crashed-worker part without a domain to kill: the batch goes
+   straight to recovery. *)
+let serve_or_recover pool b =
+  if worker_loop_fault () then recover_requests pool b else serve_batch pool b
+
 let rec pump pool =
   match Scheduler.try_next_batch pool.scheduler with
   | `Batch b ->
-      serve_batch pool b;
+      serve_or_recover pool b;
       pump pool
   | `Waiting ->
       Unix.sleepf (Scheduler.poll_interval_s pool.scheduler);
@@ -224,7 +358,7 @@ let await_pumping pool id =
     | None -> (
         match Scheduler.try_next_batch pool.scheduler with
         | `Batch b ->
-            serve_batch pool b;
+            serve_or_recover pool b;
             go ()
         | `Waiting ->
             Unix.sleepf (Scheduler.poll_interval_s pool.scheduler);
@@ -239,20 +373,151 @@ let await_pumping pool id =
   in
   go ()
 
-(* --- Pool lifecycle ------------------------------------------------------ *)
+(* --- Supervised worker loop ---------------------------------------------- *)
 
-let worker_loop pool () =
+let set_inflight pool slot batch =
+  sup_locked pool (fun () ->
+      slot.inflight <- batch;
+      match batch with
+      | Some _ -> slot.wedge_flagged <- false
+      | None ->
+          (* a batch made it through: the worker is healthy again *)
+          slot.deaths <- 0;
+          slot.wedge_flagged <- false)
+
+(* One worker domain.  The heartbeat is refreshed at every loop edge;
+   [inflight] brackets each batch so the monitor can recover it if this
+   domain dies or wedges.  The top-level handler converts any escaped
+   exception (notably the injected worker-loop crash) into a [W_dead]
+   marking with exponential-backoff restart gate - the domain body
+   itself always returns normally, so [Domain.join] never re-raises. *)
+let worker_body pool slot () =
   let rec go () =
+    Atomic.set slot.hb (now_us ());
     match Scheduler.next_batch pool.scheduler with
-    | None -> ()
+    | None -> sup_locked pool (fun () -> slot.wstate <- W_stopped)
     | Some batch ->
+        set_inflight pool slot (Some batch);
+        Atomic.set slot.hb (now_us ());
+        (* Injected worker failure point: batch in hand, not yet
+           served - the harshest spot to die.  Raise kills the domain,
+           stall freezes it (wedge detection), corrupt is treated as
+           unrecoverable worker state. *)
+        if worker_loop_fault () then failwith "worker state corrupted";
         serve_batch pool batch;
+        set_inflight pool slot None;
         go ()
   in
-  go ()
+  try go ()
+  with _ ->
+    sup_locked pool (fun () ->
+        slot.wstate <- W_dead;
+        slot.deaths <- slot.deaths + 1;
+        let backoff =
+          pool.restart_backoff_us
+          *. Float.of_int (1 lsl Stdlib.min 7 (slot.deaths - 1))
+        in
+        slot.restart_at <- now_us () +. backoff);
+    if Trace.enabled () then
+      Trace.instant ~phase:"serve" "worker-death"
+        ~attrs:[ ("worker", Trace.Int slot.wid) ]
 
-let create ~scheduler ~models ~cache ~arch ~fused ~verify_every ~workers =
+(* --- Monitor -------------------------------------------------------------- *)
+
+let workers_alive_locked pool =
+  Array.fold_left
+    (fun acc s -> if s.wstate = W_running then acc + 1 else acc)
+    0 pool.slots
+
+(* One supervision sweep.  Decisions are made and slot state mutated
+   under [sup_mu]; the slow parts (request recovery, joining the dead
+   domain, spawning its replacement) run outside the lock.
+
+   - A dead worker's inflight batch is recovered IMMEDIATELY (the
+     backoff gates the respawn, never the requests).
+   - A dead worker past its backoff gate is respawned; restarts are
+     unbounded - a worker that keeps dying keeps its batch recovery
+     working and just waits longer each time (capped at 128x).
+   - A running worker with a batch in hand and a heartbeat staler than
+     [wedge_timeout_us] is wedged: its batch is stolen ONCE (flagged)
+     and recovered.  If the worker eventually finishes anyway, the
+     scheduler's first-wins completion discards the late outcome. *)
+let supervise_once pool =
+  let now = now_us () in
+  let to_recover = ref [] in
+  let to_restart = ref [] in
+  let stolen = ref [] in
+  sup_locked pool (fun () ->
+      Array.iter
+        (fun s ->
+          match s.wstate with
+          | W_dead ->
+              (match s.inflight with
+              | Some b ->
+                  s.inflight <- None;
+                  to_recover := b :: !to_recover
+              | None -> ());
+              if now >= s.restart_at then begin
+                s.wstate <- W_running;
+                let old = s.dom in
+                s.dom <- None;
+                to_restart := (s, old) :: !to_restart
+              end
+          | W_running -> (
+              match s.inflight with
+              | Some b
+                when (not s.wedge_flagged)
+                     && now -. Atomic.get s.hb > pool.wedge_timeout_us ->
+                  s.wedge_flagged <- true;
+                  stolen := b :: !stolen
+              | _ -> ())
+          | W_stopped -> ())
+        pool.slots);
+  List.iter
+    (fun b ->
+      Atomic.incr pool.n_wedged;
+      Metrics.inc pool.m_wedged;
+      if Trace.enabled () then
+        Trace.instant ~phase:"serve" "wedge-steal"
+          ~attrs:[ ("model", Trace.Str b.Scheduler.model) ];
+      recover_requests pool b)
+    !stolen;
+  List.iter (fun b -> recover_requests pool b) !to_recover;
+  List.iter
+    (fun (s, old) ->
+      (* the dead domain has already exited; join reclaims it *)
+      (match old with Some d -> Domain.join d | None -> ());
+      let d = Domain.spawn (worker_body pool s) in
+      sup_locked pool (fun () -> s.dom <- Some d);
+      Atomic.incr pool.n_restarts;
+      Metrics.inc pool.m_restart;
+      if Trace.enabled () then
+        Trace.instant ~phase:"serve" "worker-restart"
+          ~attrs:[ ("worker", Trace.Int s.wid) ])
+    !to_restart;
+  Metrics.set pool.g_alive
+    (Float.of_int (sup_locked pool (fun () -> workers_alive_locked pool)))
+
+let monitor_body pool () =
+  (* fast enough to catch a wedge well inside the timeout, slow enough
+     to be invisible in the profile *)
+  let period_s =
+    Float.max 0.0002 (Float.min 0.005 (1e-6 *. pool.wedge_timeout_us /. 8.))
+  in
+  while not (Atomic.get pool.stop_monitor) do
+    supervise_once pool;
+    Unix.sleepf period_s
+  done;
+  (* final sweep so a death racing the shutdown still gets recovered *)
+  supervise_once pool
+
+(* --- Pool lifecycle ------------------------------------------------------ *)
+
+let create ~scheduler ~models ~cache ~arch ~fused ~verify_every ~retry_budget
+    ~wedge_timeout_us ~restart_backoff_us ~workers =
   if workers < 0 then invalid_arg "Worker_pool.create: workers must be >= 0";
+  if retry_budget < 0 then
+    invalid_arg "Worker_pool.create: retry_budget must be >= 0";
   let r = Metrics.default in
   let pool =
     {
@@ -262,23 +527,72 @@ let create ~scheduler ~models ~cache ~arch ~fused ~verify_every ~workers =
       arch;
       fused;
       verify_every;
+      retry_budget;
+      wedge_timeout_us;
+      restart_backoff_us;
       batch_counter = Atomic.make 1;
-      domains = [];
+      sup_mu = Mutex.create ();
+      slots =
+        Array.init workers (fun wid ->
+            {
+              wid;
+              hb = Atomic.make (now_us ());
+              dom = None;
+              inflight = None;
+              wstate = W_running;
+              deaths = 0;
+              restart_at = 0.;
+              wedge_flagged = false;
+            });
+      monitor = None;
+      stop_monitor = Atomic.make false;
+      n_restarts = Atomic.make 0;
+      n_quarantined = Atomic.make 0;
+      n_wedged = Atomic.make 0;
       m_batch_size = Metrics.histogram r "serve.batch_size";
       m_padded = Metrics.counter r "serve.padded";
       m_batches = Metrics.counter r "serve.batches";
       m_request_us = Metrics.histogram r "serve.request_us";
       m_verified = Metrics.counter r "serve.verified";
+      m_restart = Metrics.counter r "serve.worker_restart";
+      m_quarantine = Metrics.counter r "serve.quarantine";
+      m_wedged = Metrics.counter r "serve.wedged";
+      g_alive = Metrics.gauge r "serve.workers_alive";
     }
   in
-  pool.domains <-
-    List.init workers (fun _ -> Domain.spawn (worker_loop pool));
+  Array.iter
+    (fun s -> s.dom <- Some (Domain.spawn (worker_body pool s)))
+    pool.slots;
+  Metrics.set pool.g_alive (Float.of_int workers);
+  (* caller-runs mode has no domains to supervise - no monitor either *)
+  if workers > 0 then pool.monitor <- Some (Domain.spawn (monitor_body pool));
   pool
 
-(* Blocks until every worker exits; call after [Scheduler.shutdown]. *)
+(* Blocks until the monitor and every worker exit; call after
+   [Scheduler.shutdown].  The monitor goes down first (with a final
+   recovery sweep) so no restart races the joins. *)
 let join pool =
-  List.iter Domain.join pool.domains;
-  pool.domains <- []
+  Atomic.set pool.stop_monitor true;
+  (match pool.monitor with Some d -> Domain.join d | None -> ());
+  pool.monitor <- None;
+  Array.iter
+    (fun s ->
+      match sup_locked pool (fun () ->
+                let d = s.dom in
+                s.dom <- None;
+                d)
+      with
+      | Some d -> Domain.join d
+      | None -> ())
+    pool.slots
+
+let supervision pool =
+  {
+    restarts = Atomic.get pool.n_restarts;
+    quarantined = Atomic.get pool.n_quarantined;
+    wedged = Atomic.get pool.n_wedged;
+    workers_alive = sup_locked pool (fun () -> workers_alive_locked pool);
+  }
 
 (* Pre-compile the given buckets for every model so the first requests
    don't pay compilation latency (the CLI does this before the clock

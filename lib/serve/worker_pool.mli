@@ -1,11 +1,18 @@
-(** Domain worker pool: executes scheduled batches on pooled contexts.
+(** Domain worker pool: executes scheduled batches on pooled contexts,
+    under supervision.
 
     Workers are OCaml 5 domains looping on [Scheduler.next_batch].
     Executor contexts are pooled per (model x bucket) - contexts are not
     concurrent-safe, so each is owned by one worker for the duration of
-    one batch.  A failing batch degrades to per-request execution
-    through the resilient compile ladder; the pool never crashes the
-    server. *)
+    one batch.
+
+    A monitor domain restarts dead workers (exponential backoff) and
+    steals batches from wedged ones (stale heartbeat past the wedge
+    timeout); a failing or fault-poisoned batch quarantines its context,
+    evicts the plan behind it from the compile cache, and re-dispatches
+    its requests solo under a per-request retry budget, falling back to
+    resilient per-request execution when the budget is spent.  The pool
+    never crashes the server and never loses a request. *)
 
 open Astitch_tensor
 open Astitch_runtime
@@ -26,13 +33,22 @@ val create :
   arch:Astitch_simt.Arch.t ->
   fused:bool ->
   verify_every:int ->
+  retry_budget:int ->
+  wedge_timeout_us:float ->
+  restart_backoff_us:float ->
   workers:int ->
   t
-(** Spawn [workers] domains immediately.  [workers = 0] is caller-runs
-    mode: no domains; progress is made by [pump]/[await_pumping] on the
-    calling thread.  [verify_every] > 0 re-executes the first request of
-    every n-th batch alone and asserts the batched outputs are
-    bit-identical (a serving self-check; 0 disables). *)
+(** Spawn [workers] domains (plus one monitor domain when
+    [workers > 0]) immediately.  [workers = 0] is caller-runs mode: no
+    domains; progress is made by [pump]/[await_pumping] on the calling
+    thread.  [verify_every] > 0 re-executes the first request of every
+    n-th batch alone and asserts the batched outputs are bit-identical
+    (a serving self-check; 0 disables).  [retry_budget] is how many
+    failed batch executions a request survives before dropping to the
+    per-request fallback rung.  A worker whose heartbeat goes stale for
+    [wedge_timeout_us] with a batch in hand is wedged (batch stolen);
+    a dead worker is respawned after [restart_backoff_us], doubling per
+    consecutive death (capped at 128x). *)
 
 val pump : t -> unit
 (** Caller-runs mode: serve every dispatchable batch on the calling
@@ -47,8 +63,18 @@ val await_pumping : t -> int -> Request.outcome
     once nothing is outstanding. *)
 
 val join : t -> unit
-(** Block until every worker exits.  Call after [Scheduler.shutdown]. *)
+(** Block until the monitor and every worker exit.  Call after
+    [Scheduler.shutdown]. *)
 
 val warm : t -> buckets:int list -> unit
 (** Pre-compile the given buckets for every model (hide compile latency
     from the first requests). *)
+
+type supervision = {
+  restarts : int;  (** worker domains respawned after a death *)
+  quarantined : int;  (** contexts retired after a fault-touched batch *)
+  wedged : int;  (** batches stolen from stalled workers *)
+  workers_alive : int;
+}
+
+val supervision : t -> supervision

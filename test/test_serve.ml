@@ -509,9 +509,11 @@ let test_deadline_shedding () =
 
 let test_poisoned_request_fails_alone () =
   (* Two requests forced into one batch (max_batch 2, long window); one
-     has a wrong-shaped binding.  The batch path fails at pack, the
-     fallback serves them solo: the good one completes (degraded), the
-     bad one fails, the server survives and keeps serving. *)
+     has a wrong-shaped binding.  The batch fails at pack and
+     supervision re-dispatches each request solo: the good one is
+     served at full strength (NOT degraded - its solo batch packs
+     fine), the bad one burns its retry budget and fails on the
+     fallback rung; the server survives and keeps serving. *)
   let config =
     serve_config ~workers:1 ~max_batch:2 ~max_wait_us:3.6e9 ~queue_depth:64 ()
   in
@@ -533,7 +535,7 @@ let test_poisoned_request_fails_alone () =
       in
       (match Serve.await server t_good with
       | Request.Done { degraded; _ } ->
-          check_bool "good batchmate served degraded" true degraded
+          check_bool "good batchmate served at full strength" false degraded
       | _ -> Alcotest.fail "good batchmate must complete");
       (match Serve.await server t_bad with
       | Request.Failed _ -> ()
@@ -554,7 +556,8 @@ let test_poisoned_request_fails_alone () =
        | _ -> Alcotest.fail "server must keep serving after a failure");
       let s = Serve.stats server in
       check_int "one failure" 1 s.failed;
-      check_int "one degraded completion" 1 s.degraded)
+      check_int "nothing served degraded" 0 s.degraded;
+      check_bool "both batchmates were retried solo" true (s.retried >= 2))
 
 let test_unknown_model_rejected () =
   let server =
@@ -592,6 +595,295 @@ let prop_plan_cache_domain_hammer =
       && s.hits + s.misses = 2000
       && s.insertions >= s.evictions
       && Plan_cache.length cache = s.insertions - s.evictions)
+
+(* --- Chaos: supervision under injected runtime faults --------------------- *)
+
+(* The supervision contract, exercised per fault: every admitted request
+   resolves ([Done]/[Failed]/[Overloaded], never lost), survivors are
+   bit-identical to solo interpretation (degraded or not - degradation
+   never changes numerics), and the server keeps serving afterwards. *)
+let await_all_accounted server ~what tickets_with_reqs =
+  let spec = Serve.spec server ~model:"mlp" in
+  let shared = Serve.shared_weights server ~model:"mlp" in
+  List.iter
+    (fun (ticket, params) ->
+      match Serve.await server ticket with
+      | Request.Done { outputs; _ } ->
+          check_outputs_identical what
+            (Interp.run spec.base ~params:(shared @ params))
+            outputs
+      | Request.Failed m -> Alcotest.failf "%s: request failed: %s" what m
+      | Request.Overloaded o ->
+          Alcotest.failf "%s: request overloaded: %s" what
+            (Request.overload_to_string o))
+    tickets_with_reqs
+
+let submit_burst server ~what ~seed n =
+  List.init n (fun j ->
+      let params =
+        Serve.random_request server ~model:"mlp" ~seed:((seed * 31) + j)
+      in
+      match Serve.submit_async server ~model:"mlp" ~params with
+      | Ok t -> (t, params)
+      | Error o ->
+          Alcotest.failf "%s: request refused: %s" what
+            (Request.overload_to_string o))
+
+(* Every runtime fault site x 50 seeds x {raise, corrupt}, against a
+   live worker-backed server.  One server per (site, mode): arming is
+   per-burst, so each seed replays deterministically. *)
+let test_chaos_sweep () =
+  List.iter
+    (fun site ->
+      List.iter
+        (fun mode ->
+          let config = serve_config ~workers:1 ~max_batch:2 () in
+          let server = Serve.create ~config [ mlp_model ] in
+          Fun.protect
+            ~finally:(fun () -> Serve.shutdown server)
+            (fun () ->
+              let what =
+                Printf.sprintf "chaos %s:%s"
+                  (Fault.site_to_string site)
+                  (Fault.mode_to_string mode)
+              in
+              for seed = 0 to 49 do
+                Fault.with_faults
+                  [ Fault.plan site ~mode ~seed ~fuel:2 ]
+                  (fun () ->
+                    let burst =
+                      submit_burst server ~what:(Printf.sprintf "%s seed %d" what seed) ~seed 3
+                    in
+                    Serve.drain server;
+                    await_all_accounted server
+                      ~what:(Printf.sprintf "%s seed %d" what seed)
+                      burst)
+              done;
+              (* liveness after the storm: a clean request at full strength *)
+              let p = Serve.random_request server ~model:"mlp" ~seed:9999 in
+              (match Serve.submit server ~model:"mlp" ~params:p with
+              | Request.Done { degraded; _ } ->
+                  check_bool (what ^ ": clean request not degraded") false
+                    degraded
+              | _ -> Alcotest.failf "%s: server not live after sweep" what);
+              let s = Serve.stats server in
+              check_int (what ^ ": nothing outstanding") 0 s.outstanding;
+              check_int (what ^ ": every request resolved")
+                s.submitted
+                (s.completed + s.failed + s.shed);
+              check_int (what ^ ": no request failed") 0 s.failed))
+        [ Fault.Raise; Fault.Corrupt ])
+    Fault.runtime_sites
+
+(* A fault that never stops firing: kernel-exec raises on every batch,
+   forever.  Breakers off so nothing is fast-rejected; every request
+   must ride the ladder down to the fault-free fallback rung and come
+   back [Done] (degraded), bit-identical. *)
+let test_chaos_persistent_fault_liveness () =
+  let config =
+    { (serve_config ~workers:1 ~max_batch:2 ()) with
+      Serve.breaker_threshold = 0 }
+  in
+  let server = Serve.create ~config [ mlp_model ] in
+  Fun.protect
+    ~finally:(fun () -> Serve.shutdown server)
+    (fun () ->
+      Fault.with_faults
+        [ Fault.plan Fault.Kernel_exec ~mode:Fault.Raise ~seed:3 ~fuel:max_int ]
+        (fun () ->
+          let burst = submit_burst server ~what:"persistent" ~seed:1 6 in
+          Serve.drain server;
+          let spec = Serve.spec server ~model:"mlp" in
+          let shared = Serve.shared_weights server ~model:"mlp" in
+          List.iter
+            (fun (ticket, params) ->
+              match Serve.await server ticket with
+              | Request.Done { outputs; degraded; _ } ->
+                  check_bool "persistent: served on the fallback rung" true
+                    degraded;
+                  check_outputs_identical "persistent"
+                    (Interp.run spec.base ~params:(shared @ params))
+                    outputs
+              | _ -> Alcotest.fail "persistent: request must resolve Done")
+            burst;
+          let s = Serve.stats server in
+          check_int "persistent: no failures" 0 s.failed;
+          check_int "persistent: nothing outstanding" 0 s.outstanding;
+          check_bool "persistent: retries happened" true (s.retried > 0)))
+
+(* Breaker lifecycle: consecutive batch failures open it, open refuses
+   fast with the structured overload, a successful half-open probe
+   closes it.  Caller-runs mode makes the failure count deterministic. *)
+let test_chaos_breaker_opens_and_closes () =
+  let config =
+    { (serve_config ~workers:0 ~max_batch:2 ()) with
+      Serve.breaker_threshold = 3;
+      breaker_cooldown_us = 10_000. }
+  in
+  let server = Serve.create ~config [ mlp_model ] in
+  Fun.protect
+    ~finally:(fun () -> Serve.shutdown server)
+    (fun () ->
+      check_bool "breaker starts closed" true
+        (Serve.breaker_state server ~model:"mlp" = `Closed);
+      Fault.with_faults
+        [ Fault.plan Fault.Kernel_exec ~mode:Fault.Raise ~seed:1 ~fuel:max_int ]
+        (fun () ->
+          (* one request = initial batch + 2 retries = 3 consecutive
+             failures = threshold; it still resolves via the fallback *)
+          (match
+             Serve.submit server ~model:"mlp"
+               ~params:(Serve.random_request server ~model:"mlp" ~seed:1)
+           with
+          | Request.Done { degraded; _ } ->
+              check_bool "first request served degraded" true degraded
+          | _ -> Alcotest.fail "first request must resolve");
+          check_bool "breaker open after threshold failures" true
+            (Serve.breaker_state server ~model:"mlp" = `Open);
+          (* open = fast structured rejection at submission *)
+          match
+            Serve.submit_async server ~model:"mlp"
+              ~params:(Serve.random_request server ~model:"mlp" ~seed:2)
+          with
+          | Error Request.Breaker_open -> ()
+          | Ok _ -> Alcotest.fail "open breaker must refuse"
+          | Error o ->
+              Alcotest.failf "wrong overload: %s"
+                (Request.overload_to_string o));
+      (* cooldown passes, faults are gone: the next request is the
+         half-open probe and its success closes the breaker *)
+      Unix.sleepf 0.015;
+      (match
+         Serve.submit server ~model:"mlp"
+           ~params:(Serve.random_request server ~model:"mlp" ~seed:3)
+       with
+      | Request.Done { degraded; _ } ->
+          check_bool "probe served at full strength" false degraded
+      | _ -> Alcotest.fail "half-open probe must be admitted and served");
+      check_bool "breaker closed after probe success" true
+        (Serve.breaker_state server ~model:"mlp" = `Closed);
+      let s = Serve.stats server in
+      check_bool "open transitions counted" true (s.breaker_opens >= 1);
+      check_bool "close transitions counted" true (s.breaker_closes >= 1))
+
+(* Worker death and restart: the worker-loop site kills the worker with
+   a batch in hand; the monitor recovers the batch and respawns the
+   worker within its backoff budget.  Everything completes. *)
+let test_chaos_worker_restart () =
+  let config = serve_config ~workers:1 ~max_batch:2 () in
+  let server = Serve.create ~config [ mlp_model ] in
+  Fun.protect
+    ~finally:(fun () -> Serve.shutdown server)
+    (fun () ->
+      Fault.with_faults
+        [ Fault.plan Fault.Worker_loop ~mode:Fault.Raise ~seed:5 ~fuel:2 ]
+        (fun () ->
+          let burst = submit_burst server ~what:"restart" ~seed:4 4 in
+          Serve.drain server;
+          await_all_accounted server ~what:"restart" burst);
+      let sup = Serve.supervision server in
+      check_bool "worker restarted" true (sup.Serve.restarts >= 1);
+      check_int "worker alive again" 1 sup.Serve.workers_alive;
+      let d = Serve.disposition server in
+      check_int "no request lost" 0 d.Serve.lost)
+
+(* Wedge detection: the worker-loop stall freezes the worker for 10ms
+   with a batch in hand; a 2ms wedge timeout means the monitor steals
+   and recovers the batch while the worker sleeps.  The worker then
+   finishes the original batch too - first-wins completion delivers one
+   outcome and counts the other as a duplicate. *)
+let test_chaos_wedged_worker () =
+  let config =
+    { (serve_config ~workers:1 ~max_batch:2 ()) with
+      Serve.wedge_timeout_us = 2_000. }
+  in
+  let server = Serve.create ~config [ mlp_model ] in
+  Fun.protect
+    ~finally:(fun () -> Serve.shutdown server)
+    (fun () ->
+      Fault.with_faults
+        (* seed 9 -> 10ms stall (stall_s = 1ms * (1 + seed mod 10)) *)
+        [ Fault.plan Fault.Worker_loop ~mode:Fault.Stall ~seed:9 ~fuel:1 ]
+        (fun () ->
+          let burst = submit_burst server ~what:"wedge" ~seed:6 1 in
+          Serve.drain server;
+          await_all_accounted server ~what:"wedge" burst);
+      let sup = Serve.supervision server in
+      check_bool "wedge detected" true (sup.Serve.wedged >= 1);
+      let s = Serve.stats server in
+      check_int "request delivered exactly once" 1 s.completed;
+      check_int "nothing outstanding" 0 s.outstanding)
+
+(* Corrupt-mode quarantine: a silently-corrupted batch is detected via
+   the fired counter, its context quarantined, and the retry serves the
+   request CLEAN - full strength, bit-identical.  Corruption must never
+   reach a caller. *)
+let test_chaos_corrupt_quarantines_and_retries () =
+  let config = serve_config ~workers:0 ~max_batch:2 () in
+  let server = Serve.create ~config [ mlp_model ] in
+  Fun.protect
+    ~finally:(fun () -> Serve.shutdown server)
+    (fun () ->
+      let spec = Serve.spec server ~model:"mlp" in
+      let shared = Serve.shared_weights server ~model:"mlp" in
+      let params = Serve.random_request server ~model:"mlp" ~seed:11 in
+      Fault.with_faults
+        [ Fault.plan Fault.Kernel_exec ~mode:Fault.Corrupt ~seed:7 ~fuel:1 ]
+        (fun () ->
+          match Serve.submit server ~model:"mlp" ~params with
+          | Request.Done { outputs; degraded; _ } ->
+              check_bool "retried request served at full strength" false
+                degraded;
+              check_outputs_identical "corrupt-retry"
+                (Interp.run spec.base ~params:(shared @ params))
+                outputs
+          | _ -> Alcotest.fail "corrupted batch must be retried to Done");
+      let sup = Serve.supervision server in
+      check_bool "context quarantined" true (sup.Serve.quarantined >= 1);
+      let s = Serve.stats server in
+      check_bool "request was retried" true (s.retried >= 1);
+      check_int "corruption never delivered as a failure" 0 s.failed)
+
+(* The batcher-polling shutdown satellite: with an hour-long window and
+   a pending partial batch, the worker is in its poll loop; drain +
+   shutdown must complete within poll-tick latency, not window
+   latency. *)
+let test_shutdown_prompt_under_open_window () =
+  let config =
+    serve_config ~workers:1 ~max_batch:8 ~max_wait_us:3.6e9 ~queue_depth:8 ()
+  in
+  let server = Serve.create ~config [ mlp_model ] in
+  let burst = submit_burst server ~what:"shutdown" ~seed:8 2 in
+  let t0 = Unix.gettimeofday () in
+  Serve.drain server;
+  await_all_accounted server ~what:"shutdown" burst;
+  Serve.shutdown server;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  check_bool
+    (Printf.sprintf "drain+shutdown prompt (%.3fs)" elapsed)
+    true (elapsed < 2.);
+  (* the poll-interval clamp the promptness bound rests on *)
+  let interval max_wait_us =
+    Batcher.poll_interval_us (Batcher.policy ~max_batch:4 ~max_wait_us)
+  in
+  check_bool "huge window clamps to 200us" true (interval 3.6e9 = 200.);
+  check_bool "zero window clamps to 50us" true (interval 0. = 50.);
+  check_bool "quarter window in between" true (interval 400. = 100.)
+
+(* The plan-cache invalidation satellite. *)
+let test_plan_cache_remove () =
+  let cache : int Plan_cache.t = Plan_cache.create ~capacity:4 () in
+  Plan_cache.add cache "a" 1;
+  Plan_cache.add cache "b" 2;
+  check_bool "remove present" true (Plan_cache.remove cache "a");
+  check_bool "remove absent" false (Plan_cache.remove cache "a");
+  check_bool "removed key misses" true (Plan_cache.find cache "a" = None);
+  check_bool "other key survives" true (Plan_cache.find cache "b" = Some 2);
+  let s = Plan_cache.stats cache in
+  check_int "one removal counted" 1 s.removals;
+  check_int "length = insertions - evictions - removals"
+    (s.insertions - s.evictions - s.removals)
+    (Plan_cache.length cache)
 
 (* --- Suite --------------------------------------------------------------- *)
 
@@ -646,4 +938,23 @@ let () =
         ] );
       ( "plan-cache-domains",
         [ QCheck_alcotest.to_alcotest prop_plan_cache_domain_hammer ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "sweep: every runtime site x 50 seeds x mode"
+            `Slow test_chaos_sweep;
+          Alcotest.test_case "persistent fault: fallback keeps serving" `Quick
+            test_chaos_persistent_fault_liveness;
+          Alcotest.test_case "breaker opens, half-opens, closes" `Quick
+            test_chaos_breaker_opens_and_closes;
+          Alcotest.test_case "dead worker restarts, batch recovered" `Quick
+            test_chaos_worker_restart;
+          Alcotest.test_case "wedged worker's batch stolen" `Quick
+            test_chaos_wedged_worker;
+          Alcotest.test_case "corrupt batch quarantined, retried clean" `Quick
+            test_chaos_corrupt_quarantines_and_retries;
+          Alcotest.test_case "shutdown prompt under an open window" `Quick
+            test_shutdown_prompt_under_open_window;
+          Alcotest.test_case "plan cache invalidation" `Quick
+            test_plan_cache_remove;
+        ] );
     ]
