@@ -45,6 +45,19 @@ type row = {
   lat_p99_us : float;
 }
 
+(* The global-stitching leg: shared-mem-overflow shapes whose softmax
+   reductions cannot stage on-chip, executed fused (global scratch +
+   in-kernel barriers) against the kernel-per-op no-stitching baseline
+   [Fallback.per_op_plan].  The check gate demands every overflow shape
+   fuses without a single fallback and at least breaks even. *)
+type global_row = {
+  gname : string;
+  global_run_us : float;
+  per_op_run_us : float;
+  global_speedup : float;
+  global_fallbacks : int;
+}
+
 (* Median wall time of [runs] calls, in microseconds. *)
 let time_us ~runs f =
   let samples =
@@ -131,6 +144,36 @@ let bench_workload ~runs (entry : Astitch_workloads.Zoo.entry) ~tiny =
     lat_p99_us;
   }
 
+let global_entries =
+  [
+    ("ASR-overflow", Astitch_workloads.Asr.overflow);
+    ("DIEN-overflow", Astitch_workloads.Dien.overflow);
+  ]
+
+let bench_global ~runs (gname, build) =
+  let g = build () in
+  let arch = Arch.v100 in
+  let backend = Astitch_core.Astitch.full_backend in
+  let params = Session.random_params g in
+  let plan = (Session.compile backend arch g).Session.plan in
+  let fctx = Executor.create_context ~fused:true plan in
+  let global_fallbacks = List.length (Executor.context_fallbacks fctx) in
+  let global_run_us =
+    time_us ~runs (fun () -> Executor.run_context fctx ~params)
+  in
+  let per_op = Astitch_core.Fallback.per_op_plan arch g in
+  let pctx = Executor.create_context ~fused:false per_op in
+  let per_op_run_us =
+    time_us ~runs (fun () -> Executor.run_context pctx ~params)
+  in
+  {
+    gname;
+    global_run_us;
+    per_op_run_us;
+    global_speedup = per_op_run_us /. global_run_us;
+    global_fallbacks;
+  }
+
 (* --- Reporting ----------------------------------------------------------- *)
 
 let print_table rows =
@@ -151,9 +194,21 @@ let print_table rows =
         r.lat_p95_us r.lat_p99_us)
     rows
 
+let print_global_table grows =
+  Printf.printf
+    "=== Global stitching on shared-mem-overflow shapes (medians, us) ===\n";
+  Printf.printf "%-14s %12s %12s %9s %10s\n" "workload" "global-run"
+    "per-op-run" "global-x" "fallbacks";
+  List.iter
+    (fun gr ->
+      Printf.printf "%-14s %12.1f %12.1f %8.2fx %10d\n" gr.gname
+        gr.global_run_us gr.per_op_run_us gr.global_speedup
+        gr.global_fallbacks)
+    grows
+
 (* One "key": value per line so the checker can read it back with a line
    scanner; no JSON library in the tree. *)
-let write_json ~path ~quick rows =
+let write_json ~path ~quick rows grows =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -182,6 +237,21 @@ let write_json ~path ~quick rows =
       p "      \"latency_p99_us\": %.1f\n" r.lat_p99_us;
       p "    }%s\n" (if i = List.length rows - 1 then "" else ","))
     rows;
+  p "  ],\n";
+  (* the globals section keys off "workload", never "name"/"speedup":
+     the baseline line-scanner above must not mistake these rows for
+     workload rows *)
+  p "  \"globals\": [\n";
+  List.iteri
+    (fun i gr ->
+      p "    {\n";
+      p "      \"workload\": \"%s\",\n" gr.gname;
+      p "      \"global_run_us\": %.1f,\n" gr.global_run_us;
+      p "      \"per_op_run_us\": %.1f,\n" gr.per_op_run_us;
+      p "      \"global_speedup\": %.2f,\n" gr.global_speedup;
+      p "      \"global_fallbacks\": %d\n" gr.global_fallbacks;
+      p "    }%s\n" (if i = List.length grows - 1 then "" else ","))
+    grows;
   p "  ]\n";
   p "}\n";
   close_out oc;
@@ -231,7 +301,7 @@ let read_baseline path =
    with End_of_file -> close_in ic);
   List.rev !rows
 
-let check ~label base rows =
+let check ~label base rows grows =
   let failures = ref [] in
   List.iter
     (fun r ->
@@ -270,6 +340,27 @@ let check ~label base rows =
             r.name r.fused_speedup
           :: !failures)
     rows;
+  (* Global stitching gate, on the current run's own legs: the overflow
+     shapes must fuse without any fallback and at least break even
+     against the kernel-per-op baseline - the whole point of executing
+     Scheme.Global instead of materializing. *)
+  List.iter
+    (fun gr ->
+      if gr.global_fallbacks <> 0 then
+        failures :=
+          Printf.sprintf
+            "%s: %d kernel(s) fell back - overflow shapes must fuse \
+             globally"
+            gr.gname gr.global_fallbacks
+          :: !failures;
+      if gr.global_speedup < 1.0 then
+        failures :=
+          Printf.sprintf
+            "%s: global stitching is %.2fx vs kernel-per-op (must stay \
+             >= 1.0x)"
+            gr.gname gr.global_speedup
+          :: !failures)
+    grows;
   match !failures with
   | [] ->
       Printf.printf "serving bench check OK (%d workloads vs %s)\n"
@@ -288,6 +379,8 @@ let run ?(quick = false) ?(out = "BENCH_serving.json") ?baseline () =
       (fun e -> bench_workload ~runs e ~tiny:quick)
       Astitch_workloads.Zoo.all
   in
+  let grows = List.map (bench_global ~runs) global_entries in
   print_table rows;
-  write_json ~path:out ~quick rows;
-  Option.iter (fun (label, b) -> check ~label b rows) base
+  print_global_table grows;
+  write_json ~path:out ~quick rows grows;
+  Option.iter (fun (label, b) -> check ~label b rows grows) base

@@ -71,6 +71,28 @@ let per_op_kernel (arch : Arch.t) g id =
       scratch_bytes = 0;
     }
 
+(* A whole-graph terminal: kernel-per-op for every live memory-intensive
+   node.  Always compiles and always validates - it is both the ladder's
+   last resort and the bench's "no stitching" baseline. *)
+let per_op_plan (arch : Arch.t) g =
+  let live = Graph.live_ids g in
+  let ids = ref [] in
+  for id = Graph.num_nodes g - 1 downto 0 do
+    if live.(id) && Clustering.is_clusterable g id then ids := id :: !ids
+  done;
+  let kernels =
+    Kernel_plan.toposort_kernels g
+      (List.map (per_op_kernel arch g) !ids @ Lowering.library_kernels arch g)
+  in
+  {
+    Kernel_plan.arch;
+    graph = g;
+    kernels;
+    memcpys = Lowering.output_memcpys g;
+    memsets = Lowering.atomic_memsets kernels;
+    memcpy_bytes = Lowering.output_bytes g;
+  }
+
 (* --- Scheme demotion (the Regional and Local rungs) --------------------- *)
 
 (* Regional: give up global stitching.  Global-scratch buffers materialize
@@ -92,6 +114,68 @@ let demote_global (k : Kernel_plan.kernel) =
       k.Kernel_plan.ops
   in
   { k with Kernel_plan.ops; barriers = 0; scratch_bytes = 0 }
+
+(* Gate-aware Regional rung: before materializing everything to device
+   memory, try keeping the kernel's regional values stitched by demoting
+   them to global scratch behind in-kernel barriers (the paper's
+   regional->global demotion) - but only when the barrier is legal at
+   the kernel's grid and the cost model scores the barriers cheaper than
+   the split the materializing fallback amounts to. *)
+let demote_regional (arch : Arch.t) g (k : Kernel_plan.kernel) =
+  let shared =
+    List.filter
+      (fun (o : Kernel_plan.compiled_op) ->
+        o.placement = Kernel_plan.Shared_mem)
+      k.Kernel_plan.ops
+  in
+  let launch =
+    Launch.make ~regs_per_thread:k.launch.Launch.regs_per_thread
+      ~shared_mem_per_block:0 ~grid:k.launch.Launch.grid
+      ~block:k.launch.Launch.block ()
+  in
+  let in_kernel = Hashtbl.create 16 in
+  List.iter
+    (fun (o : Kernel_plan.compiled_op) -> Hashtbl.replace in_kernel o.id ())
+    k.ops;
+  let crossing =
+    List.filter
+      (fun (o : Kernel_plan.compiled_op) ->
+        List.exists (Hashtbl.mem in_kernel) (Graph.consumers g o.id))
+      shared
+  in
+  let staged_bytes =
+    List.fold_left
+      (fun acc (o : Kernel_plan.compiled_op) -> acc + Graph.bytes g o.id)
+      0 shared
+  in
+  let verdict =
+    Global_gating.gate arch ~launch
+      ~barriers:(k.barriers + List.length crossing)
+      ~staged_bytes:(k.scratch_bytes + staged_bytes)
+  in
+  if
+    shared = []
+    || (not verdict.Global_gating.legal)
+    || verdict.Global_gating.choice = Global_gating.Split
+  then demote_global k
+  else
+    {
+      k with
+      Kernel_plan.ops =
+        List.map
+          (fun (o : Kernel_plan.compiled_op) ->
+            if o.placement = Kernel_plan.Shared_mem then
+              {
+                o with
+                placement = Kernel_plan.Global_scratch;
+                scheme = Scheme.Global;
+              }
+            else o)
+          k.ops;
+      launch;
+      barriers = k.barriers + List.length crossing;
+      scratch_bytes = k.scratch_bytes + staged_bytes;
+    }
 
 (* Local: additionally give up shared memory — registers and device memory
    only, the safest stitching the codegen supports. *)
@@ -193,8 +277,12 @@ let compile_armed (config : Config.t) (arch : Arch.t) g :
         ~group_base nodes
     in
     let rung = function
-      | Degradation.Stitched -> fun () -> [ compile_once () ]
-      | Degradation.Regional -> fun () -> [ demote_global (compile_once ()) ]
+      | Degradation.Stitched ->
+          fun () ->
+            Stitch_backend.compile_cluster_gated config arch g ~name
+              ~smem_budget ~group_base nodes
+      | Degradation.Regional ->
+          fun () -> [ demote_regional arch g (compile_once ()) ]
       | Degradation.Local -> fun () -> [ demote_local (compile_once ()) ]
       | Degradation.Fusion -> fun () -> fusion_rung ~name nodes
       | Degradation.Remote | Degradation.Kernel_per_op -> assert false
@@ -228,14 +316,27 @@ let compile_armed (config : Config.t) (arch : Arch.t) g :
         let nparts = List.length parts in
         let smem_budget = Launch_config.shared_mem_budget arch / nparts in
         let combined () =
-          List.mapi
-            (fun j (c : Clustering.cluster) ->
-              Stitch_backend.compile_cluster config arch g
-                ~name:(Printf.sprintf "%s.%d" name j)
-                ~smem_budget ~group_base:(j * 1024) c.Clustering.nodes)
-            parts
-          |> Stitch_backend.combine_parts arch ~name
-          |> Option.to_list
+          (* mirror [Stitch_backend.compile_with_armed] exactly: gated
+             single-cluster groups (demote-vs-split), combined remote
+             groups *)
+          match parts with
+          | [ c ] -> (
+              match
+                Stitch_backend.compile_cluster_gated config arch g
+                  ~name:(name ^ ".0") ~smem_budget ~group_base:0
+                  c.Clustering.nodes
+              with
+              | [ k ] -> [ { k with Kernel_plan.name } ]
+              | ks -> ks)
+          | _ ->
+              List.mapi
+                (fun j (c : Clustering.cluster) ->
+                  Stitch_backend.compile_cluster config arch g
+                    ~name:(Printf.sprintf "%s.%d" name j)
+                    ~smem_budget ~group_base:(j * 1024) c.Clustering.nodes)
+                parts
+              |> Stitch_backend.combine_parts arch ~name
+              |> Option.to_list
         in
         let top = if nparts > 1 then Degradation.Remote else Degradation.Stitched in
         match attempt ~pass:(ladder_pass top) combined with
@@ -264,27 +365,6 @@ let compile_armed (config : Config.t) (arch : Arch.t) g :
                      ~group_base:(j * 1024) c.Clustering.nodes)
                  parts))
   in
-  (* A whole-graph terminal: kernel-per-op for every live memory-intensive
-     node.  Always compiles and always validates. *)
-  let per_op_plan () =
-    let live = Graph.live_ids g in
-    let ids = ref [] in
-    for id = Graph.num_nodes g - 1 downto 0 do
-      if live.(id) && Clustering.is_clusterable g id then ids := id :: !ids
-    done;
-    let kernels =
-      Kernel_plan.toposort_kernels g
-        (List.map (per_op_kernel arch g) !ids @ Lowering.library_kernels arch g)
-    in
-    {
-      Kernel_plan.arch;
-      graph = g;
-      kernels;
-      memcpys = Lowering.output_memcpys g;
-      memsets = Lowering.atomic_memsets kernels;
-      memcpy_bytes = Lowering.output_bytes g;
-    }
-  in
   let finish kernels =
     (* Assemble, then repair: a corrupted front-end (e.g. clustering
        dropped a node) shows up here as cross-kernel violations.  Each
@@ -312,7 +392,7 @@ let compile_armed (config : Config.t) (arch : Arch.t) g :
       | Error e ->
           (* unschedulable kernel graph: degrade the whole graph *)
           record "graph" Degradation.Stitched Degradation.Kernel_per_op e;
-          Ok (per_op_plan ())
+          Ok (per_op_plan arch g)
       | Ok plan -> (
           match Kernel_plan.check_all plan with
           | [] -> Ok plan
@@ -426,10 +506,10 @@ let compile_armed (config : Config.t) (arch : Arch.t) g :
             ]
         in
         record "graph" Degradation.Fusion Degradation.Kernel_per_op e;
-        Result.map (fun p -> (p, List.rev !events)) (Ok (per_op_plan ()))
+        Result.map (fun p -> (p, List.rev !events)) (Ok (per_op_plan arch g))
     | Error e ->
         record "graph" Degradation.Fusion Degradation.Kernel_per_op e;
-        Result.map (fun p -> (p, List.rev !events)) (Ok (per_op_plan ()))
+        Result.map (fun p -> (p, List.rev !events)) (Ok (per_op_plan arch g))
   else begin
     let clusters =
       match

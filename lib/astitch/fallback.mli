@@ -22,9 +22,20 @@ val per_op_kernel : Arch.t -> Graph.t -> Op.node_id -> Kernel_plan.kernel
 (** The terminal constructor: one naive-mapped kernel materializing one
     op to device memory.  Touches no fault-injection site. *)
 
+val per_op_plan : Arch.t -> Graph.t -> Kernel_plan.t
+(** The whole-graph terminal: one kernel per live memory-intensive node
+    plus the library kernels - the ladder's last resort, and the
+    "no stitching" kernel-per-op baseline the serving bench compares
+    global stitching against. *)
+
 val demote_global : Kernel_plan.kernel -> Kernel_plan.kernel
-(** The Regional rung: global-scratch placements materialize to device
-    memory; barriers and the scratch arena disappear. *)
+(** Give up global stitching: global-scratch placements materialize to
+    device memory; barriers and the scratch arena disappear. *)
+
+val demote_regional : Arch.t -> Graph.t -> Kernel_plan.kernel -> Kernel_plan.kernel
+(** The Regional rung: demote the kernel's shared-memory buffers to
+    global scratch behind in-kernel barriers when {!Global_gating} deems
+    that legal and cheaper; otherwise fall back to {!demote_global}. *)
 
 val demote_local : Kernel_plan.kernel -> Kernel_plan.kernel
 (** The Local rung: [demote_global] plus shared-memory buffers

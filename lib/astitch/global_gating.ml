@@ -1,0 +1,61 @@
+(* Demote-vs-split gating for shared-memory overflow (paper Sec 4.2 +
+   Stripe's cost-driven scheduling).
+
+   When a regional (shared-memory) buffer cannot stay on chip, the
+   compiler has two legal lowerings:
+
+   - DEMOTE the buffer to global scratch and keep one kernel: the value
+     round-trips through DRAM and every crossing producer costs one
+     in-kernel global barrier ([Barrier.cost_us], only legal while the
+     whole grid stays co-resident);
+   - SPLIT the kernel at the overflow point: the boundary value still
+     round-trips through memory, but the second segment pays a fresh
+     kernel launch instead of barriers - and its read can hit L2 when
+     the boundary tensor is small enough to stay resident.
+
+   Both sides are scored with the same analytical constants the profile
+   cost model uses, so the crossover moves when the model's launch
+   overhead does.  With the default config a handful of barriers
+   (~5 at small sizes) costs more than one extra launch, which is
+   exactly the paper's observation that global stitching wins on a few
+   wide buffers and loses on many small ones. *)
+
+open Astitch_simt
+
+type choice = Demote | Split
+
+type verdict = {
+  choice : choice;
+  legal : bool; (* can the one-kernel option hold its barriers at all? *)
+  demote_us : float;
+  split_us : float;
+}
+
+let gate ?(config = Cost_model.default_config) (arch : Arch.t)
+    ~(launch : Launch.t) ~barriers ~staged_bytes : verdict =
+  let legal = Barrier.is_legal arch launch in
+  let bytes_per_us = arch.Arch.dram_bandwidth_gbs *. 1e3 in
+  let traffic bytes = float_of_int bytes /. bytes_per_us in
+  (* one kernel: each crossing producer syncs the grid once, and the
+     staged value is written to and read back from the scratch arena *)
+  let demote_us =
+    (float_of_int (Stdlib.max 1 barriers)
+    *. Barrier.cost_us ~blocks:launch.Launch.grid)
+    +. traffic (2 * staged_bytes)
+  in
+  (* two kernels: the boundary value is written to device memory by the
+     first and read by the second - from L2 when it stays resident -
+     plus the cost of bringing a second kernel onto the device *)
+  let l2_resident = 2 * staged_bytes <= arch.Arch.l2_cache_bytes in
+  let split_us =
+    config.Cost_model.kernel_launch_overhead_us
+    +. config.Cost_model.kernel_fixed_us
+    +. traffic staged_bytes
+    +. (if l2_resident then 0. else traffic staged_bytes)
+  in
+  let choice =
+    if not legal then Split
+    else if demote_us <= split_us then Demote
+    else Split
+  in
+  { choice; legal; demote_us; split_us }

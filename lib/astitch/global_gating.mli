@@ -1,0 +1,28 @@
+(** Cost-model gating between regional->global demotion (one kernel,
+    in-kernel global barriers) and kernel splitting (two launches) when a
+    shared-memory buffer overflows the per-block budget. *)
+
+open Astitch_simt
+
+type choice = Demote | Split
+
+type verdict = {
+  choice : choice;
+  legal : bool;
+      (** whether the one-kernel option can hold its barriers at all
+          ([Barrier.is_legal]); [Split] is forced when false *)
+  demote_us : float;  (** barrier syncs + scratch DRAM round trip *)
+  split_us : float;  (** extra launch + boundary traffic (L2-aware) *)
+}
+
+val gate :
+  ?config:Cost_model.config ->
+  Arch.t ->
+  launch:Launch.t ->
+  barriers:int ->
+  staged_bytes:int ->
+  verdict
+(** Score keeping [barriers] crossing producers in one kernel against
+    splitting it, for [staged_bytes] of overflow traffic under [launch].
+    The crossover tracks [config.kernel_launch_overhead_us], so a model
+    with cheaper launches splits earlier. *)

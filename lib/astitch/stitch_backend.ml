@@ -23,9 +23,9 @@ type node_role = {
   mutable recompute : int;
 }
 
-let compile_cluster_body (config : Config.t) (arch : Arch.t) g ~(name : string)
-    ~(smem_budget : int) ~(group_base : int) (nodes : Op.node_id list) :
-    Kernel_plan.kernel =
+let compile_cluster_body ?demoted_out (config : Config.t) (arch : Arch.t) g
+    ~(name : string) ~(smem_budget : int) ~(group_base : int)
+    (nodes : Op.node_id list) : Kernel_plan.kernel =
   let in_cluster = Hashtbl.create 16 in
   List.iter (fun id -> Hashtbl.replace in_cluster id ()) nodes;
   let live = Graph.live_ids g in
@@ -243,6 +243,9 @@ let compile_cluster_body (config : Config.t) (arch : Arch.t) g ~(name : string)
       nodes
   in
   let kept, demoted = Mem_planner.fit_shared ~budget shared_entries in
+  (match demoted_out with
+  | Some r -> r := List.map fst demoted
+  | None -> ());
   List.iter
     (fun (id, _) ->
       let role = Hashtbl.find roles id in
@@ -365,16 +368,92 @@ let compile_cluster_body (config : Config.t) (arch : Arch.t) g ~(name : string)
                 kernel.ops;
           }))
 
-let compile_cluster (config : Config.t) (arch : Arch.t) g ~(name : string)
-    ~(smem_budget : int) ~(group_base : int) (nodes : Op.node_id list) :
-    Kernel_plan.kernel =
+let compile_cluster_traced ?demoted_out (config : Config.t) (arch : Arch.t) g
+    ~(name : string) ~(smem_budget : int) ~(group_base : int)
+    (nodes : Op.node_id list) : Kernel_plan.kernel =
   if not (Trace.enabled ()) then
-    compile_cluster_body config arch g ~name ~smem_budget ~group_base nodes
+    compile_cluster_body ?demoted_out config arch g ~name ~smem_budget
+      ~group_base nodes
   else
     Trace.with_span ~phase:"compile" "cluster"
       ~attrs:[ ("cluster", Trace.Str name); ("ops", Trace.Int (List.length nodes)) ]
       (fun () ->
-        compile_cluster_body config arch g ~name ~smem_budget ~group_base nodes)
+        compile_cluster_body ?demoted_out config arch g ~name ~smem_budget
+          ~group_base nodes)
+
+let compile_cluster (config : Config.t) (arch : Arch.t) g ~(name : string)
+    ~(smem_budget : int) ~(group_base : int) (nodes : Op.node_id list) :
+    Kernel_plan.kernel =
+  compile_cluster_traced config arch g ~name ~smem_budget ~group_base nodes
+
+(* Gated per-cluster compilation (paper Sec 4.2 + Stripe-style cost
+   gating): compile the scope once; when shared-memory pressure demoted
+   regional buffers to global scratch - or the kernel's barriers are
+   illegal outright (grid wider than one co-resident wave) - decide with
+   [Global_gating] between keeping the demotions in one barriered kernel
+   and splitting the scope at the first crossing producer.  Splitting
+   recompiles both halves from the graph, so the boundary value
+   re-derives as an escaping Device_mem result; each half re-enters the
+   gate (a half can overflow again). *)
+let rec compile_cluster_gated (config : Config.t) (arch : Arch.t) g
+    ~(name : string) ~(smem_budget : int) ~(group_base : int)
+    (nodes : Op.node_id list) : Kernel_plan.kernel list =
+  let demoted = ref [] in
+  let k =
+    compile_cluster_traced ~demoted_out:demoted config arch g ~name
+      ~smem_budget ~group_base nodes
+  in
+  if k.Kernel_plan.barriers = 0 then [ k ]
+  else begin
+    let staged_bytes =
+      List.fold_left (fun acc id -> acc + Graph.bytes g id) 0 !demoted
+    in
+    let verdict =
+      Global_gating.gate arch ~launch:k.launch
+        ~barriers:(List.length !demoted) ~staged_bytes
+    in
+    let keep =
+      verdict.Global_gating.legal
+      && (!demoted = [] || verdict.Global_gating.choice = Global_gating.Demote)
+    in
+    if keep then [ k ]
+    else begin
+      (* cut after the first producer that forced the barriers: the first
+         demoted buffer, or the first global-scheme crossing otherwise *)
+      let barrier_source id =
+        List.exists (fun d -> d = id) !demoted
+        || List.exists
+             (fun (o : Kernel_plan.compiled_op) ->
+               o.id = id
+               && (o.placement = Kernel_plan.Global_scratch
+                  || o.scheme = Scheme.Global))
+             k.ops
+      in
+      let rec cut_at i = function
+        | [] | [ _ ] -> None (* never split off an empty second half *)
+        | id :: rest ->
+            if barrier_source id then Some i else cut_at (i + 1) rest
+      in
+      match cut_at 0 nodes with
+      | None -> [ k ]
+      | Some cut ->
+          if Trace.enabled () then
+            Trace.instant ~phase:"compile" "global-split"
+              ~attrs:
+                [
+                  ("cluster", Trace.Str name);
+                  ("cut", Trace.Int cut);
+                  ("demote_us", Trace.Float verdict.Global_gating.demote_us);
+                  ("split_us", Trace.Float verdict.Global_gating.split_us);
+                ];
+          let nodes_a = List.filteri (fun i _ -> i <= cut) nodes in
+          let nodes_b = List.filteri (fun i _ -> i > cut) nodes in
+          compile_cluster_gated config arch g ~name:(name ^ "a") ~smem_budget
+            ~group_base nodes_a
+          @ compile_cluster_gated config arch g ~name:(name ^ "b") ~smem_budget
+              ~group_base nodes_b
+    end
+  end
 
 (* --- Whole-graph compilation -------------------------------------------- *)
 
@@ -473,7 +552,19 @@ let compile_with_armed (config : Config.t) (arch : Arch.t) g : Kernel_plan.t =
       match parts with
       | [ { Clustering.nodes = [ single ]; _ } ]
         when Astitch_backends.Fusion_common.is_layout_only g single ->
-          Some (Astitch_backends.Fusion_common.copy_kernel g single)
+          [ Astitch_backends.Fusion_common.copy_kernel g single ]
+      | [ c ] -> (
+          (* single-cluster group: the demote-vs-split gate applies (a
+             split is local to this scope; remote-stitched groups merge
+             grids and cannot split without breaking the lockstep wave) *)
+          let name = Printf.sprintf "stitch_op_%d" i in
+          let smem_budget = Launch_config.shared_mem_budget arch in
+          match
+            compile_cluster_gated config arch g ~name:(name ^ ".0")
+              ~smem_budget ~group_base:0 c.Clustering.nodes
+          with
+          | [ k ] -> [ { k with Kernel_plan.name } ]
+          | ks -> ks)
       | _ ->
           let name = Printf.sprintf "stitch_op_%d" i in
           let nparts = List.length parts in
@@ -484,11 +575,10 @@ let compile_with_armed (config : Config.t) (arch : Arch.t) g : Kernel_plan.t =
                 ~name:(Printf.sprintf "%s.%d" name j)
                 ~smem_budget ~group_base:(j * 1024) c.Clustering.nodes)
             parts
-          |> combine_parts arch ~name
+          |> combine_parts arch ~name |> Option.to_list
     in
     let stitch_kernels =
-      Parallel.mapi ~domains compile_group cluster_groups
-      |> List.filter_map Fun.id
+      Parallel.mapi ~domains compile_group cluster_groups |> List.concat
     in
     Trace.with_span ~phase:"compile" "kernel-schedule" (fun () ->
         let kernels =

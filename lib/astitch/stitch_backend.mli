@@ -17,6 +17,23 @@ val compile_cluster :
   Kernel_plan.kernel
 (** Lower one stitch scope to a single kernel. *)
 
+val compile_cluster_gated :
+  Config.t ->
+  Arch.t ->
+  Graph.t ->
+  name:string ->
+  smem_budget:int ->
+  group_base:int ->
+  Op.node_id list ->
+  Kernel_plan.kernel list
+(** [compile_cluster] plus demote-vs-split gating: when shared-memory
+    pressure demoted regional buffers to global scratch, or the kernel's
+    barriers are illegal (grid wider than one co-resident wave), consult
+    {!Global_gating} and either keep the single barriered kernel or split
+    the scope at the first crossing producer - recursively, each half
+    re-entering the gate.  Split kernels are named [name ^ "a"] /
+    [name ^ "b"]. *)
+
 val combine_parts :
   Arch.t -> name:string -> Kernel_plan.kernel list -> Kernel_plan.kernel option
 (** Merge the kernels of one remote-stitched group: grids add (capped at

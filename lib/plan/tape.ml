@@ -8,26 +8,38 @@
      materialization (the paper's Local scheme);
    - Shared_mem ops become [Staged] - kept in a per-block slab sized from
      the thread mapping's contiguous block geometry (Regional scheme);
-   - Device_mem / Global_scratch ops become [Materialize] - the only
-     values that touch full buffers, drawn from the liveness arena - or
-     [Alias] when a reshape can view existing full storage.
+   - Global_scratch ops become [Staged_global] - written to a per-kernel
+     global-memory scratch slot whose availability is sequenced by
+     in-kernel global barriers (Global scheme); Shared_mem ops that
+     cannot be staged regionally demote to this role when the kernel's
+     launch can legally hold the barrier;
+   - Device_mem ops become [Materialize] - the only values that touch
+     full plan-wide buffers, drawn from the liveness arena - or [Alias]
+     when a reshape can view existing full storage.
 
    Lowering is purely structural (no tensor values): it classifies roles,
    validates that every read is of an available value under the plan's
    own ordering (mirroring the availability invariant the reference
-   executor enforces dynamically), and computes plan-wide liveness
-   intervals - in kernel positions - for every buffer the fused engine
-   must allocate.  Kernels that use an unsupported pattern lower to
-   [Fallback] with a reason; the executor runs those through the
-   reference per-node path, so a bad plan still fails exactly where the
-   reference executor would fail. *)
+   executor enforces dynamically), computes plan-wide liveness intervals
+   - in kernel positions - for every buffer the fused engine must
+   allocate, and sequences each kernel's global-scratch writes and reads
+   into barrier-separated segments (a read of a scratch value staged
+   since the last barrier point inserts a barrier before the reading
+   producer; [Barrier.is_legal] bounds the grid, so an over-wide kernel
+   rejects instead of deadlocking).  Kernels that use an unsupported
+   pattern lower to [Fallback] with a reason; the executor runs those
+   through the reference per-node path, so a bad plan still fails exactly
+   where the reference executor would fail. *)
 
 open Astitch_ir
+open Astitch_simt
 
 type role =
   | Inline (* Register: recomputed inside consumer loops *)
   | Staged of { block_elems : int } (* Shared_mem: per-block slab *)
-  | Materialize of { scratch : bool } (* full buffer from the arena *)
+  | Staged_global of { elems : int; demoted : bool }
+      (* Global_scratch: per-kernel scratch slot behind a barrier *)
+  | Materialize (* full buffer from the arena *)
   | Alias of { root : Op.node_id } (* reshape view of full storage *)
 
 type kernel_tape = {
@@ -36,6 +48,11 @@ type kernel_tape = {
   roles : (Op.node_id * role) list; (* op order, first occurrence only *)
   materialized : Op.node_id list; (* ids set computed when the kernel ran *)
   purged : Op.node_id list; (* on-chip ids unavailable after the kernel *)
+  barriers : int; (* global barrier points executed per run *)
+  barrier_before : Op.node_id list; (* producers preceded by a barrier *)
+  gslots : (Op.node_id * int * int * int) list;
+      (* staged-global slots: id, elems, def / last-read action index *)
+  demotions : (Op.node_id * string) list; (* regional -> global demotions *)
 }
 
 type lowered =
@@ -84,10 +101,11 @@ let lower (plan : Kernel_plan.t) : t =
        kernel *)
     let direct id =
       match Hashtbl.find_opt seen id with
-      | Some (Materialize _ | Alias _) -> true
-      | Some (Inline | Staged _) -> false
+      | Some (Materialize | Alias _) -> true
+      | Some (Inline | Staged _ | Staged_global _) -> false
       | None -> avail.(id)
     in
+    let demotions = ref [] in
     let roles = ref [] in
     List.iter
       (fun (o : Kernel_plan.compiled_op) ->
@@ -105,18 +123,56 @@ let lower (plan : Kernel_plan.t) : t =
                 else reject "op %d (%s) cannot be scalarized" o.id
                     (Op.mnemonic nd.op)
             | Kernel_plan.Shared_mem -> (
-                if not (scalarizable nd.op) then
-                  reject "op %d (%s) cannot be staged" o.id
-                    (Op.mnemonic nd.op);
-                match Thread_mapping.contiguous_outputs_per_block o.mapping with
-                | None ->
-                    reject "op %d: no contiguous block geometry to stage"
-                      o.id
-                | Some c ->
-                    let total = Graph.num_elements g o.id in
-                    Staged
-                      { block_elems = Stdlib.max 1 (Stdlib.min c total) })
-            | Kernel_plan.Device_mem | Kernel_plan.Global_scratch -> (
+                (* regional -> global demotion: a value that cannot live
+                   in a per-block slab can still stitch through a global
+                   scratch slot behind a barrier - provided the launch
+                   keeps every block resident (otherwise the barrier
+                   would deadlock, so the pattern stays a reject) *)
+                let stage_globally why =
+                  if Barrier.is_legal plan.arch k.launch then begin
+                    demotions := (o.id, why) :: !demotions;
+                    Staged_global
+                      { elems = Graph.num_elements g o.id; demoted = true }
+                  end
+                  else
+                    reject
+                      "%s (global-staging demotion needs an illegal \
+                       barrier: grid %d > %d co-resident blocks)"
+                      why k.launch.Launch.grid
+                      (Occupancy.blocks_per_wave plan.arch k.launch)
+                in
+                match nd.op with
+                | Op.Parameter _ ->
+                    reject "op %d: parameter inside a kernel" o.id
+                | _ -> (
+                    if not (scalarizable nd.op) then
+                      stage_globally
+                        (Printf.sprintf "op %d (%s) cannot be staged" o.id
+                           (Op.mnemonic nd.op))
+                    else
+                      match
+                        Thread_mapping.contiguous_outputs_per_block o.mapping
+                      with
+                      | None ->
+                          stage_globally
+                            (Printf.sprintf
+                               "op %d: no contiguous block geometry to stage"
+                               o.id)
+                      | Some c ->
+                          let total = Graph.num_elements g o.id in
+                          Staged
+                            { block_elems = Stdlib.max 1 (Stdlib.min c total) }
+                    ))
+            | Kernel_plan.Global_scratch -> (
+                match nd.op with
+                | Op.Parameter _ ->
+                    reject "op %d: parameter inside a kernel" o.id
+                | Op.Reshape { input } when direct input ->
+                    Alias { root = input }
+                | _ ->
+                    Staged_global
+                      { elems = Graph.num_elements g o.id; demoted = false })
+            | Kernel_plan.Device_mem -> (
                 match nd.op with
                 | Op.Parameter _ ->
                     reject "op %d: parameter inside a kernel" o.id
@@ -125,18 +181,110 @@ let lower (plan : Kernel_plan.t) : t =
                 | _ ->
                     if def.(o.id) <> None then
                       reject "op %d rematerialized by a later kernel" o.id;
-                    Materialize
-                      { scratch = o.placement = Kernel_plan.Global_scratch })
+                    Materialize)
           in
           Hashtbl.replace seen o.id role;
           roles := (o.id, role) :: !roles
         end)
       k.ops;
     let roles = List.rev !roles in
+    let role_of id = Hashtbl.find_opt seen id in
+    (* ---- barrier sequencing ----
+       Barrier-protected producers are the values crossing blocks through
+       global memory inside this kernel: every [Staged_global] slot, plus
+       Device_mem results the planner marked [Scheme.Global] (their
+       in-kernel consumers read them through global memory too). *)
+    let source = Hashtbl.create 8 in
+    List.iter
+      (fun (o : Kernel_plan.compiled_op) ->
+        match role_of o.id with
+        | Some (Staged_global _) -> Hashtbl.replace source o.id ()
+        | Some Materialize when o.scheme = Scheme.Global ->
+            Hashtbl.replace source o.id ()
+        | _ -> ())
+      k.ops;
+    let rec root_of id =
+      match role_of id with Some (Alias { root }) -> root_of root | _ -> id
+    in
+    (* scratch_deps id: barrier-protected producers read when one element
+       of [id] is evaluated - through scalarized/slab-staged chains, which
+       re-read their own operands lazily at the consumer's position *)
+    let deps_memo : (Op.node_id, Op.node_id list) Hashtbl.t =
+      Hashtbl.create 16
+    in
+    let rec scratch_deps id =
+      match Hashtbl.find_opt deps_memo id with
+      | Some d -> d
+      | None ->
+          let d =
+            List.fold_left
+              (fun acc p ->
+                let p = root_of p in
+                if Hashtbl.mem source p then p :: acc
+                else
+                  match role_of p with
+                  | Some (Inline | Staged _) ->
+                      List.rev_append (scratch_deps p) acc
+                  | _ -> acc)
+              [] (Graph.operands g id)
+          in
+          Hashtbl.replace deps_memo id d;
+          d
+    in
+    (* Walk the producers that run as actions (everything but lazy
+       Inline/Staged values) in execution order.  Reading a protected
+       value written since the last barrier point opens a new segment:
+       one global barrier before the reading producer. *)
+    let pending = Hashtbl.create 8 in
+    let barriers = ref 0 in
+    let barrier_before = ref [] in
+    let action_index = Hashtbl.create 16 in
+    let last_read = Hashtbl.create 16 in
+    let next_idx = ref 0 in
+    List.iter
+      (fun (id, role) ->
+        match role with
+        | Inline | Staged _ -> ()
+        | Staged_global _ | Materialize | Alias _ ->
+            let i = !next_idx in
+            incr next_idx;
+            Hashtbl.replace action_index id i;
+            let ds = scratch_deps id in
+            List.iter (fun d -> Hashtbl.replace last_read d i) ds;
+            if List.exists (Hashtbl.mem pending) ds then begin
+              incr barriers;
+              barrier_before := id :: !barrier_before;
+              Hashtbl.reset pending
+            end;
+            if Hashtbl.mem source id then Hashtbl.replace pending id ())
+      roles;
+    if !barriers > 0 && not (Barrier.is_legal plan.arch k.launch) then
+      reject
+        "kernel %s: %d global barrier(s) but grid %d > %d co-resident \
+         blocks - must split"
+        k.name !barriers k.launch.Launch.grid
+        (Occupancy.blocks_per_wave plan.arch k.launch);
+    (* per-kernel scratch-slot intervals, in action indices: a slot is
+       live from its staging loop to the last action whose evaluation
+       reads it (lazy reads charge to the reading action) *)
+    let gslots =
+      List.filter_map
+        (fun (id, role) ->
+          match role with
+          | Staged_global { elems; _ } ->
+              let d = Hashtbl.find action_index id in
+              let l =
+                Stdlib.max d
+                  (Option.value ~default:d (Hashtbl.find_opt last_read id))
+              in
+              Some (id, elems, d, l)
+          | _ -> None)
+        roles
+    in
     let materialized =
       List.filter_map
         (fun (id, r) ->
-          match r with Materialize _ | Alias _ -> Some id | _ -> None)
+          match r with Materialize | Alias _ -> Some id | _ -> None)
         roles
     in
     let purged =
@@ -149,7 +297,17 @@ let lower (plan : Kernel_plan.t) : t =
               Some o.id)
         k.ops
     in
-    { kernel = k; pos; roles; materialized; purged }
+    {
+      kernel = k;
+      pos;
+      roles;
+      materialized;
+      purged;
+      barriers = !barriers;
+      barrier_before = List.rev !barrier_before;
+      gslots;
+      demotions = List.rev !demotions;
+    }
   in
   let kernels =
     List.mapi
@@ -174,7 +332,7 @@ let lower (plan : Kernel_plan.t) : t =
             List.iter
               (fun (id, r) ->
                 match r with
-                | Materialize _ ->
+                | Materialize ->
                     def.(id) <- Some (pos, Graph.num_elements g id)
                 | _ -> ())
               tape.roles
@@ -216,7 +374,7 @@ let lower (plan : Kernel_plan.t) : t =
             List.filter_map
               (fun (id, r) ->
                 match (r, def.(id)) with
-                | Materialize _, Some (def_pos, elems) ->
+                | Materialize, Some (def_pos, elems) ->
                     Some
                       {
                         node = id;

@@ -1,17 +1,24 @@
 (** Kernel -> tape lowering for the fused execution engine: classify
     every op of every kernel into its storage role (scalarized register,
-    per-block staged slab, full arena buffer, or reshape view), validate
-    availability structurally, and compute plan-wide liveness intervals
-    for the buffers the engine must allocate.  Kernels using an
-    unsupported pattern lower to [Fallback] with a reason and run through
-    the reference per-node path instead. *)
+    per-block staged slab, barrier-sequenced global scratch slot, full
+    arena buffer, or reshape view), validate availability structurally,
+    sequence each kernel's global-scratch traffic into barrier-separated
+    segments, and compute plan-wide liveness intervals for the buffers
+    the engine must allocate.  Kernels using an unsupported pattern lower
+    to [Fallback] with a reason and run through the reference per-node
+    path instead. *)
 
 open Astitch_ir
 
 type role =
   | Inline  (** Register: recomputed inside consumer loops *)
   | Staged of { block_elems : int }  (** Shared_mem: per-block slab *)
-  | Materialize of { scratch : bool }  (** full buffer from the arena *)
+  | Staged_global of { elems : int; demoted : bool }
+      (** Global_scratch: per-kernel scratch slot sequenced by in-kernel
+          global barriers.  [demoted] marks a Shared_mem op that could
+          not be staged regionally and fell through to global staging
+          (legal-barrier launches only). *)
+  | Materialize  (** full buffer from the arena *)
   | Alias of { root : Op.node_id }  (** reshape view of full storage *)
 
 type kernel_tape = {
@@ -20,6 +27,16 @@ type kernel_tape = {
   roles : (Op.node_id * role) list;  (** op order, first occurrence only *)
   materialized : Op.node_id list;  (** ids set computed when the kernel ran *)
   purged : Op.node_id list;  (** on-chip ids unavailable after the kernel *)
+  barriers : int;  (** global barrier points executed per run *)
+  barrier_before : Op.node_id list;
+      (** producers whose action a barrier precedes: they read a scratch
+          value written since the previous barrier point *)
+  gslots : (Op.node_id * int * int * int) list;
+      (** staged-global slot intervals: id, elems, def / last-read
+          action index within this kernel *)
+  demotions : (Op.node_id * string) list;
+      (** Shared_mem ops demoted to global staging, with the regional
+          reject reason that forced each demotion *)
 }
 
 type lowered =
@@ -43,7 +60,9 @@ type t = {
 val lower : Kernel_plan.t -> t
 (** Structural lowering; never raises.  Interval last positions account
     for reads through reshape views (a view can never outlive the storage
-    it aliases) and pin output buffers to [num_positions]. *)
+    it aliases) and pin output buffers to [num_positions].  A kernel
+    whose barrier sequencing requires an illegal launch (grid wider than
+    the co-resident wave, [Barrier.is_legal]) lowers to [Fallback]. *)
 
 val scalarizable : Op.t -> bool
 (** Structural mirror of [Scalar_eval.scalarizable] (lib/tensor). *)

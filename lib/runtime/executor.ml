@@ -143,6 +143,8 @@ type slab = {
 type action =
   | Loop of { dst : float array; n : int; elem : int -> float }
       (* materialize via a precompiled scalarized loop *)
+  | Stage_global of { dst : float array; n : int; elem : int -> float }
+      (* write one value into its per-kernel global scratch slot *)
   | Scatter of {
       dst : float array;
       idx : int -> float;
@@ -150,8 +152,12 @@ type action =
       k : int;
       row : int;
       rows : int;
+      staged : bool; (* destination is a global scratch slot *)
     } (* scatter_add with scalarized index/update operands *)
   | Bind_view of { id : int; root : int; shape : Shape.t }
+  | Barrier_sync
+      (* in-kernel global barrier: the scratch values staged since the
+         previous barrier point become visible to every block *)
 
 type fused_kernel = {
   actions : action array;
@@ -297,6 +303,10 @@ let create_context_body ~fused ~timed (plan : Kernel_plan.t) : context =
         slab_bytes = 0;
         bytes_staged = 0;
         restages = 0;
+        demotions = 0;
+        gscratch_bytes = 0;
+        bytes_staged_global = 0;
+        barriers_run = 0;
         wall_ns = 0.;
         runs = 0;
       }
@@ -317,12 +327,37 @@ let create_context_body ~fused ~timed (plan : Kernel_plan.t) : context =
         slab_bytes = 0;
         bytes_staged = 0;
         restages = 0;
+        demotions = List.length kt.demotions;
+        gscratch_bytes = 0;
+        bytes_staged_global = 0;
+        barriers_run = 0;
         wall_ns = 0.;
         runs = 0;
       }
     in
     let roles : (int, Tape.role) Hashtbl.t = Hashtbl.create 16 in
     List.iter (fun (id, r) -> Hashtbl.replace roles id r) kt.roles;
+    (* per-kernel global scratch: slots live between barrier-separated
+       segments, planned with the same liveness reuse as the plan-wide
+       arena but in action indices (a slot frees after its last reader
+       and can back a later value in the same kernel) *)
+    let gassignments, gslot_table =
+      Astitch_core.Mem_planner.plan_slots kt.gslots
+    in
+    Astitch_core.Mem_planner.check_slot_exclusive gassignments;
+    let gslot_arrays =
+      let a = Array.make (List.length gslot_table) [||] in
+      List.iter (fun (s, elems) -> a.(s) <- Array.make elems 0.) gslot_table;
+      a
+    in
+    fprof.gscratch_bytes <-
+      Array.fold_left (fun acc a -> acc + bytes_of (Array.length a)) 0
+        gslot_arrays;
+    let gscratch : (int, float array) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (a : Astitch_core.Mem_planner.slot_assignment) ->
+        Hashtbl.replace gscratch a.node gslot_arrays.(a.slot))
+      gassignments;
     let accessors : (int, int -> float) Hashtbl.t = Hashtbl.create 16 in
     let slabs = ref [] in
     (* full-storage element reads: capture the backing array when the
@@ -346,7 +381,13 @@ let create_context_body ~fused ~timed (plan : Kernel_plan.t) : context =
       | None ->
           let f =
             match Hashtbl.find_opt roles id with
-            | None | Some (Tape.Materialize _) -> storage_read id
+            | None | Some Tape.Materialize -> storage_read id
+            | Some (Tape.Staged_global _) ->
+                (* the slot array is fixed at context creation; reads are
+                   sequenced after the staging action by the tape's
+                   barrier points *)
+                let arr = Hashtbl.find gscratch id in
+                fun j -> arr.(j)
             | Some (Tape.Alias { root }) ->
                 (* a reshape view preserves linear order: read the root *)
                 accessor root
@@ -399,15 +440,46 @@ let create_context_body ~fused ~timed (plan : Kernel_plan.t) : context =
           Hashtbl.replace accessors id f;
           f
     in
+    let barrier_before : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+    List.iter (fun id -> Hashtbl.replace barrier_before id ()) kt.barrier_before;
     let actions =
-      List.filter_map
+      List.concat_map
         (fun ((id, role) : int * Tape.role) ->
           let nd = Graph.node g id in
+          (* the tape opens a new barrier-separated segment before any
+             producer that reads scratch staged since the last barrier *)
+          let pre =
+            if Hashtbl.mem barrier_before id then [ Barrier_sync ] else []
+          in
           match role with
-          | Tape.Inline | Tape.Staged _ -> None (* consumed lazily *)
+          | Tape.Inline | Tape.Staged _ -> [] (* consumed lazily *)
           | Tape.Alias { root } ->
-              Some (Bind_view { id; root; shape = nd.shape })
-          | Tape.Materialize _ -> (
+              pre @ [ Bind_view { id; root; shape = nd.shape } ]
+          | Tape.Staged_global _ -> (
+              let dst = Hashtbl.find gscratch id in
+              fprof.loops <- fprof.loops + 1;
+              match nd.op with
+              | Op.Scatter_add { indices; updates; rows } ->
+                  let us = Graph.shape g updates in
+                  let kdim = Shape.dim us 0 in
+                  pre
+                  @ [
+                      Scatter
+                        {
+                          dst;
+                          idx = accessor indices;
+                          upd = accessor updates;
+                          k = kdim;
+                          row = Shape.num_elements us / kdim;
+                          rows;
+                          staged = true;
+                        };
+                    ]
+              | _ ->
+                  let elem = Scalar_eval.compile g nd ~operand:accessor in
+                  pre
+                  @ [ Stage_global { dst; n = Array.length dst; elem } ])
+          | Tape.Materialize -> (
               let dst =
                 match arena.(id) with
                 | Some t -> t
@@ -425,27 +497,32 @@ let create_context_body ~fused ~timed (plan : Kernel_plan.t) : context =
               | Op.Scatter_add { indices; updates; rows } ->
                   let us = Graph.shape g updates in
                   let kdim = Shape.dim us 0 in
-                  Some
-                    (Scatter
-                       {
-                         dst = Tensor.data dst;
-                         idx = accessor indices;
-                         upd = accessor updates;
-                         k = kdim;
-                         row = Shape.num_elements us / kdim;
-                         rows;
-                       })
+                  pre
+                  @ [
+                      Scatter
+                        {
+                          dst = Tensor.data dst;
+                          idx = accessor indices;
+                          upd = accessor updates;
+                          k = kdim;
+                          row = Shape.num_elements us / kdim;
+                          rows;
+                          staged = false;
+                        };
+                    ]
               | _ ->
                   let elem =
                     Scalar_eval.compile g nd ~operand:accessor
                   in
-                  Some
-                    (Loop
-                       {
-                         dst = Tensor.data dst;
-                         n = Tensor.num_elements dst;
-                         elem;
-                       })))
+                  pre
+                  @ [
+                      Loop
+                        {
+                          dst = Tensor.data dst;
+                          n = Tensor.num_elements dst;
+                          elem;
+                        };
+                    ]))
         kt.roles
     in
     Fused_k
@@ -591,7 +668,13 @@ let run_context (ctx : context) ~params : Tensor.t list =
                   for i = 0 to n - 1 do
                     dst.(i) <- elem i
                   done
-              | Scatter { dst; idx; upd; k; row; rows } ->
+              | Stage_global { dst; n; elem } ->
+                  for i = 0 to n - 1 do
+                    dst.(i) <- elem i
+                  done;
+                  fk.fprof.bytes_staged_global <-
+                    fk.fprof.bytes_staged_global + bytes_of n
+              | Scatter { dst; idx; upd; k; row; rows; staged } ->
                   Array.fill dst 0 (Array.length dst) 0.;
                   let clamp i = Stdlib.max 0 (Stdlib.min (rows - 1) i) in
                   for r = 0 to k - 1 do
@@ -600,7 +683,17 @@ let run_context (ctx : context) ~params : Tensor.t list =
                       let j = (d * row) + off in
                       dst.(j) <- dst.(j) +. upd ((r * row) + off)
                     done
-                  done
+                  done;
+                  if staged then
+                    fk.fprof.bytes_staged_global <-
+                      fk.fprof.bytes_staged_global
+                      + bytes_of (Array.length dst)
+              | Barrier_sync ->
+                  (* on device: grid-wide sync making the scratch writes
+                     of the previous segment visible; on the host model
+                     the sequential action order already provides the
+                     ordering, so the barrier only counts *)
+                  fk.fprof.barriers_run <- fk.fprof.barriers_run + 1
               | Bind_view { id; root; shape } ->
                   values.(id) <- Tensor.reshape values.(root) shape)
             fk.actions;

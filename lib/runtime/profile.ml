@@ -180,12 +180,16 @@ type exec_kernel = {
   fused : bool;
   fallback : string option; (* why the kernel runs on the reference path *)
   ops : int;
+  demotions : int; (* regional ops demoted to global staging *)
   mutable loops : int; (* materialization loops the fused tape runs *)
   mutable bytes_materialized : int; (* full-buffer bytes written per run *)
   mutable bytes_scalarized : int; (* register values never materialized *)
   mutable slab_bytes : int; (* shared-slab capacity for staged values *)
   mutable bytes_staged : int; (* slab fills, accumulated across runs *)
   mutable restages : int; (* slab fills beyond one pass per consumer *)
+  mutable gscratch_bytes : int; (* global-scratch slot capacity *)
+  mutable bytes_staged_global : int; (* scratch fills, across runs *)
+  mutable barriers_run : int; (* global barriers executed, across runs *)
   mutable wall_ns : float; (* accumulated when timing is enabled *)
   mutable runs : int;
 }
@@ -202,6 +206,36 @@ type exec_report = {
 let exec_total_staged r =
   List.fold_left (fun acc k -> acc + k.bytes_staged) 0 r.exec_kernels
 
+let exec_fallback_kernels r =
+  List.length (List.filter (fun k -> k.fallback <> None) r.exec_kernels)
+
+(* Group fallback reasons with op/kernel ids squashed, so "op 12: no
+   contiguous block geometry" and "op 31: ..." count as one reason. *)
+let reason_key reason =
+  String.to_seq reason
+  |> Seq.fold_left
+       (fun (acc, in_digits) c ->
+         if c >= '0' && c <= '9' then
+           if in_digits then (acc, true) else (acc ^ "N", true)
+         else (acc ^ String.make 1 c, false))
+       ("", false)
+  |> fst
+
+let fallback_breakdown r =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun k ->
+      match k.fallback with
+      | None -> ()
+      | Some reason ->
+          let key = reason_key reason in
+          Hashtbl.replace tbl key
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    r.exec_kernels;
+  Hashtbl.fold (fun key count acc -> (key, count) :: acc) tbl []
+  |> List.sort (fun (ka, ca) (kb, cb) ->
+         match compare cb ca with 0 -> compare ka kb | c -> c)
+
 let pp_exec fmt r =
   let fused, fell =
     List.partition (fun k -> k.fused) r.exec_kernels
@@ -209,22 +243,40 @@ let pp_exec fmt r =
   Format.fprintf fmt
     "@[<v>exec: %d kernels (%d fused, %d reference), %d ops@,\
      buffers: %d requested -> %d arena slots (%d bytes high water, naive %d)@,\
-     traffic/run: %d bytes materialized, %d scalarized away, %d slab bytes@]"
+     traffic/run: %d bytes materialized, %d scalarized away, %d slab bytes@,\
+     global: %d scratch bytes, %d staged globally, %d barriers, \
+     %d demotions@]"
     (List.length r.exec_kernels)
     (List.length fused) (List.length fell) r.nodes_executed
     r.buffers_requested r.buffers_allocated r.arena_bytes r.naive_bytes
     (List.fold_left (fun a k -> a + k.bytes_materialized) 0 r.exec_kernels)
     (List.fold_left (fun a k -> a + k.bytes_scalarized) 0 r.exec_kernels)
-    (List.fold_left (fun a k -> a + k.slab_bytes) 0 r.exec_kernels);
+    (List.fold_left (fun a k -> a + k.slab_bytes) 0 r.exec_kernels)
+    (List.fold_left (fun a k -> a + k.gscratch_bytes) 0 r.exec_kernels)
+    (List.fold_left (fun a k -> a + k.bytes_staged_global) 0 r.exec_kernels)
+    (List.fold_left (fun a k -> a + k.barriers_run) 0 r.exec_kernels)
+    (List.fold_left (fun a k -> a + k.demotions) 0 r.exec_kernels);
+  (match fallback_breakdown r with
+  | [] -> ()
+  | breakdown ->
+      Format.fprintf fmt "@,fallbacks: %d kernel(s)" (List.length fell);
+      List.iter
+        (fun (reason, count) ->
+          Format.fprintf fmt "@,  %3dx %s" count reason)
+        breakdown);
   List.iter
     (fun k ->
       Format.fprintf fmt
         "@,%-24s %s %2d ops %2d loops  mat %8dB  reg %8dB  slab %6dB  \
-         staged %8dB (%d restages)%s%s"
+         staged %8dB (%d restages)%s%s%s"
         k.kname
         (if k.fused then "fused" else "ref  ")
         k.ops k.loops k.bytes_materialized k.bytes_scalarized k.slab_bytes
         k.bytes_staged k.restages
+        (if k.gscratch_bytes > 0 || k.barriers_run > 0 then
+           Printf.sprintf "  gmem %dB gstaged %dB %d barriers"
+             k.gscratch_bytes k.bytes_staged_global k.barriers_run
+         else "")
         (if k.runs > 0 && k.wall_ns > 0. then
            Printf.sprintf "  %.2fus/run" (k.wall_ns /. float_of_int k.runs /. 1e3)
          else "")
@@ -256,6 +308,17 @@ let publish_exec ?(metrics = Astitch_obs.Metrics.default) (r : exec_report) =
   c "exec.bytes_staged" (exec_total_staged r);
   c "exec.restages"
     (List.fold_left (fun a k -> a + k.restages) 0 r.exec_kernels);
+  c "exec.fallback_kernels" (exec_fallback_kernels r);
+  c "exec.bytes_staged_global"
+    (List.fold_left (fun a k -> a + k.bytes_staged_global) 0 r.exec_kernels);
+  c "exec.barriers"
+    (List.fold_left (fun a k -> a + k.barriers_run) 0 r.exec_kernels);
+  c "exec.global_demotions"
+    (List.fold_left (fun a k -> a + k.demotions) 0 r.exec_kernels);
+  M.set_max
+    (M.gauge metrics "exec.gscratch_bytes")
+    (float_of_int
+       (List.fold_left (fun a k -> a + k.gscratch_bytes) 0 r.exec_kernels));
   M.set_max (M.gauge metrics "exec.arena_bytes") (float_of_int r.arena_bytes);
   M.set_max
     (M.gauge metrics "exec.buffers_allocated")

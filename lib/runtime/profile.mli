@@ -56,12 +56,18 @@ type exec_kernel = {
   fallback : string option;
       (** why the kernel runs on the reference path *)
   ops : int;
+  demotions : int;  (** regional ops demoted to global staging *)
   mutable loops : int;  (** materialization loops the fused tape runs *)
   mutable bytes_materialized : int;  (** full-buffer bytes written per run *)
   mutable bytes_scalarized : int;  (** register values never materialized *)
   mutable slab_bytes : int;  (** shared-slab capacity for staged values *)
   mutable bytes_staged : int;  (** slab fills, accumulated across runs *)
   mutable restages : int;  (** slab fills beyond one pass per consumer *)
+  mutable gscratch_bytes : int;  (** global-scratch slot capacity *)
+  mutable bytes_staged_global : int;
+      (** cross-block scratch fills, accumulated across runs *)
+  mutable barriers_run : int;
+      (** global barrier points executed, accumulated across runs *)
   mutable wall_ns : float;  (** accumulated when timing is enabled *)
   mutable runs : int;
 }
@@ -77,6 +83,14 @@ type exec_report = {
 }
 
 val exec_total_staged : exec_report -> int
+
+val exec_fallback_kernels : exec_report -> int
+(** Kernels running on the reference path (those with a fallback reason). *)
+
+val fallback_breakdown : exec_report -> (string * int) list
+(** Fallback reasons grouped with op/kernel ids squashed to ["N"], with
+    per-reason kernel counts, most frequent first. *)
+
 val pp_exec : Format.formatter -> exec_report -> unit
 
 val publish_exec : ?metrics:Astitch_obs.Metrics.t -> exec_report -> unit

@@ -32,6 +32,14 @@ let tiny_config =
   { frames = 12; mel = 8; conv_channels = 2; layers = 1; hidden = 8;
     heads = 2; ffn_hidden = 16; vocab = 8 }
 
+(* Shared-mem-overflow shape: the CTC log-softmax rows widen far past
+   anything a block can stage on-chip (a 32K-float row is 128KB against
+   the 48KB budget), so adaptive mapping task-splits each row across
+   blocks and the softmax reductions go global - cross-block partials in
+   global scratch behind in-kernel barriers.  Everything else stays tiny
+   so the overflow path dominates the graph. *)
+let overflow_config = { tiny_config with frames = 16; vocab = 32768 }
+
 (* [batch] utterances in one graph.  Every op is row-independent per
    utterance (convs act per image, the token axis is flattened
    batch-major, attention mixes tokens only within one utterance), so
@@ -80,6 +88,7 @@ let inference ?(config = inference_config) () =
   Builder.finish b ~outputs:[ out ]
 
 let tiny () = inference ~config:tiny_config ()
+let overflow () = inference ~config:overflow_config ()
 
 let batched ?(config = tiny_config) ~batch () =
   if batch < 1 then invalid_arg "Asr.batched: batch must be >= 1";

@@ -16,8 +16,19 @@ type config = {
 
 val inference_config : config
 val tiny_config : config
+
+val overflow_config : config
+(** {!tiny_config} with a production-width vocabulary (32768): the CTC
+    log-softmax rows overflow anything a block can stage on-chip, so the
+    softmax reductions task-split across blocks into global scratch
+    behind in-kernel barriers. *)
+
 val inference : ?config:config -> unit -> Graph.t
 val tiny : unit -> Graph.t
+
+val overflow : unit -> Graph.t
+(** Inference on {!overflow_config} - the shared-mem-overflow bench and
+    test shape. *)
 
 val batched : ?config:config -> batch:int -> unit -> Graph.t
 (** [batch] utterances in one graph (default config: {!tiny_config}).

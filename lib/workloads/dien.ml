@@ -30,7 +30,15 @@ let tiny_config =
   { batch = 2; behavior_len = 3; embedding = 4; hidden = 4;
     candidate_pool = 8; item_vocab = 6 }
 
-let build_forward b (c : config) =
+(* Shared-mem-overflow shape: widen the candidate embedding rows far past
+   the per-block shared-memory budget so the softmax-normalized pooling
+   branch ([normalize_pool]) must demote its row staging to global
+   scratch.  The GRU/attention spine stays tiny. *)
+let overflow_config =
+  { batch = 2; behavior_len = 2; embedding = 8192; hidden = 8;
+    candidate_pool = 8; item_vocab = 16 }
+
+let build_forward ?(normalize_pool = false) b (c : config) =
   (* candidate-pool pooling branch: embedding lookup over the item table,
      then the irregular-shape reduce of Fig 6(a).  Training backpropagates
      into the table through a scatter-add. *)
@@ -39,6 +47,10 @@ let build_forward b (c : config) =
   in
   let ids = Builder.parameter b "candidate_ids" [ c.candidate_pool ] in
   let pool = Builder.gather b table ids in
+  (* Fig 6(a) variant: softmax-normalize each gathered embedding row
+     before pooling.  The softmax needs the whole row resident, which is
+     what overflows shared memory at production embedding widths. *)
+  let pool = if normalize_pool then Builder.softmax b pool else pool in
   let pooled = Builder.reduce_sum b ~axes:[ 1 ] pool in (* <750000> *)
   let pooled_norm =
     let dims = Shape.to_list (Builder.shape_of b pooled) in
@@ -112,9 +124,9 @@ let build_forward b (c : config) =
   in
   Builder.mul b ctr pool_b
 
-let inference ?(config = inference_config) () =
+let inference ?(config = inference_config) ?(normalize_pool = false) () =
   let b = Builder.create () in
-  let out = build_forward b config in
+  let out = build_forward ~normalize_pool b config in
   Builder.finish b ~outputs:[ out ]
 
 let training ?(config = training_config) () =
@@ -130,6 +142,7 @@ let training ?(config = training_config) () =
 
 let tiny () = inference ~config:tiny_config ()
 let tiny_training () = training ~config:tiny_config ()
+let overflow () = inference ~config:overflow_config ~normalize_pool:true ()
 
 (* [batch] users in one graph.  The candidate-pool branch is
    batch-independent (same item table and ids whatever the batch), so

@@ -16,10 +16,25 @@ type config = {
 val inference_config : config
 val training_config : config
 val tiny_config : config
-val inference : ?config:config -> unit -> Graph.t
+
+val overflow_config : config
+(** Tiny spine with production-width (8192) candidate embedding rows:
+    softmax-normalizing each row before pooling overflows the per-block
+    shared-memory budget, forcing the regional->global demotion path. *)
+
+val inference : ?config:config -> ?normalize_pool:bool -> unit -> Graph.t
+(** [normalize_pool] (default false) softmax-normalizes each gathered
+    candidate embedding row before the Fig 6(a) pooling reduce - the
+    whole-row-resident pattern that overflows shared memory at
+    production embedding widths. *)
+
 val training : ?config:config -> unit -> Graph.t
 val tiny : unit -> Graph.t
 val tiny_training : unit -> Graph.t
+
+val overflow : unit -> Graph.t
+(** Inference on {!overflow_config} with [normalize_pool] - the
+    shared-mem-overflow bench and test shape. *)
 
 val batched : ?config:config -> batch:int -> unit -> Graph.t
 (** Inference at the given batch (default config: {!tiny_config} with

@@ -259,13 +259,14 @@ let test_irregular_staging () =
     Astitch_workloads.Zoo.all;
   check_bool "at least one workload staged irregularly" true (!exercised > 0)
 
-(* --- Fallback ------------------------------------------------------------- *)
+(* --- Fallback vs demotion -------------------------------------------------- *)
 
 (* A Shared_mem op mapped as a column reduce has no contiguous block
-   geometry: its kernel must fall back with a reason, and the mixed
-   fused/reference context must still be bit-identical (the mapping is
-   irrelevant to the reference path). *)
-let test_fallback_reason_and_identity () =
+   geometry to stage per block.  At grid 1 the barrier a global staging
+   needs is legal, so the tape now demotes the buffer to global scratch
+   instead of falling back: zero fallbacks, bit-identical, and the exec
+   report shows the demotion and the staged traffic. *)
+let test_demotes_instead_of_falling_back () =
   let exercised = ref 0 in
   List.iter
     (fun (e : Astitch_workloads.Zoo.entry) ->
@@ -282,10 +283,70 @@ let test_fallback_reason_and_identity () =
       | Some _ ->
           incr exercised;
           let ctx = Executor.create_context ~fused:true plan' in
+          check_int (e.name ^ ": demoted, not fallen back") 0
+            (List.length (Executor.context_fallbacks ctx));
+          let params = Session.random_params ~seed:5 g in
+          check_outputs
+            (e.name ^ ": demoted context bitwise")
+            (Interp.run g ~params)
+            (Executor.run_context ctx ~params);
+          let r = Executor.exec_report ctx in
+          let demotions, gstaged =
+            List.fold_left
+              (fun (d, s) (k : Profile.exec_kernel) ->
+                (d + k.demotions, s + k.bytes_staged_global))
+              (0, 0) r.Profile.exec_kernels
+          in
+          check_bool (e.name ^ ": demotion recorded") true (demotions > 0);
+          check_bool (e.name ^ ": global staging traffic recorded") true
+            (gstaged > 0))
+    Astitch_workloads.Zoo.all;
+  check_bool "at least one workload demoted" true (!exercised > 0)
+
+(* The same surgery with the kernel grid widened past one co-resident
+   wave: the demotion's barrier would deadlock, so the kernel genuinely
+   falls back with the legality reason, and the mixed fused/reference
+   context must still be bit-identical (the mapping is irrelevant to the
+   reference path). *)
+let test_illegal_demotion_falls_back () =
+  let exercised = ref 0 in
+  List.iter
+    (fun (e : Astitch_workloads.Zoo.entry) ->
+      let plan = compile_tiny "astitch" e in
+      let g = plan.Kernel_plan.graph in
+      let hit, plan' =
+        rewrite_first_shared plan ~mapping:(fun o ->
+            let total = Graph.num_elements g o.id in
+            Thread_mapping.Column_reduce
+              { rows = 1; row_length = total; block = 32; grid = 1 })
+      in
+      match hit with
+      | None -> ()
+      | Some hit_id ->
+          incr exercised;
+          (* widen the owning kernel's launch so no wave can co-resident
+             the grid: Barrier.is_legal fails and the demotion is off *)
+          let kernels =
+            List.map
+              (fun (k : Kernel_plan.kernel) ->
+                if List.exists (fun (o : Kernel_plan.compiled_op) ->
+                       o.id = hit_id) k.ops
+                then
+                  let block = k.launch.Launch.block in
+                  let wide =
+                    2 * Astitch_simt.Occupancy.blocks_per_wave Arch.v100
+                          k.launch
+                  in
+                  { k with launch = Launch.make ~grid:wide ~block () }
+                else k)
+              plan'.Kernel_plan.kernels
+          in
+          let plan' = { plan' with kernels } in
+          let ctx = Executor.create_context ~fused:true plan' in
           (match Executor.context_fallbacks ctx with
           | [ (_, reason) ] ->
               check_bool
-                (e.name ^ ": reason names the missing geometry")
+                (e.name ^ ": reason names the co-residency limit")
                 true
                 (String.length reason > 0)
           | fs ->
@@ -298,6 +359,101 @@ let test_fallback_reason_and_identity () =
             (Executor.run_context ctx ~params))
     Astitch_workloads.Zoo.all;
   check_bool "at least one workload fell back" true (!exercised > 0)
+
+(* --- Global stitching execution -------------------------------------------- *)
+
+let overflow_entries =
+  [
+    ("ASR-overflow", Astitch_workloads.Asr.overflow);
+    ("DIEN-overflow", Astitch_workloads.Dien.overflow);
+  ]
+
+(* The shared-mem-overflow shapes must fuse without any fallback - the
+   whole point of the global scheme - and run bit-identical to both
+   reference paths while actually exercising global staging and
+   in-kernel barriers. *)
+let test_overflow_shapes_fuse_globally () =
+  List.iter
+    (fun (name, build) ->
+      let g = build () in
+      let plan =
+        (Session.compile Astitch_core.Astitch.full_backend Arch.v100 g)
+          .Session.plan
+      in
+      let ctx = Executor.create_context ~fused:true plan in
+      check_int (name ^ ": fused without fallback") 0
+        (List.length (Executor.context_fallbacks ctx));
+      let params = Session.random_params ~seed:11 g in
+      let fo = Executor.run_context ctx ~params in
+      check_outputs (name ^ " vs fresh run") (Executor.run plan ~params) fo;
+      check_outputs (name ^ " vs interp") (Interp.run g ~params) fo;
+      let r = Executor.exec_report ctx in
+      let staged, barriers =
+        List.fold_left
+          (fun (s, b) (k : Profile.exec_kernel) ->
+            (s + k.bytes_staged_global, b + k.barriers_run))
+          (0, 0) r.Profile.exec_kernels
+      in
+      check_bool (name ^ ": bytes staged globally") true (staged > 0);
+      check_bool (name ^ ": barriers executed") true (barriers > 0))
+    overflow_entries
+
+(* Random graphs on an arch whose per-block shared memory is almost
+   gone: any staged row overflows the budget, so nearly every kernel
+   exercises demotion, global staging and the demote-vs-split gate -
+   with tensors small enough for the interpreter.  Execution itself is
+   arch-independent, so bit-identity still holds against the
+   interpreter. *)
+let tight_smem_arch =
+  { Arch.v100 with name = "v100-tight-smem"; shared_mem_per_block = 128 }
+
+let test_random_overflow_bit_identical =
+  QCheck.Test.make ~count:25
+    ~name:"fused == run == interp (shared-mem-overflow random graphs)"
+    QCheck.(make Gen.(int_bound 100_000))
+    (fun seed ->
+      let g =
+        Astitch_workloads.Synthetic.random_graph ~seed
+          ~dims_pool:[ 2; 3; 5; 32 ] ~nodes:20 ()
+      in
+      let plan =
+        (Session.compile Astitch_core.Astitch.full_backend tight_smem_arch g)
+          .Session.plan
+      in
+      let params = Session.random_params ~seed g in
+      let ctx = Executor.create_context ~fused:true plan in
+      let fo = Executor.run_context ctx ~params in
+      let same a b =
+        List.for_all2 (fun x y -> Tensor.equal_approx ~eps:0. x y) a b
+      in
+      same fo (Executor.run plan ~params) && same fo (Interp.run g ~params))
+
+(* demote-vs-split gating on both sides of the crossover *)
+let test_gating_crossover () =
+  let open Astitch_core.Global_gating in
+  let launch = Launch.make ~grid:64 ~block:256 () in
+  let v1 = gate Arch.v100 ~launch ~barriers:1 ~staged_bytes:4096 in
+  check_bool "one cheap barrier: demote" true (v1.choice = Demote && v1.legal);
+  check_bool "demote priced below split" true (v1.demote_us <= v1.split_us);
+  let v8 = gate Arch.v100 ~launch ~barriers:8 ~staged_bytes:4096 in
+  check_bool "eight barriers: split" true (v8.choice = Split && v8.legal);
+  check_bool "split priced below demote" true (v8.split_us < v8.demote_us);
+  (* the crossover tracks launch overhead: pricier launches demote again *)
+  let cfg =
+    {
+      Astitch_simt.Cost_model.default_config with
+      kernel_launch_overhead_us = 30.0;
+    }
+  in
+  let v8' =
+    gate ~config:cfg Arch.v100 ~launch ~barriers:8 ~staged_bytes:4096
+  in
+  check_bool "pricier launches: demote again" true (v8'.choice = Demote);
+  (* illegality forces a split whatever the costs say *)
+  let wide = Launch.make ~grid:100_000 ~block:1024 () in
+  let vw = gate Arch.v100 ~launch:wide ~barriers:1 ~staged_bytes:4096 in
+  check_bool "illegal barrier: forced split" true
+    (vw.choice = Split && not vw.legal)
 
 let test_disabled_engine_is_all_reference () =
   let plan = compile_tiny "astitch" (List.hd Astitch_workloads.Zoo.all) in
@@ -343,10 +499,20 @@ let () =
         ] );
       ( "fallback",
         [
-          Alcotest.test_case "reason + mixed-context identity" `Quick
-            test_fallback_reason_and_identity;
+          Alcotest.test_case "legal demotion instead of fallback" `Quick
+            test_demotes_instead_of_falling_back;
+          Alcotest.test_case "illegal demotion falls back with reason" `Quick
+            test_illegal_demotion_falls_back;
           Alcotest.test_case "disabled engine" `Quick
             test_disabled_engine_is_all_reference;
+        ] );
+      ( "global",
+        [
+          Alcotest.test_case "overflow shapes fuse globally" `Quick
+            test_overflow_shapes_fuse_globally;
+          QCheck_alcotest.to_alcotest test_random_overflow_bit_identical;
+          Alcotest.test_case "demote-vs-split crossover" `Quick
+            test_gating_crossover;
         ] );
       ( "config",
         [

@@ -72,6 +72,26 @@ let test_barrier_legality () =
   | () -> Alcotest.fail "expected deadlock"
   | exception Barrier.Deadlock _ -> ()
 
+(* the legality boundary is exactly the co-residency limit whatever the
+   block geometry: computed from the occupancy model, never hard-coded *)
+let test_barrier_boundary_tracks_occupancy () =
+  List.iter
+    (fun ((arch : Arch.t), block) ->
+      let bpw = Occupancy.blocks_per_wave arch (launch 1 block) in
+      let label s = Printf.sprintf "%s/block=%d: %s" arch.name block s in
+      check (label "one wave legal") true
+        (Barrier.is_legal arch (launch bpw block));
+      check (label "one block past the wave illegal") false
+        (Barrier.is_legal arch (launch (bpw + 1) block));
+      (match Barrier.check_legal arch (launch bpw block) with
+      | () -> ()
+      | exception Barrier.Deadlock _ ->
+          Alcotest.fail (label "legal grid deadlocked"));
+      match Barrier.check_legal arch (launch (bpw + 1) block) with
+      | () -> Alcotest.fail (label "expected Deadlock past the wave")
+      | exception Barrier.Deadlock _ -> ())
+    [ (Arch.v100, 1024); (Arch.v100, 32); (Arch.t4, 256); (Arch.a100, 1024) ]
+
 let test_barrier_cost_shape () =
   (* Table 6: ~2.5us at 20 blocks, <= ~2.8us at 160; weakly increasing *)
   let c20 = Barrier.cost_us ~blocks:20 in
@@ -80,6 +100,19 @@ let test_barrier_cost_shape () =
   check "c160 in band" true (c160 > c20 && c160 < 2.9);
   check "below launch overhead" true
     (c160 < Cost_model.default_config.kernel_launch_overhead_us)
+
+(* more co-resident blocks can only make the all-arrive sync slower *)
+let test_barrier_cost_monotone () =
+  ignore
+    (List.fold_left
+       (fun prev blocks ->
+         let c = Barrier.cost_us ~blocks in
+         check
+           (Printf.sprintf "cost at %d blocks >= cost at fewer" blocks)
+           true (c >= prev);
+         c)
+       0.
+       [ 1; 20; 80; 160; 320; 1280; 2560 ])
 
 (* --- Cost model ---------------------------------------------------------- *)
 
@@ -141,7 +174,11 @@ let () =
       ( "barrier",
         [
           Alcotest.test_case "legality" `Quick test_barrier_legality;
+          Alcotest.test_case "boundary tracks occupancy" `Quick
+            test_barrier_boundary_tracks_occupancy;
           Alcotest.test_case "cost shape" `Quick test_barrier_cost_shape;
+          Alcotest.test_case "cost monotone in blocks" `Quick
+            test_barrier_cost_monotone;
         ] );
       ( "cost",
         [
