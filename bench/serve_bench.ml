@@ -15,14 +15,22 @@
      serve      - the batched serving runtime: open-loop submission of
                   all requests at once (so >= max_batch are in flight
                   throughout - request concurrency 8 with the default
-                  bucket cap), dynamic batching into power-of-two
-                  buckets, pooled contexts on the worker pool, drain.
+                  cap), continuous batching (every dispatch executes at
+                  exactly its request count, no padded rows), pooled
+                  shape-polymorphic contexts on the worker pool, drain.
 
    The worker-domain count adapts to the machine: on a many-core host
    the pool (capped at 8 domains) adds real parallelism on top of
    batching; on a 1-core runner worker domains only add stop-the-world
    GC synchronization, so the bench uses caller-runs mode (workers = 0)
    and batching plus context reuse carry the win alone.
+
+   A third leg exercises the continuous-batching contract directly:
+   bursts of ODD sizes (3, 5, 7, ... - sizes the old power-of-two
+   bucketing always padded) arrive with exponential gaps at an odd
+   [max_batch], and the run asserts zero padded rows, zero lost
+   requests, and - for shape-polymorphic models - exactly one plan
+   compile and a context pool of size 1.
 
    The reported speedup is served throughput over sequential
    throughput.  Results go to BENCH_serve.json one "key": value per
@@ -50,6 +58,9 @@ type row = {
   speedup : float;
   batches : int;
   mean_batch : float;
+  padded_rows : int;
+  plan_compiles : int;
+  symbolic : bool;  (** one shape-polymorphic plan served every batch *)
   lat_p50_us : float;
   lat_p95_us : float;
   lat_p99_us : float;
@@ -122,7 +133,8 @@ let serve_leg (entry : Astitch_workloads.Zoo.entry) ~workers ~max_batch
                    (Request.overload_to_string o)))
         tickets;
       let stats = Serve.stats server in
-      (wall, stats))
+      let symbolic = Serve.symbolic server ~model:entry.name in
+      (wall, stats, symbolic))
 
 let bench_workload ~requests ~workers ~max_batch
     (entry : Astitch_workloads.Zoo.entry) =
@@ -135,7 +147,7 @@ let bench_workload ~requests ~workers ~max_batch
   in
   let reg = Astitch_obs.Metrics.default in
   Astitch_obs.Metrics.reset reg;
-  let serve_wall_us, stats =
+  let serve_wall_us, stats, symbolic =
     serve_leg entry ~workers ~max_batch ~payloads
   in
   let h = Astitch_obs.Metrics.histogram reg "serve.request_us" in
@@ -174,10 +186,111 @@ let bench_workload ~requests ~workers ~max_batch
     speedup = serve_rps /. seq_rps;
     batches = stats.Serve.batches;
     mean_batch;
+    padded_rows = stats.Serve.padded_rows;
+    plan_compiles = stats.Serve.plan_compiles;
+    symbolic;
     lat_p50_us;
     lat_p95_us;
     lat_p99_us;
   }
+
+(* --- Continuous-batching leg --------------------------------------------- *)
+
+(* Bursts of odd sizes with exponential inter-burst gaps, served
+   caller-runs at an odd [max_batch]: every shape the power-of-two
+   bucketing used to pad.  Each burst is awaited before the next
+   arrives, so it dispatches as one batch of exactly its (odd) size
+   once the batching window expires.  Asserts the continuous-batching
+   contract: zero padded rows, zero lost requests, and for a
+   shape-polymorphic model exactly one plan compile and a context pool
+   of size 1. *)
+let continuous_leg (entry : Astitch_workloads.Zoo.entry) =
+  let max_batch = 7 in
+  let bursts = [ 3; 5; 7; 1; 5; 3 ] in
+  let config =
+    {
+      Serve.default_config with
+      workers = 0;
+      max_batch;
+      max_wait_us = 300.;
+      queue_depth = 64;
+    }
+  in
+  let server =
+    Serve.create ~config [ { Serve.name = entry.name; build = entry.batched } ]
+  in
+  Fun.protect
+    ~finally:(fun () -> Serve.shutdown server)
+    (fun () ->
+      Serve.warm server;
+      let st = Random.State.make [| 0xC0FFEE |] in
+      let seed = ref 0 in
+      List.iter
+        (fun burst ->
+          (* exponential gap between bursts (mean 1 ms) *)
+          Unix.sleepf
+            (-.Float.log (1. -. Random.State.float st 1.) /. 1000.);
+          let tickets =
+            List.init burst (fun _ ->
+                incr seed;
+                let params =
+                  Serve.random_request server ~model:entry.name ~seed:!seed
+                in
+                match Serve.submit_async server ~model:entry.name ~params with
+                | Ok t -> t
+                | Error o ->
+                    failwith
+                      (Printf.sprintf "%s: continuous leg refused: %s"
+                         entry.name
+                         (Request.overload_to_string o)))
+          in
+          List.iter
+            (fun t ->
+              match Serve.await server t with
+              | Request.Done { degraded = false; _ } -> ()
+              | Request.Done { degraded = true; _ } ->
+                  failwith (entry.name ^ ": continuous leg degraded")
+              | Request.Failed m ->
+                  failwith (entry.name ^ ": continuous leg failed: " ^ m)
+              | Request.Overloaded o ->
+                  failwith
+                    (entry.name ^ ": continuous leg shed: "
+                   ^ Request.overload_to_string o))
+            tickets)
+        bursts;
+      Serve.drain server;
+      let stats = Serve.stats server in
+      let disp = Serve.disposition server in
+      let symbolic = Serve.symbolic server ~model:entry.name in
+      let pool_sizes = Serve.context_pool_sizes server in
+      if stats.Serve.padded_rows <> 0 then
+        failwith
+          (Printf.sprintf "%s: %d padded rows under continuous batching"
+             entry.name stats.Serve.padded_rows);
+      if disp.Serve.lost <> 0 then
+        failwith
+          (Printf.sprintf "%s: %d requests lost" entry.name disp.Serve.lost);
+      if symbolic then begin
+        if stats.Serve.plan_compiles <> 1 then
+          failwith
+            (Printf.sprintf
+               "%s: %d plan compiles for a shape-polymorphic model (want 1)"
+               entry.name stats.Serve.plan_compiles);
+        match pool_sizes with
+        | [ (_, 1) ] -> ()
+        | _ ->
+            failwith
+              (Printf.sprintf "%s: context pool is not a single context"
+                 entry.name)
+      end;
+      Printf.printf
+        "continuous %-12s OK: %d odd-size batches, 0 padded rows, %d plan \
+         compile%s, pool %s [%s]\n"
+        entry.name stats.Serve.batches stats.Serve.plan_compiles
+        (if stats.Serve.plan_compiles = 1 then "" else "s")
+        (String.concat "+"
+           (List.map (fun (_, n) -> string_of_int n) pool_sizes))
+        (if symbolic then "symbolic" else "fixed"))
 
 (* --- Reporting ----------------------------------------------------------- *)
 
@@ -189,17 +302,20 @@ let print_table rows =
         r.max_batch r.workers
         (if r.workers = 0 then " [caller-runs]" else "")
   | [] -> ());
-  Printf.printf "%-12s %8s %12s %12s %12s %12s %8s %8s %10s %9s %9s %9s\n"
+  Printf.printf
+    "%-12s %8s %12s %12s %12s %12s %8s %8s %10s %6s %8s %5s %9s %9s %9s\n"
     "workload" "requests" "seq-wall-us" "seq-rps" "serve-wall" "serve-rps"
-    "speedup" "batches" "mean-batch" "lat-p50" "lat-p95" "lat-p99";
+    "speedup" "batches" "mean-batch" "padded" "compiles" "plan" "lat-p50"
+    "lat-p95" "lat-p99";
   List.iter
     (fun r ->
       Printf.printf
-        "%-12s %8d %12.0f %12.1f %12.0f %12.1f %7.2fx %8d %10.2f %9.0f \
-         %9.0f %9.0f\n"
+        "%-12s %8d %12.0f %12.1f %12.0f %12.1f %7.2fx %8d %10.2f %6d %8d \
+         %5s %9.0f %9.0f %9.0f\n"
         r.name r.requests r.seq_wall_us r.seq_rps r.serve_wall_us r.serve_rps
-        r.speedup r.batches r.mean_batch r.lat_p50_us r.lat_p95_us
-        r.lat_p99_us)
+        r.speedup r.batches r.mean_batch r.padded_rows r.plan_compiles
+        (if r.symbolic then "sym" else "fixed")
+        r.lat_p50_us r.lat_p95_us r.lat_p99_us)
     rows
 
 let write_json ~path ~quick rows =
@@ -223,6 +339,9 @@ let write_json ~path ~quick rows =
       p "      \"speedup\": %.2f,\n" r.speedup;
       p "      \"batches\": %d,\n" r.batches;
       p "      \"mean_batch\": %.2f,\n" r.mean_batch;
+      p "      \"padded_rows\": %d,\n" r.padded_rows;
+      p "      \"plan_compiles\": %d,\n" r.plan_compiles;
+      p "      \"symbolic\": %b,\n" r.symbolic;
       p "      \"latency_p50_us\": %.1f,\n" r.lat_p50_us;
       p "      \"latency_p95_us\": %.1f,\n" r.lat_p95_us;
       p "      \"latency_p99_us\": %.1f\n" r.lat_p99_us;
@@ -302,6 +421,22 @@ let check ~label base rows =
             r.speedup
           :: !failures)
     rows;
+  (* continuous batching never pads, and a shape-polymorphic model
+     compiles exactly one plan however many batch sizes it served *)
+  List.iter
+    (fun r ->
+      if r.padded_rows <> 0 then
+        failures :=
+          Printf.sprintf "%s: %d padded rows executed (want 0)" r.name
+            r.padded_rows
+          :: !failures;
+      if r.symbolic && r.plan_compiles <> 1 then
+        failures :=
+          Printf.sprintf
+            "%s: %d plan compiles for a shape-polymorphic model (want 1)"
+            r.name r.plan_compiles
+          :: !failures)
+    rows;
   match !failures with
   | [] ->
       Printf.printf "serve bench check OK (%d workloads vs %s)\n"
@@ -323,5 +458,8 @@ let run ?(quick = false) ?(out = "BENCH_serve.json") ?baseline () =
       Astitch_workloads.Zoo.all
   in
   print_table rows;
+  (* the continuous-batching contract, exercised at odd sizes: raises
+     on any padded row, lost request, or extra symbolic-model compile *)
+  List.iter continuous_leg Astitch_workloads.Zoo.all;
   write_json ~path:out ~quick rows;
   Option.iter (fun (label, b) -> check ~label b rows) base

@@ -776,6 +776,13 @@ let serve_cmd_impl models workers max_batch max_wait_us queue_depth requests
                   n_models
                   (if n_models = 1 then "" else "s")
                   workers max_batch max_wait_us queue_depth;
+                List.iter
+                  (fun (m : Serve.model) ->
+                    Printf.printf "  %s: %s\n%!" m.Serve.name
+                      (if Serve.symbolic server ~model:m.Serve.name then
+                         "shape-polymorphic (1 plan, any batch size)"
+                       else "fixed-extent (1 plan per batch size)"))
+                  models;
                 if fault_plans <> [] then
                   Printf.printf "chaos: %s\n%!"
                     (String.concat " "
@@ -851,20 +858,33 @@ let serve_cmd_impl models workers max_batch max_wait_us queue_depth requests
                 Printf.printf
                   "batches %d  mean batch %.2f  max queue depth %d\n" s.batches
                   mean_batch s.max_depth_seen;
+                Printf.printf "padded rows %d  plan compiles %d  contexts %s\n"
+                  s.padded_rows s.plan_compiles
+                  (String.concat " "
+                     (List.map
+                        (fun (name, n) -> Printf.sprintf "%s=%d" name n)
+                        (Serve.context_pool_sizes server)));
                 Printf.printf "wall %.3fs  throughput %.1f req/s\n" wall
                   (float_of_int !done_n /. Float.max wall 1e-9);
                 Printf.printf "latency us:    %s\n" (hist_line "serve.request_us");
                 Printf.printf "queue wait us: %s\n"
                   (hist_line "serve.queue_wait_us");
-                (!done_n, !failed, !shed, !rejected)))
+                (!done_n, !failed, !shed, !rejected, s.padded_rows)))
           in
-          let done_n, failed, shed, rejected = result in
+          let done_n, failed, shed, rejected, padded_rows = result in
           if not check then `Ok ()
           else
             let accounted = done_n + failed + shed + rejected in
             if failed > 0 then
               `Error (false, Printf.sprintf "check: %d requests failed" failed)
             else if done_n = 0 then `Error (false, "check: nothing completed")
+            else if padded_rows <> 0 then
+              `Error
+                ( false,
+                  Printf.sprintf
+                    "check: %d padded rows executed (continuous batching \
+                     promises 0)"
+                    padded_rows )
             else if accounted <> requests then
               `Error
                 ( false,
@@ -1053,8 +1073,10 @@ let serve_cmd =
   in
   let max_batch_arg =
     Arg.(value & opt int 8 & info [ "max-batch" ] ~docv:"N"
-           ~doc:"Largest batch bucket (buckets are powers of two up to \
-                 this).")
+           ~doc:"Largest batch a dispatch may take.  Batches execute at \
+                 exactly their request count (no padding): \
+                 shape-polymorphic models compile once at this size and \
+                 rebind to any smaller batch.")
   in
   let max_wait_arg =
     Arg.(value & opt float 2000. & info [ "max-wait-us" ] ~docv:"US"

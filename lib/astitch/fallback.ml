@@ -91,6 +91,7 @@ let per_op_plan (arch : Arch.t) g =
     memcpys = Lowering.output_memcpys g;
     memsets = Lowering.atomic_memsets kernels;
     memcpy_bytes = Lowering.output_bytes g;
+    batch = None;
   }
 
 (* --- Scheme demotion (the Regional and Local rungs) --------------------- *)
@@ -384,6 +385,7 @@ let compile_armed (config : Config.t) (arch : Arch.t) g :
             memcpys = Lowering.output_memcpys g;
             memsets = Lowering.atomic_memsets sorted;
             memcpy_bytes = Lowering.output_bytes g;
+    batch = None;
           })
     in
     let live = Graph.live_ids g in

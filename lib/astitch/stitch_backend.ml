@@ -593,6 +593,7 @@ let compile_with_armed (config : Config.t) (arch : Arch.t) g : Kernel_plan.t =
             memcpys = Lowering.output_memcpys g;
             memsets = Lowering.atomic_memsets kernels;
             memcpy_bytes = Lowering.output_bytes g;
+    batch = None;
           }
         in
         Kernel_plan.check plan;

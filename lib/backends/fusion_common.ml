@@ -373,6 +373,7 @@ let compile ~name ~cut_edge ~mapping_for_root (arch : Arch.t) g =
       memcpys = Lowering.output_memcpys g;
       memsets = Lowering.atomic_memsets kernels;
       memcpy_bytes = Lowering.output_bytes g;
+    batch = None;
     }
   in
   Kernel_plan.check plan;

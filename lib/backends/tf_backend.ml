@@ -57,6 +57,7 @@ let compile (arch : Arch.t) g =
       memcpys = Lowering.output_memcpys g;
       memsets = Lowering.atomic_memsets kernels;
       memcpy_bytes = Lowering.output_bytes g;
+    batch = None;
     }
   in
   Kernel_plan.check plan;

@@ -58,6 +58,11 @@ type t = {
   memcpys : int; (* CUDA memcpy calls (Table 3 "CPY" includes memsets) *)
   memsets : int;
   memcpy_bytes : int;
+  batch : Batch_axis.plan option;
+      (* when the graph is the max-batch member of a shape-polymorphic
+         family, the symbolic batch extent and per-node classification
+         that license executing any smaller batch over this plan's
+         buffers without recompiling; None for fixed-shape plans *)
 }
 
 (* Structural problems are reported as Compile_error violations; [check]

@@ -46,6 +46,11 @@ type t = {
   memcpys : int;
   memsets : int;
   memcpy_bytes : int;
+  batch : Batch_axis.plan option;
+      (** symbolic batch extent when the plan was compiled at the max
+          batch of a shape-polymorphic family; [None] for fixed-shape
+          plans.  Execution contexts use it to rebind loop bounds and
+          thread mappings per batch (see [Executor.run_context]). *)
 }
 
 val kernel_node_ids : kernel -> Op.node_id list

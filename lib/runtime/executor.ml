@@ -135,16 +135,25 @@ type instr =
 type slab = {
   total : int;
   block_elems : int;
+  s_unit : int; (* per-batch prefix elements; 0 when batch-invariant *)
   sdata : float array;
   mutable cur_block : int; (* -1 = empty; reset per kernel execution *)
+  mutable cur_total : int; (* element bound this run: a prefix of [total]
+                              when executing a smaller symbolic batch *)
   mutable fill : int -> unit;
 }
 
 type action =
-  | Loop of { dst : float array; n : int; elem : int -> float }
-      (* materialize via a precompiled scalarized loop *)
-  | Stage_global of { dst : float array; n : int; elem : int -> float }
-      (* write one value into its per-kernel global scratch slot *)
+  | Loop of { dst : float array; n : int; unit : int; elem : int -> float }
+      (* materialize via a precompiled scalarized loop; [unit] is the
+         per-batch element count (0 = batch-invariant), so a symbolic
+         batch b bounds the loop at [unit * b] instead of [n] *)
+  | Stage_global of {
+      dst : float array;
+      n : int;
+      unit : int;
+      elem : int -> float;
+    } (* write one value into its per-kernel global scratch slot *)
   | Scatter of {
       dst : float array;
       idx : int -> float;
@@ -171,6 +180,19 @@ type kernel_exec =
   | Fused_k of fused_kernel
   | Ref_k of { steps : instr array; rprof : Profile.exec_kernel }
 
+(* Symbolic-batch support: when the plan carries a batch classification
+   (compiled at [smax], every node Invariant or Scaled), the context can
+   execute any batch b in [1, smax] over the same max-sized buffers by
+   bounding every scaled loop at its prefix.  [checked] memoizes the
+   batch sizes whose rebound thread mappings were validated (contexts
+   are single-owner, so no locking). *)
+type sym_info = {
+  smax : int;
+  cls : Batch_axis.cls array;
+  units : int array; (* node id -> per-batch elems; 0 for invariant *)
+  checked : (int, unit) Hashtbl.t;
+}
+
 type context = {
   plan : Kernel_plan.t;
   values : Tensor.t array; (* node id -> current value *)
@@ -182,6 +204,8 @@ type context = {
   output_ids : int array;
   report : Profile.exec_report;
   timed : bool;
+  sym : sym_info option; (* Some iff every kernel is fused and the plan
+                            carries a batch classification *)
 }
 
 let bytes_of elems = 8 * elems (* host tensors are unboxed float64 *)
@@ -189,6 +213,29 @@ let bytes_of elems = 8 * elems (* host tensors are unboxed float64 *)
 let create_context_body ~fused ~timed (plan : Kernel_plan.t) : context =
   let g = plan.graph in
   let n = Graph.num_nodes g in
+  (* symbolic-batch candidate: per-node prefix units (elements per batch
+     step), used while lowering to tag scaled loops and slabs.  Only
+     meaningful if every kernel below lowers fused; decided at the end. *)
+  let sym_cls =
+    match plan.batch with
+    | Some pb
+      when fused
+           && pb.Batch_axis.max_batch >= 1
+           && Array.length pb.Batch_axis.cls = n ->
+        Some pb
+    | _ -> None
+  in
+  let units =
+    match sym_cls with
+    | None -> [||]
+    | Some pb ->
+        Array.init n (fun id ->
+            match pb.Batch_axis.cls.(id) with
+            | Batch_axis.Invariant -> 0
+            | Batch_axis.Scaled _ ->
+                Graph.num_elements g id / pb.Batch_axis.max_batch)
+  in
+  let unit_of id = if Array.length units = 0 then 0 else units.(id) in
   let values = Array.make n (Tensor.scalar 0.) in
   let base_computed = Array.make n false in
   let bufs = Array.make n None in
@@ -401,8 +448,10 @@ let create_context_body ~fused ~timed (plan : Kernel_plan.t) : context =
                   {
                     total;
                     block_elems;
+                    s_unit = unit_of id;
                     sdata = Array.make block_elems 0.;
                     cur_block = -1;
+                    cur_total = total;
                     fill = ignore;
                   }
                 in
@@ -414,7 +463,7 @@ let create_context_body ~fused ~timed (plan : Kernel_plan.t) : context =
                 sl.fill <-
                   (fun b ->
                     let lo = b * block_elems in
-                    let hi = Stdlib.min total (lo + block_elems) in
+                    let hi = Stdlib.min sl.cur_total (lo + block_elems) in
                     for j = lo to hi - 1 do
                       sl.sdata.(j - lo) <- elem j
                     done;
@@ -478,7 +527,15 @@ let create_context_body ~fused ~timed (plan : Kernel_plan.t) : context =
               | _ ->
                   let elem = Scalar_eval.compile g nd ~operand:accessor in
                   pre
-                  @ [ Stage_global { dst; n = Array.length dst; elem } ])
+                  @ [
+                      Stage_global
+                        {
+                          dst;
+                          n = Array.length dst;
+                          unit = unit_of id;
+                          elem;
+                        };
+                    ])
           | Tape.Materialize -> (
               let dst =
                 match arena.(id) with
@@ -520,6 +577,7 @@ let create_context_body ~fused ~timed (plan : Kernel_plan.t) : context =
                         {
                           dst = Tensor.data dst;
                           n = Tensor.num_elements dst;
+                          unit = unit_of id;
                           elem;
                         };
                     ]))
@@ -584,6 +642,24 @@ let create_context_body ~fused ~timed (plan : Kernel_plan.t) : context =
         Hashtbl.fold (fun _ elems acc -> acc + bytes_of elems) requested 0;
     }
   in
+  (* symbolic-batch execution requires every kernel on the fused recipe:
+     reference kernels re-derive values through [Interp] against the
+     full max-batch shapes and cannot be prefix-bounded *)
+  let sym =
+    match sym_cls with
+    | Some pb
+      when Array.for_all
+             (function Fused_k _ -> true | Ref_k _ -> false)
+             kernels ->
+        Some
+          {
+            smax = pb.Batch_axis.max_batch;
+            cls = pb.Batch_axis.cls;
+            units;
+            checked = Hashtbl.create 4;
+          }
+    | _ -> None
+  in
   {
     plan;
     values;
@@ -595,6 +671,7 @@ let create_context_body ~fused ~timed (plan : Kernel_plan.t) : context =
     output_ids = Array.of_list (Graph.outputs g);
     report;
     timed;
+    sym;
   }
 
 let create_context ?(fused = true) ?(timed = false) (plan : Kernel_plan.t) :
@@ -611,6 +688,7 @@ let create_context ?(fused = true) ?(timed = false) (plan : Kernel_plan.t) :
 
 let context_plan ctx = ctx.plan
 let exec_report ctx = ctx.report
+let rebindable ctx = ctx.sym <> None
 
 let context_fallbacks ctx =
   List.filter_map
@@ -618,13 +696,48 @@ let context_fallbacks ctx =
       match k.fallback with Some r -> Some (k.kname, r) | None -> None)
     ctx.report.exec_kernels
 
-let run_context (ctx : context) ~params : Tensor.t list =
+let run_context ?batch (ctx : context) ~params : Tensor.t list =
   (* [traced] is decided once per run: with no sink installed the ids stay
      0 and no per-kernel code below allocates (the zero-cost contract the
      test suite pins down with [Gc.minor_words]). *)
   let traced = Trace.enabled () in
   let rsid = if traced then Trace.span_begin ~phase:"exec" "run-context" else 0 in
   let g = ctx.plan.Kernel_plan.graph in
+  (* symbolic-batch rebind: [bscale] > 0 executes the prefix for batch
+     [bscale] over the max-sized buffers; 0 is the ordinary full run *)
+  let scaled =
+    match batch with
+    | None -> None
+    | Some b -> (
+        match ctx.sym with
+        | None ->
+            invalid_arg "run_context: context is not batch-rebindable"
+        | Some si ->
+            if b < 1 || b > si.smax then
+              invalid_arg
+                (Printf.sprintf "run_context: batch %d outside 1..%d" b
+                   si.smax)
+            else if b = si.smax then None
+            else Some (b, si))
+  in
+  let bscale = match scaled with Some (b, _) -> b | None -> 0 in
+  (* first time this batch size runs on this context, re-pack every
+     scaled op's thread mapping at the new extent (the paper's adaptive
+     packing/splitting applied at bind time) and validate the geometry *)
+  (match scaled with
+  | Some (b, si) when not (Hashtbl.mem si.checked b) ->
+      List.iter
+        (fun (k : Kernel_plan.kernel) ->
+          List.iter
+            (fun (o : Kernel_plan.compiled_op) ->
+              match si.cls.(o.id) with
+              | Batch_axis.Scaled _ ->
+                  ignore (Thread_mapping.rebind o.mapping ~num:b ~den:si.smax)
+              | Batch_axis.Invariant -> ())
+            k.ops)
+        ctx.plan.Kernel_plan.kernels;
+      Hashtbl.replace si.checked b ()
+  | _ -> ());
   let values = ctx.values and computed = ctx.computed in
   Array.blit ctx.base_computed 0 computed 0 (Array.length computed);
   let require id =
@@ -634,12 +747,24 @@ let run_context (ctx : context) ~params : Tensor.t list =
            (Printf.sprintf "node %%%d read before it was computed" id))
   in
   (* bind parameters through the pre-resolved slots (id order, matching
-     the leaf sweep in [run]) *)
+     the leaf sweep in [run]); under a symbolic batch, scaled parameters
+     bind at their prefix shape *)
   Array.iter
     (fun (id, name, shape) ->
       match List.assoc_opt name params with
       | None -> raise (Interp.Missing_parameter name)
       | Some t ->
+          let shape =
+            match scaled with
+            | Some (b, si) -> (
+                match si.cls.(id) with
+                | Batch_axis.Scaled { axis; _ } ->
+                    let s = Array.copy shape in
+                    s.(axis) <- shape.(axis) / si.smax * b;
+                    s
+                | Batch_axis.Invariant -> shape)
+            | None -> shape
+          in
           if not (Shape.equal (Tensor.shape t) shape) then
             Tensor.mismatch "parameter %s: bound shape %s, declared %s" name
               (Shape.to_string (Tensor.shape t))
@@ -660,15 +785,28 @@ let run_context (ctx : context) ~params : Tensor.t list =
       let t0 = if ctx.timed then Unix.gettimeofday () else 0. in
       (match ke with
       | Fused_k fk ->
-          (* slab contents are stale across runs (parameters changed) *)
-          Array.iter (fun sl -> sl.cur_block <- -1) fk.slabs;
+          (* slab contents are stale across runs (parameters changed);
+             under a symbolic batch the slab bound shrinks to the prefix *)
+          Array.iter
+            (fun sl ->
+              sl.cur_block <- -1;
+              sl.cur_total <-
+                (if bscale > 0 && sl.s_unit > 0 then sl.s_unit * bscale
+                 else sl.total))
+            fk.slabs;
           Array.iter
             (function
-              | Loop { dst; n; elem } ->
+              | Loop { dst; n; unit; elem } ->
+                  let n =
+                    if bscale > 0 && unit > 0 then unit * bscale else n
+                  in
                   for i = 0 to n - 1 do
                     dst.(i) <- elem i
                   done
-              | Stage_global { dst; n; elem } ->
+              | Stage_global { dst; n; unit; elem } ->
+                  let n =
+                    if bscale > 0 && unit > 0 then unit * bscale else n
+                  in
                   for i = 0 to n - 1 do
                     dst.(i) <- elem i
                   done;
@@ -695,7 +833,15 @@ let run_context (ctx : context) ~params : Tensor.t list =
                      ordering, so the barrier only counts *)
                   fk.fprof.barriers_run <- fk.fprof.barriers_run + 1
               | Bind_view { id; root; shape } ->
-                  values.(id) <- Tensor.reshape values.(root) shape)
+                  (* under a symbolic batch the root holds either a
+                     max-sized buffer or a prefix-shaped parameter, so
+                     the compiled view shape no longer matches; bind the
+                     root raw instead - every read of the view is linear
+                     (reshape preserves linear order) and outputs are
+                     re-shaped explicitly below *)
+                  values.(id) <-
+                    (if bscale > 0 then values.(root)
+                     else Tensor.reshape values.(root) shape))
             fk.actions;
           Array.iter (fun id -> computed.(id) <- true) fk.set_computed;
           Array.iter (fun id -> computed.(id) <- false) fk.fpurged
@@ -759,11 +905,30 @@ let run_context (ctx : context) ~params : Tensor.t list =
             ])
     ctx.kernels;
   if rsid <> 0 then Trace.span_end rsid;
-  Array.fold_right
-    (fun id acc ->
-      require id;
-      Tensor.copy values.(id) :: acc)
-    ctx.output_ids []
+  match scaled with
+  | None ->
+      Array.fold_right
+        (fun id acc ->
+          require id;
+          Tensor.copy values.(id) :: acc)
+        ctx.output_ids []
+  | Some (b, si) ->
+      (* outputs are the leading prefix of each max-sized buffer, fresh
+         copies under the batch-b shape (invariant outputs copy whole) *)
+      Array.fold_right
+        (fun id acc ->
+          require id;
+          let full = Graph.shape g id in
+          let s, nb =
+            match si.cls.(id) with
+            | Batch_axis.Invariant -> (full, Shape.num_elements full)
+            | Batch_axis.Scaled { axis; _ } ->
+                let s = Array.copy full in
+                s.(axis) <- full.(axis) / si.smax * b;
+                (s, si.units.(id) * b)
+          in
+          Tensor.create s (Array.sub (Tensor.data values.(id)) 0 nb) :: acc)
+        ctx.output_ids []
 
 (* Execute and compare against the reference interpreter. *)
 let run_and_check ?(eps = 1e-5) plan ~params =

@@ -51,10 +51,27 @@ val exec_report : context -> Profile.exec_report
 val context_fallbacks : context -> (string * string) list
 (** [(kernel, reason)] for every kernel running on the reference path. *)
 
+val rebindable : context -> bool
+(** True when the context can execute symbolic batches: its plan carries
+    a batch classification ({!Kernel_plan.t}[.batch]) and every kernel
+    lowered to the fused recipe.  Reference-path kernels re-derive values
+    against the full compiled shapes and cannot be prefix-bounded. *)
+
 val run_context :
-  context -> params:(string * Tensor.t) list -> Tensor.t list
+  ?batch:int -> context -> params:(string * Tensor.t) list -> Tensor.t list
 (** Execute the prepared plan.  Bit-identical to {!run} on the same plan
     and parameters; outputs are freshly copied, so they stay valid after
     later calls reuse the context's buffers.
+
+    [?batch] executes a symbolic batch b on a {!rebindable} context
+    compiled at max batch B: scaled parameters bind at their batch-b
+    prefix shapes, every scaled loop/slab/scratch bound shrinks to the
+    prefix, scaled thread mappings are re-packed (validated once per
+    batch size), and outputs come back under their batch-b shapes -
+    bit-identical to a fresh fixed-extent compile at b, with no
+    recompilation.  Omitting [batch] (or passing B) is the ordinary
+    full-extent run.
+    @raise Invalid_argument if [batch] is given on a non-rebindable
+    context or falls outside [1, B].
     @raise Execution_error if the plan reads a value before computing it.
     @raise Interp.Missing_parameter if a graph parameter is unbound. *)

@@ -1,10 +1,10 @@
-(* Dynamic-batching policy: when to dispatch, and at what bucket size.
+(* Continuous-batching policy: when to dispatch, and how many.
 
    Pure decision logic - the scheduler feeds it queue state under its
-   lock and acts on the verdict.  Batch sizes are quantised to power-of-
-   two buckets {1, 2, 4, ..., max_batch} so the worker pool compiles and
-   reuses one executor context per (model x bucket) instead of one per
-   arbitrary batch size; tail batches pad up to their bucket.
+   lock and acts on the verdict.  Batches are NOT quantised: a dispatch
+   takes exactly the requests that are waiting (capped at [max_batch]),
+   and the worker pool executes that exact size against one
+   shape-polymorphic context per model, so no padded rows ever run.
 
    Dispatch fires when any of:
      - a full [max_batch] is waiting (no reason to wait longer);
@@ -24,23 +24,14 @@ let policy ~max_batch ~max_wait_us =
 let max_wait_us p = p.max_wait_us
 let max_batch p = p.max_batch
 
-(* Smallest power of two >= [n], capped at [max_batch]. *)
-let bucket p n =
-  if n < 1 then invalid_arg "Batcher.bucket: n must be >= 1";
-  let rec up b = if b >= n then b else up (2 * b) in
-  Stdlib.min p.max_batch (up 1)
-
-let buckets p =
-  let rec go b acc = if b > p.max_batch then List.rev acc else go (2 * b) (b :: acc) in
-  go 1 []
-
 (* How often the scheduler should re-examine an open batching window.
-   Stdlib condition variables have no timed wait, so workers poll; the
-   interval is a quarter of the window, clamped to [50, 200] us.  The
-   clamp bounds both sides: never so fine that polling burns a core on
-   tiny windows, never so coarse that shutdown or a filling batch waits
-   more than 200 us past the event (the promptness contract the
-   scheduler's stop check relies on). *)
+   Stdlib condition variables have no timed wait, so workers wait on the
+   scheduler's wake pipe with this timeout; the interval is a quarter of
+   the window, clamped to [50, 200] us.  The clamp bounds both sides:
+   never so fine that polling burns a core on tiny windows, never so
+   coarse that window expiry waits more than 200 us past the event.
+   (Queue events - a filling batch, drain, shutdown - don't pay even
+   that: they write the wake pipe and the select returns at once.) *)
 let poll_interval_us p =
   Float.min 200. (Float.max 50. (p.max_wait_us /. 4.))
 

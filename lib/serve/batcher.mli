@@ -1,6 +1,8 @@
-(** Dynamic-batching policy: when to dispatch, and at what bucket.
+(** Continuous-batching policy: when to dispatch, and how many.
 
-    Pure decision logic over queue state; the scheduler acts on it. *)
+    Pure decision logic over queue state; the scheduler acts on it.
+    Dispatched batches are exactly the pending requests (capped at
+    [max_batch]) - sizes are not quantised and nothing is padded. *)
 
 type policy
 
@@ -8,17 +10,11 @@ val policy : max_batch:int -> max_wait_us:float -> policy
 val max_wait_us : policy -> float
 val max_batch : policy -> int
 
-val bucket : policy -> int -> int
-(** Smallest power of two >= the request count, capped at [max_batch] -
-    the executor-context granularity the worker pool compiles for. *)
-
-val buckets : policy -> int list
-(** Every bucket the policy can produce: [1; 2; 4; ...; max_batch]. *)
-
 val poll_interval_us : policy -> float
-(** Polling interval for an open batching window: [max_wait_us / 4]
-    clamped to [50, 200] us.  Bounds how long a dispatch-worthy event
-    (window expiry, shutdown) can go unnoticed by a polling worker. *)
+(** Timeout for a worker waiting out an open batching window:
+    [max_wait_us / 4] clamped to [50, 200] us.  Bounds how long window
+    expiry can go unnoticed; queue events bypass it entirely via the
+    scheduler's wake pipe. *)
 
 type decision = Dispatch of int  (** dequeue this many now *) | Wait
 

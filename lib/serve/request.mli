@@ -16,7 +16,7 @@ type outcome =
   | Done of {
       outputs : Tensor.t list;
       latency_us : float;  (** submission to completion *)
-      batch : int;  (** bucket size this request was served at *)
+      batch : int;  (** exact batch size this request was served at *)
       degraded : bool;  (** served on the per-request fallback path *)
     }
   | Overloaded of overload

@@ -6,13 +6,16 @@
    wakes waiters when an outcome lands.
 
    The OCaml stdlib has no timed condition wait, so the batching window
-   is enforced by polling: a worker that sees pending-but-not-yet-
-   dispatchable work sleeps a fraction of the window ([poll_s]) and
-   re-evaluates, while a worker that sees an empty queue blocks on
-   [nonempty] and costs nothing.  The poll interval is max_wait/4
-   clamped to [50us, 200us], so a window is missed by at most a quarter
-   of itself and an idle-but-pending server burns at most a few
-   thousand wakeups per second across the pool.
+   is enforced by a wake pipe + timeout: a worker that sees pending-but-
+   not-yet-dispatchable work parks in [Unix.select] on the pipe's read
+   end with a fraction of the window ([poll_s]) as the timeout, while a
+   worker that sees an empty queue blocks on [nonempty] and costs
+   nothing.  The timeout (max_wait/4 clamped to [50us, 200us]) bounds
+   how late a window EXPIRY can be noticed; queue EVENTS don't wait for
+   it - a submission that fills a batch to [max_batch], a drain, and
+   shutdown each write one byte to the pipe and the select returns
+   immediately, so a full batch dispatches the moment it forms instead
+   of up to a poll tick later.
 
    Admission control is synchronous: [submit] either admits (the caller
    will find an outcome under the request id) or returns the structured
@@ -47,8 +50,9 @@ module Rq = Queue
 
 type batch = {
   model : string;
-  requests : Request.t list;  (** FIFO, length in [1, bucket] *)
-  bucket : int;  (** power-of-two context size to execute at *)
+  requests : Request.t list;
+      (** FIFO, length in [1, max_batch]; executed at exactly this
+          size - nothing is padded *)
 }
 
 type breaker_state = [ `Closed | `Open | `Half_open ]
@@ -79,6 +83,9 @@ type t = {
   breaker_cooldown_us : float;
   policy : Batcher.policy;
   poll_s : float;
+  wake_r : Unix.file_descr;  (** self-pipe read end: select target *)
+  wake_w : Unix.file_descr;  (** write one byte = wake a parked worker *)
+  mutable disposed : bool;  (** wake pipe closed; select no longer legal *)
   outcomes : (int, Request.outcome) Hashtbl.t;
   mutable outstanding : int;  (** admitted, outcome not yet recorded *)
   mutable draining : bool;
@@ -113,6 +120,9 @@ type t = {
 let create ?(breaker_threshold = 4) ?(breaker_cooldown_us = 5_000.) ~policy
     ~queue_depth () =
   let r = Metrics.default in
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
   {
     mu = Mutex.create ();
     nonempty = Condition.create ();
@@ -125,6 +135,9 @@ let create ?(breaker_threshold = 4) ?(breaker_cooldown_us = 5_000.) ~policy
     breaker_cooldown_us;
     policy;
     poll_s = 1e-6 *. Batcher.poll_interval_us policy;
+    wake_r;
+    wake_w;
+    disposed = false;
     outcomes = Hashtbl.create 64;
     outstanding = 0;
     draining = false;
@@ -167,6 +180,47 @@ let locked t f =
       raise e
 
 let publish_depth t = Metrics.set t.m_depth (float_of_int (Rq.length t.queue))
+
+(* --- Wake pipe ---------------------------------------------------------- *)
+
+(* Nudge every worker parked in [wait_poll]: one byte down the
+   self-pipe.  Non-blocking and best-effort - a full pipe means wakes
+   are already queued, which is all a level-triggered select needs. *)
+let wake t =
+  if not t.disposed then
+    try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+    with Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EPIPE | EBADF), _, _) -> ()
+
+(* Park for at most one poll tick, or until someone writes the wake
+   pipe.  Called WITHOUT the scheduler lock.  Readable bytes are
+   drained so a single event doesn't turn every later wait into a spin;
+   with several parked workers one drains and the rest time out, which
+   is correct (spurious wakeups are fine, missed ones are not - and a
+   wake written after the drain leaves a byte for the next select). *)
+let wait_poll t =
+  if t.disposed then ()
+  else begin
+    (try ignore (Unix.select [ t.wake_r ] [] [] t.poll_s)
+     with Unix.Unix_error ((EINTR | EBADF), _, _) -> ());
+    let buf = Bytes.create 64 in
+    let rec drain () =
+      match Unix.read t.wake_r buf 0 64 with
+      | 64 -> drain ()
+      | _ -> ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EBADF), _, _) -> ()
+    in
+    drain ()
+  end
+
+(* Close the wake pipe.  Call only after the worker pool has joined -
+   no one may be parked in [wait_poll] when the fds die. *)
+let dispose t =
+  locked t (fun () ->
+      if not t.disposed then begin
+        t.disposed <- true;
+        (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+        try Unix.close t.wake_w with Unix.Unix_error _ -> ()
+      end)
 
 (* Record an outcome under the scheduler lock and wake waiters.
    First-wins: wedge recovery may steal and re-execute a batch whose
@@ -292,6 +346,10 @@ let submit t (req : Request.t) =
         Metrics.inc t.m_submitted;
         publish_depth t;
         Condition.signal t.nonempty;
+        (* A batch just reached [max_batch]: workers parked on an open
+           window should dispatch NOW, not a poll tick from now. *)
+        if Rq.pending t.queue ~model:req.model >= Batcher.max_batch t.policy
+        then wake t;
         Ok ()
       end)
 
@@ -354,7 +412,7 @@ let shed_broken_locked t =
   end
 
 (* Under the lock: pop the next live retry.  Retried requests dispatch
-   solo (bucket 1): the batchmates that sank them the first time are
+   solo (batch 1): the batchmates that sank them the first time are
    out of the picture, and a poisoned request can only sink itself. *)
 let rec take_retry_locked t =
   match Stdlib.Queue.take_opt t.retries with
@@ -367,7 +425,7 @@ let rec take_retry_locked t =
       else begin
         t.batches <- t.batches + 1;
         Metrics.observe t.m_wait_us (now_us () -. r.submitted_us);
-        Some { model = r.model; requests = [ r ]; bucket = 1 }
+        Some { model = r.model; requests = [ r ] }
       end
 
 (* Under the lock: shed, pick, and take the next dispatchable batch.
@@ -390,12 +448,7 @@ let dispatch_locked t =
             (fun (r : Request.t) ->
               Metrics.observe t.m_wait_us (now -. r.submitted_us))
             requests;
-          Some
-            {
-              model;
-              requests;
-              bucket = Batcher.bucket t.policy (List.length requests);
-            })
+          Some { model; requests })
 
 (* Block until a batch is ready, the queue has pending-but-waiting work
    (then poll the batching window), or shutdown empties the world. *)
@@ -419,11 +472,11 @@ let rec next_batch t =
   | `Exit -> None
   | `Retry -> next_batch t
   | `Poll ->
-      (* Re-check the stop flags before sleeping: a shutdown raised
-         between the dispatch attempt and this sleep must cost at most
-         one poll tick, not a full open window. *)
-      if not (locked t (fun () -> t.stopped || t.draining)) then
-        Unix.sleepf t.poll_s;
+      (* Re-check the stop flags before parking: a shutdown raised
+         between the dispatch attempt and this wait must cost nothing
+         (and even a racing one costs at most the select timeout, since
+         shutdown also writes the wake pipe). *)
+      if not (locked t (fun () -> t.stopped || t.draining)) then wait_poll t;
       next_batch t
 
 (* Non-blocking variant for caller-runs pumping: never sleeps, never
@@ -459,7 +512,8 @@ let requeue t (req : Request.t) =
               ("attempts", Trace.Int req.attempts);
             ];
       Stdlib.Queue.push req t.retries;
-      Condition.signal t.nonempty)
+      Condition.signal t.nonempty);
+  wake t
 
 let await t id =
   locked t (fun () ->
@@ -489,6 +543,7 @@ let drain_with t ~pump =
   locked t (fun () ->
       t.draining <- true;
       Condition.broadcast t.nonempty);
+  wake t;
   pump ();
   locked t (fun () ->
       while t.outstanding > 0 do
@@ -502,7 +557,8 @@ let shutdown t =
   locked t (fun () ->
       t.stopped <- true;
       Condition.broadcast t.nonempty;
-      Condition.broadcast t.done_cond)
+      Condition.broadcast t.done_cond);
+  wake t
 
 type stats = {
   submitted : int;

@@ -10,8 +10,9 @@ type t
 
 type batch = {
   model : string;
-  requests : Request.t list;  (** FIFO, length in [1, bucket] *)
-  bucket : int;  (** power-of-two context size to execute at *)
+  requests : Request.t list;
+      (** FIFO, length in [1, max_batch]; executed at exactly this
+          size - nothing is padded *)
 }
 
 val create :
@@ -46,11 +47,21 @@ val next_batch : t -> batch option
 val try_next_batch : t -> [ `Batch of batch | `Waiting | `Empty ]
 (** Non-blocking [next_batch] for caller-runs pumping.  [`Waiting]
     means requests are pending but every batching window is still
-    open; the caller should sleep [poll_interval_s] and retry. *)
+    open; the caller should [wait_poll] and retry. *)
 
 val poll_interval_s : t -> float
-(** The batching-window poll interval (max_wait/4 clamped to
-    [50us, 200us]) - what a pumping caller should sleep on [`Waiting]. *)
+(** The batching-window poll timeout (max_wait/4 clamped to
+    [50us, 200us]) - the longest [wait_poll] parks before re-checking. *)
+
+val wait_poll : t -> unit
+(** Park for at most one poll tick, or until a wake event (a batch
+    filling to [max_batch], a retry, a drain, shutdown) cuts the wait
+    short via the scheduler's internal wake pipe.  May return
+    spuriously; callers re-evaluate the queue either way. *)
+
+val dispose : t -> unit
+(** Close the wake pipe.  Call only once no worker can be parked in
+    [wait_poll] (after the pool has joined).  Idempotent. *)
 
 val outstanding : t -> int
 (** Admitted requests whose outcome has not yet been recorded. *)

@@ -3,9 +3,16 @@
    [create] analyzes every registered builder for batchability, fixes
    its shared weights deterministically from the config seed (a served
    model's weights do not change between requests - only per-request
-   parameters do), and spins up the scheduler plus worker pool.  After
-   that the surface is small: [submit]/[submit_async] with per-request
-   bindings, [drain] to flush, [shutdown] to stop, [stats] to look.
+   parameters do), and spins up the scheduler plus worker pool.  Each
+   builder is also classified for SHAPE POLYMORPHISM
+   ([Batch_axis.analyze], cross-checked at [max_batch] by
+   [validate_at]): a symbolic model compiles one plan at [max_batch]
+   and serves every batch size 1..max on that single context by prefix
+   rebinding; a rejected one (batch axis not outermost, etc.) serves
+   fixed-extent contexts per exact size.  Either way batches execute at
+   exactly their request count - no padded rows.  After that the
+   surface is small: [submit]/[submit_async] with per-request bindings,
+   [drain] to flush, [shutdown] to stop, [stats] to look.
 
    Admission control is the submit path: a request either comes back
    with a ticket (its outcome will land) or with the structured
@@ -68,9 +75,32 @@ type t = {
 let model_seed ~seed name =
   seed + (Hashtbl.hash name land 0xffff)
 
+(* Decide whether a builder family can be served shape-polymorphically:
+   the node-level batch-axis classification must succeed on the {1,2}
+   diff AND hold at [max_batch] (catching locally-linear families).
+   Rejected families are served fixed-extent - correct either way, just
+   one compile per distinct batch size instead of one per model. *)
+let decide_mode ~max_batch (m : model) =
+  let g1 = m.build ~batch:1 and g2 = m.build ~batch:2 in
+  match Batch_axis.analyze ~g1 ~g2 with
+  | Error _ -> Worker_pool.Fixed
+  | Ok cls -> (
+      if max_batch <= 2 then
+        Worker_pool.Symbolic { Batch_axis.max_batch; cls }
+      else
+        match
+          Batch_axis.validate_at cls ~base:g1
+            ~at:(m.build ~batch:max_batch)
+            ~batch:max_batch
+        with
+        | Ok () -> Worker_pool.Symbolic { Batch_axis.max_batch; cls }
+        | Error _ -> Worker_pool.Fixed)
+
 let create ?(config = default_config) models =
   if models = [] then invalid_arg "Serve.create: no models";
   if config.workers < 0 then invalid_arg "Serve.create: workers must be >= 0";
+  if config.max_batch < 1 then
+    invalid_arg "Serve.create: max_batch must be >= 1";
   let table = Hashtbl.create (List.length models) in
   List.iter
     (fun m ->
@@ -84,8 +114,11 @@ let create ?(config = default_config) models =
         {
           Worker_pool.spec;
           shared;
+          max_batch = config.max_batch;
           mu = Mutex.create ();
-          contexts = Hashtbl.create 4;
+          mode = decide_mode ~max_batch:config.max_batch m;
+          sym_ctxs = ref [];
+          fixed_ctxs = Hashtbl.create 4;
         })
     models;
   let policy =
@@ -120,12 +153,20 @@ let model_state t name =
 
 let spec t ~model = (model_state t model).Worker_pool.spec
 
-let warm t =
-  Worker_pool.warm t.pool
-    ~buckets:
-      (Batcher.buckets
-         (Batcher.policy ~max_batch:t.config.max_batch
-            ~max_wait_us:t.config.max_wait_us))
+(* True when [model] serves every batch size off one max-batch context
+   (the shape-polymorphic path); false for fixed-extent fallback. *)
+let symbolic t ~model =
+  let m = model_state t model in
+  Mutex.lock m.Worker_pool.mu;
+  let r =
+    match m.Worker_pool.mode with
+    | Worker_pool.Symbolic _ -> true
+    | Worker_pool.Fixed -> false
+  in
+  Mutex.unlock m.Worker_pool.mu;
+  r
+
+let warm t = Worker_pool.warm t.pool
 
 (* A ticket names an admitted request; redeem it with [await]. *)
 type ticket = int
@@ -187,10 +228,12 @@ let shutdown t =
     t.closed <- true;
     drain t;
     Scheduler.shutdown t.scheduler;
-    Worker_pool.join t.pool
+    Worker_pool.join t.pool;
+    (* all workers have joined: nobody can be parked on the wake pipe *)
+    Scheduler.dispose t.scheduler
   end
 
-type stats = Scheduler.stats = {
+type stats = {
   submitted : int;
   rejected : int;
   shed : int;
@@ -198,6 +241,10 @@ type stats = Scheduler.stats = {
   failed : int;
   degraded : int;
   batches : int;
+  padded_rows : int;
+      (** rows executed beyond real requests; 0 under continuous
+          batching *)
+  plan_compiles : int;  (** plan compiles at context checkout *)
   outstanding : int;
   queue_depth : int;
   max_depth_seen : int;
@@ -207,7 +254,28 @@ type stats = Scheduler.stats = {
   breaker_closes : int;
 }
 
-let stats t = Scheduler.stats t.scheduler
+let stats t =
+  let s = Scheduler.stats t.scheduler in
+  {
+    submitted = s.Scheduler.submitted;
+    rejected = s.Scheduler.rejected;
+    shed = s.Scheduler.shed;
+    completed = s.Scheduler.completed;
+    failed = s.Scheduler.failed;
+    degraded = s.Scheduler.degraded;
+    batches = s.Scheduler.batches;
+    padded_rows = Worker_pool.padded_rows t.pool;
+    plan_compiles = Worker_pool.plan_compiles t.pool;
+    outstanding = s.Scheduler.outstanding;
+    queue_depth = s.Scheduler.queue_depth;
+    max_depth_seen = s.Scheduler.max_depth_seen;
+    retried = s.Scheduler.retried;
+    duplicates = s.Scheduler.duplicates;
+    breaker_opens = s.Scheduler.breaker_opens;
+    breaker_closes = s.Scheduler.breaker_closes;
+  }
+
+let context_pool_sizes t = Worker_pool.context_counts t.pool
 
 type supervision = Worker_pool.supervision = {
   restarts : int;
@@ -246,8 +314,9 @@ let disposition t =
 let pp_stats fmt (s : stats) =
   Format.fprintf fmt
     "submitted %d  completed %d  degraded %d  failed %d  rejected %d  shed %d@ \
-     batches %d  outstanding %d  queue %d (max %d)@ \
+     batches %d  padded rows %d  plan compiles %d  outstanding %d  queue %d \
+     (max %d)@ \
      retried %d  duplicates %d  breaker open/close %d/%d"
     s.submitted s.completed s.degraded s.failed s.rejected s.shed s.batches
-    s.outstanding s.queue_depth s.max_depth_seen s.retried s.duplicates
-    s.breaker_opens s.breaker_closes
+    s.padded_rows s.plan_compiles s.outstanding s.queue_depth s.max_depth_seen
+    s.retried s.duplicates s.breaker_opens s.breaker_closes

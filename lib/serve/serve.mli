@@ -2,9 +2,14 @@
 
     Load batch-parameterized model builders, then submit requests with
     per-request parameter bindings; the runtime batches compatible
-    requests dynamically, executes them on a pool of worker domains
-    with reused executor contexts, and hands back per-request outputs
-    bit-identical to solo execution.  Admission is bounded: past
+    requests continuously - a dispatched batch executes at exactly its
+    request count, any size up to [max_batch], with zero padded rows -
+    on a pool of worker domains with reused executor contexts, and
+    hands back per-request outputs bit-identical to solo execution.
+    Builders that pass the batch-axis analysis compile ONE
+    shape-polymorphic plan per model (at [max_batch]) and serve every
+    batch size on it by prefix rebinding; the rest fall back to
+    fixed-extent contexts per exact size.  Admission is bounded: past
     [queue_depth] the server answers [Overloaded] instead of queuing. *)
 
 open Astitch_ir
@@ -22,7 +27,7 @@ type config = {
           [submit] and [drain] execute batches on the calling thread;
           right for single-core machines and embedding in an existing
           loop).  [poll] never makes progress by itself in this mode. *)
-  max_batch : int;  (** largest bucket *)
+  max_batch : int;  (** largest batch a dispatch may take *)
   max_wait_us : float;  (** batching window *)
   queue_depth : int;  (** admission-control bound, across models *)
   default_deadline_us : float option;  (** relative; [None] = no deadline *)
@@ -63,8 +68,9 @@ val create : ?config:config -> model list -> t
     @raise Invalid_argument on duplicate or empty model lists. *)
 
 val warm : t -> unit
-(** Pre-compile every (model, bucket) so first requests don't pay
-    compile latency. *)
+(** Pre-compile every model so first requests don't pay compile
+    latency: the single max-batch context for a shape-polymorphic
+    model, batch-1 and max-batch contexts for a fixed-extent one. *)
 
 type ticket = int
 
@@ -98,6 +104,17 @@ val random_request : t -> model:string -> seed:int -> (string * Tensor.t) list
 
 val spec : t -> model:string -> Batching.spec
 
+val symbolic : t -> model:string -> bool
+(** True when [model] serves every batch size off one shape-polymorphic
+    max-batch context; false when it fell back to fixed-extent
+    compilation (batch-axis analysis rejected the builder, or its
+    context couldn't rebind). *)
+
+val context_pool_sizes : t -> (string * int) list
+(** Free pooled executor contexts per model, sorted by name.  After a
+    drain on a single-worker (or caller-runs) server, a symbolic model
+    holds exactly 1. *)
+
 val shared_weights : t -> model:string -> (string * Tensor.t) list
 (** The weights the server fixed at load time - what a reference solo
     execution must bind to reproduce served outputs. *)
@@ -108,7 +125,7 @@ val drain : t -> unit
 val shutdown : t -> unit
 (** Drain, stop the scheduler, join every worker.  Idempotent. *)
 
-type stats = Scheduler.stats = {
+type stats = {
   submitted : int;
   rejected : int;
   shed : int;
@@ -116,6 +133,13 @@ type stats = Scheduler.stats = {
   failed : int;
   degraded : int;
   batches : int;
+  padded_rows : int;
+      (** rows executed beyond real requests; continuous batching keeps
+          this at 0 - it is surfaced (rather than assumed) so any
+          regression shows up in every stats consumer *)
+  plan_compiles : int;
+      (** plan compiles performed at context checkout; one per
+          shape-polymorphic model in steady state *)
   outstanding : int;
   queue_depth : int;
   max_depth_seen : int;

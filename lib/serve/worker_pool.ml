@@ -1,16 +1,22 @@
 (* Domain worker pool: turns scheduled batches into outcomes.
 
    Each worker is an OCaml 5 domain looping on [Scheduler.next_batch].
-   Execution state is pooled per (model x bucket): a compiled executor
-   context is checked out for the duration of one batch and checked back
-   in afterwards, so steady-state serving does zero compilation and zero
-   plan-level allocation - only the numeric work.  Contexts are NOT
-   concurrent-safe (they reuse buffers across runs), hence the pool:
-   two workers serving the same (model, bucket) simultaneously each get
-   their own context, and the pool grows to the observed concurrency.
+   Execution state is pooled PER MODEL: a batchable builder compiles
+   once at [max_batch] into a shape-polymorphic context (the plan
+   carries its [Batch_axis.plan]), and every batch - whatever its size,
+   3 or 7 or 8 - executes on that one context via
+   [Executor.run_context ~batch:n] with zero padded rows and zero
+   recompilation.  Builders the batch-axis analysis rejects (batch axis
+   not outermost, batch-collapsing ops) fall back to fixed-extent
+   serving: one context per exact batch size, still zero padding.
+   Contexts are NOT concurrent-safe (they reuse buffers across runs),
+   hence the free lists: two workers serving the same model
+   simultaneously each get their own context, and the pool grows to the
+   observed concurrency - steady state for a single-worker (or
+   caller-runs) server is exactly one context per model.
 
    Compilation goes through the shared domain-safe [Session.cache], so
-   two workers racing to compile the same bucket duplicate at most the
+   two workers racing to compile the same model duplicate at most the
    planning work, never the cached artifact.
 
    Failure never takes the server down, and it never delivers corrupt
@@ -39,13 +45,25 @@ open Astitch_tensor
 open Astitch_runtime
 open Astitch_obs
 module Fault_site = Astitch_plan.Fault_site
+module Kernel_plan = Astitch_plan.Kernel_plan
+
+type mode =
+  | Symbolic of Batch_axis.plan
+      (** one context compiled at [max_batch] serves every size *)
+  | Fixed  (** one context per exact batch size *)
 
 type model_state = {
   spec : Batching.spec;
   shared : (string * Tensor.t) list;  (** weight bindings, fixed at load *)
-  mu : Mutex.t;  (** guards [contexts] *)
-  contexts : (int, Executor.context list ref) Hashtbl.t;
-      (** bucket -> free list *)
+  max_batch : int;
+  mu : Mutex.t;  (** guards [mode] and both free lists *)
+  mutable mode : mode;
+      (** decided at load from the batch-axis analysis; demoted to
+          [Fixed] if the compiled context can't rebind (e.g. a kernel
+          fell back to the reference path) *)
+  sym_ctxs : Executor.context list ref;  (** free shape-polymorphic ctxs *)
+  fixed_ctxs : (int, Executor.context list ref) Hashtbl.t;
+      (** exact batch size -> free list (fixed-extent fallback) *)
 }
 
 type worker_state = W_running | W_dead | W_stopped
@@ -87,8 +105,11 @@ type t = {
   n_restarts : int Atomic.t;
   n_quarantined : int Atomic.t;
   n_wedged : int Atomic.t;
+  n_padded : int Atomic.t;  (** padded rows executed; 0 by construction *)
+  n_compiles : int Atomic.t;  (** plan compiles performed at checkout *)
   m_batch_size : Metrics.histogram;
   m_padded : Metrics.counter;
+  m_compiles : Metrics.counter;
   m_batches : Metrics.counter;
   m_request_us : Metrics.histogram;
   m_verified : Metrics.counter;
@@ -110,67 +131,135 @@ let sup_locked pool f =
       Mutex.unlock pool.sup_mu;
       raise e
 
+let model_locked m f =
+  Mutex.lock m.mu;
+  match f () with
+  | v ->
+      Mutex.unlock m.mu;
+      v
+  | exception e ->
+      Mutex.unlock m.mu;
+      raise e
+
 (* --- Context pool -------------------------------------------------------- *)
 
-let free_list m bucket =
-  match Hashtbl.find_opt m.contexts bucket with
+(* A checked-out context plus how to return (or blame) it: [`Sym] leases
+   come from the per-model shape-polymorphic list, [`Fixed n] from the
+   exact-size free list of the fixed-extent fallback. *)
+type lease = { ctx : Executor.context; lkey : [ `Sym | `Fixed of int ] }
+
+let fixed_list m n =
+  match Hashtbl.find_opt m.fixed_ctxs n with
   | Some l -> l
   | None ->
       let l = ref [] in
-      Hashtbl.add m.contexts bucket l;
+      Hashtbl.add m.fixed_ctxs n l;
       l
 
-(* Check out a context for [bucket], compiling one if the free list is
-   empty.  Compilation happens OUTSIDE the model lock: two workers
-   racing on a cold bucket both compile (through the shared plan cache,
-   so the expensive half is shared) and both contexts join the pool. *)
-let checkout pool m bucket =
+let pop l =
+  match !l with
+  | ctx :: rest ->
+      l := rest;
+      Some ctx
+  | [] -> None
+
+let compile_for pool m ~batch =
+  let g = m.spec.Batching.build batch in
+  let result, outcome =
+    Session.compile_cached pool.cache Astitch_core.Astitch.full_backend
+      pool.arch g
+  in
+  (match outcome with
+  | Plan_cache.Miss | Plan_cache.Bypassed ->
+      Atomic.incr pool.n_compiles;
+      Metrics.inc pool.m_compiles
+  | Plan_cache.Hit -> ());
+  result
+
+(* Check out a context able to execute a batch of exactly [n] requests,
+   compiling one if the free list is empty.  Compilation happens
+   OUTSIDE the model lock: two workers racing on a cold model both
+   compile (through the shared plan cache, so the expensive half is
+   shared) and both contexts join the pool.
+
+   A Symbolic model compiles ONCE, at [max_batch], and the context
+   serves every [n] by prefix rebinding.  If the freshly created
+   context turns out non-rebindable - a kernel fell back to the
+   reference path, which re-derives values against the full compiled
+   shapes - the model is demoted to [Fixed] and the checkout retries
+   down that path. *)
+let rec checkout pool m ~n =
   let cached =
-    Mutex.lock m.mu;
-    let l = free_list m bucket in
-    let c =
-      match !l with
-      | ctx :: rest ->
-          l := rest;
-          Some ctx
-      | [] -> None
-    in
-    Mutex.unlock m.mu;
-    c
+    model_locked m (fun () ->
+        match m.mode with
+        | Symbolic _ ->
+            Option.map (fun ctx -> { ctx; lkey = `Sym }) (pop m.sym_ctxs)
+        | Fixed ->
+            Option.map
+              (fun ctx -> { ctx; lkey = `Fixed n })
+              (pop (fixed_list m n)))
   in
   match cached with
-  | Some ctx -> ctx
-  | None ->
-      let g = m.spec.Batching.build bucket in
-      let result, _outcome =
-        Session.compile_cached pool.cache Astitch_core.Astitch.full_backend
-          pool.arch g
-      in
-      Executor.create_context ~fused:pool.fused result.Session.plan
+  | Some lease -> lease
+  | None -> (
+      match model_locked m (fun () -> m.mode) with
+      | Symbolic pb ->
+          let result = compile_for pool m ~batch:m.max_batch in
+          let plan = { result.Session.plan with Kernel_plan.batch = Some pb } in
+          let ctx = Executor.create_context ~fused:pool.fused plan in
+          if Executor.rebindable ctx then { ctx; lkey = `Sym }
+          else begin
+            model_locked m (fun () -> m.mode <- Fixed);
+            checkout pool m ~n
+          end
+      | Fixed ->
+          let result = compile_for pool m ~batch:n in
+          let ctx =
+            Executor.create_context ~fused:pool.fused result.Session.plan
+          in
+          { ctx; lkey = `Fixed n })
 
-let checkin m bucket ctx =
-  Mutex.lock m.mu;
-  let l = free_list m bucket in
-  l := ctx :: !l;
-  Mutex.unlock m.mu
+let checkin m lease =
+  model_locked m (fun () ->
+      match lease.lkey with
+      | `Sym -> (
+          (* a demotion may have raced this lease; a symbolic context
+             under Fixed mode would never be popped again, so drop it *)
+          match m.mode with
+          | Symbolic _ -> m.sym_ctxs := lease.ctx :: !(m.sym_ctxs)
+          | Fixed -> ())
+      | `Fixed n ->
+          let l = fixed_list m n in
+          l := lease.ctx :: !l)
 
 (* A context a fault touched never rejoins the pool, and the plan it
    was compiled from is evicted from the shared cache: the next
-   checkout for this bucket recompiles from scratch instead of trusting
+   checkout for this model recompiles from scratch instead of trusting
    either the mutated execution state or the cached artifact behind it.
    (Contexts rewrite every buffer on each run, so this is deliberately
    conservative - the cost is one recompile, the alternative is ever
    having served numerics from a suspect context.) *)
-let quarantine pool m ~model ~bucket ctx =
-  ignore (ctx : Executor.context);
+let quarantine pool m ~model lease =
+  ignore (lease.ctx : Executor.context);
   Atomic.incr pool.n_quarantined;
   Metrics.inc pool.m_quarantine;
+  let compiled_at =
+    match lease.lkey with `Sym -> m.max_batch | `Fixed n -> n
+  in
   if Trace.enabled () then
     Trace.instant ~phase:"serve" "quarantine"
-      ~attrs:[ ("model", Trace.Str model); ("bucket", Trace.Int bucket) ];
+      ~attrs:
+        [ ("model", Trace.Str model); ("batch", Trace.Int compiled_at) ];
   ignore
     (Session.uncache pool.cache Astitch_core.Astitch.full_backend pool.arch
-       (m.spec.Batching.build bucket))
+       (m.spec.Batching.build compiled_at))
+
+(* Execute a lease at batch size [n]: symbolic contexts rebind to the
+   prefix, fixed contexts were compiled at exactly [n] already. *)
+let run_lease lease ~n params =
+  match lease.lkey with
+  | `Sym -> Executor.run_context ~batch:n lease.ctx ~params
+  | `Fixed _ -> Executor.run_context lease.ctx ~params
 
 (* --- Serving one batch --------------------------------------------------- *)
 
@@ -183,29 +272,42 @@ let bitwise_equal a b =
   go 0
 
 (* Bit-identity spot check: serve the batch's first request alone at
-   bucket 1 and compare against its slice of the batched outputs.  A
+   batch 1 and compare against its slice of the batched outputs.  A
    mismatch means a row-dependent builder slipped past analysis - that
    is a server bug, not a request failure, so it raises (and the batch
-   goes down the recovery path, which is trivially identical).  A solo
-   run that itself raises quarantines the verify context. *)
-let verify_first pool m ~model (req : Request.t) sliced =
-  let ctx = checkout pool m 1 in
-  match Executor.run_context ctx ~params:(m.shared @ req.params) with
-  | solo ->
-      checkin m 1 ctx;
-      if not (List.for_all2 bitwise_equal solo sliced) then
-        failwith "batched outputs diverge from solo execution";
-      Metrics.inc pool.m_verified
-  | exception e ->
-      quarantine pool m ~model ~bucket:1 ctx;
-      raise e
+   goes down the recovery path, which is trivially identical).  A
+   symbolic lease verifies on the SAME context rebound to batch 1 - the
+   polymorphism makes the check free of extra compilation; a fixed
+   lease checks out a batch-1 context (a solo run that raises
+   quarantines it). *)
+let verify_first pool m ~model (lease : lease) (req : Request.t) sliced =
+  let check solo =
+    if not (List.for_all2 bitwise_equal solo sliced) then
+      failwith "batched outputs diverge from solo execution";
+    Metrics.inc pool.m_verified
+  in
+  match lease.lkey with
+  | `Sym ->
+      check
+        (Executor.run_context ~batch:1 lease.ctx
+           ~params:(m.shared @ req.params))
+  | `Fixed _ -> (
+      let l1 = checkout pool m ~n:1 in
+      match run_lease l1 ~n:1 (m.shared @ req.params) with
+      | solo ->
+          checkin m l1;
+          check solo
+      | exception e ->
+          quarantine pool m ~model l1;
+          raise e)
 
-let complete_done pool t0 ~bucket ~degraded (req : Request.t) outputs =
+let complete_done pool t0 ~batch_size ~degraded (req : Request.t) outputs =
   let latency = now_us () -. req.submitted_us in
   ignore t0;
   Metrics.observe pool.m_request_us latency;
   Scheduler.complete pool.scheduler req.id
-    (Request.Done { outputs; latency_us = latency; batch = bucket; degraded })
+    (Request.Done
+       { outputs; latency_us = latency; batch = batch_size; degraded })
 
 (* The terminal rung: each request alone, batch 1, through the
    resilient compile ladder and the UN-instrumented [Executor.run].
@@ -226,7 +328,7 @@ let serve_fallback pool m (requests : Request.t list) =
             Executor.run result.Session.plan ~params:(m.shared @ req.params)
           with
           | outputs ->
-              complete_done pool 0. ~bucket:1 ~degraded:true req outputs
+              complete_done pool 0. ~batch_size:1 ~degraded:true req outputs
           | exception e ->
               Scheduler.complete pool.scheduler req.id
                 (Request.Failed (Printexc.to_string e))))
@@ -254,35 +356,39 @@ let serve_batch pool (batch : Scheduler.batch) =
   let seq = Atomic.fetch_and_add pool.batch_counter 1 in
   Metrics.inc pool.m_batches;
   Metrics.observe pool.m_batch_size (float_of_int n);
-  Metrics.add pool.m_padded (batch.bucket - n);
+  (* Continuous batching packs exactly [n] rows - symbolic contexts
+     rebind to the prefix, fixed ones compile at [n] - so the padded
+     count is 0 by construction.  The accounting stays wired to the
+     actual pack extent so any future padding would surface instead of
+     hiding. *)
+  let exec_rows = n in
+  Metrics.add pool.m_padded (exec_rows - n);
+  ignore (Atomic.fetch_and_add pool.n_padded (exec_rows - n));
   let attrs =
-    [
-      ("model", Trace.Str batch.model);
-      ("bucket", Trace.Int batch.bucket);
-      ("requests", Trace.Int n);
-    ]
+    [ ("model", Trace.Str batch.model); ("requests", Trace.Int n) ]
   in
   Trace.with_span ~attrs ~phase:"serve"
     (Printf.sprintf "batch:%s" batch.model) (fun () ->
-      (* The context is tracked outside the happy path so the failure
+      (* The lease is tracked outside the happy path so the failure
          handler knows whether there is one to quarantine. *)
       let held = ref None in
       match
-        let ctx = checkout pool m batch.bucket in
-        held := Some ctx;
+        let lease = checkout pool m ~n in
+        held := Some lease;
         (* Snapshot AFTER checkout: a compile-site fault firing during
-           a cold-bucket compile surfaces as a compile error, not as
+           a cold-model compile surfaces as a compile error, not as
            corrupt execution, and must not poison this batch. *)
         let fired0 = Fault_site.fired () in
         let packed =
-          Batching.pack m.spec ~batch:batch.bucket
+          Batching.pack m.spec ~batch:exec_rows
             (List.map (fun (r : Request.t) -> r.params) batch.requests)
         in
-        let outputs = Executor.run_context ctx ~params:(m.shared @ packed) in
+        let outputs = run_lease lease ~n (m.shared @ packed) in
         let per_request = Batching.unpack m.spec ~count:n outputs in
         (if pool.verify_every > 0 && seq mod pool.verify_every = 0 then
            match (batch.requests, per_request) with
-           | req :: _, sliced :: _ -> verify_first pool m ~model:batch.model req sliced
+           | req :: _, sliced :: _ ->
+               verify_first pool m ~model:batch.model lease req sliced
            | _ -> ());
         (* Corrupt-mode faults don't raise - they silently perturb
            numerics.  Any site that fired during this batch poisons it:
@@ -291,21 +397,20 @@ let serve_batch pool (batch : Scheduler.batch) =
            to solo execution. *)
         if Fault_site.fired () > fired0 then
           failwith "fault fired during batch execution";
-        checkin m batch.bucket ctx;
+        checkin m lease;
         held := None;
         per_request
       with
       | per_request ->
           List.iter2
             (fun req outs ->
-              complete_done pool 0. ~bucket:batch.bucket ~degraded:false req
-                outs)
+              complete_done pool 0. ~batch_size:n ~degraded:false req outs)
             batch.requests per_request;
           Scheduler.note_batch_result pool.scheduler ~model:batch.model
             ~ok:true
       | exception _ ->
           (match !held with
-          | Some ctx -> quarantine pool m ~model:batch.model ~bucket:batch.bucket ctx
+          | Some lease -> quarantine pool m ~model:batch.model lease
           | None -> ());
           Scheduler.note_batch_result pool.scheduler ~model:batch.model
             ~ok:false;
@@ -330,11 +435,11 @@ let worker_loop_fault () =
    every minor collection; batching and context reuse carry the win.
 
    [pump] serves every dispatchable batch on the calling domain,
-   sleeping out still-open batching windows, and returns once the
-   queue is empty.  During a drain the window is forced shut, so the
-   sleep branch never runs there.  A worker-loop fault here plays the
-   crashed-worker part without a domain to kill: the batch goes
-   straight to recovery. *)
+   parking out still-open batching windows on the scheduler's wake
+   pipe, and returns once the queue is empty.  During a drain the
+   window is forced shut, so the parked branch never runs there.  A
+   worker-loop fault here plays the crashed-worker part without a
+   domain to kill: the batch goes straight to recovery. *)
 let serve_or_recover pool b =
   if worker_loop_fault () then recover_requests pool b else serve_batch pool b
 
@@ -344,7 +449,7 @@ let rec pump pool =
       serve_or_recover pool b;
       pump pool
   | `Waiting ->
-      Unix.sleepf (Scheduler.poll_interval_s pool.scheduler);
+      Scheduler.wait_poll pool.scheduler;
       pump pool
   | `Empty -> ()
 
@@ -361,13 +466,13 @@ let await_pumping pool id =
             serve_or_recover pool b;
             go ()
         | `Waiting ->
-            Unix.sleepf (Scheduler.poll_interval_s pool.scheduler);
+            Scheduler.wait_poll pool.scheduler;
             go ()
         | `Empty ->
             if Scheduler.outstanding pool.scheduler = 0 then
               invalid_arg "Serve.await: unknown or already-consumed ticket"
             else begin
-              Unix.sleepf (Scheduler.poll_interval_s pool.scheduler);
+              Scheduler.wait_poll pool.scheduler;
               go ()
             end)
   in
@@ -549,8 +654,11 @@ let create ~scheduler ~models ~cache ~arch ~fused ~verify_every ~retry_budget
       n_restarts = Atomic.make 0;
       n_quarantined = Atomic.make 0;
       n_wedged = Atomic.make 0;
+      n_padded = Atomic.make 0;
+      n_compiles = Atomic.make 0;
       m_batch_size = Metrics.histogram r "serve.batch_size";
       m_padded = Metrics.counter r "serve.padded";
+      m_compiles = Metrics.counter r "serve.plan_compiles";
       m_batches = Metrics.counter r "serve.batches";
       m_request_us = Metrics.histogram r "serve.request_us";
       m_verified = Metrics.counter r "serve.verified";
@@ -594,15 +702,40 @@ let supervision pool =
     workers_alive = sup_locked pool (fun () -> workers_alive_locked pool);
   }
 
-(* Pre-compile the given buckets for every model so the first requests
-   don't pay compilation latency (the CLI does this before the clock
-   starts). *)
-let warm pool ~buckets =
+let padded_rows pool = Atomic.get pool.n_padded
+let plan_compiles pool = Atomic.get pool.n_compiles
+
+let context_counts pool =
+  Hashtbl.fold
+    (fun name m acc ->
+      let count =
+        model_locked m (fun () ->
+            List.length !(m.sym_ctxs)
+            + Hashtbl.fold
+                (fun _ l acc -> acc + List.length !l)
+                m.fixed_ctxs 0)
+      in
+      (name, count) :: acc)
+    pool.models []
+  |> List.sort compare
+
+(* Pre-compile every model so the first requests don't pay compilation
+   latency (the CLI does this before the clock starts).  A symbolic
+   model needs exactly its one max-batch context; a fixed-extent model
+   warms the two sizes every server hits (solo verification/retries and
+   full batches) - other sizes compile on first use. *)
+let warm pool =
   Hashtbl.iter
     (fun _ m ->
+      let sizes =
+        match model_locked m (fun () -> m.mode) with
+        | Symbolic _ -> [ m.max_batch ]
+        | Fixed ->
+            if m.max_batch = 1 then [ 1 ] else [ 1; m.max_batch ]
+      in
       List.iter
-        (fun bucket ->
-          let ctx = checkout pool m bucket in
-          checkin m bucket ctx)
-        buckets)
+        (fun n ->
+          let lease = checkout pool m ~n in
+          checkin m lease)
+        sizes)
     pool.models

@@ -2,9 +2,14 @@
     under supervision.
 
     Workers are OCaml 5 domains looping on [Scheduler.next_batch].
-    Executor contexts are pooled per (model x bucket) - contexts are not
-    concurrent-safe, so each is owned by one worker for the duration of
-    one batch.
+    Executor contexts are pooled PER MODEL: a batch-axis-analyzable
+    builder compiles once at [max_batch] into a shape-polymorphic
+    context that executes any batch size by prefix rebinding
+    ([Executor.run_context ~batch]) - zero padded rows, zero
+    recompilation.  Builders the analysis rejects fall back to
+    fixed-extent serving (one context per exact batch size, still
+    unpadded).  Contexts are not concurrent-safe, so each is owned by
+    one worker for the duration of one batch.
 
     A monitor domain restarts dead workers (exponential backoff) and
     steals batches from wedged ones (stale heartbeat past the wedge
@@ -14,14 +19,25 @@
     resilient per-request execution when the budget is spent.  The pool
     never crashes the server and never loses a request. *)
 
+open Astitch_ir
 open Astitch_tensor
 open Astitch_runtime
+
+type mode =
+  | Symbolic of Batch_axis.plan
+      (** one context compiled at [max_batch] serves every size *)
+  | Fixed  (** one context per exact batch size *)
 
 type model_state = {
   spec : Batching.spec;
   shared : (string * Tensor.t) list;  (** weight bindings, fixed at load *)
-  mu : Mutex.t;
-  contexts : (int, Executor.context list ref) Hashtbl.t;
+  max_batch : int;
+  mu : Mutex.t;  (** guards [mode] and both free lists *)
+  mutable mode : mode;
+      (** decided at load from [Batch_axis.analyze]; demoted to [Fixed]
+          if the compiled context can't rebind *)
+  sym_ctxs : Executor.context list ref;
+  fixed_ctxs : (int, Executor.context list ref) Hashtbl.t;
 }
 
 type t
@@ -52,9 +68,9 @@ val create :
 
 val pump : t -> unit
 (** Caller-runs mode: serve every dispatchable batch on the calling
-    domain (sleeping out open batching windows) until the queue is
-    empty.  Safe alongside worker domains too - it just competes for
-    batches. *)
+    domain (parking out open batching windows on the scheduler's wake
+    pipe) until the queue is empty.  Safe alongside worker domains too -
+    it just competes for batches. *)
 
 val await_pumping : t -> int -> Request.outcome
 (** Caller-runs [Scheduler.await]: pump batches on the calling domain
@@ -66,9 +82,24 @@ val join : t -> unit
 (** Block until the monitor and every worker exit.  Call after
     [Scheduler.shutdown]. *)
 
-val warm : t -> buckets:int list -> unit
-(** Pre-compile the given buckets for every model (hide compile latency
-    from the first requests). *)
+val warm : t -> unit
+(** Pre-compile every model (hide compile latency from the first
+    requests): one max-batch context for a symbolic model, batch-1 and
+    max-batch contexts for a fixed-extent one. *)
+
+val padded_rows : t -> int
+(** Padded rows executed so far.  Continuous batching packs every batch
+    at its exact size, so this reads 0; it stays wired to the actual
+    pack extent so any regression surfaces. *)
+
+val plan_compiles : t -> int
+(** Plan compiles performed at context checkout (shared-cache misses
+    and bypasses).  One per symbolic model in steady state. *)
+
+val context_counts : t -> (string * int) list
+(** Free pooled contexts per model, sorted by name - symbolic and
+    fixed-extent together.  A drained single-worker server holds
+    exactly 1 per symbolic model. *)
 
 type supervision = {
   restarts : int;  (** worker domains respawned after a death *)

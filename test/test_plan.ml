@@ -156,7 +156,7 @@ let test_check_catches_unavailable () =
   in
   let plan =
     { Kernel_plan.arch = Arch.v100; graph = g; kernels = [ k ];
-      memcpys = 0; memsets = 0; memcpy_bytes = 0 }
+      memcpys = 0; memsets = 0; memcpy_bytes = 0; batch = None }
   in
   (match Kernel_plan.check plan with
   | () -> Alcotest.fail "reading tanh before computing it must fail"
@@ -180,7 +180,7 @@ let test_check_catches_register_escape () =
   let k2 = { k1 with name = "k2"; ops = [ mk_op ~placement:Kernel_plan.Device_mem r (ew 4) ] } in
   let plan =
     { Kernel_plan.arch = Arch.v100; graph = g; kernels = [ k1; k2 ];
-      memcpys = 0; memsets = 0; memcpy_bytes = 0 }
+      memcpys = 0; memsets = 0; memcpy_bytes = 0; batch = None }
   in
   match Kernel_plan.check plan with
   | () -> Alcotest.fail "register value escaping its kernel must fail"
@@ -196,7 +196,7 @@ let test_check_catches_double_materialize () =
   let plan =
     { Kernel_plan.arch = Arch.v100; graph = g;
       kernels = [ mk "a" [ dev t 32 ]; mk "b" [ dev t 32 ]; mk "c" [ dev r 4 ] ];
-      memcpys = 0; memsets = 0; memcpy_bytes = 0 }
+      memcpys = 0; memsets = 0; memcpy_bytes = 0; batch = None }
   in
   match Kernel_plan.check plan with
   | () -> Alcotest.fail "double materialization must fail"
@@ -220,7 +220,7 @@ let test_check_barrier_required () =
   in
   let plan =
     { Kernel_plan.arch = Arch.v100; graph = g; kernels = [ k ];
-      memcpys = 0; memsets = 0; memcpy_bytes = 0 }
+      memcpys = 0; memsets = 0; memcpy_bytes = 0; batch = None }
   in
   (match Kernel_plan.check plan with
   | () -> Alcotest.fail "global scratch without barrier must fail"
@@ -261,7 +261,7 @@ let test_kernel_work () =
   in
   let plan =
     { Kernel_plan.arch = Arch.v100; graph = g; kernels = [ k ];
-      memcpys = 0; memsets = 0; memcpy_bytes = 0 }
+      memcpys = 0; memsets = 0; memcpy_bytes = 0; batch = None }
   in
   let w = Kernel_plan.kernel_work plan k in
   (* reads the 4x8 f32 parameter, writes the 4-element reduce result *)

@@ -84,7 +84,7 @@ let test_executor_rejects_bad_plan () =
   in
   let plan =
     { Kernel_plan.arch = Arch.v100; graph = g; kernels = [ k ];
-      memcpys = 0; memsets = 0; memcpy_bytes = 0 }
+      memcpys = 0; memsets = 0; memcpy_bytes = 0; batch = None }
   in
   match Executor.run plan ~params:[ ("x", Astitch_tensor.Tensor.ones (Shape.of_list [ 4 ])) ] with
   | _ -> Alcotest.fail "expected Execution_error"
@@ -253,7 +253,7 @@ let test_executor_kernel_order_enforced () =
   let plan =
     { Kernel_plan.arch = Arch.v100; graph = g;
       kernels = [ mk "second" r; mk "first" t ];
-      memcpys = 0; memsets = 0; memcpy_bytes = 0 }
+      memcpys = 0; memsets = 0; memcpy_bytes = 0; batch = None }
   in
   match
     Executor.run plan
@@ -331,6 +331,7 @@ let () =
                   memcpys = 0;
                   memsets = 0;
                   memcpy_bytes = 0;
+                  batch = None;
                 }
               in
               match

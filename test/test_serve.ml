@@ -4,7 +4,16 @@
    - [Batching.analyze] classifies per-request vs shared parameters and
      batch-carrying vs invariant outputs, and rejects builders that do
      not scale exactly one axis;
-   - pack/unpack is lossless and padding replicates the last request;
+   - pack/unpack is lossless at ANY batch size (primes included),
+     batch-invariant outputs are copied whole to every request, and
+     when padding is asked for it replicates the last request;
+   - symbolic batch extents: one plan compiled at max_batch rebinds to
+     every smaller size bit-identically to a fresh fixed-extent
+     compile (unit, zoo, and a qcheck property on random graphs);
+   - continuous batching end-to-end: odd-size bursts dispatch at
+     exactly their request count on one shape-polymorphic context -
+     zero padded rows, one plan compile - and a queue that reaches
+     max_batch wakes the worker without waiting out the window;
    - THE serving invariant: batched execution (including padded tail
      batches) is bit-identical to running every request alone - as a
      unit test on hand builders and every zoo workload at batch
@@ -22,6 +31,7 @@
 open Astitch_ir
 open Astitch_tensor
 open Astitch_simt
+open Astitch_plan
 open Astitch_runtime
 open Astitch_serve
 
@@ -175,6 +185,47 @@ let test_pack_rejects_bad_shape () =
   | exception Batching.Not_batchable _ -> ()
   | _ -> Alcotest.fail "wrong-shaped binding must be rejected"
 
+(* Continuous batching dispatches at exactly the request count, so
+   pack/unpack must be exact at ANY size - primes are the sizes a
+   pow-2 bucket scheme never exercised. *)
+let test_pack_unpack_primes () =
+  let spec = Batching.analyze (fun n -> mlp_build ~batch:n) in
+  let shared = Batching.random_shared spec ~seed:31 in
+  List.iter
+    (fun n ->
+      let reqs =
+        List.init n (fun i ->
+            Batching.random_request spec ~seed:((n * 100) + i))
+      in
+      let packed = Batching.pack spec ~batch:n reqs in
+      let x = List.assoc "x" packed in
+      check_bool
+        (Printf.sprintf "batch %d packs at exactly %d rows" n n)
+        true
+        (Shape.equal (Tensor.shape x) (Shape.of_list [ n; 6 ]));
+      let out = Interp.run (mlp_build ~batch:n) ~params:(shared @ packed) in
+      let sliced = Batching.unpack spec ~count:n out in
+      check_int (Printf.sprintf "batch %d unpacks %d results" n n) n
+        (List.length sliced);
+      (* the batch-invariant aux output (tanh of the shared weights) is
+         copied whole to every request, not sliced *)
+      let aux = List.nth out 1 in
+      List.iteri
+        (fun i outs ->
+          check_bool
+            (Printf.sprintf "batch %d request %d gets the invariant output" n i)
+            true
+            (bitwise_equal aux (List.nth outs 1)))
+        sliced;
+      List.iteri
+        (fun i req ->
+          let solo = Interp.run spec.base ~params:(shared @ req) in
+          check_outputs_identical
+            (Printf.sprintf "prime batch %d request %d" n i)
+            solo (List.nth sliced i))
+        reqs)
+    [ 3; 5; 7; 13 ]
+
 (* --- Bit-identity -------------------------------------------------------- *)
 
 (* Run [count] requests through the batched graph at [bucket] (padding
@@ -262,15 +313,114 @@ let test_zoo_batched_bit_identity () =
         reqs)
     Astitch_workloads.Zoo.all
 
-(* --- Batcher policy ------------------------------------------------------ *)
+(* --- Symbolic batch extents ---------------------------------------------- *)
 
-let test_batcher_buckets () =
-  let p = Batcher.policy ~max_batch:8 ~max_wait_us:1000. in
-  Alcotest.(check (list int)) "buckets" [ 1; 2; 4; 8 ] (Batcher.buckets p);
+(* Classify a builder family, compile the max-batch graph once with the
+   batch classification attached, and run every batch size 1..max on the
+   SAME context via [~batch] - each must be bit-identical to a fresh
+   fixed-extent compile at that size. *)
+let assert_symbolic_rebind ~what build ~max_batch =
+  let g1 = build ~batch:1 and g2 = build ~batch:2 in
+  let cls =
+    match Batch_axis.analyze ~g1 ~g2 with
+    | Ok cls -> cls
+    | Error m -> Alcotest.failf "%s: not symbolic: %s" what m
+  in
+  let gmax = build ~batch:max_batch in
+  (match Batch_axis.validate_at cls ~base:g1 ~at:gmax ~batch:max_batch with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "%s: classification invalid at max: %s" what m);
+  let plan =
+    {
+      (Astitch_core.Astitch.compile Arch.v100 gmax) with
+      Kernel_plan.batch = Some { Batch_axis.max_batch; cls };
+    }
+  in
+  let ctx = Astitch_runtime.Executor.create_context plan in
+  check_bool (what ^ ": context rebindable") true
+    (Astitch_runtime.Executor.rebindable ctx);
+  let spec = Batching.analyze (fun n -> build ~batch:n) in
+  let shared = Batching.random_shared spec ~seed:77 in
+  for b = 1 to max_batch do
+    let reqs = List.init b (fun i -> Batching.random_request spec ~seed:i) in
+    let packed = Batching.pack spec ~batch:b reqs in
+    let params = shared @ packed in
+    let rebound =
+      Astitch_runtime.Executor.run_context ~batch:b ctx ~params
+    in
+    let fresh_plan = Astitch_core.Astitch.compile Arch.v100 (build ~batch:b) in
+    let fresh = Astitch_runtime.Executor.run fresh_plan ~params in
+    check_outputs_identical
+      (Printf.sprintf "%s batch %d rebound = fresh compile" what b)
+      fresh rebound
+  done
+
+let test_symbolic_rebind_mlp () =
+  assert_symbolic_rebind ~what:"mlp" mlp_build ~max_batch:8
+
+let test_symbolic_rebind_zoo () =
   List.iter
-    (fun (n, want) ->
-      check_int (Printf.sprintf "bucket of %d" n) want (Batcher.bucket p n))
-    [ (1, 1); (2, 2); (3, 4); (4, 4); (5, 8); (8, 8); (9, 8); (100, 8) ]
+    (fun (e : Astitch_workloads.Zoo.entry) ->
+      let g1 = e.batched ~batch:1 and g2 = e.batched ~batch:2 in
+      match Batch_axis.analyze ~g1 ~g2 with
+      | Ok _ -> assert_symbolic_rebind ~what:e.name e.batched ~max_batch:8
+      | Error _ ->
+          (* not prefix-executable: the serving layer uses fixed-extent
+             compilation for these; nothing to assert here *)
+          ())
+    Astitch_workloads.Zoo.all
+
+let prop_symbolic_rebind_random =
+  QCheck2.Test.make
+    ~name:"symbolic rebinding = fresh fixed-extent compile on random graphs"
+    ~count:25
+    QCheck2.Gen.(pair (int_range 0 5_000) (int_range 2 8))
+    (fun (seed, max_batch) ->
+      let build = random_batchable ~seed in
+      assert_symbolic_rebind
+        ~what:(Printf.sprintf "random(seed=%d)" seed)
+        build ~max_batch;
+      true)
+
+let test_thread_mapping_rebind () =
+  let open Thread_mapping in
+  (* elementwise: elements shrink exactly, grid follows *)
+  (match
+     rebind (Elementwise { elements = 800; block = 100; grid = 8; rows = None })
+       ~num:3 ~den:8
+   with
+  | Elementwise { elements = 300; block = 100; grid = 3; rows = None } -> ()
+  | m -> Alcotest.failf "elementwise rebind wrong: %s" (to_string m));
+  (* row reduce: rows shrink, block geometry (packing, split) is kept *)
+  (match
+     rebind
+       (Row_reduce
+          { rows = 64; row_length = 128; threads_per_row = 32;
+            rows_per_block = 4; row_groups_per_block = 2; split = 1 })
+       ~num:5 ~den:8
+   with
+  | Row_reduce
+      { rows = 40; row_length = 128; threads_per_row = 32; rows_per_block = 4;
+        row_groups_per_block = 2; split = 1 } ->
+      ()
+  | m -> Alcotest.failf "row-reduce rebind wrong: %s" (to_string m));
+  (* column reduce: independent-reduction count shrinks *)
+  (match
+     rebind
+       (Column_reduce { rows = 16; row_length = 32; block = 128; grid = 4 })
+       ~num:1 ~den:8
+   with
+  | Column_reduce { rows = 2; row_length = 32; block = 128; grid = 1 } -> ()
+  | m -> Alcotest.failf "column-reduce rebind wrong: %s" (to_string m));
+  (* never collapses to zero work *)
+  match
+    rebind (Elementwise { elements = 4; block = 256; grid = 1; rows = None })
+      ~num:1 ~den:8
+  with
+  | Elementwise { elements = 1; _ } -> ()
+  | m -> Alcotest.failf "tiny rebind wrong: %s" (to_string m)
+
+(* --- Batcher policy ------------------------------------------------------ *)
 
 let test_batcher_decisions () =
   let p = Batcher.policy ~max_batch:4 ~max_wait_us:1000. in
@@ -350,6 +500,7 @@ let test_serve_end_to_end () =
       check_int "nothing shed" 0 s.shed;
       check_int "nothing failed" 0 s.failed;
       check_int "nothing outstanding" 0 s.outstanding;
+      check_int "no padded rows" 0 s.padded_rows;
       check_bool "batching actually happened" true (s.batches <= n))
 
 let test_serve_weights_match_spec () =
@@ -421,6 +572,91 @@ let test_caller_runs_mode () =
       let s = Serve.stats server in
       check_int "all completed" (n + 1) s.completed;
       check_bool "backlog was batched" true (s.batches < n + 1))
+
+let test_continuous_exact_batches () =
+  (* Odd burst sizes through a caller-runs server with an hour-long
+     window: drain dispatches each burst as ONE batch at exactly its
+     request count.  One shape-polymorphic context serves all of them -
+     zero padded rows, one plan compile, pool size 1. *)
+  let config =
+    serve_config ~workers:0 ~max_batch:7 ~max_wait_us:3.6e9 ()
+  in
+  let server = Serve.create ~config [ mlp_model ] in
+  Fun.protect
+    ~finally:(fun () -> Serve.shutdown server)
+    (fun () ->
+      check_bool "mlp is shape-polymorphic" true
+        (Serve.symbolic server ~model:"mlp");
+      List.iter
+        (fun n ->
+          let tickets =
+            List.init n (fun i ->
+                match
+                  Serve.submit_async server ~model:"mlp"
+                    ~params:
+                      (Serve.random_request server ~model:"mlp"
+                         ~seed:((n * 10) + i))
+                with
+                | Ok t -> t
+                | Error o ->
+                    Alcotest.failf "refused: %s" (Request.overload_to_string o))
+          in
+          Serve.drain server;
+          List.iter
+            (fun t ->
+              match Serve.poll server t with
+              | Some (Request.Done { batch; _ }) ->
+                  check_int
+                    (Printf.sprintf "burst of %d dispatched at exactly %d" n n)
+                    n batch
+              | _ -> Alcotest.failf "burst of %d: request not completed" n)
+            tickets)
+        [ 3; 5; 7; 1 ];
+      let s = Serve.stats server in
+      check_int "zero padded rows" 0 s.padded_rows;
+      check_int "one plan compile for the symbolic model" 1 s.plan_compiles;
+      check_int "each burst was one batch" 4 s.batches;
+      match Serve.context_pool_sizes server with
+      | [ ("mlp", 1) ] -> ()
+      | sizes ->
+          Alcotest.failf "expected one pooled context, got [%s]"
+            (String.concat "; "
+               (List.map (fun (m, c) -> Printf.sprintf "%s:%d" m c) sizes)))
+
+let test_full_batch_dispatches_immediately () =
+  (* An hour-long batching window, but the queue reaches max_batch: the
+     submit-side wake must rouse the parked worker and dispatch NOW -
+     awaits complete in poll-tick time, not window time. *)
+  let config =
+    serve_config ~workers:1 ~max_batch:4 ~max_wait_us:3.6e9 ()
+  in
+  let server = Serve.create ~config [ mlp_model ] in
+  Fun.protect
+    ~finally:(fun () -> Serve.shutdown server)
+    (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let tickets =
+        List.init 4 (fun i ->
+            match
+              Serve.submit_async server ~model:"mlp"
+                ~params:(Serve.random_request server ~model:"mlp" ~seed:i)
+            with
+            | Ok t -> t
+            | Error _ -> Alcotest.fail "empty queue refused a request")
+      in
+      List.iter
+        (fun t ->
+          match Serve.await server t with
+          | Request.Done _ -> ()
+          | _ -> Alcotest.fail "full batch must be served")
+        tickets;
+      let elapsed = Unix.gettimeofday () -. t0 in
+      check_bool
+        (Printf.sprintf "full batch served without the window (%.3fs)" elapsed)
+        true (elapsed < 2.);
+      let s = Serve.stats server in
+      check_int "one batch of four" 1 s.batches;
+      check_int "no padding" 0 s.padded_rows)
 
 let test_admission_control () =
   (* max_batch 8 with only 4 queue slots and an hour-long window: the
@@ -904,6 +1140,8 @@ let () =
             test_pack_pads_with_last;
           Alcotest.test_case "pack rejects bad shapes" `Quick
             test_pack_rejects_bad_shape;
+          Alcotest.test_case "pack/unpack exact at prime batch sizes" `Quick
+            test_pack_unpack_primes;
         ] );
       ( "bit-identity",
         [
@@ -915,9 +1153,18 @@ let () =
           Alcotest.test_case "zoo padded batches slice back identical" `Quick
             test_zoo_batched_bit_identity;
         ] );
+      ( "symbolic-batch",
+        [
+          Alcotest.test_case "mlp rebind = fresh compile at 1..8" `Quick
+            test_symbolic_rebind_mlp;
+          Alcotest.test_case "zoo symbolic workloads rebind identically" `Quick
+            test_symbolic_rebind_zoo;
+          QCheck_alcotest.to_alcotest prop_symbolic_rebind_random;
+          Alcotest.test_case "thread-mapping rebind geometry" `Quick
+            test_thread_mapping_rebind;
+        ] );
       ( "batcher",
         [
-          Alcotest.test_case "bucket quantization" `Quick test_batcher_buckets;
           Alcotest.test_case "dispatch decisions" `Quick test_batcher_decisions;
         ] );
       ( "server",
@@ -928,6 +1175,10 @@ let () =
             test_serve_weights_match_spec;
           Alcotest.test_case "caller-runs mode (workers = 0)" `Quick
             test_caller_runs_mode;
+          Alcotest.test_case "continuous batching: exact odd-size batches"
+            `Quick test_continuous_exact_batches;
+          Alcotest.test_case "full batch wakes the worker immediately" `Quick
+            test_full_batch_dispatches_immediately;
           Alcotest.test_case "admission control refuses past the bound" `Quick
             test_admission_control;
           Alcotest.test_case "deadline shedding" `Quick test_deadline_shedding;

@@ -28,7 +28,7 @@ let mk_kernel ?(barriers = 0) name ops =
 
 let mk_plan g kernels =
   { Kernel_plan.arch = Arch.v100; graph = g; kernels;
-    memcpys = 0; memsets = 0; memcpy_bytes = 0 }
+    memcpys = 0; memsets = 0; memcpy_bytes = 0; batch = None }
 
 (* x --tanh--> t --neg--> r, all 1024 floats (4KB each) *)
 let chain_graph () =
