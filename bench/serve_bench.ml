@@ -64,6 +64,9 @@ type row = {
   lat_p50_us : float;
   lat_p95_us : float;
   lat_p99_us : float;
+  phases : (string * float * float * float) list;
+      (** lifecycle-phase latency decomposition, [(phase, p50, p95, p99)]
+          in pipeline order - queue, batch_wait, pack, exec, unpack *)
 }
 
 (* The sequential leg: the same graphs, weights and request payloads the
@@ -154,6 +157,18 @@ let bench_workload ~requests ~workers ~max_batch
   let lat_p50_us = Astitch_obs.Metrics.quantile h 0.50
   and lat_p95_us = Astitch_obs.Metrics.quantile h 0.95
   and lat_p99_us = Astitch_obs.Metrics.quantile h 0.99 in
+  (* the per-phase decomposition captured during the serve leg (the
+     registry was reset just before it, so these are this workload's) *)
+  let phases =
+    List.map
+      (fun phase ->
+        let h =
+          Astitch_obs.Metrics.histogram reg ("serve." ^ phase ^ "_us")
+        in
+        let q p = Astitch_obs.Metrics.quantile h p in
+        (phase, q 0.50, q 0.95, q 0.99))
+      [ "queue"; "batch_wait"; "pack"; "exec"; "unpack" ]
+  in
   let mean_batch =
     Astitch_obs.Metrics.hist_mean
       (Astitch_obs.Metrics.histogram reg "serve.batch_size")
@@ -192,6 +207,7 @@ let bench_workload ~requests ~workers ~max_batch
     lat_p50_us;
     lat_p95_us;
     lat_p99_us;
+    phases;
   }
 
 (* --- Continuous-batching leg --------------------------------------------- *)
@@ -344,7 +360,17 @@ let write_json ~path ~quick rows =
       p "      \"symbolic\": %b,\n" r.symbolic;
       p "      \"latency_p50_us\": %.1f,\n" r.lat_p50_us;
       p "      \"latency_p95_us\": %.1f,\n" r.lat_p95_us;
-      p "      \"latency_p99_us\": %.1f\n" r.lat_p99_us;
+      p "      \"latency_p99_us\": %.1f,\n" r.lat_p99_us;
+      p "      \"phases\": {\n";
+      List.iteri
+        (fun j (phase, p50, p95, p99) ->
+          p
+            "        \"%s\": { \"p50_us\": %.1f, \"p95_us\": %.1f, \
+             \"p99_us\": %.1f }%s\n"
+            phase p50 p95 p99
+            (if j = List.length r.phases - 1 then "" else ","))
+        r.phases;
+      p "      }\n";
       p "    }%s\n" (if i = List.length rows - 1 then "" else ","))
     rows;
   p "  ]\n";

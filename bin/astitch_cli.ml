@@ -700,6 +700,123 @@ let validate_serve_trace path =
   if List.mem "serve" cats then Ok (List.length events)
   else Error "no serve-phase batch span in the trace"
 
+(* An incident dump is a self-contained Chrome trace whose trigger event
+   rides inside: require valid JSON, a traceEvents array, and at least
+   one phase-"incident" instant (the marker [Flight.incident] emits). *)
+let validate_incident_dump path =
+  let ( let* ) = Result.bind in
+  let module J = Astitch_obs.Json_check in
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let* root = J.parse text in
+  let* events =
+    match Option.bind (J.member "traceEvents" root) J.as_arr with
+    | Some evs -> Ok evs
+    | None -> Error (path ^ ": no traceEvents array")
+  in
+  if
+    List.exists
+      (fun ev ->
+        Option.bind (J.member "cat" ev) J.as_str = Some "incident")
+      events
+  then Ok ()
+  else Error (path ^ ": no incident marker event in the dump")
+
+let write_serve_stats_json ~path server ~rejected =
+  let module Serve = Astitch_serve.Serve in
+  let module Flight = Astitch_obs.Flight in
+  let s = Serve.stats server in
+  let sup = Serve.supervision server in
+  let d = Serve.disposition server in
+  let obj fields = "{" ^ String.concat "," fields ^ "}" in
+  let num name v = Printf.sprintf "\"%s\":%d" name v in
+  let flt name v = Printf.sprintf "\"%s\":%.3f" name v in
+  let str name v = Printf.sprintf "\"%s\":\"%s\"" name v in
+  let phase_row (r : Serve.phase_latency) =
+    obj
+      [
+        str "phase" r.phase; num "count" r.count; flt "mean_us" r.mean_us;
+        flt "p50_us" r.p50_us; flt "p95_us" r.p95_us; flt "p99_us" r.p99_us;
+        flt "max_us" r.max_us;
+      ]
+  in
+  let doc =
+    obj
+      [
+        str "schema" "astitch-serve-stats-v1";
+        "\"stats\":"
+        ^ obj
+            [
+              num "submitted" s.submitted; num "rejected" rejected;
+              num "shed" s.shed; num "completed" s.completed;
+              num "failed" s.failed; num "degraded" s.degraded;
+              num "batches" s.batches; num "padded_rows" s.padded_rows;
+              num "plan_compiles" s.plan_compiles;
+              num "outstanding" s.outstanding;
+              num "queue_depth" s.queue_depth;
+              num "max_depth_seen" s.max_depth_seen;
+              num "retried" s.retried; num "duplicates" s.duplicates;
+              num "breaker_opens" s.breaker_opens;
+              num "breaker_closes" s.breaker_closes;
+            ];
+        "\"supervision\":"
+        ^ obj
+            [
+              num "restarts" sup.Serve.restarts;
+              num "quarantined" sup.Serve.quarantined;
+              num "wedged" sup.Serve.wedged;
+              num "workers_alive" sup.Serve.workers_alive;
+            ];
+        "\"disposition\":"
+        ^ obj
+            [
+              num "served" d.Serve.served; num "degraded" d.Serve.d_degraded;
+              num "failed" d.Serve.d_failed;
+              num "overloaded" d.Serve.overloaded;
+              num "rejected" d.Serve.d_rejected; num "lost" d.Serve.lost;
+            ];
+        "\"phases\":["
+        ^ String.concat "," (List.map phase_row (Serve.latency_breakdown ()))
+        ^ "]";
+        "\"flight\":"
+        ^ obj
+            [
+              num "dumps" (List.length (Flight.dump_paths ()));
+              num "suppressed" (Flight.suppressed ());
+            ];
+      ]
+  in
+  let oc = open_out path in
+  output_string oc doc;
+  output_char oc '\n';
+  close_out oc
+
+(* The p99 "blame" table: which lifecycle phase owns the tail.  The
+   share column uses phase totals (mean x count), which - unlike
+   quantiles - are additive and sum to the end-to-end total. *)
+let print_blame_table () =
+  let module Serve = Astitch_serve.Serve in
+  let rows = Serve.latency_breakdown () in
+  let e2e_total =
+    List.fold_left
+      (fun acc (r : Serve.phase_latency) ->
+        if r.phase = "request" then r.mean_us *. float_of_int r.count else acc)
+      0. rows
+  in
+  Printf.printf "p99 blame (per lifecycle phase):\n";
+  Printf.printf "  %-10s %7s %9s %9s %9s %9s %9s %7s\n" "phase" "n" "mean_us"
+    "p50_us" "p95_us" "p99_us" "max_us" "share";
+  List.iter
+    (fun (r : Serve.phase_latency) ->
+      let share =
+        if e2e_total <= 0. then 0.
+        else 100. *. r.mean_us *. float_of_int r.count /. e2e_total
+      in
+      Printf.printf "  %-10s %7d %9.1f %9.0f %9.0f %9.0f %9.0f %6.1f%%\n"
+        r.phase r.count r.mean_us r.p50_us r.p95_us r.p99_us r.max_us share)
+    rows
+
 let resolve_serve_models names =
   let names = if names = [] then [ "ASR"; "DIEN" ] else names in
   List.fold_left
@@ -732,7 +849,7 @@ let chaos_plans seed =
 
 let serve_cmd_impl models workers max_batch max_wait_us queue_depth requests
     arrival deadline_us verify_every seed arch fused trace metrics chaos
-    injects retry_budget breaker_threshold check =
+    injects retry_budget breaker_threshold check blame stats_json recorder =
   match resolve_serve_models models with
   | Error e -> `Error (false, e)
   | Ok models -> (
@@ -745,9 +862,17 @@ let serve_cmd_impl models workers max_batch max_wait_us queue_depth requests
       with_arch arch (fun arch ->
           let module Serve = Astitch_serve.Serve in
           let module Request = Astitch_serve.Request in
+          let module Flight = Astitch_obs.Flight in
           let with_plans f =
             if fault_plans = [] then f () else Fault.with_faults fault_plans f
           in
+          (match recorder with
+          | None -> ()
+          | Some dir ->
+              (try Unix.mkdir dir 0o755
+               with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+              Flight.arm ~dir ();
+              Printf.printf "flight recorder: armed -> %s\n%!" dir);
           let result =
             with_obs ~trace ~metrics (fun () ->
             with_plans (fun () ->
@@ -869,9 +994,30 @@ let serve_cmd_impl models workers max_batch max_wait_us queue_depth requests
                 Printf.printf "latency us:    %s\n" (hist_line "serve.request_us");
                 Printf.printf "queue wait us: %s\n"
                   (hist_line "serve.queue_wait_us");
+                if blame then print_blame_table ();
+                (match stats_json with
+                | None -> ()
+                | Some path ->
+                    write_serve_stats_json ~path server ~rejected:!rejected;
+                    Printf.printf "stats json -> %s\n" path);
                 (!done_n, !failed, !shed, !rejected, s.padded_rows)))
           in
           let done_n, failed, shed, rejected, padded_rows = result in
+          let dumps =
+            match recorder with
+            | None -> []
+            | Some _ ->
+                let ps = Flight.dump_paths () in
+                let sup = Flight.suppressed () in
+                Flight.disarm ();
+                Printf.printf "flight recorder: %d incident dump%s%s\n"
+                  (List.length ps)
+                  (if List.length ps = 1 then "" else "s")
+                  (if sup = 0 then ""
+                   else Printf.sprintf " (%d suppressed past the limit)" sup);
+                List.iter (fun p -> Printf.printf "  %s\n" p) ps;
+                ps
+          in
           if not check then `Ok ()
           else
             let accounted = done_n + failed + shed + rejected in
@@ -896,13 +1042,45 @@ let serve_cmd_impl models workers max_batch max_wait_us queue_depth requests
                 | None -> Ok 0
                 | Some path -> validate_serve_trace path
               in
-              match trace_ok with
-              | Error e -> `Error (false, "check: trace invalid: " ^ e)
-              | Ok events ->
+              let dumps_ok =
+                List.fold_left
+                  (fun acc p -> Result.bind acc (fun () -> validate_incident_dump p))
+                  (Ok ()) dumps
+              in
+              let stats_json_ok =
+                match stats_json with
+                | None -> Ok ()
+                | Some path -> (
+                    let ic = open_in path in
+                    let text =
+                      really_input_string ic (in_channel_length ic)
+                    in
+                    close_in ic;
+                    let module J = Astitch_obs.Json_check in
+                    match J.parse text with
+                    | Error e -> Error (path ^ ": " ^ e)
+                    | Ok root ->
+                        if
+                          Option.bind (J.member "schema" root) J.as_str
+                          = Some "astitch-serve-stats-v1"
+                        then Ok ()
+                        else Error (path ^ ": missing/wrong schema field"))
+              in
+              match (trace_ok, dumps_ok, stats_json_ok) with
+              | Error e, _, _ -> `Error (false, "check: trace invalid: " ^ e)
+              | _, Error e, _ ->
+                  `Error (false, "check: incident dump invalid: " ^ e)
+              | _, _, Error e ->
+                  `Error (false, "check: stats json invalid: " ^ e)
+              | Ok events, Ok (), Ok () ->
                   Printf.printf
-                    "check: OK (%d completed, 0 failed%s)\n" done_n
+                    "check: OK (%d completed, 0 failed%s%s)\n" done_n
                     (if trace = None then ""
-                     else Printf.sprintf ", %d trace events" events);
+                     else Printf.sprintf ", %d trace events" events)
+                    (if dumps = [] then ""
+                     else
+                       Printf.sprintf ", %d incident dumps valid"
+                         (List.length dumps));
                   `Ok ()))
 
 (* --- Command wiring ----------------------------------------------------------- *)
@@ -1138,6 +1316,30 @@ let serve_cmd =
            ~doc:"Consecutive batch failures that open a model's circuit \
                  breaker (0 disables breakers).")
   in
+  let blame_arg =
+    Arg.(value & flag
+         & info [ "blame" ]
+             ~doc:"Print the tail-latency blame table: per-lifecycle-phase \
+                   (queue, batch wait, pack, exec, unpack) latency \
+                   quantiles and each phase's share of total end-to-end \
+                   time.")
+  in
+  let stats_json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "stats-json" ] ~docv:"FILE"
+             ~doc:"Write the final serving statistics (counters, \
+                   supervision, request disposition, per-phase latency \
+                   percentiles) as a JSON document.")
+  in
+  let recorder_arg =
+    Arg.(value & opt (some string) None
+         & info [ "recorder" ] ~docv:"DIR"
+             ~doc:"Arm the black-box flight recorder: a bounded per-domain \
+                   ring of recent lifecycle events, dumped into DIR as a \
+                   Chrome-trace file whenever an incident fires (batch \
+                   failure, quarantine, breaker open, worker death, wedge \
+                   steal).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the batched serving runtime under a synthetic open-loop \
@@ -1148,7 +1350,8 @@ let serve_cmd =
        $ max_wait_arg $ queue_depth_arg $ requests_arg $ arrival_arg
        $ deadline_arg $ verify_arg $ seed_arg $ arch_arg $ fused_arg
        $ trace_arg $ metrics_arg $ chaos_arg $ inject_arg
-       $ retry_budget_arg $ breaker_arg $ check_arg))
+       $ retry_budget_arg $ breaker_arg $ check_arg $ blame_arg
+       $ stats_json_arg $ recorder_arg))
 
 let main =
   Cmd.group

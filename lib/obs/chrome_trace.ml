@@ -91,6 +91,28 @@ let add_record b = function
       Buffer.add_string b ",\"args\":";
       add_args b [] e.Trace.eattrs;
       Buffer.add_char b '}'
+  | Trace.Flow f ->
+      (* Flow arrows: same name/cat/id joins a chain; "f" binds to the
+         enclosing slice ("bp":"e") so the arrow lands inside the span
+         where the request completed. *)
+      Buffer.add_string b "{\"name\":";
+      add_str b f.Trace.fname;
+      Buffer.add_string b ",\"cat\":";
+      add_str b f.Trace.fphase;
+      Buffer.add_string b ",\"ph\":";
+      Buffer.add_string b
+        (match f.Trace.fdir with
+        | Trace.Flow_start -> "\"s\""
+        | Trace.Flow_step -> "\"t\""
+        | Trace.Flow_end -> "\"f\",\"bp\":\"e\"");
+      Buffer.add_string b ",\"id\":";
+      Buffer.add_string b (string_of_int f.Trace.fid);
+      Buffer.add_string b ",\"pid\":1,\"tid\":";
+      Buffer.add_string b (string_of_int f.Trace.fdomain);
+      Buffer.add_string b (Printf.sprintf ",\"ts\":%.3f" (us f.Trace.fts_ns));
+      Buffer.add_string b ",\"args\":";
+      add_args b [] f.Trace.fattrs;
+      Buffer.add_char b '}'
 
 let to_buffer b ?(process_name = "astitch") (records : Trace.record list) =
   Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";

@@ -1,0 +1,32 @@
+(** Black-box flight-recorder dumps.
+
+    The bounded per-domain ring itself is {!Trace}'s recorder sink; this
+    module owns the dump policy.  [arm ~dir ()] installs the recorder
+    and directs incident dumps into [dir]; from then on every
+    {!incident} emits a phase-["incident"] instant (so the trigger is
+    inside its own dump) and snapshots the ring into a self-contained
+    Chrome-trace file [incident-NNN-<reason>.json].  A dump [limit]
+    (default 32) bounds file spam under chaos; suppressed incidents are
+    counted.  All state is global, like the recorder sink - incident
+    sites live deep inside the scheduler and worker pool. *)
+
+val arm : ?capacity:int -> ?limit:int -> dir:string -> unit -> unit
+(** Install the recorder ring ([capacity] per domain, default 4096) and
+    enable dumps into [dir], which must already exist.  Resets the dump
+    sequence, suppression counter and path list. *)
+
+val disarm : unit -> unit
+(** Disable dumps and uninstall the recorder ring. *)
+
+val armed : unit -> bool
+
+val incident : ?attrs:Trace.attrs -> reason:string -> unit -> string option
+(** Record an incident: emits the marker instant (even when only a trace
+    sink is installed), then - if armed and under the limit - dumps the
+    recorder to a fresh file and returns its path. *)
+
+val dump_paths : unit -> string list
+(** Paths written since {!arm}, oldest first. *)
+
+val suppressed : unit -> int
+(** Incidents that produced no dump because the limit was reached. *)

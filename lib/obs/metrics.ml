@@ -26,6 +26,8 @@ type histogram = {
   buckets : int Atomic.t array;
   hcount : int Atomic.t;
   sum_milli : int Atomic.t; (* fixed-point sum, 1/1000 units *)
+  min_milli : int Atomic.t; (* exact extrema (CAS), not bucket-rounded; *)
+  max_milli : int Atomic.t; (* max_int / min_int = "no finite sample yet" *)
 }
 
 type metric = C of counter | G of gauge | H of histogram
@@ -87,6 +89,8 @@ let histogram t name =
           buckets = Array.init nbuckets (fun _ -> Atomic.make 0);
           hcount = Atomic.make 0;
           sum_milli = Atomic.make 0;
+          min_milli = Atomic.make max_int;
+          max_milli = Atomic.make min_int;
         })
     (function H h -> Some h | _ -> None)
 
@@ -105,15 +109,34 @@ let bucket_value i =
   if i = 0 then 0.
   else Float.exp (log_gamma *. (float_of_int (i - offset) +. 0.5))
 
+let rec cas_min a v =
+  let cur = Atomic.get a in
+  if v < cur && not (Atomic.compare_and_set a cur v) then cas_min a v
+
+let rec cas_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then cas_max a v
+
 let observe h v =
   ignore (Atomic.fetch_and_add h.buckets.(bucket_index v) 1);
   ignore (Atomic.fetch_and_add h.hcount 1);
   (* NaN/infinite observations land in an edge bucket above; keep them
-     out of the fixed-point sum too (int_of_float nan is unspecified). *)
-  let milli =
-    if Float.is_finite v then int_of_float (Float.round (v *. 1000.)) else 0
-  in
-  ignore (Atomic.fetch_and_add h.sum_milli milli)
+     out of the fixed-point sum and extrema too (int_of_float nan is
+     unspecified). *)
+  if Float.is_finite v then begin
+    let milli = int_of_float (Float.round (v *. 1000.)) in
+    ignore (Atomic.fetch_and_add h.sum_milli milli);
+    cas_min h.min_milli milli;
+    cas_max h.max_milli milli
+  end
+
+let hist_min h =
+  let m = Atomic.get h.min_milli in
+  if m = max_int then 0. else float_of_int m /. 1000.
+
+let hist_max h =
+  let m = Atomic.get h.max_milli in
+  if m = min_int then 0. else float_of_int m /. 1000.
 
 let hist_count h = Atomic.get h.hcount
 let hist_sum h = float_of_int (Atomic.get h.sum_milli) /. 1000.
@@ -153,6 +176,9 @@ type sample =
       name : string;
       n : int;
       total : float;
+      mean : float;
+      min : float;
+      max : float;
       p50 : float;
       p95 : float;
       p99 : float;
@@ -176,6 +202,9 @@ let snapshot t =
                  name;
                  n = hist_count h;
                  total = hist_sum h;
+                 mean = hist_mean h;
+                 min = hist_min h;
+                 max = hist_max h;
                  p50 = quantile h 0.5;
                  p95 = quantile h 0.95;
                  p99 = quantile h 0.99;
@@ -192,7 +221,9 @@ let reset t =
       | H h ->
           Array.iter (fun b -> Atomic.set b 0) h.buckets;
           Atomic.set h.hcount 0;
-          Atomic.set h.sum_milli 0)
+          Atomic.set h.sum_milli 0;
+          Atomic.set h.min_milli max_int;
+          Atomic.set h.max_milli min_int)
     t.tbl;
   Mutex.unlock t.mu
 
@@ -206,9 +237,10 @@ let pp fmt t =
           Format.fprintf fmt "@,  %-36s %12d" name count
       | Gauge_s { name; level } ->
           Format.fprintf fmt "@,  %-36s %12.6g" name level
-      | Hist_s { name; n; total; p50; p95; p99 } ->
+      | Hist_s { name; n; total; mean; min; max; p50; p95; p99 } ->
           Format.fprintf fmt
-            "@,  %-36s n=%-8d sum=%-12.1f p50=%-10.2f p95=%-10.2f p99=%.2f"
-            name n total p50 p95 p99)
+            "@,  %-36s n=%-8d sum=%-12.1f mean=%-10.2f min=%-10.2f \
+             max=%-10.2f p50=%-10.2f p95=%-10.2f p99=%.2f"
+            name n total mean min max p50 p95 p99)
     samples;
   Format.fprintf fmt "@]"

@@ -42,6 +42,13 @@ val hist_count : histogram -> int
 val hist_sum : histogram -> float
 val hist_mean : histogram -> float
 
+val hist_min : histogram -> float
+(** Exact smallest finite observation (not bucket-rounded); 0 when no
+    finite value has been observed. *)
+
+val hist_max : histogram -> float
+(** Exact largest finite observation; 0 when none. *)
+
 val quantile : histogram -> float -> float
 (** [quantile h q] for [q] in [0,1]; 0 when empty (never raises or
     returns NaN, whatever [q]).  Returns the geometric midpoint of the
@@ -56,6 +63,9 @@ type sample =
       name : string;
       n : int;
       total : float;
+      mean : float;
+      min : float;  (** exact extrema, see {!hist_min} / {!hist_max} *)
+      max : float;
       p50 : float;
       p95 : float;
       p99 : float;

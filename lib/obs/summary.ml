@@ -1,17 +1,28 @@
 (* Human-readable roll-up of a trace: spans aggregated by (phase, name)
-   with count / total / max wall time, events by (phase, name) with
-   counts.  The cheap complement to the Chrome exporter when there is no
-   Perfetto at hand. *)
+   with count / total / mean / min / max wall time, events and flows by
+   (phase, name) with counts.  The cheap complement to the Chrome
+   exporter when there is no Perfetto at hand.
+
+   Ordering is deterministic across runs and domain interleavings: rows
+   sort by total time (then count) descending with the (phase, name) key
+   as the final tie-break, so two runs that collected the same spans in
+   a different cross-domain order print identical tables. *)
 
 type srow = {
   mutable count : int;
   mutable total_ns : int;
+  mutable min_ns : int;
   mutable max_ns : int;
 }
 
 let pp ppf (records : Trace.record list) =
   let spans : (string * string, srow) Hashtbl.t = Hashtbl.create 32 in
   let events : (string * string, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let count_event key =
+    match Hashtbl.find_opt events key with
+    | Some n -> incr n
+    | None -> Hashtbl.add events key (ref 1)
+  in
   List.iter
     (fun r ->
       match r with
@@ -21,36 +32,46 @@ let pp ppf (records : Trace.record list) =
             match Hashtbl.find_opt spans key with
             | Some row -> row
             | None ->
-                let row = { count = 0; total_ns = 0; max_ns = 0 } in
+                let row =
+                  { count = 0; total_ns = 0; min_ns = max_int; max_ns = 0 }
+                in
                 Hashtbl.add spans key row;
                 row
           in
           let d = Stdlib.max 0 (sp.Trace.end_ns - sp.Trace.start_ns) in
           row.count <- row.count + 1;
           row.total_ns <- row.total_ns + d;
+          row.min_ns <- Stdlib.min row.min_ns d;
           row.max_ns <- Stdlib.max row.max_ns d
-      | Trace.Event e ->
-          let key = (e.Trace.ephase, e.Trace.ename) in
-          (match Hashtbl.find_opt events key with
-          | Some n -> incr n
-          | None -> Hashtbl.add events key (ref 1)))
+      | Trace.Event e -> count_event (e.Trace.ephase, e.Trace.ename)
+      | Trace.Flow f ->
+          (* One request emits several arrows; counting them by name
+             keeps the roll-up honest about flow volume without a third
+             table. *)
+          count_event (f.Trace.fphase, "flow:" ^ f.Trace.fname))
     records;
   let srows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) spans [] in
   let srows =
     List.sort
-      (fun (_, a) (_, b) -> compare (b.total_ns, b.count) (a.total_ns, a.count))
+      (fun (ka, a) (kb, b) ->
+        compare (b.total_ns, b.count, ka) (a.total_ns, a.count, kb))
       srows
   in
   let us ns = float_of_int ns /. 1e3 in
   Format.fprintf ppf "@[<v>trace summary: %d span kinds, %d event kinds@,"
     (List.length srows) (Hashtbl.length events);
   if srows <> [] then begin
-    Format.fprintf ppf "  %-22s %-28s %6s %12s %12s@," "phase" "span" "count"
-      "total_us" "max_us";
+    Format.fprintf ppf "  %-22s %-28s %6s %12s %12s %12s %12s@," "phase"
+      "span" "count" "total_us" "mean_us" "min_us" "max_us";
     List.iter
       (fun ((phase, name), row) ->
-        Format.fprintf ppf "  %-22s %-28s %6d %12.1f %12.1f@," phase name
-          row.count (us row.total_ns) (us row.max_ns))
+        let mean_ns =
+          if row.count = 0 then 0 else row.total_ns / row.count
+        in
+        let min_ns = if row.min_ns = max_int then 0 else row.min_ns in
+        Format.fprintf ppf "  %-22s %-28s %6d %12.1f %12.1f %12.1f %12.1f@,"
+          phase name row.count (us row.total_ns) (us mean_ns) (us min_ns)
+          (us row.max_ns))
       srows
   end;
   if Hashtbl.length events > 0 then begin

@@ -1,6 +1,7 @@
 (** Human-readable trace roll-up: spans aggregated by (phase, name) with
-    count/total/max wall time sorted by total descending, plus event
-    counts. *)
+    count/total/mean/min/max wall time sorted by total descending (the
+    (phase, name) key breaks ties, so ordering is deterministic across
+    domain interleavings), plus event and flow counts. *)
 
 val pp : Format.formatter -> Trace.record list -> unit
 val to_string : Trace.record list -> string

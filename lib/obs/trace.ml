@@ -1,4 +1,4 @@
-(* Structured trace spans and events.
+(* Structured trace spans, events and cross-domain flows.
 
    One global sink (installed by the CLI's --trace, the `trace` command,
    or a test) collects records into *per-domain ring buffers*: each
@@ -8,19 +8,36 @@
    or corrupt each other's records - the QCheck property in
    test_obs.ml leans on exactly this structure.
 
-   Zero cost when disabled: every entry point first reads the sink
-   atomic; with no sink installed, [span_begin] returns 0, [span_end 0]
-   and [instant] return immediately, and none of them allocates (the
-   timestamps are plain ints, the optional [?attrs] defaults to an
+   A second, independent sink - the *flight recorder* - reuses the same
+   ring machinery.  When installed it receives a copy of every record the
+   trace sink would see (and keeps receiving them when no trace sink is
+   installed), so the last N lifecycle events per domain are always
+   available for an incident dump even in production runs that never
+   asked for a full trace.
+
+   Zero cost when disabled: every entry point first reads the two sink
+   atomics; with neither installed, [span_begin] returns 0, [span_end 0],
+   [instant] and the flow emitters return immediately, [new_context]
+   returns the preallocated [null_context], and none of them allocates
+   (the timestamps are plain ints, the optional [?attrs] defaults to an
    immediate [None]).  Hot paths (the executor's per-kernel loop) guard
    on [enabled ()] / a zero span id and so pay one atomic load per
    kernel when tracing is off - verified by the allocation test.
 
-   Span identity: ids come from one atomic counter (0 is reserved for
-   "no span"); parentage is tracked with a per-domain stack, so spans
-   nest per domain and a span opened on a worker domain starts a fresh
-   root there (its records still carry the domain id, which becomes the
-   Chrome-trace tid). *)
+   Span identity: ids come from one atomic counter per sink (0 is
+   reserved for "no span"); parentage is tracked with a per-domain
+   stack, so spans nest per domain and a span opened on a worker domain
+   starts a fresh root there (its records still carry the domain id,
+   which becomes the Chrome-trace tid).
+
+   Cross-domain rule: a span MUST be closed on the domain that opened
+   it.  [span_end] for an id that is not open on the calling domain does
+   not touch any foreign stack (that would race); instead of silently
+   dropping the close it emits a ["cross-domain-span-end"] diagnostic
+   instant carrying the id, and the opening domain's copy is eventually
+   auto-closed when its own enclosing span ends.  Work that migrates
+   between domains (the worker pool's wedge-steal path) links its spans
+   with flow events via a [context] instead of sharing a span stack. *)
 
 type value = Int of int | Float of float | Str of string | Bool of bool
 type attrs = (string * value) list
@@ -44,7 +61,26 @@ type event = {
   eattrs : attrs;
 }
 
-type record = Span of span | Event of event
+type flow_dir = Flow_start | Flow_step | Flow_end
+
+type flow = {
+  fdir : flow_dir;
+  fid : int; (* flow (trace) id; joins the arrow chain *)
+  fname : string;
+  fphase : string;
+  fdomain : int;
+  fts_ns : int;
+  fattrs : attrs;
+}
+
+type record = Span of span | Event of event | Flow of flow
+
+(* A request-scoped trace context: the flow id that joins the request's
+   spans across domains, plus the span that was innermost when the
+   context was minted (the client-side submit span). *)
+type context = { trace_id : int; parent_span : int }
+
+let null_context = { trace_id = 0; parent_span = 0 }
 
 (* --- Sink and per-domain buffers ---------------------------------------- *)
 
@@ -64,23 +100,41 @@ type sink = {
 }
 
 let current : sink option Atomic.t = Atomic.make None
+let recorder : sink option Atomic.t = Atomic.make None
 
-let install ?(clock = Clock.wall_ns) ?(capacity = 65536) () =
-  if capacity <= 0 then invalid_arg "Trace.install: capacity must be > 0";
-  Atomic.set current
-    (Some
-       {
-         clock;
-         capacity;
-         buffers = [];
-         mu = Mutex.create ();
-         ids = Atomic.make 0;
-       })
+(* Flow ids are global (never reset): a context minted under one sink
+   must stay unique if a recorder dump and a trace export are merged. *)
+let flow_ids : int Atomic.t = Atomic.make 0
+
+let make_sink ?(clock = Clock.wall_ns) ?(capacity = 65536) ~what () =
+  if capacity <= 0 then
+    invalid_arg (Printf.sprintf "Trace.%s: capacity must be > 0" what);
+  {
+    clock;
+    capacity;
+    buffers = [];
+    mu = Mutex.create ();
+    ids = Atomic.make 0;
+  }
+
+let install ?clock ?capacity () =
+  Atomic.set current (Some (make_sink ?clock ?capacity ~what:"install" ()))
+
+let recorder_install ?clock ?(capacity = 4096) () =
+  Atomic.set recorder
+    (Some (make_sink ?clock ~capacity ~what:"recorder_install" ()))
 
 let installed () =
   match Atomic.get current with None -> false | Some _ -> true
 
+let recorder_installed () =
+  match Atomic.get recorder with None -> false | Some _ -> true
+
 let enabled = installed
+
+(* Any sink live?  Instrumentation sites that build attribute lists
+   guard on this so lifecycle events reach a recorder-only setup too. *)
+let active () = installed () || recorder_installed ()
 
 (* --- Domain-local emission state ---------------------------------------- *)
 
@@ -93,30 +147,46 @@ type open_span = {
   oattrs : attrs;
 }
 
-type dstate = { owner : sink; buf : buffer; mutable stack : open_span list }
+type dstate = {
+  towner : sink option; (* trace sink this state registered with *)
+  rowner : sink option; (* recorder sink this state registered with *)
+  tbuf : buffer option;
+  rbuf : buffer option;
+  mutable stack : open_span list;
+}
 
 let dls : dstate option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
 
-(* The domain's buffer under [s]; registered on first use.  A reinstalled
-   sink is detected by physical identity, so stale state from a previous
-   sink is abandoned rather than mixed in. *)
-let dstate_for (s : sink) : dstate =
+let register_buffer (s : sink) : buffer =
+  let buf =
+    { dom = (Domain.self () :> int); ring = Array.make s.capacity None; next = 0 }
+  in
+  Mutex.lock s.mu;
+  s.buffers <- buf :: s.buffers;
+  Mutex.unlock s.mu;
+  buf
+
+let same_owner (o : sink option) (s : sink option) =
+  match (o, s) with
+  | None, None -> true
+  | Some a, Some b -> a == b
+  | _ -> false
+
+(* The domain's state under the currently installed sinks; buffers are
+   registered on first use.  A reinstalled sink is detected by physical
+   identity, so stale state from a previous sink is abandoned rather
+   than mixed in. *)
+let dstate_for (cur : sink option) (rec_ : sink option) : dstate =
   let cell = Domain.DLS.get dls in
   match !cell with
-  | Some d when d.owner == s -> d
+  | Some d when same_owner d.towner cur && same_owner d.rowner rec_ -> d
   | _ ->
-      let buf =
-        {
-          dom = (Domain.self () :> int);
-          ring = Array.make s.capacity None;
-          next = 0;
-        }
+      let tbuf = match cur with None -> None | Some s -> Some (register_buffer s)
+      and rbuf =
+        match rec_ with None -> None | Some s -> Some (register_buffer s)
       in
-      Mutex.lock s.mu;
-      s.buffers <- buf :: s.buffers;
-      Mutex.unlock s.mu;
-      let d = { owner = s; buf; stack = [] } in
+      let d = { towner = cur; rowner = rec_; tbuf; rbuf; stack = [] } in
       cell := Some d;
       d
 
@@ -124,13 +194,23 @@ let emit (b : buffer) (r : record) =
   b.ring.(b.next mod Array.length b.ring) <- Some r;
   b.next <- b.next + 1
 
+let emit_both (d : dstate) (r : record) =
+  (match d.tbuf with Some b -> emit b r | None -> ());
+  match d.rbuf with Some b -> emit b r | None -> ()
+
+(* The trace sink drives span ids and the clock when installed; with
+   only the recorder live, the recorder's do. *)
+let primary (cur : sink option) (rec_ : sink option) : sink =
+  match cur with Some s -> s | None -> Option.get rec_
+
 (* --- Emission ------------------------------------------------------------ *)
 
 let span_begin ?attrs ~phase name =
-  match Atomic.get current with
-  | None -> 0
-  | Some s ->
-      let d = dstate_for s in
+  match (Atomic.get current, Atomic.get recorder) with
+  | None, None -> 0
+  | cur, rec_ ->
+      let d = dstate_for cur rec_ in
+      let s = primary cur rec_ in
       let id = Atomic.fetch_and_add s.ids 1 + 1 in
       let parent = match d.stack with [] -> 0 | o :: _ -> o.oid in
       d.stack <-
@@ -147,12 +227,14 @@ let span_begin ?attrs ~phase name =
 
 let span_end ?attrs id =
   if id <> 0 then
-    match Atomic.get current with
-    | None -> ()
-    | Some s ->
-        let d = dstate_for s in
-        (* Only act if the span is actually open on this domain (a sink
-           swapped mid-span leaves orphan ids; ignore them).  Children
+    match (Atomic.get current, Atomic.get recorder) with
+    | None, None -> ()
+    | cur, rec_ ->
+        let d = dstate_for cur rec_ in
+        let s = primary cur rec_ in
+        (* Only unwind if the span is actually open on this domain (a
+           sink swapped mid-span leaves orphan ids; a span opened on
+           another domain lives on *that* domain's stack).  Children
            left open above [id] are auto-closed at the same timestamp so
            the record stream stays well-nested even under exceptions. *)
         if List.exists (fun o -> o.oid = id) d.stack then begin
@@ -163,14 +245,14 @@ let span_end ?attrs id =
             | [] -> ()
             | o :: rest ->
                 d.stack <- rest;
-                emit d.buf
+                emit_both d
                   (Span
                      {
                        id = o.oid;
                        parent = o.oparent;
                        name = o.oname;
                        phase = o.ophase;
-                       domain = d.buf.dom;
+                       domain = (Domain.self () :> int);
                        start_ns = o.ostart;
                        end_ns;
                        attrs =
@@ -180,24 +262,39 @@ let span_end ?attrs id =
           in
           close ()
         end
+        else
+          (* Cross-domain (or stale) close: record the attempt instead
+             of silently dropping it - see the module comment's rule. *)
+          emit_both d
+            (Event
+               {
+                 ename = "cross-domain-span-end";
+                 ephase = "trace";
+                 edomain = (Domain.self () :> int);
+                 ts_ns = s.clock ();
+                 eattrs =
+                   (("span", Int id)
+                   :: (match attrs with None -> [] | Some a -> a));
+               })
 
 let instant ?attrs ~phase name =
-  match Atomic.get current with
-  | None -> ()
-  | Some s ->
-      let d = dstate_for s in
-      emit d.buf
+  match (Atomic.get current, Atomic.get recorder) with
+  | None, None -> ()
+  | cur, rec_ ->
+      let d = dstate_for cur rec_ in
+      let s = primary cur rec_ in
+      emit_both d
         (Event
            {
              ename = name;
              ephase = phase;
-             edomain = d.buf.dom;
+             edomain = (Domain.self () :> int);
              ts_ns = s.clock ();
              eattrs = (match attrs with None -> [] | Some a -> a);
            })
 
 let with_span ?attrs ~phase name f =
-  if not (installed ()) then f ()
+  if not (installed () || recorder_installed ()) then f ()
   else begin
     let id = span_begin ?attrs ~phase name in
     match f () with
@@ -209,10 +306,50 @@ let with_span ?attrs ~phase name f =
         raise e
   end
 
+(* --- Cross-domain contexts and flow events ------------------------------- *)
+
+let new_context () =
+  match (Atomic.get current, Atomic.get recorder) with
+  | None, None -> null_context
+  | cur, rec_ ->
+      let d = dstate_for cur rec_ in
+      let parent = match d.stack with [] -> 0 | o :: _ -> o.oid in
+      { trace_id = Atomic.fetch_and_add flow_ids 1 + 1; parent_span = parent }
+
+let flow ?attrs dir ~phase (ctx : context) name =
+  if ctx.trace_id <> 0 then
+    match (Atomic.get current, Atomic.get recorder) with
+    | None, None -> ()
+    | cur, rec_ ->
+        let d = dstate_for cur rec_ in
+        let s = primary cur rec_ in
+        emit_both d
+          (Flow
+             {
+               fdir = dir;
+               fid = ctx.trace_id;
+               fname = name;
+               fphase = phase;
+               fdomain = (Domain.self () :> int);
+               fts_ns = s.clock ();
+               fattrs = (match attrs with None -> [] | Some a -> a);
+             })
+
+let flow_start ?attrs ~phase ctx name = flow ?attrs Flow_start ~phase ctx name
+let flow_step ?attrs ~phase ctx name = flow ?attrs Flow_step ~phase ctx name
+let flow_end ?attrs ~phase ctx name = flow ?attrs Flow_end ~phase ctx name
+
 (* --- Collection ----------------------------------------------------------- *)
 
-let ts_of = function Span sp -> sp.start_ns | Event e -> e.ts_ns
-let seq_of = function Span sp -> sp.id | Event e -> e.ts_ns
+let ts_of = function
+  | Span sp -> sp.start_ns
+  | Event e -> e.ts_ns
+  | Flow f -> f.fts_ns
+
+let seq_of = function
+  | Span sp -> sp.id
+  | Event e -> e.ts_ns
+  | Flow f -> f.fid
 
 let buffer_records (b : buffer) =
   let cap = Array.length b.ring in
@@ -223,35 +360,46 @@ let buffer_records (b : buffer) =
       | Some r -> r
       | None -> assert false)
 
+let sink_records (s : sink) =
+  Mutex.lock s.mu;
+  let bufs = s.buffers in
+  Mutex.unlock s.mu;
+  List.concat_map buffer_records bufs
+  |> List.stable_sort (fun a b ->
+         let c = compare (ts_of a) (ts_of b) in
+         if c <> 0 then c else compare (seq_of a) (seq_of b))
+
+let sink_dropped (s : sink) =
+  Mutex.lock s.mu;
+  let bufs = s.buffers in
+  Mutex.unlock s.mu;
+  List.fold_left
+    (fun acc b -> acc + Stdlib.max 0 (b.next - s.capacity))
+    0 bufs
+
 let records () =
-  match Atomic.get current with
-  | None -> []
-  | Some s ->
-      Mutex.lock s.mu;
-      let bufs = s.buffers in
-      Mutex.unlock s.mu;
-      List.concat_map buffer_records bufs
-      |> List.stable_sort (fun a b ->
-             let c = compare (ts_of a) (ts_of b) in
-             if c <> 0 then c else compare (seq_of a) (seq_of b))
+  match Atomic.get current with None -> [] | Some s -> sink_records s
 
 let dropped () =
-  match Atomic.get current with
-  | None -> 0
-  | Some s ->
-      Mutex.lock s.mu;
-      let bufs = s.buffers in
-      Mutex.unlock s.mu;
-      List.fold_left
-        (fun acc b -> acc + Stdlib.max 0 (b.next - s.capacity))
-        0 bufs
+  match Atomic.get current with None -> 0 | Some s -> sink_dropped s
+
+let recorder_records () =
+  match Atomic.get recorder with None -> [] | Some s -> sink_records s
+
+let recorder_dropped () =
+  match Atomic.get recorder with None -> 0 | Some s -> sink_dropped s
 
 let open_spans () =
-  match Atomic.get current with
-  | None -> 0
-  | Some s -> List.length (dstate_for s).stack
+  match (Atomic.get current, Atomic.get recorder) with
+  | None, None -> 0
+  | cur, rec_ -> List.length (dstate_for cur rec_).stack
 
 let uninstall () =
   let rs = records () in
   Atomic.set current None;
+  rs
+
+let recorder_uninstall () =
+  let rs = recorder_records () in
+  Atomic.set recorder None;
   rs

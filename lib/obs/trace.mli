@@ -1,11 +1,28 @@
-(** Structured trace spans and events, collected into per-domain ring
-    buffers behind one globally installed sink.
+(** Structured trace spans, events and cross-domain flows, collected
+    into per-domain ring buffers behind one globally installed sink,
+    plus an independent always-on {e flight recorder} sink reusing the
+    same ring machinery.
 
-    Zero-cost when disabled: with no sink installed every entry point
-    returns immediately without allocating ([span_begin] returns the
-    reserved id 0).  Emission is lock-free within a domain - each domain
-    owns its buffer - so concurrent emitters never corrupt each other's
-    records. *)
+    Zero-cost when disabled: with neither sink installed every entry
+    point returns immediately without allocating ([span_begin] returns
+    the reserved id 0, [new_context] the shared {!null_context}).
+    Emission is lock-free within a domain - each domain owns its buffer
+    per sink - so concurrent emitters never corrupt each other's
+    records.
+
+    {b Cross-domain rule.}  Spans are domain-local: the parent of a new
+    span is the innermost span still open on the {e calling} domain, and
+    a span must be closed on the domain that opened it.  Calling
+    {!span_end} on a different domain never touches the opening domain's
+    stack (that would race); it emits a ["cross-domain-span-end"]
+    diagnostic instant (phase ["trace"], the id in attrs) instead of
+    silently dropping the close, and the opening domain's copy is
+    auto-closed when its own enclosing span ends.  {!with_span} opens
+    and closes on one domain by construction, so it is safe to wrap work
+    that may be {e stolen} by another domain (the worker pool's
+    wedge-steal path): the stealing domain starts fresh root spans and
+    the two sides are linked by flow events through a {!context} that
+    travels with the request, not by a shared span stack. *)
 
 type value = Int of int | Float of float | Str of string | Bool of bool
 type attrs = (string * value) list
@@ -29,16 +46,41 @@ type event = {
   eattrs : attrs;
 }
 
-type record = Span of span | Event of event
+type flow_dir = Flow_start | Flow_step | Flow_end
+(** Chrome-trace flow phases ["s"] / ["t"] / ["f"]: the arrows that link
+    spans across domains (tids) in Perfetto. *)
+
+type flow = {
+  fdir : flow_dir;
+  fid : int;  (** flow id: all arrows of one request share it *)
+  fname : string;
+  fphase : string;
+  fdomain : int;
+  fts_ns : int;
+  fattrs : attrs;
+}
+
+type record = Span of span | Event of event | Flow of flow
+
+type context = { trace_id : int; parent_span : int }
+(** A request-scoped trace context that rides across domain boundaries
+    (on [Request.t]): [trace_id] is the flow id joining the request's
+    arrow chain, [parent_span] the span that was innermost when the
+    context was minted (the client-side submit span).  [trace_id = 0]
+    means "not traced" - every flow emitter is then a no-op. *)
+
+val null_context : context
+(** The disabled context ([trace_id = 0]); preallocated, so propagating
+    it allocates nothing. *)
 
 val install : ?clock:Clock.t -> ?capacity:int -> unit -> unit
-(** Install a fresh sink (replacing any previous one).  [clock] defaults
-    to {!Clock.wall_ns}; [capacity] (default 65536) bounds each domain's
-    ring buffer - overflow overwrites the oldest records and is counted
-    by {!dropped}.  @raise Invalid_argument if [capacity <= 0]. *)
+(** Install a fresh trace sink (replacing any previous one).  [clock]
+    defaults to {!Clock.wall_ns}; [capacity] (default 65536) bounds each
+    domain's ring buffer - overflow overwrites the oldest records and is
+    counted by {!dropped}.  @raise Invalid_argument if [capacity <= 0]. *)
 
 val uninstall : unit -> record list
-(** Remove the sink, returning everything collected (see {!records}). *)
+(** Remove the trace sink, returning everything collected. *)
 
 val installed : unit -> bool
 
@@ -46,20 +88,65 @@ val enabled : unit -> bool
 (** Alias of {!installed}; the guard hot paths use before building
     attribute lists. *)
 
+val active : unit -> bool
+(** True when the trace sink {e or} the recorder is installed - the
+    guard for lifecycle instrumentation that must also reach a
+    recorder-only (black-box) setup. *)
+
+val recorder_install : ?clock:Clock.t -> ?capacity:int -> unit -> unit
+(** Install the flight recorder: an independent sink that receives a
+    copy of every record (spans, instants, flows) whether or not a trace
+    sink is installed.  [capacity] defaults to 4096 - a small bounded
+    ring per domain holding the last events before an incident.
+    @raise Invalid_argument if [capacity <= 0]. *)
+
+val recorder_uninstall : unit -> record list
+val recorder_installed : unit -> bool
+
+val recorder_records : unit -> record list
+(** The recorder's current contents without uninstalling it - what an
+    incident dump snapshots (merged across domains, sorted). *)
+
+val recorder_dropped : unit -> int
+
 val span_begin : ?attrs:attrs -> phase:string -> string -> int
 (** Open a span on the calling domain; returns its id (0 when disabled).
     The parent is the innermost span still open on this domain. *)
 
 val span_end : ?attrs:attrs -> int -> unit
 (** Close the span (extra [attrs] are appended).  Children left open are
-    auto-closed at the same timestamp; id 0 and unknown ids are no-ops. *)
+    auto-closed at the same timestamp; id 0 is a no-op.  An id not open
+    on the calling domain (closed cross-domain, or orphaned by a sink
+    swap) emits a ["cross-domain-span-end"] diagnostic instant - see the
+    cross-domain rule above. *)
 
 val instant : ?attrs:attrs -> phase:string -> string -> unit
 (** Emit a point event. *)
 
 val with_span : ?attrs:attrs -> phase:string -> string -> (unit -> 'a) -> 'a
 (** Run the thunk inside a span.  An escaping exception closes the span
-    with an ["error"] attribute and re-raises. *)
+    with an ["error"] attribute and re-raises.  Opens and closes on the
+    calling domain, so it is safe around work whose {e requests} migrate
+    to other domains (steal paths) - see the cross-domain rule. *)
+
+val new_context : unit -> context
+(** Mint a context for a request: a fresh flow id (never reused, even
+    across sink reinstalls) and the calling domain's innermost open span
+    as [parent_span].  Returns {!null_context} when disabled. *)
+
+val flow_start : ?attrs:attrs -> phase:string -> context -> string -> unit
+(** Emit the flow-start arrow ([ph:"s"]).  Call inside the span the
+    arrow should leave from (the submit span).  No-op on
+    {!null_context}. *)
+
+val flow_step : ?attrs:attrs -> phase:string -> context -> string -> unit
+(** A flow step ([ph:"t"]): the arrow passes through the enclosing span
+    on this domain (dispatch, retry, steal hops). *)
+
+val flow_end : ?attrs:attrs -> phase:string -> context -> string -> unit
+(** Terminate the flow ([ph:"f"]) inside the span where the request
+    completed.  Every started flow should be ended exactly once - the
+    span-chain QCheck property asserts this. *)
 
 val records : unit -> record list
 (** Everything collected so far, merged across domains and sorted by

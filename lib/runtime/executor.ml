@@ -38,7 +38,7 @@ let corrupt_cell arr seed =
   end
 
 let run (plan : Kernel_plan.t) ~params : Tensor.t list =
-  let traced = Trace.enabled () in
+  let traced = Trace.active () in
   let rsid = if traced then Trace.span_begin ~phase:"exec" "run" else 0 in
   let g = plan.graph in
   let n = Graph.num_nodes g in
@@ -697,10 +697,13 @@ let context_fallbacks ctx =
     ctx.report.exec_kernels
 
 let run_context ?batch (ctx : context) ~params : Tensor.t list =
-  (* [traced] is decided once per run: with no sink installed the ids stay
-     0 and no per-kernel code below allocates (the zero-cost contract the
-     test suite pins down with [Gc.minor_words]). *)
-  let traced = Trace.enabled () in
+  (* [traced] is decided once per run: with no sink (trace or recorder)
+     installed the ids stay 0 and no per-kernel code below allocates
+     (the zero-cost contract the test suite pins down with
+     [Gc.minor_words]).  When the worker pool calls this inside its
+     batch span the whole run-context tree - including the per-kernel
+     spans - nests under that batch via the domain-local span stack. *)
+  let traced = Trace.active () in
   let rsid = if traced then Trace.span_begin ~phase:"exec" "run-context" else 0 in
   let g = ctx.plan.Kernel_plan.graph in
   (* symbolic-batch rebind: [bscale] > 0 executes the prefix for batch
@@ -726,6 +729,12 @@ let run_context ?batch (ctx : context) ~params : Tensor.t list =
      packing/splitting applied at bind time) and validate the geometry *)
   (match scaled with
   | Some (b, si) when not (Hashtbl.mem si.checked b) ->
+      let bsid =
+        if traced then
+          Trace.span_begin ~phase:"exec" "rebind"
+            ~attrs:[ ("batch", Trace.Int b); ("smax", Trace.Int si.smax) ]
+        else 0
+      in
       List.iter
         (fun (k : Kernel_plan.kernel) ->
           List.iter
@@ -736,7 +745,8 @@ let run_context ?batch (ctx : context) ~params : Tensor.t list =
               | Batch_axis.Invariant -> ())
             k.ops)
         ctx.plan.Kernel_plan.kernels;
-      Hashtbl.replace si.checked b ()
+      Hashtbl.replace si.checked b ();
+      if bsid <> 0 then Trace.span_end bsid
   | _ -> ());
   let values = ctx.values and computed = ctx.computed in
   Array.blit ctx.base_computed 0 computed 0 (Array.length computed);
@@ -904,7 +914,8 @@ let run_context ?batch (ctx : context) ~params : Tensor.t list =
                   (match ke with Fused_k _ -> true | Ref_k _ -> false) );
             ])
     ctx.kernels;
-  if rsid <> 0 then Trace.span_end rsid;
+  if rsid <> 0 then
+    Trace.span_end rsid ~attrs:[ ("batch", Trace.Int bscale) ];
   match scaled with
   | None ->
       Array.fold_right

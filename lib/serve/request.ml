@@ -44,6 +44,13 @@ type t = {
   mutable attempts : int;
       (** batch executions this request has been part of that failed;
           supervision re-dispatches until the retry budget is spent *)
+  trace : Astitch_obs.Trace.context;
+      (** minted on the submitting thread; links this request's spans
+          across domains via flow arrows (null when tracing is off) *)
+  mutable dispatched_us : float;
+      (** stamped when the scheduler hands the request to a worker (last
+          attempt wins); 0 until first dispatch.  Splits queue wait from
+          the on-worker phases in the latency decomposition. *)
 }
 
 let expired ~now_us t =

@@ -33,6 +33,13 @@ type t = {
   mutable attempts : int;
       (** failed batch executions so far; supervision re-dispatches
           until the retry budget is spent, then falls back per-request *)
+  trace : Astitch_obs.Trace.context;
+      (** minted on the submitting thread; links this request's spans
+          across domains via flow arrows (null when tracing is off) *)
+  mutable dispatched_us : float;
+      (** stamped at scheduler dispatch (last attempt wins); 0 until
+          first dispatch.  Queue wait = [dispatched_us - submitted_us]
+          in the latency decomposition. *)
 }
 
 val expired : now_us:float -> t -> bool

@@ -222,18 +222,26 @@ let dispose t =
         try Unix.close t.wake_w with Unix.Unix_error _ -> ()
       end)
 
+let outcome_label = function
+  | Request.Done { degraded = false; _ } -> "done"
+  | Request.Done { degraded = true; _ } -> "done-degraded"
+  | Request.Overloaded o -> Request.overload_to_string o
+  | Request.Failed _ -> "failed"
+
 (* Record an outcome under the scheduler lock and wake waiters.
    First-wins: wedge recovery may steal and re-execute a batch whose
    original worker eventually finishes too, so the same id can complete
    twice.  The first outcome is the one delivered; later attempts are
-   counted as duplicates and dropped without touching [outstanding]. *)
-let complete_locked t id outcome =
-  if Hashtbl.mem t.resolved id then begin
+   counted as duplicates and dropped without touching [outstanding].
+   The winning completion terminates the request's flow arrow ("f"), so
+   every admitted flow ends exactly once whatever path resolved it. *)
+let complete_locked t (req : Request.t) outcome =
+  if Hashtbl.mem t.resolved req.id then begin
     t.duplicates <- t.duplicates + 1;
     Metrics.inc t.m_duplicate
   end
   else begin
-    Hashtbl.replace t.resolved id ();
+    Hashtbl.replace t.resolved req.id ();
     (match outcome with
     | Request.Done { degraded; _ } ->
         t.completed <- t.completed + 1;
@@ -246,12 +254,19 @@ let complete_locked t id outcome =
     | Request.Failed _ ->
         t.failed <- t.failed + 1;
         Metrics.inc t.m_failed);
-    Hashtbl.replace t.outcomes id outcome;
+    if Trace.active () then
+      Trace.flow_end ~phase:"serve" req.trace "request"
+        ~attrs:
+          [
+            ("id", Trace.Int req.id);
+            ("outcome", Trace.Str (outcome_label outcome));
+          ];
+    Hashtbl.replace t.outcomes req.id outcome;
     t.outstanding <- t.outstanding - 1;
     Condition.broadcast t.done_cond
   end
 
-let complete t id outcome = locked t (fun () -> complete_locked t id outcome)
+let complete t req outcome = locked t (fun () -> complete_locked t req outcome)
 
 (* --- Circuit breaker --------------------------------------------------- *)
 
@@ -264,7 +279,7 @@ let breaker_for t model =
       b
 
 let breaker_instant model transition =
-  if Trace.enabled () then
+  if Trace.active () then
     Trace.instant ~phase:"serve"
       ("breaker-" ^ transition)
       ~attrs:[ ("model", Trace.Str model) ]
@@ -274,7 +289,12 @@ let open_breaker_locked t model (b : breaker) =
   b.open_until <- now_us () +. t.breaker_cooldown_us;
   t.breaker_opens <- t.breaker_opens + 1;
   Metrics.inc t.m_breaker_open;
-  breaker_instant model "open"
+  breaker_instant model "open";
+  if Trace.active () then
+    ignore
+      (Flight.incident ~reason:"breaker-open"
+         ~attrs:[ ("model", Trace.Str model) ]
+         ())
 
 (* Every batch result feeds the model's breaker: a success closes it
    (from half-open or even open - the worker proved the plan serves),
@@ -360,7 +380,7 @@ let shed_expired_locked t =
   let dead = Rq.remove_if t.queue (Request.expired ~now_us:now) in
   List.iter
     (fun (r : Request.t) ->
-      complete_locked t r.id (Request.Overloaded Request.Deadline_exceeded))
+      complete_locked t r (Request.Overloaded Request.Deadline_exceeded))
     dead;
   if dead <> [] then publish_depth t
 
@@ -403,7 +423,7 @@ let shed_broken_locked t =
               in
               List.iter
                 (fun (r : Request.t) ->
-                  complete_locked t r.id
+                  complete_locked t r
                     (Request.Overloaded Request.Breaker_open))
                 dead;
               if dead <> [] then publish_depth t
@@ -419,12 +439,14 @@ let rec take_retry_locked t =
   | None -> None
   | Some (r : Request.t) ->
       if Request.expired ~now_us:(now_us ()) r then begin
-        complete_locked t r.id (Request.Overloaded Request.Deadline_exceeded);
+        complete_locked t r (Request.Overloaded Request.Deadline_exceeded);
         take_retry_locked t
       end
       else begin
         t.batches <- t.batches + 1;
-        Metrics.observe t.m_wait_us (now_us () -. r.submitted_us);
+        let now = now_us () in
+        r.dispatched_us <- now;
+        Metrics.observe t.m_wait_us (now -. r.submitted_us);
         Some { model = r.model; requests = [ r ] }
       end
 
@@ -446,6 +468,7 @@ let dispatch_locked t =
           let now = now_us () in
           List.iter
             (fun (r : Request.t) ->
+              r.dispatched_us <- now;
               Metrics.observe t.m_wait_us (now -. r.submitted_us))
             requests;
           Some { model; requests })
@@ -503,7 +526,7 @@ let requeue t (req : Request.t) =
   locked t (fun () ->
       t.retried <- t.retried + 1;
       Metrics.inc t.m_retried;
-      if Trace.enabled () then
+      if Trace.active () then begin
         Trace.instant ~phase:"serve" "retry"
           ~attrs:
             [
@@ -511,6 +534,11 @@ let requeue t (req : Request.t) =
               ("id", Trace.Int req.id);
               ("attempts", Trace.Int req.attempts);
             ];
+        (* The arrow takes a retry hop: a "t" step on the requeuing
+           domain keeps the chain connected through the detour. *)
+        Trace.flow_step ~phase:"serve" req.trace "request"
+          ~attrs:[ ("hop", Trace.Str "retry") ]
+      end;
       Stdlib.Queue.push req t.retries;
       Condition.signal t.nonempty);
   wake t

@@ -66,11 +66,12 @@ val dispose : t -> unit
 val outstanding : t -> int
 (** Admitted requests whose outcome has not yet been recorded. *)
 
-val complete : t -> int -> Request.outcome -> unit
-(** Record the outcome for an admitted request id and wake waiters.
-    Idempotent, first-wins: completing an already-resolved id is
+val complete : t -> Request.t -> Request.outcome -> unit
+(** Record the outcome for an admitted request and wake waiters.
+    Idempotent, first-wins: completing an already-resolved request is
     counted as a duplicate and otherwise ignored, so wedge-steal
-    double execution can't corrupt the accounting. *)
+    double execution can't corrupt the accounting.  The winning
+    completion terminates the request's flow arrow. *)
 
 val note_batch_result : t -> model:string -> ok:bool -> unit
 (** Feed a batch execution result to [model]'s circuit breaker:

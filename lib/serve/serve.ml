@@ -21,6 +21,7 @@
 
 open Astitch_ir
 open Astitch_runtime
+open Astitch_obs
 
 type model = { name : string; build : batch:int -> Graph.t }
 
@@ -180,6 +181,16 @@ let submit_async ?deadline_us t ~model ~params =
     | None -> t.config.default_deadline_us
   in
   let id = Atomic.fetch_and_add t.next_id 1 in
+  (* Admission runs inside a client-thread span; the request's trace
+     context is minted under it, so the flow arrow leaves from here and
+     lands in whatever worker-domain span serves the request. *)
+  let sid =
+    if Trace.active () then
+      Trace.span_begin ~phase:"serve" "submit"
+        ~attrs:[ ("model", Trace.Str model); ("id", Trace.Int id) ]
+    else 0
+  in
+  let trace = Trace.new_context () in
   let req =
     {
       Request.id;
@@ -188,11 +199,28 @@ let submit_async ?deadline_us t ~model ~params =
       submitted_us = now;
       deadline_us = Option.map (fun d -> now +. d) rel;
       attempts = 0;
+      trace;
+      dispatched_us = 0.;
     }
   in
-  match Scheduler.submit t.scheduler req with
-  | Ok () -> Ok id
-  | Error o -> Error o
+  if Trace.active () then
+    Trace.flow_start ~phase:"serve" trace "request"
+      ~attrs:[ ("id", Trace.Int id); ("model", Trace.Str model) ];
+  let res = Scheduler.submit t.scheduler req in
+  (match res with
+  | Ok () -> ()
+  | Error o ->
+      (* A refusal never reaches the scheduler's completion path, so
+         the flow must terminate here or the "s" arrow dangles. *)
+      if Trace.active () then
+        Trace.flow_end ~phase:"serve" trace "request"
+          ~attrs:
+            [
+              ("id", Trace.Int id);
+              ("outcome", Trace.Str (Request.overload_to_string o));
+            ]);
+  Trace.span_end sid;
+  match res with Ok () -> Ok id | Error o -> Error o
 
 (* [workers = 0] is caller-runs mode: no worker domains exist, so the
    thread that wants an outcome executes batches itself. *)
@@ -310,6 +338,39 @@ let disposition t =
     d_rejected = s.rejected;
     lost = s.submitted - s.completed - s.failed - s.shed - s.outstanding;
   }
+
+(* Per-phase latency attribution.  The five phase histograms telescope:
+   for every completed request queue + batch_wait + pack + exec + unpack
+   equals its end-to-end serve.request_us sample (same stamps), so the
+   blame table's per-phase totals reconcile with the latency total. *)
+type phase_latency = {
+  phase : string;
+  count : int;
+  mean_us : float;
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+  max_us : float;
+}
+
+let phase_names =
+  [ "queue"; "batch_wait"; "pack"; "exec"; "unpack"; "request" ]
+
+let latency_breakdown () =
+  let r = Metrics.default in
+  List.map
+    (fun phase ->
+      let h = Metrics.histogram r ("serve." ^ phase ^ "_us") in
+      {
+        phase;
+        count = Metrics.hist_count h;
+        mean_us = Metrics.hist_mean h;
+        p50_us = Metrics.quantile h 0.50;
+        p95_us = Metrics.quantile h 0.95;
+        p99_us = Metrics.quantile h 0.99;
+        max_us = Metrics.hist_max h;
+      })
+    phase_names
 
 let pp_stats fmt (s : stats) =
   Format.fprintf fmt

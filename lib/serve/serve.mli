@@ -152,6 +152,27 @@ type stats = {
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit
 
+type phase_latency = {
+  phase : string;
+  count : int;
+  mean_us : float;
+  p50_us : float;
+  p95_us : float;
+  p99_us : float;
+  max_us : float;
+}
+(** One row of the tail-latency blame table: quantiles of one lifecycle
+    phase's histogram ([serve.<phase>_us]). *)
+
+val latency_breakdown : unit -> phase_latency list
+(** Per-phase latency attribution from the process-wide metrics
+    registry, in pipeline order (queue, batch_wait, pack, exec, unpack)
+    with the end-to-end [request] row last.  The five phase stamps
+    telescope - for every completed request their sum equals its
+    end-to-end latency sample - so per-phase totals reconcile with the
+    [request] total.  Quantiles do {e not} sum across rows (quantiles
+    are not additive); the means and totals do. *)
+
 type supervision = Worker_pool.supervision = {
   restarts : int;  (** worker domains respawned after a death *)
   quarantined : int;  (** contexts retired after a fault-touched batch *)

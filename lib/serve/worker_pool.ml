@@ -112,6 +112,17 @@ type t = {
   m_compiles : Metrics.counter;
   m_batches : Metrics.counter;
   m_request_us : Metrics.histogram;
+  (* The latency decomposition: per completed request, these five sum
+     to [serve.request_us] up to clock granularity (same stamps, the
+     differences telescope).  Queue wait runs submission -> dispatch;
+     batch-wait covers the dispatch -> pack handoff including context
+     checkout; pack/exec/unpack bracket the on-worker stages, with the
+     completion bookkeeping folded into unpack. *)
+  m_queue_us : Metrics.histogram;
+  m_batch_wait_us : Metrics.histogram;
+  m_pack_us : Metrics.histogram;
+  m_exec_us : Metrics.histogram;
+  m_unpack_us : Metrics.histogram;
   m_verified : Metrics.counter;
   m_restart : Metrics.counter;
   m_quarantine : Metrics.counter;
@@ -239,20 +250,31 @@ let checkin m lease =
    (Contexts rewrite every buffer on each run, so this is deliberately
    conservative - the cost is one recompile, the alternative is ever
    having served numerics from a suspect context.) *)
-let quarantine pool m ~model lease =
+let quarantine pool m ~model ~reason lease =
   ignore (lease.ctx : Executor.context);
   Atomic.incr pool.n_quarantined;
   Metrics.inc pool.m_quarantine;
   let compiled_at =
     match lease.lkey with `Sym -> m.max_batch | `Fixed n -> n
   in
-  if Trace.enabled () then
-    Trace.instant ~phase:"serve" "quarantine"
-      ~attrs:
-        [ ("model", Trace.Str model); ("batch", Trace.Int compiled_at) ];
-  ignore
-    (Session.uncache pool.cache Astitch_core.Astitch.full_backend pool.arch
-       (m.spec.Batching.build compiled_at))
+  let attrs =
+    if Trace.active () then
+      [
+        ("model", Trace.Str model);
+        ("batch", Trace.Int compiled_at);
+        ("reason", Trace.Str reason);
+      ]
+    else []
+  in
+  (* A child span (under whatever batch/recover span is open on this
+     domain), not just an instant: the eviction has real duration and a
+     reason worth attributing in the blame view. *)
+  Trace.with_span ~attrs ~phase:"serve" "quarantine" (fun () ->
+      ignore
+        (Session.uncache pool.cache Astitch_core.Astitch.full_backend
+           pool.arch
+           (m.spec.Batching.build compiled_at)));
+  if Trace.active () then ignore (Flight.incident ~attrs ~reason:"quarantine" ())
 
 (* Execute a lease at batch size [n]: symbolic contexts rebind to the
    prefix, fixed contexts were compiled at exactly [n] already. *)
@@ -298,57 +320,105 @@ let verify_first pool m ~model (lease : lease) (req : Request.t) sliced =
           checkin m l1;
           check solo
       | exception e ->
-          quarantine pool m ~model l1;
+          quarantine pool m ~model ~reason:"verify-solo-failure" l1;
           raise e)
 
-let complete_done pool t0 ~batch_size ~degraded (req : Request.t) outputs =
-  let latency = now_us () -. req.submitted_us in
-  ignore t0;
+let complete_done pool ~t_done ~batch_size ~degraded (req : Request.t) outputs
+    =
+  let latency = t_done -. req.submitted_us in
   Metrics.observe pool.m_request_us latency;
-  Scheduler.complete pool.scheduler req.id
+  Scheduler.complete pool.scheduler req
     (Request.Done
        { outputs; latency_us = latency; batch = batch_size; degraded })
+
+(* Feed the five-phase latency decomposition for one completed request.
+   The stamps all come from the same clock, so the five observations
+   telescope to [t_done - submitted_us] - exactly the [request_us]
+   latency recorded by [complete_done] with the same [t_done].
+   [t_pack] = pack begin (batch-wait runs dispatch -> here, covering
+   the worker handoff and context checkout), [t_exec] = execution
+   begin, [t_unpack] = execution end; completion bookkeeping between
+   unpack and [t_done] folds into the unpack bucket. *)
+let observe_phases pool (req : Request.t) ~t_pack ~t_exec ~t_unpack ~t_done =
+  Metrics.observe pool.m_queue_us (req.dispatched_us -. req.submitted_us);
+  Metrics.observe pool.m_batch_wait_us (t_pack -. req.dispatched_us);
+  Metrics.observe pool.m_pack_us (t_exec -. t_pack);
+  Metrics.observe pool.m_exec_us (t_unpack -. t_exec);
+  Metrics.observe pool.m_unpack_us (t_done -. t_unpack)
 
 (* The terminal rung: each request alone, batch 1, through the
    resilient compile ladder and the UN-instrumented [Executor.run].
    Keeping fault sites out of this path is what makes the whole ladder
    terminate: however chaotic the run, a request that reaches here
-   resolves to [Done] (degraded) or [Failed].  Never raises. *)
+   resolves to [Done] (degraded) or [Failed].  Never raises.
+
+   Decomposition on this path: there is no batch pack, so the pack
+   bucket absorbs the resilient compile and the batch-wait bucket the
+   handoff from the last dispatch - the per-request sum still
+   telescopes to the end-to-end latency. *)
 let serve_fallback pool m (requests : Request.t list) =
   List.iter
     (fun (req : Request.t) ->
-      match
-        Session.compile_resilient pool.arch (m.spec.Batching.build 1)
-      with
-      | Error e ->
-          Scheduler.complete pool.scheduler req.id
-            (Request.Failed (Astitch_plan.Compile_error.to_string e))
-      | Ok { result; _ } -> (
+      let attrs =
+        if Trace.active () then
+          [ ("model", Trace.Str req.model); ("id", Trace.Int req.id) ]
+        else []
+      in
+      Trace.with_span ~attrs ~phase:"serve" "fallback" (fun () ->
+          if Trace.active () then
+            Trace.flow_step ~phase:"serve" req.trace "request"
+              ~attrs:[ ("hop", Trace.Str "fallback") ];
+          let t_pack = now_us () in
           match
-            Executor.run result.Session.plan ~params:(m.shared @ req.params)
+            Session.compile_resilient pool.arch (m.spec.Batching.build 1)
           with
-          | outputs ->
-              complete_done pool 0. ~batch_size:1 ~degraded:true req outputs
-          | exception e ->
-              Scheduler.complete pool.scheduler req.id
-                (Request.Failed (Printexc.to_string e))))
+          | Error e ->
+              Scheduler.complete pool.scheduler req
+                (Request.Failed (Astitch_plan.Compile_error.to_string e))
+          | Ok { result; _ } -> (
+              let t_exec = now_us () in
+              match
+                Executor.run result.Session.plan
+                  ~params:(m.shared @ req.params)
+              with
+              | outputs ->
+                  let t_unpack = now_us () in
+                  observe_phases pool req ~t_pack ~t_exec ~t_unpack
+                    ~t_done:t_unpack;
+                  complete_done pool ~t_done:t_unpack ~batch_size:1
+                    ~degraded:true req outputs
+              | exception e ->
+                  Scheduler.complete pool.scheduler req
+                    (Request.Failed (Printexc.to_string e)))))
     requests
 
 (* Recovery for the requests of a batch that did not complete cleanly:
    each request re-enters the scheduler for a solo re-dispatch while it
    has retry budget left, and drops to the fallback rung when the
    budget is spent.  Completion is idempotent, so recovering requests a
-   wedged worker might still finish is safe. *)
-let recover_requests pool (batch : Scheduler.batch) =
+   wedged worker might still finish is safe.  The whole detour is a
+   span carrying the reason (batch-failure, worker-death, wedge-steal,
+   worker-loop-fault), so recovery time is attributable in the trace. *)
+let recover_requests pool ~reason (batch : Scheduler.batch) =
   let m = Hashtbl.find pool.models batch.model in
-  List.iter
-    (fun (r : Request.t) ->
-      if r.attempts < pool.retry_budget then begin
-        r.attempts <- r.attempts + 1;
-        Scheduler.requeue pool.scheduler r
-      end
-      else serve_fallback pool m [ r ])
-    batch.requests
+  let attrs =
+    if Trace.active () then
+      [
+        ("model", Trace.Str batch.model);
+        ("reason", Trace.Str reason);
+        ("requests", Trace.Int (List.length batch.requests));
+      ]
+    else []
+  in
+  Trace.with_span ~attrs ~phase:"serve" "recover" (fun () ->
+      List.iter
+        (fun (r : Request.t) ->
+          if r.attempts < pool.retry_budget then begin
+            r.attempts <- r.attempts + 1;
+            Scheduler.requeue pool.scheduler r
+          end
+          else serve_fallback pool m [ r ])
+        batch.requests)
 
 let serve_batch pool (batch : Scheduler.batch) =
   let m = Hashtbl.find pool.models batch.model in
@@ -365,30 +435,58 @@ let serve_batch pool (batch : Scheduler.batch) =
   Metrics.add pool.m_padded (exec_rows - n);
   ignore (Atomic.fetch_and_add pool.n_padded (exec_rows - n));
   let attrs =
-    [ ("model", Trace.Str batch.model); ("requests", Trace.Int n) ]
+    [
+      ("model", Trace.Str batch.model);
+      ("requests", Trace.Int n);
+      ("seq", Trace.Int seq);
+    ]
   in
   Trace.with_span ~attrs ~phase:"serve"
     (Printf.sprintf "batch:%s" batch.model) (fun () ->
+      (* Pull each request's flow arrow into this batch span: the "t"
+         step is what links the client-thread submit span to this
+         worker domain in Perfetto. *)
+      if Trace.active () then
+        List.iter
+          (fun (r : Request.t) ->
+            Trace.flow_step ~phase:"serve" r.trace "request"
+              ~attrs:[ ("id", Trace.Int r.id) ])
+          batch.requests;
       (* The lease is tracked outside the happy path so the failure
-         handler knows whether there is one to quarantine. *)
+         handler knows whether there is one to quarantine.  Lifecycle
+         stages run under child spans; an exception anywhere leaves the
+         open child to the batch span's auto-close. *)
       let held = ref None in
       match
+        let cid = Trace.span_begin ~phase:"serve" "checkout" in
         let lease = checkout pool m ~n in
+        Trace.span_end cid;
         held := Some lease;
         (* Snapshot AFTER checkout: a compile-site fault firing during
            a cold-model compile surfaces as a compile error, not as
            corrupt execution, and must not poison this batch. *)
         let fired0 = Fault_site.fired () in
+        let t_pack = now_us () in
+        let pid = Trace.span_begin ~phase:"serve" "pack" in
         let packed =
           Batching.pack m.spec ~batch:exec_rows
             (List.map (fun (r : Request.t) -> r.params) batch.requests)
         in
+        Trace.span_end pid;
+        let t_exec = now_us () in
+        (* [run_lease] opens the executor's own "run-context" span; it
+           nests under this batch span via the domain stack, so the
+           per-kernel exec spans are already parented correctly. *)
         let outputs = run_lease lease ~n (m.shared @ packed) in
+        let t_unpack = now_us () in
+        let uid = Trace.span_begin ~phase:"serve" "unpack" in
         let per_request = Batching.unpack m.spec ~count:n outputs in
+        Trace.span_end uid;
         (if pool.verify_every > 0 && seq mod pool.verify_every = 0 then
            match (batch.requests, per_request) with
            | req :: _, sliced :: _ ->
-               verify_first pool m ~model:batch.model lease req sliced
+               Trace.with_span ~phase:"serve" "verify" (fun () ->
+                   verify_first pool m ~model:batch.model lease req sliced)
            | _ -> ());
         (* Corrupt-mode faults don't raise - they silently perturb
            numerics.  Any site that fired during this batch poisons it:
@@ -399,22 +497,36 @@ let serve_batch pool (batch : Scheduler.batch) =
           failwith "fault fired during batch execution";
         checkin m lease;
         held := None;
-        per_request
+        (per_request, t_pack, t_exec, t_unpack)
       with
-      | per_request ->
+      | per_request, t_pack, t_exec, t_unpack ->
+          let t_done = now_us () in
           List.iter2
             (fun req outs ->
-              complete_done pool 0. ~batch_size:n ~degraded:false req outs)
+              observe_phases pool req ~t_pack ~t_exec ~t_unpack ~t_done;
+              complete_done pool ~t_done ~batch_size:n ~degraded:false req
+                outs)
             batch.requests per_request;
           Scheduler.note_batch_result pool.scheduler ~model:batch.model
             ~ok:true
       | exception _ ->
           (match !held with
-          | Some lease -> quarantine pool m ~model:batch.model lease
+          | Some lease ->
+              quarantine pool m ~model:batch.model ~reason:"batch-failure"
+                lease
           | None -> ());
+          if Trace.active () then
+            ignore
+              (Flight.incident ~reason:"batch-failure"
+                 ~attrs:
+                   [
+                     ("model", Trace.Str batch.model);
+                     ("requests", Trace.Int n);
+                   ]
+                 ());
           Scheduler.note_batch_result pool.scheduler ~model:batch.model
             ~ok:false;
-          recover_requests pool batch)
+          recover_requests pool ~reason:"batch-failure" batch)
 
 (* The worker-loop fault site models the worker itself dying or
    stalling with a batch in hand (as opposed to the batch failing).
@@ -441,7 +553,9 @@ let worker_loop_fault () =
    worker-loop fault here plays the crashed-worker part without a
    domain to kill: the batch goes straight to recovery. *)
 let serve_or_recover pool b =
-  if worker_loop_fault () then recover_requests pool b else serve_batch pool b
+  if worker_loop_fault () then
+    recover_requests pool ~reason:"worker-loop-fault" b
+  else serve_batch pool b
 
 let rec pump pool =
   match Scheduler.try_next_batch pool.scheduler with
@@ -523,9 +637,14 @@ let worker_body pool slot () =
           *. Float.of_int (1 lsl Stdlib.min 7 (slot.deaths - 1))
         in
         slot.restart_at <- now_us () +. backoff);
-    if Trace.enabled () then
+    if Trace.active () then begin
       Trace.instant ~phase:"serve" "worker-death"
-        ~attrs:[ ("worker", Trace.Int slot.wid) ]
+        ~attrs:[ ("worker", Trace.Int slot.wid) ];
+      ignore
+        (Flight.incident ~reason:"worker-death"
+           ~attrs:[ ("worker", Trace.Int slot.wid) ]
+           ())
+    end
 
 (* --- Monitor -------------------------------------------------------------- *)
 
@@ -582,12 +701,19 @@ let supervise_once pool =
     (fun b ->
       Atomic.incr pool.n_wedged;
       Metrics.inc pool.m_wedged;
-      if Trace.enabled () then
+      if Trace.active () then begin
         Trace.instant ~phase:"serve" "wedge-steal"
           ~attrs:[ ("model", Trace.Str b.Scheduler.model) ];
-      recover_requests pool b)
+        ignore
+          (Flight.incident ~reason:"wedge-steal"
+             ~attrs:[ ("model", Trace.Str b.Scheduler.model) ]
+             ())
+      end;
+      recover_requests pool ~reason:"wedge-steal" b)
     !stolen;
-  List.iter (fun b -> recover_requests pool b) !to_recover;
+  List.iter
+    (fun b -> recover_requests pool ~reason:"worker-death" b)
+    !to_recover;
   List.iter
     (fun (s, old) ->
       (* the dead domain has already exited; join reclaims it *)
@@ -596,7 +722,7 @@ let supervise_once pool =
       sup_locked pool (fun () -> s.dom <- Some d);
       Atomic.incr pool.n_restarts;
       Metrics.inc pool.m_restart;
-      if Trace.enabled () then
+      if Trace.active () then
         Trace.instant ~phase:"serve" "worker-restart"
           ~attrs:[ ("worker", Trace.Int s.wid) ])
     !to_restart;
@@ -661,6 +787,11 @@ let create ~scheduler ~models ~cache ~arch ~fused ~verify_every ~retry_budget
       m_compiles = Metrics.counter r "serve.plan_compiles";
       m_batches = Metrics.counter r "serve.batches";
       m_request_us = Metrics.histogram r "serve.request_us";
+      m_queue_us = Metrics.histogram r "serve.queue_us";
+      m_batch_wait_us = Metrics.histogram r "serve.batch_wait_us";
+      m_pack_us = Metrics.histogram r "serve.pack_us";
+      m_exec_us = Metrics.histogram r "serve.exec_us";
+      m_unpack_us = Metrics.histogram r "serve.unpack_us";
       m_verified = Metrics.counter r "serve.verified";
       m_restart = Metrics.counter r "serve.worker_restart";
       m_quarantine = Metrics.counter r "serve.quarantine";

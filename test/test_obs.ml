@@ -161,6 +161,7 @@ let test_deterministic_export () =
 
 let test_disabled_no_alloc () =
   if Trace.installed () then ignore (Trace.uninstall ());
+  if Trace.recorder_installed () then ignore (Trace.recorder_uninstall ());
   (* warm up so any one-time setup is out of the measured window *)
   let id = Trace.span_begin ~phase:"exec" "warm" in
   Trace.span_end id;
@@ -169,11 +170,19 @@ let test_disabled_no_alloc () =
     let id = Trace.span_begin ~phase:"exec" "kernel" in
     Trace.span_end id;
     Trace.instant ~phase:"exec" "tick";
-    ignore (Trace.enabled ())
+    (* the request-tracing entry points share the contract: with both
+       sinks off, minting a context hands back the shared null context
+       and every flow emitter returns before touching it *)
+    let ctx = Trace.new_context () in
+    Trace.flow_start ~phase:"serve" ctx "request";
+    Trace.flow_step ~phase:"serve" ctx "request";
+    Trace.flow_end ~phase:"serve" ctx "request";
+    ignore (Trace.enabled ());
+    ignore (Trace.active ())
   done;
   let allocated = Gc.minor_words () -. before in
   Alcotest.(check (float 0.))
-    "no sink => no allocation on the span hot path" 0. allocated
+    "no sink => no allocation on the span/flow hot path" 0. allocated
 
 (* --- Concurrent emitters (qcheck) ----------------------------------------- *)
 
@@ -229,6 +238,227 @@ let prop_concurrent_domains =
       let total_spans = List.length (spans records) in
       if total_spans <> ndomains * per_domain then ok := false;
       !ok)
+
+(* --- Flows, cross-domain rule, recorder + flight dumps -------------------- *)
+
+module Flight = Astitch_obs.Flight
+
+let flows records =
+  List.filter_map (function Trace.Flow f -> Some f | _ -> None) records
+
+let test_flow_chain () =
+  let ctx_ref = ref Trace.null_context in
+  let records =
+    with_manual_sink (fun () ->
+        let sid = Trace.span_begin ~phase:"serve" "submit" in
+        let ctx = Trace.new_context () in
+        ctx_ref := ctx;
+        Trace.flow_start ~phase:"serve" ctx "request";
+        Trace.span_end sid;
+        Trace.with_span ~phase:"serve" "batch" (fun () ->
+            Trace.flow_step ~phase:"serve" ctx "request";
+            Trace.flow_end ~phase:"serve" ctx "request");
+        Trace.records ())
+  in
+  let fl = flows records in
+  check_int "three flow records" 3 (List.length fl);
+  let ctx = !ctx_ref in
+  check_bool "fresh context has a nonzero id" true (ctx.Trace.trace_id > 0);
+  let submit =
+    List.find (fun (s : Trace.span) -> s.Trace.name = "submit") (spans records)
+  in
+  check_int "context parents under the minting span" submit.Trace.id
+    ctx.Trace.parent_span;
+  List.iter
+    (fun (f : Trace.flow) ->
+      check_int "every arrow carries the trace id" ctx.Trace.trace_id
+        f.Trace.fid)
+    fl;
+  (match List.map (fun (f : Trace.flow) -> f.Trace.fdir) fl with
+  | [ Trace.Flow_start; Trace.Flow_step; Trace.Flow_end ] -> ()
+  | _ -> Alcotest.fail "flow arrows out of order");
+  (* two contexts never share an id, even across sink reinstalls *)
+  let other = with_manual_sink (fun () -> Trace.new_context ()) in
+  check_bool "flow ids are never reused" true
+    (other.Trace.trace_id <> ctx.Trace.trace_id);
+  (* the null context is inert *)
+  let quiet =
+    with_manual_sink (fun () ->
+        Trace.flow_start ~phase:"serve" Trace.null_context "request";
+        Trace.flow_end ~phase:"serve" Trace.null_context "request";
+        Trace.records ())
+  in
+  check_int "null context emits nothing" 0 (List.length quiet)
+
+let test_flow_chrome_export () =
+  let records =
+    with_manual_sink (fun () ->
+        Trace.with_span ~phase:"serve" "submit" (fun () ->
+            let ctx = Trace.new_context () in
+            Trace.flow_start ~phase:"serve" ctx "request";
+            Trace.flow_step ~phase:"serve" ctx "request"
+              ~attrs:[ ("hop", Trace.Str "retry") ];
+            Trace.flow_end ~phase:"serve" ctx "request");
+        Trace.records ())
+  in
+  let text = Chrome.to_string records in
+  match J.parse text with
+  | Error e -> Alcotest.failf "flow export does not parse: %s" e
+  | Ok root ->
+      let evs =
+        Option.value ~default:[]
+          (Option.bind (J.member "traceEvents" root) J.as_arr)
+      in
+      let by_ph ph =
+        List.filter
+          (fun ev -> Option.bind (J.member "ph" ev) J.as_str = Some ph)
+          evs
+      in
+      check_int "one s arrow" 1 (List.length (by_ph "s"));
+      check_int "one t arrow" 1 (List.length (by_ph "t"));
+      check_int "one f arrow" 1 (List.length (by_ph "f"));
+      let ids =
+        List.map
+          (fun ev -> Option.bind (J.member "id" ev) J.as_num)
+          (by_ph "s" @ by_ph "t" @ by_ph "f")
+      in
+      (match ids with
+      | [ Some a; Some b; Some c ] when a = b && b = c -> ()
+      | _ -> Alcotest.fail "flow events do not share one id");
+      check_string "the f arrow binds to its enclosing slice" "e"
+        (Option.value ~default:"?"
+           (Option.bind
+              (Option.bind (J.member "bp" (List.hd (by_ph "f"))) J.as_str)
+              Option.some));
+      check_string "the t arrow keeps its attrs" "retry"
+        (Option.value ~default:"?"
+           (Option.bind (J.member "args" (List.hd (by_ph "t"))) (fun args ->
+                Option.bind (J.member "hop" args) J.as_str)))
+
+(* The cross-domain rule: a span closed on a domain that did not open it
+   must never touch the owner's stack - it surfaces as a diagnostic
+   instant, and the owner can still close its span normally. *)
+let test_cross_domain_span_end () =
+  let records =
+    with_manual_sink (fun () ->
+        let sid = Trace.span_begin ~phase:"serve" "owned" in
+        let d = Domain.spawn (fun () -> Trace.span_end sid) in
+        Domain.join d;
+        check_int "owner's stack is untouched by the foreign close" 1
+          (Trace.open_spans ());
+        Trace.span_end sid;
+        Trace.records ())
+  in
+  (match spans records with
+  | [ s ] -> check_string "the owner's close wins" "owned" s.Trace.name
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l));
+  match events records with
+  | [ e ] ->
+      check_string "foreign close becomes a diagnostic instant"
+        "cross-domain-span-end" e.Trace.ename;
+      check_string "diagnostic is in the trace phase" "trace" e.Trace.ephase
+  | l -> Alcotest.failf "expected 1 diagnostic event, got %d" (List.length l)
+
+let test_recorder_tee () =
+  if Trace.installed () then ignore (Trace.uninstall ());
+  if Trace.recorder_installed () then ignore (Trace.recorder_uninstall ());
+  Trace.recorder_install ~clock:(Clock.read (Clock.manual ())) ();
+  Fun.protect
+    ~finally:(fun () ->
+      if Trace.installed () then ignore (Trace.uninstall ());
+      if Trace.recorder_installed () then ignore (Trace.recorder_uninstall ()))
+    (fun () ->
+      check_bool "recorder-only: active but not enabled" true
+        (Trace.active () && not (Trace.enabled ()));
+      Trace.instant ~phase:"serve" "black-box-only";
+      Trace.install ~clock:(Clock.read (Clock.manual ())) ();
+      Trace.with_span ~phase:"serve" "teed" (fun () -> ());
+      let traced = Trace.uninstall () in
+      check_bool "the trace sink saw the teed span" true
+        (List.exists
+           (fun (s : Trace.span) -> s.Trace.name = "teed")
+           (spans traced));
+      check_bool "the trace sink missed the pre-install event" false
+        (List.exists
+           (fun (e : Trace.event) -> e.Trace.ename = "black-box-only")
+           (events traced));
+      let rec_ = Trace.recorder_records () in
+      check_bool "the recorder holds both" true
+        (List.exists
+           (fun (e : Trace.event) -> e.Trace.ename = "black-box-only")
+           (events rec_)
+        && List.exists
+             (fun (s : Trace.span) -> s.Trace.name = "teed")
+             (spans rec_)))
+
+let test_recorder_overflow_export () =
+  if Trace.installed () then ignore (Trace.uninstall ());
+  Trace.recorder_install ~clock:(Clock.read (Clock.manual ())) ~capacity:8 ();
+  Fun.protect
+    ~finally:(fun () ->
+      if Trace.recorder_installed () then ignore (Trace.recorder_uninstall ()))
+    (fun () ->
+      for i = 1 to 50 do
+        Trace.instant ~phase:"serve" (Printf.sprintf "e%d" i)
+      done;
+      check_bool "overflow is counted" true (Trace.recorder_dropped () > 0);
+      let text = Chrome.to_string (Trace.recorder_records ()) in
+      match J.parse text with
+      | Error e -> Alcotest.failf "overflowed recorder export invalid: %s" e
+      | Ok root ->
+          let evs =
+            Option.value ~default:[]
+              (Option.bind (J.member "traceEvents" root) J.as_arr)
+          in
+          (* 8 survivors + the process metadata record *)
+          check_int "ring keeps the newest 8" 9 (List.length evs))
+
+let test_flight_dump () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "astitch-flight-test-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Array.iter
+    (fun f -> Sys.remove (Filename.concat dir f))
+    (Sys.readdir dir);
+  Flight.arm ~dir ~limit:2 ();
+  Fun.protect
+    ~finally:(fun () -> Flight.disarm ())
+    (fun () ->
+      Trace.instant ~phase:"serve" "pre-incident-context";
+      (match Flight.incident ~reason:"test-incident" () with
+      | None -> Alcotest.fail "armed incident produced no dump"
+      | Some path -> (
+          check_bool "dump file exists" true (Sys.file_exists path);
+          let ic = open_in path in
+          let text = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          match J.parse text with
+          | Error e -> Alcotest.failf "dump is not valid JSON: %s" e
+          | Ok root ->
+              let evs =
+                Option.value ~default:[]
+                  (Option.bind (J.member "traceEvents" root) J.as_arr)
+              in
+              let has name =
+                List.exists
+                  (fun ev ->
+                    Option.bind (J.member "name" ev) J.as_str = Some name)
+                  evs
+              in
+              check_bool "the trigger instant is inside its own dump" true
+                (has "test-incident");
+              check_bool "events preceding the incident are captured" true
+                (has "pre-incident-context")));
+      ignore (Flight.incident ~reason:"test-incident" ());
+      check_int "two dumps written" 2 (List.length (Flight.dump_paths ()));
+      ignore (Flight.incident ~reason:"test-incident" ());
+      check_int "still two dumps at the limit" 2
+        (List.length (Flight.dump_paths ()));
+      check_int "the third incident is counted as suppressed" 1
+        (Flight.suppressed ()))
 
 (* --- Metrics -------------------------------------------------------------- *)
 
@@ -316,15 +546,22 @@ let test_snapshot_reset () =
   Metrics.inc (Metrics.counter reg "b");
   Metrics.set (Metrics.gauge reg "a") 3.;
   Metrics.observe (Metrics.histogram reg "c") 10.;
+  Metrics.observe (Metrics.histogram reg "c") 30.;
   (match Metrics.snapshot reg with
   | [ Metrics.Gauge_s { name = "a"; _ }; Metrics.Counter_s { name = "b"; _ };
-      Metrics.Hist_s { name = "c"; n = 1; _ } ] ->
-      ()
+      Metrics.Hist_s { name = "c"; n = 2; mean; min; max; _ } ] ->
+      (* the extrema are exact (not bucket-rounded), the mean is total/n *)
+      check_bool "snapshot mean" true (Float.abs (mean -. 20.) < 1e-9);
+      check_bool "snapshot min is exact" true (min = 10.);
+      check_bool "snapshot max is exact" true (max = 30.)
   | _ -> Alcotest.fail "snapshot shape/order");
   Metrics.reset reg;
   check_int "reset zeroes counters" 0 (Metrics.value (Metrics.counter reg "b"));
   check_int "reset zeroes histograms" 0
-    (Metrics.hist_count (Metrics.histogram reg "c"))
+    (Metrics.hist_count (Metrics.histogram reg "c"));
+  check_bool "reset clears the extrema" true
+    (Metrics.hist_min (Metrics.histogram reg "c") = 0.
+    && Metrics.hist_max (Metrics.histogram reg "c") = 0.)
 
 (* --- Pipeline instrumentation -------------------------------------------- *)
 
@@ -491,6 +728,21 @@ let () =
       );
       ( "concurrency",
         [ QCheck_alcotest.to_alcotest ~long:false prop_concurrent_domains ] );
+      ( "flows",
+        [
+          Alcotest.test_case "flow chain" `Quick test_flow_chain;
+          Alcotest.test_case "chrome flow export" `Quick
+            test_flow_chrome_export;
+          Alcotest.test_case "cross-domain span end" `Quick
+            test_cross_domain_span_end;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "tee to both sinks" `Quick test_recorder_tee;
+          Alcotest.test_case "overflow export valid" `Quick
+            test_recorder_overflow_export;
+          Alcotest.test_case "flight dump" `Quick test_flight_dump;
+        ] );
       ( "metrics",
         [
           Alcotest.test_case "counters + gauges" `Quick test_counters_gauges;

@@ -1121,6 +1121,129 @@ let test_plan_cache_remove () =
     (s.insertions - s.evictions - s.removals)
     (Plan_cache.length cache)
 
+(* --- Request tracing: span chains, decomposition, flight recorder --------- *)
+
+module Trace = Astitch_obs.Trace
+
+(* The latency decomposition telescopes: the five phase stamps are the
+   same floats the end-to-end sample is computed from, so summed over a
+   clean run the phase histograms must reconcile with serve.request_us
+   to within float rounding - the "blame" table adds up to 100%. *)
+let test_phase_decomposition_reconciles () =
+  let reg = Astitch_obs.Metrics.default in
+  Astitch_obs.Metrics.reset reg;
+  let server = Serve.create ~config:(serve_config ~workers:1 ()) [ mlp_model ] in
+  Fun.protect
+    ~finally:(fun () -> Serve.shutdown server)
+    (fun () ->
+      let burst = submit_burst server ~what:"decomp" ~seed:2 12 in
+      Serve.drain server;
+      await_all_accounted server ~what:"decomp" burst);
+  let h name =
+    Astitch_obs.Metrics.histogram reg ("serve." ^ name ^ "_us")
+  in
+  let sum name = Astitch_obs.Metrics.hist_sum (h name) in
+  let n = Astitch_obs.Metrics.hist_count (h "request") in
+  check_int "every completed request is decomposed" 12 n;
+  List.iter
+    (fun phase ->
+      check_int (phase ^ " observed once per request") n
+        (Astitch_obs.Metrics.hist_count (h phase)))
+    [ "queue"; "batch_wait"; "pack"; "exec"; "unpack" ];
+  let parts =
+    sum "queue" +. sum "batch_wait" +. sum "pack" +. sum "exec"
+    +. sum "unpack"
+  in
+  let e2e = sum "request" in
+  check_bool
+    (Printf.sprintf "phases sum to end-to-end latency (%.3f vs %.3f us)"
+       parts e2e)
+    true
+    (Float.abs (parts -. e2e) <= 1.0 +. (1e-9 *. e2e));
+  let rows = Serve.latency_breakdown () in
+  check_int "blame table: five phases + end-to-end" 6 (List.length rows);
+  List.iter
+    (fun (r : Serve.phase_latency) ->
+      check_int (r.Serve.phase ^ ": blame row counts every request") n
+        r.Serve.count)
+    rows
+
+(* Satellite property: under every runtime fault site x raise/corrupt,
+   each admitted request's flow chain stays well-formed - exactly one
+   "s" per request, every "t"/"f" resolves to it, exactly one "f" per
+   chain, never before its "s".  The recorder rides along with a
+   deliberately tiny ring so chaos overflows it; an overflowed ring must
+   still export valid Chrome-trace JSON. *)
+let prop_span_chain_under_chaos =
+  QCheck2.Test.make ~name:"span chains well-formed under chaos" ~count:12
+    QCheck2.Gen.(
+      triple
+        (int_range 0 (List.length Fault.runtime_sites - 1))
+        bool (int_range 0 1_000))
+    (fun (site_idx, use_raise, seed) ->
+      let site = List.nth Fault.runtime_sites site_idx in
+      let mode = if use_raise then Fault.Raise else Fault.Corrupt in
+      if Trace.installed () then ignore (Trace.uninstall ());
+      if Trace.recorder_installed () then ignore (Trace.recorder_uninstall ());
+      Trace.install ();
+      Trace.recorder_install ~capacity:32 ();
+      let server =
+        Serve.create ~config:(serve_config ~workers:1 ~max_batch:2 ()) [ mlp_model ]
+      in
+      let ok = ref true in
+      let fail_if c = if c then ok := false in
+      Fun.protect
+        ~finally:(fun () ->
+          Serve.shutdown server;
+          if Trace.installed () then ignore (Trace.uninstall ());
+          if Trace.recorder_installed () then
+            ignore (Trace.recorder_uninstall ()))
+        (fun () ->
+          Fault.with_faults
+            [ Fault.plan site ~mode ~seed ~fuel:2 ]
+            (fun () ->
+              let burst = submit_burst server ~what:"span-chain" ~seed 4 in
+              Serve.drain server;
+              List.iter (fun (t, _) -> ignore (Serve.await server t)) burst);
+          (* ring overflow under chaos never yields invalid JSON *)
+          let rec_records = Trace.recorder_records () in
+          (match
+             Astitch_obs.Json_check.parse
+               (Astitch_obs.Chrome_trace.to_string rec_records)
+           with
+          | Ok _ -> ()
+          | Error _ -> ok := false);
+          let fl =
+            List.filter_map
+              (function Trace.Flow f -> Some f | _ -> None)
+              (Trace.records ())
+          in
+          let dir d =
+            List.filter (fun (f : Trace.flow) -> f.Trace.fdir = d) fl
+          in
+          let starts = dir Trace.Flow_start and ends = dir Trace.Flow_end in
+          fail_if (List.length starts <> 4);
+          fail_if (List.length ends <> List.length starts);
+          (* every step/end arrow resolves to exactly one start of its
+             id and never precedes it (no orphan flow events) *)
+          List.iter
+            (fun (f : Trace.flow) ->
+              match
+                List.filter
+                  (fun (s : Trace.flow) -> s.Trace.fid = f.Trace.fid)
+                  starts
+              with
+              | [ s ] -> fail_if (f.Trace.fts_ns < s.Trace.fts_ns)
+              | _ -> ok := false)
+            (dir Trace.Flow_step @ ends);
+          (* first-wins completion: one terminating arrow per chain,
+             even when steal paths double-execute *)
+          let end_ids = List.map (fun (f : Trace.flow) -> f.Trace.fid) ends in
+          fail_if
+            (List.length (List.sort_uniq compare end_ids)
+            <> List.length end_ids));
+      !ok)
+
 (* --- Suite --------------------------------------------------------------- *)
 
 let () =
@@ -1207,5 +1330,11 @@ let () =
             test_shutdown_prompt_under_open_window;
           Alcotest.test_case "plan cache invalidation" `Quick
             test_plan_cache_remove;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "phase decomposition reconciles" `Quick
+            test_phase_decomposition_reconciles;
+          QCheck_alcotest.to_alcotest prop_span_chain_under_chaos;
         ] );
     ]
