@@ -72,6 +72,11 @@ let () =
   | [| _; "serving"; "quick"; "--check"; baseline |] ->
       Serving_bench.run ~quick:true ~baseline ()
   | [| _; "serving"; "--check"; baseline |] -> Serving_bench.run ~baseline ()
+  | [| _; "zoo" |] -> Zoo_bench.run ()
+  | [| _; "zoo"; "quick" |] -> Zoo_bench.run ~quick:true ()
+  | [| _; "zoo"; "quick"; "--check"; baseline |] ->
+      Zoo_bench.run ~quick:true ~baseline ()
+  | [| _; "zoo"; "--check"; baseline |] -> Zoo_bench.run ~baseline ()
   | [| _; "serve" |] -> Serve_bench.run ()
   | [| _; "serve"; "quick" |] -> Serve_bench.run ~quick:true ()
   | [| _; "serve"; "quick"; "--check"; baseline |] ->
@@ -84,6 +89,6 @@ let () =
         exit 1)
   | _ ->
       prerr_endline
-        "usage: main.exe [experiment-id|bechamel|serving|serve [quick] \
+        "usage: main.exe [experiment-id|bechamel|serving|serve|zoo [quick] \
          [--check BASELINE]]";
       exit 1

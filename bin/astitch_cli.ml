@@ -143,9 +143,7 @@ let with_arch name f =
   | None -> `Error (false, "unknown arch " ^ name)
 
 let pp_cache_stats (s : Plan_cache.stats) =
-  Printf.printf
-    "cache: %d hits, %d misses, %d insertions, %d evictions, %d bypasses\n"
-    s.hits s.misses s.insertions s.evictions s.bypasses
+  Format.printf "cache: %a@." Plan_cache.pp_stats s
 
 (* --- Observability surface ------------------------------------------------- *)
 
@@ -1083,6 +1081,316 @@ let serve_cmd_impl models workers max_batch max_wait_us queue_depth requests
                          (List.length dumps));
                   `Ok ()))
 
+(* --- Multi-tenant zoo ------------------------------------------------------- *)
+
+(* With no --slo the classes cycle in registration order, so a bare
+   `zoo` run still exercises the whole multi-tenant scheduler: EDF
+   inside the latency class, strict priority over throughput, and the
+   fair-share floor keeping best-effort alive. *)
+let default_slo_cycle =
+  [
+    Astitch_serve.Slo.Latency { deadline_us = 50_000. };
+    Astitch_serve.Slo.Throughput;
+    Astitch_serve.Slo.Best_effort;
+  ]
+
+let parse_slo_specs specs =
+  List.fold_left
+    (fun acc spec ->
+      Result.bind acc (fun acc ->
+          match String.index_opt spec '=' with
+          | None ->
+              Error
+                (Printf.sprintf
+                   "bad --slo %S (want MODEL=CLASS, e.g. ASR=latency:20000)"
+                   spec)
+          | Some i ->
+              let model = String.sub spec 0 i in
+              let cls =
+                String.sub spec (i + 1) (String.length spec - i - 1)
+              in
+              if List.mem_assoc model acc then
+                Error (Printf.sprintf "duplicate --slo for model %s" model)
+              else (
+                match Astitch_serve.Slo.of_string cls with
+                | Ok s -> Ok (acc @ [ (model, s) ])
+                | Error e -> Error (Printf.sprintf "bad --slo %S: %s" spec e))))
+    (Ok []) specs
+
+(* Skewed popularity: model i draws traffic proportional to 1/(i+1)
+   (first-listed model is hottest), matching the zoo bench's workload
+   shape so CLI runs and bench runs stress the same scheduler paths. *)
+let skewed_pick st names =
+  let n = Array.length names in
+  let weights = Array.init n (fun i -> 1. /. float_of_int (i + 1)) in
+  let total = Array.fold_left ( +. ) 0. weights in
+  let u = Random.State.float st total in
+  let rec go i acc =
+    if i >= n - 1 then names.(n - 1)
+    else
+      let acc = acc +. weights.(i) in
+      if u < acc then names.(i) else go (i + 1) acc
+  in
+  go 0 0.
+
+(* Top-level compile spans only (one per plan compiled), not the
+   backend-pass spans nested inside them: "zero" must mean zero plans
+   compiled, and a nonzero count should read as a number of plans. *)
+let count_compile_spans records =
+  List.fold_left
+    (fun acc r ->
+      match r with
+      | Astitch_obs.Trace.Span s
+        when s.Astitch_obs.Trace.phase = "session"
+             && (s.Astitch_obs.Trace.name = "compile"
+                || s.Astitch_obs.Trace.name = "compile-resilient") ->
+          acc + 1
+      | _ -> acc)
+    0 records
+
+let zoo_cmd_impl names slo_specs plan_dir verify_plans workers max_batch
+    max_wait_us queue_depth requests arrival fair_share_floor seed arch fused
+    trace metrics expect_warm check =
+  let names = if names = [] then [ "CRNN"; "ASR"; "DIEN" ] else names in
+  match (resolve_serve_models names, parse_slo_specs slo_specs) with
+  | Error e, _ | _, Error e -> `Error (false, e)
+  | Ok models, Ok specs -> (
+      match
+        List.find_opt (fun (m, _) -> not (List.mem m names)) specs
+      with
+      | Some (m, _) ->
+          `Error (false, Printf.sprintf "--slo names unserved model %s" m)
+      | None ->
+          with_arch arch (fun arch ->
+              let module Serve = Astitch_serve.Serve in
+              let module Slo = Astitch_serve.Slo in
+              let module Zoo = Astitch_serve.Zoo in
+              let module Request = Astitch_serve.Request in
+              let registrations =
+                List.mapi
+                  (fun i (m : Serve.model) ->
+                    let slo =
+                      match List.assoc_opt m.Serve.name specs with
+                      | Some s -> s
+                      | None ->
+                          if specs = [] then
+                            List.nth default_slo_cycle
+                              (i mod List.length default_slo_cycle)
+                          else Slo.Best_effort
+                    in
+                    (m, slo))
+                  models
+              in
+              let config =
+                {
+                  Zoo.serve =
+                    {
+                      Serve.default_config with
+                      workers;
+                      max_batch;
+                      max_wait_us;
+                      queue_depth;
+                      arch;
+                      fused;
+                      seed;
+                      fair_share_floor;
+                    };
+                  plan_dir;
+                  verify_plans;
+                }
+              in
+              let result =
+                with_obs ~trace ~metrics (fun () ->
+                  let zoo = Zoo.create ~config registrations in
+                  let server = Zoo.server zoo in
+                  let n_models = List.length models in
+                  Printf.printf
+                    "zoo: %d model%s, %d workers, max-batch %d, depth %d, \
+                     floor %.3f%s\n\
+                     %!"
+                    n_models
+                    (if n_models = 1 then "" else "s")
+                    workers max_batch queue_depth fair_share_floor
+                    (match plan_dir with
+                    | None -> ""
+                    | Some d -> Printf.sprintf ", plan-dir %s" d);
+                  List.iter
+                    (fun ((m : Serve.model), slo) ->
+                      Printf.printf "  %-12s %-16s %s\n%!" m.Serve.name
+                        (Slo.to_string slo)
+                        (if Serve.symbolic server ~model:m.Serve.name then
+                           "shape-polymorphic"
+                         else "fixed-extent"))
+                    registrations;
+                  let t_pre = Unix.gettimeofday () in
+                  let p = Zoo.prewarm zoo in
+                  Printf.printf
+                    "prewarm: %.0f ms  loaded %d  verified %d  rejected %d  \
+                     saved %d\n"
+                    ((Unix.gettimeofday () -. t_pre) *. 1e3)
+                    p.Zoo.loaded p.Zoo.verified p.Zoo.rejected p.Zoo.saved;
+                  (* The line the CI smoke job greps: a restart against a
+                     warm store must print "cold compiles: 0". *)
+                  Printf.printf "cold compiles: %d\n%!" p.Zoo.compiled;
+                  (* The flight recorder goes up only now, after prewarm:
+                     any compile-phase span it captures happened while
+                     serving traffic - the thing a warm store promises
+                     never occurs. *)
+                  Astitch_obs.Trace.recorder_install ();
+                  let model_names =
+                    Array.of_list
+                      (List.map (fun (m : Serve.model) -> m.Serve.name) models)
+                  in
+                  let st = Random.State.make [| seed |] in
+                  let t0 = Unix.gettimeofday () in
+                  let clock = ref 0. in
+                  let rejected = ref 0 in
+                  let tickets =
+                    List.filter_map
+                      (fun i ->
+                        (if arrival > 0. then begin
+                           let gap =
+                             -.Float.log (1. -. Random.State.float st 1.)
+                             /. arrival
+                           in
+                           clock := !clock +. gap;
+                           let until = t0 +. !clock -. Unix.gettimeofday () in
+                           if until > 0. then Unix.sleepf until
+                         end);
+                        let model = skewed_pick st model_names in
+                        let params =
+                          Serve.random_request server ~model ~seed:(seed + i)
+                        in
+                        match Zoo.submit_async zoo ~model ~params with
+                        | Ok t -> Some (i, t)
+                        | Error _ ->
+                            incr rejected;
+                            None)
+                      (List.init requests Fun.id)
+                  in
+                  Zoo.drain zoo;
+                  let wall = Unix.gettimeofday () -. t0 in
+                  let done_n = ref 0
+                  and failed = ref 0
+                  and degraded = ref 0
+                  and shed = ref 0 in
+                  List.iter
+                    (fun (i, t) ->
+                      match Zoo.await zoo t with
+                      | Request.Done { degraded = d; _ } ->
+                          incr done_n;
+                          if d then incr degraded
+                      | Request.Overloaded _ -> incr shed
+                      | Request.Failed m ->
+                          incr failed;
+                          Printf.printf "request %d FAILED: %s\n" i m)
+                    tickets;
+                  let records = Astitch_obs.Trace.recorder_uninstall () in
+                  let traffic_compiles = count_compile_spans records in
+                  let saved_at_shutdown = Zoo.shutdown zoo in
+                  let s = Serve.stats server in
+                  let d = Serve.disposition server in
+                  Printf.printf "admitted %d  rejected %d  shed %d\n"
+                    s.Serve.submitted !rejected !shed;
+                  Printf.printf "completed %d  degraded %d  failed %d\n"
+                    !done_n !degraded !failed;
+                  Printf.printf
+                    "floor picks %d  displaced %d  shed-at-admission %d  \
+                     lost %d\n"
+                    s.Serve.floor_picks s.Serve.displaced
+                    s.Serve.shed_admission d.Serve.lost;
+                  Printf.printf
+                    "compile-phase spans during traffic: %d\n"
+                    traffic_compiles;
+                  Printf.printf "plans saved at shutdown: %d\n"
+                    saved_at_shutdown;
+                  Printf.printf "wall %.3fs  throughput %.1f req/s\n" wall
+                    (float_of_int !done_n /. Float.max wall 1e-9);
+                  Printf.printf
+                    "  %-12s %5s %5s %5s %5s %5s %5s %9s %8s %8s %8s %9s\n"
+                    "class" "sub" "done" "shed" "rej" "fail" "met" "mean_us"
+                    "p50" "p95" "p99" "goodput/s";
+                  List.iter
+                    (fun (c : Zoo.class_stats) ->
+                      Printf.printf
+                        "  %-12s %5d %5d %5d %5d %5d %5d %9.0f %8.0f %8.0f \
+                         %8.0f %9.1f\n"
+                        c.Zoo.cls c.Zoo.submitted c.Zoo.completed c.Zoo.shed
+                        c.Zoo.rejected c.Zoo.failed c.Zoo.deadline_met
+                        c.Zoo.mean_us c.Zoo.p50_us c.Zoo.p95_us c.Zoo.p99_us
+                        (float_of_int c.Zoo.deadline_met
+                        /. Float.max wall 1e-9))
+                    (Zoo.class_stats zoo);
+                  pp_cache_stats
+                    (Plan_cache.stats (Serve.plan_cache server));
+                  ( !done_n, !failed, !shed, !rejected, d.Serve.lost,
+                    s.Serve.padded_rows, p.Zoo.compiled, p.Zoo.rejected,
+                    traffic_compiles ))
+              in
+              let ( done_n, failed, shed, rejected, lost, padded_rows,
+                    cold_compiles, gate_rejected, traffic_compiles ) =
+                result
+              in
+              if not check then `Ok ()
+              else
+                let accounted = done_n + failed + shed + rejected in
+                if failed > 0 then
+                  `Error
+                    (false, Printf.sprintf "check: %d requests failed" failed)
+                else if done_n = 0 then
+                  `Error (false, "check: nothing completed")
+                else if accounted <> requests then
+                  `Error
+                    ( false,
+                      Printf.sprintf
+                        "check: %d of %d requests unaccounted for"
+                        (requests - accounted) requests )
+                else if lost <> 0 then
+                  `Error
+                    (false, Printf.sprintf "check: %d requests lost" lost)
+                else if padded_rows <> 0 then
+                  `Error
+                    ( false,
+                      Printf.sprintf
+                        "check: %d padded rows executed (continuous \
+                         batching promises 0)"
+                        padded_rows )
+                else if verify_plans && gate_rejected > 0 then
+                  `Error
+                    ( false,
+                      Printf.sprintf
+                        "check: %d plans failed the bit-identity gate"
+                        gate_rejected )
+                else if expect_warm && cold_compiles > 0 then
+                  `Error
+                    ( false,
+                      Printf.sprintf
+                        "check: expected a warm store but prewarm compiled \
+                         %d plans"
+                        cold_compiles )
+                else if expect_warm && traffic_compiles > 0 then
+                  `Error
+                    ( false,
+                      Printf.sprintf
+                        "check: %d compile-phase spans during traffic (warm \
+                         store promises 0)"
+                        traffic_compiles )
+                else
+                  let trace_ok =
+                    match trace with
+                    | None -> Ok 0
+                    | Some path -> validate_serve_trace path
+                  in
+                  match trace_ok with
+                  | Error e -> `Error (false, "check: trace invalid: " ^ e)
+                  | Ok events ->
+                      Printf.printf
+                        "check: OK (%d completed, 0 failed, 0 lost%s)\n"
+                        done_n
+                        (if trace = None then ""
+                         else Printf.sprintf ", %d trace events" events);
+                      `Ok ()))
+
 (* --- Command wiring ----------------------------------------------------------- *)
 
 let inspect_cmd =
@@ -1353,6 +1661,104 @@ let serve_cmd =
        $ retry_budget_arg $ breaker_arg $ check_arg $ blame_arg
        $ stats_json_arg $ recorder_arg))
 
+let zoo_cmd =
+  let models_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"MODEL"
+           ~doc:"Zoo models to host (default: CRNN ASR DIEN).")
+  in
+  let slo_arg =
+    Arg.(value & opt_all string []
+         & info [ "slo" ] ~docv:"MODEL=CLASS"
+             ~doc:"SLO class for a model (repeatable): \
+                   MODEL=latency:DEADLINE_US, MODEL=throughput or \
+                   MODEL=best-effort.  Unlisted models default to \
+                   best-effort; with no --slo at all the classes cycle \
+                   latency/throughput/best-effort in model order.")
+  in
+  let plan_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "plan-dir" ] ~docv:"DIR"
+             ~doc:"Persistent plan store: prewarm loads each model's plans \
+                   from DIR instead of compiling (saving fresh compiles \
+                   back), and shutdown persists everything compiled since. \
+                   A restart against the same DIR reports \"cold compiles: \
+                   0\".")
+  in
+  let verify_plans_arg =
+    Arg.(value & flag
+         & info [ "verify-plans" ]
+             ~doc:"Bit-identity gate: recompile every store-loaded plan and \
+                   require its canonical encoding to equal the fresh \
+                   compile's, discarding mismatches.  Costs the compiles \
+                   the store was saving - a verification mode, not the \
+                   serving default.")
+  in
+  let workers_arg =
+    Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
+           ~doc:"Worker domains executing batches (0 = caller-runs).")
+  in
+  let max_batch_arg =
+    Arg.(value & opt int 8 & info [ "max-batch" ] ~docv:"N"
+           ~doc:"Largest batch a dispatch may take.")
+  in
+  let max_wait_arg =
+    Arg.(value & opt float 2000. & info [ "max-wait-us" ] ~docv:"US"
+           ~doc:"Batching window.")
+  in
+  let queue_depth_arg =
+    Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"N"
+           ~doc:"Admission-control bound across models; past it, \
+                 best-effort entries are displaced to admit higher \
+                 classes before anything is refused.")
+  in
+  let requests_arg =
+    Arg.(value & opt int 100 & info [ "requests" ] ~docv:"N"
+           ~doc:"Total synthetic requests, drawn across models with \
+                 skewed popularity (first-listed model hottest).")
+  in
+  let arrival_arg =
+    Arg.(value & opt float 0. & info [ "arrival" ] ~docv:"RATE"
+           ~doc:"Open-loop arrival rate in requests/second (exponential \
+                 inter-arrivals); 0 submits as fast as possible.")
+  in
+  let floor_arg =
+    Arg.(value & opt float 0.125 & info [ "fair-share-floor" ] ~docv:"F"
+           ~doc:"Fraction of dispatches reserved for the least-served \
+                 model, so best-effort tenants keep making progress under \
+                 overload (0 = pure strict priority).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+           ~doc:"Seed for weights, request payloads, popularity draws and \
+                 arrivals.")
+  in
+  let expect_warm_arg =
+    Arg.(value & flag
+         & info [ "expect-warm" ]
+             ~doc:"With --check: fail unless prewarm compiled nothing \
+                   (every plan came from the store) and no compile-phase \
+                   span occurred while serving traffic.")
+  in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Exit non-zero unless every request is accounted for \
+                   with zero failures and zero lost; composes with \
+                   --verify-plans (no gate rejections), --expect-warm \
+                   (zero cold compiles) and --trace (valid serve spans).")
+  in
+  Cmd.v
+    (Cmd.info "zoo"
+       ~doc:"Host a multi-tenant model zoo: SLO-class scheduling over a \
+             shared worker pool with a persistent plan store")
+    Term.(
+      ret
+        (const zoo_cmd_impl $ models_arg $ slo_arg $ plan_dir_arg
+       $ verify_plans_arg $ workers_arg $ max_batch_arg $ max_wait_arg
+       $ queue_depth_arg $ requests_arg $ arrival_arg $ floor_arg
+       $ seed_arg $ arch_arg $ fused_arg $ trace_arg $ metrics_arg
+       $ expect_warm_arg $ check_arg))
+
 let main =
   Cmd.group
     (Cmd.info "astitch_cli" ~version:"1.0"
@@ -1361,6 +1767,7 @@ let main =
     [
       inspect_cmd; compile_cmd; run_cmd; cuda_cmd; dot_cmd; compare_cmds;
       bench_cmd; text_cmd; parse_cmd; explain_cmd; trace_cmd; serve_cmd;
+      zoo_cmd;
     ]
 
 let () = exit (Cmd.eval main)

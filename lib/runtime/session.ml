@@ -102,6 +102,25 @@ let cache_key (backend : Backend_intf.t) arch g =
     ~fingerprint:(Fingerprint.of_graph g)
     ~arch:arch.Astitch_simt.Arch.name ~config:backend.Backend_intf.name
 
+(* Rebuild a full session result around a plan that was NOT just
+   compiled - one deserialized from the plan store.  The profile is
+   deterministic from the plan and the backend's cost config, so
+   recomputing it is exact; crucially this path emits no compile-phase
+   span, which is what lets a warm restart prove "zero cold compiles"
+   from its trace. *)
+let result_of_plan (backend : Backend_intf.t) plan =
+  {
+    backend_name = backend.Backend_intf.name;
+    plan;
+    profile = Profile.profile ~config:backend.Backend_intf.cost_config plan;
+  }
+
+(* Seed the cache with an externally produced result (a store-loaded
+   plan that already passed the bit-identity gate), so the first real
+   checkout hits instead of compiling. *)
+let precache (cache : cache) (backend : Backend_intf.t) arch g result =
+  Plan_cache.add cache (cache_key backend arch g) result
+
 let compile_cached (cache : cache) (backend : Backend_intf.t) arch g =
   Plan_cache.find_or_compute cache (cache_key backend arch g)
     ~compute:(fun () -> with_fault_watch (fun () -> compile backend arch g))

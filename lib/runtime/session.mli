@@ -34,6 +34,25 @@ type resilient_cache = resilient Plan_cache.t
 val make_cache : ?capacity:int -> unit -> cache
 val make_resilient_cache : ?capacity:int -> unit -> resilient_cache
 
+val cache_key : Backend_intf.t -> Astitch_simt.Arch.t -> Graph.t -> string
+(** The cache key {!compile_cached} files results under:
+    [Plan_cache.key] over canonical graph fingerprint, arch name and
+    backend name.  Exposed so the plan store and zoo prewarming can
+    address the same slots. *)
+
+val result_of_plan : Backend_intf.t -> Kernel_plan.t -> result
+(** Rebuild a session result around an already-materialized plan (one
+    deserialized from the plan store).  The profile is recomputed from
+    the plan - deterministic, so it matches what a fresh compile would
+    have produced - and no compile-phase trace span is emitted. *)
+
+val precache :
+  cache -> Backend_intf.t -> Astitch_simt.Arch.t -> Graph.t -> result -> unit
+(** Seed the cache for [(graph, arch, backend)] with an externally
+    produced result, so the first checkout hits instead of compiling.
+    Callers must only precache full-strength plans (the zoo gates
+    store-loaded plans on bit-identity first). *)
+
 val compile_cached :
   cache ->
   Backend_intf.t ->

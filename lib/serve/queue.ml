@@ -84,6 +84,37 @@ let remove_if t pred =
     t.by_model;
   List.rev !removed
 
+(* Peek at the most recently pushed entry for one model - the candidate
+   a displacement shed would evict (newest first: it has waited least
+   and, FIFO, would be served last anyway). *)
+let newest t ~model =
+  match Hashtbl.find_opt t.by_model model with
+  | None -> None
+  | Some q -> Stdlib.Queue.fold (fun _ v -> Some v) None q
+
+(* Remove and return that newest entry.  O(pending(model)): rebuilds the
+   model's queue without its last element - displacement is rare (only
+   on full-queue, cross-class contention) so simplicity wins. *)
+let pop_newest t ~model =
+  match Hashtbl.find_opt t.by_model model with
+  | None -> None
+  | Some q ->
+      let n = Stdlib.Queue.length q in
+      if n = 0 then None
+      else begin
+        let keep = Stdlib.Queue.create () in
+        let last = ref None in
+        Stdlib.Queue.iter
+          (fun v ->
+            if Stdlib.Queue.length keep = n - 1 then last := Some v
+            else Stdlib.Queue.push v keep)
+          q;
+        Stdlib.Queue.clear q;
+        Stdlib.Queue.transfer keep q;
+        t.count <- t.count - 1;
+        !last
+      end
+
 (* Models with at least one pending request. *)
 let models t =
   Hashtbl.fold

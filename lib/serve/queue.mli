@@ -23,5 +23,14 @@ val take : 'a t -> model:string -> max:int -> 'a list
 val remove_if : 'a t -> ('a -> bool) -> 'a list
 (** Remove and return every entry matching the predicate (shedding). *)
 
+val newest : 'a t -> model:string -> 'a option
+(** Peek at the most recently pushed entry of [model] - the entry a
+    displacement shed would evict. *)
+
+val pop_newest : 'a t -> model:string -> 'a option
+(** Remove and return the most recently pushed entry of [model]
+    (displacement shedding: evict the request that has waited least to
+    admit a higher-priority one). *)
+
 val models : 'a t -> string list
 (** Models with at least one pending request. *)

@@ -18,12 +18,17 @@ type overload =
   | Breaker_open
       (** rejected fast: the model's circuit breaker is open after
           consecutive batch failures *)
+  | Displaced
+      (** shed from the queue: a full queue made room for an arriving
+          higher-SLO-class request by evicting this newest lower-class
+          entry *)
 
 let overload_to_string = function
   | Queue_full -> "queue-full"
   | Deadline_exceeded -> "deadline-exceeded"
   | Shutting_down -> "shutting-down"
   | Breaker_open -> "breaker-open"
+  | Displaced -> "displaced"
 
 type outcome =
   | Done of {

@@ -9,6 +9,10 @@ type overload =
   | Breaker_open
       (** rejected fast: the model's circuit breaker is open after
           consecutive batch failures *)
+  | Displaced
+      (** shed from the queue: a full queue made room for an arriving
+          higher-SLO-class request by evicting this newest lower-class
+          entry (multi-tenant scheduling only) *)
 
 val overload_to_string : overload -> string
 

@@ -73,6 +73,17 @@ type t = {
   nonempty : Condition.t;
   done_cond : Condition.t;
   queue : Request.t Rq.t;
+  (* SLO mode (multi-tenant zoo): per-model class assignments drive
+     class-priority + EDF dispatch, a fair-share floor, and
+     displacement shedding.  Empty [slos] = legacy single-tenant
+     behavior, byte-for-byte (oldest-head FIFO across models). *)
+  slos : (string, Slo.t) Hashtbl.t;
+  slo_mode : bool;
+  floor_period : int;
+      (** every [floor_period]-th dispatch goes to the least-served
+          model instead of the highest class - the fair-share floor *)
+  served : (string, int) Hashtbl.t;  (** dispatches per model *)
+  mutable dispatches : int;
   retries : Request.t Stdlib.Queue.t;
       (** failed-batch requests awaiting solo re-dispatch *)
   resolved : (int, unit) Hashtbl.t;
@@ -93,6 +104,11 @@ type t = {
   mutable submitted : int;
   mutable rejected : int;
   mutable shed : int;
+  mutable shed_admission : int;
+      (** refused at submit: deadline already past on arrival *)
+  mutable displaced : int;
+      (** queued lower-class requests evicted for higher-class arrivals *)
+  mutable floor_picks : int;  (** dispatches taken by the fair-share floor *)
   mutable completed : int;
   mutable failed : int;
   mutable degraded : int;
@@ -115,19 +131,34 @@ type t = {
   m_duplicate : Metrics.counter;
   m_breaker_open : Metrics.counter;
   m_breaker_close : Metrics.counter;
+  m_shed_admission : Metrics.counter;
+  m_displaced : Metrics.counter;
 }
 
-let create ?(breaker_threshold = 4) ?(breaker_cooldown_us = 5_000.) ~policy
-    ~queue_depth () =
+let create ?(breaker_threshold = 4) ?(breaker_cooldown_us = 5_000.)
+    ?(slos = []) ?(fair_share_floor = 0.125) ~policy ~queue_depth () =
   let r = Metrics.default in
   let wake_r, wake_w = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock wake_r;
   Unix.set_nonblock wake_w;
+  let slo_table = Hashtbl.create 8 in
+  List.iter (fun (m, s) -> Hashtbl.replace slo_table m s) slos;
+  if fair_share_floor < 0. || fair_share_floor > 0.5 then
+    invalid_arg "Scheduler.create: fair_share_floor must be in [0, 0.5]";
   {
     mu = Mutex.create ();
     nonempty = Condition.create ();
     done_cond = Condition.create ();
     queue = Rq.create ~depth:queue_depth;
+    slos = slo_table;
+    slo_mode = slos <> [];
+    (* floor share f reserves every round(1/f)-th dispatch; f = 0
+       disables the floor (pure strict priority). *)
+    floor_period =
+      (if fair_share_floor <= 0. then 0
+       else max 2 (int_of_float (Float.round (1. /. fair_share_floor))));
+    served = Hashtbl.create 8;
+    dispatches = 0;
     retries = Stdlib.Queue.create ();
     resolved = Hashtbl.create 64;
     breakers = Hashtbl.create 8;
@@ -145,6 +176,9 @@ let create ?(breaker_threshold = 4) ?(breaker_cooldown_us = 5_000.) ~policy
     submitted = 0;
     rejected = 0;
     shed = 0;
+    shed_admission = 0;
+    displaced = 0;
+    floor_picks = 0;
     completed = 0;
     failed = 0;
     degraded = 0;
@@ -165,6 +199,8 @@ let create ?(breaker_threshold = 4) ?(breaker_cooldown_us = 5_000.) ~policy
     m_duplicate = Metrics.counter r "serve.duplicate";
     m_breaker_open = Metrics.counter r "serve.breaker_open";
     m_breaker_close = Metrics.counter r "serve.breaker_close";
+    m_shed_admission = Metrics.counter r "serve.shed_admission";
+    m_displaced = Metrics.counter r "serve.displaced";
   }
 
 let now_us () = Unix.gettimeofday () *. 1e6
@@ -336,6 +372,57 @@ let breaker_tick_locked (b : breaker) ~now =
   if b.bstate = `Open && now >= b.open_until then b.bstate <- `Half_open;
   b.bstate
 
+(* The SLO class a model was registered with; unregistered models (and
+   all models outside slo_mode) are best-effort. *)
+let slo_of t model =
+  match Hashtbl.find_opt t.slos model with
+  | Some s -> s
+  | None -> Slo.Best_effort
+
+(* Displacement shedding: the queue is full and a request of a strictly
+   higher class (lower rank) wants in.  Evict the NEWEST queued request
+   of the LOWEST class present that ranks strictly below the arrival -
+   newest because, FIFO, it would be served last of its class anyway,
+   so the displacement costs the minimum already-accrued waiting.  The
+   evicted request was admitted, so it completes through the normal
+   path as [Overloaded Displaced]; the submitter sees a structured shed,
+   never silence.  Returns whether a slot was freed. *)
+let displace_locked t ~for_rank =
+  let victim =
+    List.fold_left
+      (fun acc model ->
+        let r = Slo.rank (slo_of t model) in
+        if r <= for_rank then acc
+        else
+          match Rq.newest t.queue ~model with
+          | None -> acc
+          | Some (cand : Request.t) -> (
+              match acc with
+              | Some (best_r, best_sub, _)
+                when best_r > r
+                     || (best_r = r && best_sub >= cand.submitted_us) ->
+                  acc
+              | _ -> Some (r, cand.submitted_us, model)))
+      None (Rq.models t.queue)
+  in
+  match victim with
+  | None -> false
+  | Some (_, _, model) -> (
+      match Rq.pop_newest t.queue ~model with
+      | None -> false
+      | Some evicted ->
+          t.displaced <- t.displaced + 1;
+          Metrics.inc t.m_displaced;
+          if Trace.active () then
+            Trace.instant ~phase:"serve" "displaced"
+              ~attrs:
+                [
+                  ("model", Trace.Str evicted.Request.model);
+                  ("id", Trace.Int evicted.Request.id);
+                ];
+          complete_locked t evicted (Request.Overloaded Request.Displaced);
+          true)
+
 let submit t (req : Request.t) =
   locked t (fun () ->
       let broken =
@@ -355,7 +442,34 @@ let submit t (req : Request.t) =
         Metrics.inc t.m_rejected;
         Error Request.Breaker_open
       end
-      else if not (Rq.push t.queue ~model:req.model req) then begin
+      else if Request.expired ~now_us:(now_us ()) req then begin
+        (* Dead on arrival: refuse at admission instead of letting the
+           corpse occupy queue space until dispatch-time shedding.  A
+           refusal never increments [submitted]/[outstanding], so it is
+           accounted as a rejection (keeping the disposition ledger's
+           lost = 0 invariant) and separately as [shed_admission]; the
+           obs shed counter ticks too, with this distinct reason
+           visible as [serve.shed_admission]. *)
+        t.rejected <- t.rejected + 1;
+        t.shed_admission <- t.shed_admission + 1;
+        Metrics.inc t.m_rejected;
+        Metrics.inc t.m_shed;
+        Metrics.inc t.m_shed_admission;
+        if Trace.active () then
+          Trace.instant ~phase:"serve" "shed-admission"
+            ~attrs:
+              [
+                ("model", Trace.Str req.model); ("id", Trace.Int req.id);
+              ];
+        Error Request.Deadline_exceeded
+      end
+      else if
+        not
+          (Rq.push t.queue ~model:req.model req
+          || t.slo_mode
+             && displace_locked t ~for_rank:(Slo.rank (slo_of t req.model))
+             && Rq.push t.queue ~model:req.model req)
+      then begin
         t.rejected <- t.rejected + 1;
         Metrics.inc t.m_rejected;
         Error Request.Queue_full
@@ -385,8 +499,9 @@ let shed_expired_locked t =
   if dead <> [] then publish_depth t
 
 (* Under the lock: find the dispatchable model whose head request is the
-   oldest (global FIFO fairness across models). *)
-let pick_locked t =
+   oldest (global FIFO fairness across models).  Legacy single-tenant
+   policy, kept bit-identical when no SLOs are registered. *)
+let pick_fifo_locked t =
   let now = now_us () in
   let draining = t.draining || t.stopped in
   List.fold_left
@@ -403,6 +518,75 @@ let pick_locked t =
               | Some (_, _, best_sub) when best_sub <= head.submitted_us -> best
               | _ -> Some (model, n, head.submitted_us))))
     None (Rq.models t.queue)
+
+(* Multi-tenant pick: strict class priority with two refinements.
+
+   Order among dispatchable candidates is (class rank, key): inside the
+   Latency class the key is the head request's absolute deadline
+   (earliest-deadline-first - the workload is feasibility-constrained,
+   and EDF is optimal for it on a single resource); inside Throughput
+   and Best_effort the key is head submission time (FIFO - nothing to
+   be early FOR, so oldest-first minimizes mean wait).
+
+   The fair-share floor keeps strict priority from starving the bottom
+   class under sustained overload: every [floor_period]-th dispatch is
+   handed to the LEAST-SERVED dispatchable model regardless of class.
+   Under 2x overload a latency flood owns (floor_period - 1) of every
+   [floor_period] slots and best-effort still makes progress - goodput
+   bounded below by the floor share instead of rounding to zero.  The
+   floor redirects dispatch order only; it never bypasses the batcher's
+   window decision, so a floor pick is still a legal batch. *)
+let pick_slo_locked t =
+  let now = now_us () in
+  let draining = t.draining || t.stopped in
+  let candidates =
+    List.filter_map
+      (fun model ->
+        match Rq.oldest t.queue ~model with
+        | None -> None
+        | Some (head : Request.t) -> (
+            let pending = Rq.pending t.queue ~model in
+            let wait = now -. head.submitted_us in
+            match
+              Batcher.decide t.policy ~pending ~oldest_wait_us:wait ~draining
+            with
+            | Batcher.Wait -> None
+            | Batcher.Dispatch n ->
+                let slo = slo_of t model in
+                let key =
+                  match (slo, head.deadline_us) with
+                  | Slo.Latency _, Some d -> d
+                  | _ -> head.submitted_us
+                in
+                Some (model, n, Slo.rank slo, key)))
+      (Rq.models t.queue)
+  in
+  match candidates with
+  | [] -> None
+  | _ ->
+      let served model =
+        Option.value ~default:0 (Hashtbl.find_opt t.served model)
+      in
+      let floor_turn =
+        t.floor_period > 0 && t.dispatches mod t.floor_period = t.floor_period - 1
+      in
+      let better (m, _, r, k) (m', _, r', k') =
+        if floor_turn then
+          (* least-served first; rank then key break ties deterministically *)
+          compare (served m, r, k, m) (served m', r', k', m') < 0
+        else compare (r, k, m) (r', k', m') < 0
+      in
+      let (model, n, _, _) =
+        List.fold_left
+          (fun best c -> if better c best then c else best)
+          (List.hd candidates) (List.tl candidates)
+      in
+      if floor_turn then t.floor_picks <- t.floor_picks + 1;
+      t.dispatches <- t.dispatches + 1;
+      Hashtbl.replace t.served model (served model + 1);
+      Some (model, n, 0.)
+
+let pick_locked t = if t.slo_mode then pick_slo_locked t else pick_fifo_locked t
 
 (* Shed every queued request of a model whose breaker is open: the
    fast-rejection contract extends to requests admitted just before the
@@ -592,6 +776,9 @@ type stats = {
   submitted : int;
   rejected : int;
   shed : int;
+  shed_admission : int;
+  displaced : int;
+  floor_picks : int;
   completed : int;
   failed : int;
   degraded : int;
@@ -611,6 +798,9 @@ let stats t =
         submitted = t.submitted;
         rejected = t.rejected;
         shed = t.shed;
+        shed_admission = t.shed_admission;
+        displaced = t.displaced;
+        floor_picks = t.floor_picks;
         completed = t.completed;
         failed = t.failed;
         degraded = t.degraded;

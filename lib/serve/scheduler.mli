@@ -18,6 +18,8 @@ type batch = {
 val create :
   ?breaker_threshold:int ->
   ?breaker_cooldown_us:float ->
+  ?slos:(string * Slo.t) list ->
+  ?fair_share_floor:float ->
   policy:Batcher.policy ->
   queue_depth:int ->
   unit ->
@@ -25,12 +27,29 @@ val create :
 (** [breaker_threshold] (default 4) is the consecutive-batch-failure
     count that opens a model's circuit breaker; [0] disables breakers.
     [breaker_cooldown_us] (default 5000) is how long an open breaker
-    refuses before admitting a half-open probe. *)
+    refuses before admitting a half-open probe.
+
+    [slos] switches the scheduler into multi-tenant mode: per-model SLO
+    classes drive strict class priority (Latency > Throughput >
+    Best_effort), earliest-deadline-first inside the Latency class, and
+    displacement shedding (a full queue evicts the newest lowest-class
+    entry - completed as [Overloaded Displaced] - to admit a
+    higher-class arrival).  With [slos = []] (default) scheduling is
+    the legacy oldest-head FIFO, unchanged.
+
+    [fair_share_floor] (default 0.125, multi-tenant mode only) reserves
+    every [round(1/floor)]-th dispatch for the least-served model
+    regardless of class, so Best_effort keeps making progress under
+    sustained overload; [0.] disables the floor (pure strict priority).
+    @raise Invalid_argument outside [0, 0.5]. *)
 
 val submit : t -> Request.t -> (unit, Request.overload) result
 (** Admit or refuse.  Refusals ([Queue_full], [Shutting_down],
-    [Breaker_open]) never occupy queue space and never produce an
-    outcome entry. *)
+    [Breaker_open], and [Deadline_exceeded] for a request whose
+    deadline is already past on arrival) never occupy queue space and
+    never produce an outcome entry.  Admission-time deadline refusals
+    are counted as rejections plus [shed_admission] (and tick the
+    [serve.shed] / [serve.shed_admission] metrics). *)
 
 val requeue : t -> Request.t -> unit
 (** Re-admit a request from a failed batch for a solo re-dispatch.
@@ -106,6 +125,14 @@ type stats = {
   submitted : int;
   rejected : int;
   shed : int;
+  shed_admission : int;
+      (** refused at submit with a deadline already past (also counted
+          in [rejected]: never admitted, so the disposition ledger
+          still balances) *)
+  displaced : int;
+      (** queued lower-class requests evicted by displacement shedding
+          (also counted in [shed]: they complete as [Overloaded]) *)
+  floor_picks : int;  (** dispatches taken by the fair-share floor *)
   completed : int;
   failed : int;
   degraded : int;

@@ -41,6 +41,12 @@ type config = {
   breaker_cooldown_us : float;  (** open-breaker fast-reject window *)
   wedge_timeout_us : float;  (** stale-heartbeat bound mid-batch *)
   restart_backoff_us : float;  (** base worker-respawn delay *)
+  slos : (string * Slo.t) list;
+      (** per-model SLO classes; non-empty switches the scheduler into
+          multi-tenant class-priority mode *)
+  fair_share_floor : float;
+      (** fraction of dispatches reserved for the least-served model
+          (multi-tenant mode); 0 = pure strict priority *)
 }
 
 let default_config =
@@ -60,6 +66,8 @@ let default_config =
     breaker_cooldown_us = 5_000.;
     wedge_timeout_us = 50_000.;
     restart_backoff_us = 1_000.;
+    slos = [];
+    fair_share_floor = 0.125;
   }
 
 type t = {
@@ -67,6 +75,7 @@ type t = {
   scheduler : Scheduler.t;
   pool : Worker_pool.t;
   models : (string, Worker_pool.model_state) Hashtbl.t;
+  slos : (string, Slo.t) Hashtbl.t;
   next_id : int Atomic.t;
   mutable closed : bool;
 }
@@ -125,9 +134,16 @@ let create ?(config = default_config) models =
   let policy =
     Batcher.policy ~max_batch:config.max_batch ~max_wait_us:config.max_wait_us
   in
+  List.iter
+    (fun (name, _) ->
+      if not (Hashtbl.mem table name) then
+        invalid_arg
+          (Printf.sprintf "Serve.create: SLO for unregistered model %s" name))
+    config.slos;
   let scheduler =
     Scheduler.create ~breaker_threshold:config.breaker_threshold
-      ~breaker_cooldown_us:config.breaker_cooldown_us ~policy
+      ~breaker_cooldown_us:config.breaker_cooldown_us ~slos:config.slos
+      ~fair_share_floor:config.fair_share_floor ~policy
       ~queue_depth:config.queue_depth ()
   in
   let cache = Session.make_cache ~capacity:config.cache_capacity () in
@@ -138,11 +154,14 @@ let create ?(config = default_config) models =
       ~wedge_timeout_us:config.wedge_timeout_us
       ~restart_backoff_us:config.restart_backoff_us ~workers:config.workers
   in
+  let slo_table = Hashtbl.create 8 in
+  List.iter (fun (m, s) -> Hashtbl.replace slo_table m s) config.slos;
   {
     config;
     scheduler;
     pool;
     models = table;
+    slos = slo_table;
     next_id = Atomic.make 1;
     closed = false;
   }
@@ -168,6 +187,7 @@ let symbolic t ~model =
   r
 
 let warm t = Worker_pool.warm t.pool
+let plan_cache t = Worker_pool.plan_cache t.pool
 
 (* A ticket names an admitted request; redeem it with [await]. *)
 type ticket = int
@@ -175,10 +195,18 @@ type ticket = int
 let submit_async ?deadline_us t ~model ~params =
   ignore (model_state t model);
   let now = Unix.gettimeofday () *. 1e6 in
+  (* Deadline precedence: explicit per-request > the model's SLO-class
+     default (Latency class carries one) > the server-wide default. *)
   let rel =
     match deadline_us with
     | Some _ as d -> d
-    | None -> t.config.default_deadline_us
+    | None -> (
+        match Hashtbl.find_opt t.slos model with
+        | Some slo -> (
+            match Slo.default_deadline_us slo with
+            | Some _ as d -> d
+            | None -> t.config.default_deadline_us)
+        | None -> t.config.default_deadline_us)
   in
   let id = Atomic.fetch_and_add t.next_id 1 in
   (* Admission runs inside a client-thread span; the request's trace
@@ -265,6 +293,9 @@ type stats = {
   submitted : int;
   rejected : int;
   shed : int;
+  shed_admission : int;
+  displaced : int;
+  floor_picks : int;
   completed : int;
   failed : int;
   degraded : int;
@@ -288,6 +319,9 @@ let stats t =
     submitted = s.Scheduler.submitted;
     rejected = s.Scheduler.rejected;
     shed = s.Scheduler.shed;
+    shed_admission = s.Scheduler.shed_admission;
+    displaced = s.Scheduler.displaced;
+    floor_picks = s.Scheduler.floor_picks;
     completed = s.Scheduler.completed;
     failed = s.Scheduler.failed;
     degraded = s.Scheduler.degraded;
@@ -375,9 +409,11 @@ let latency_breakdown () =
 let pp_stats fmt (s : stats) =
   Format.fprintf fmt
     "submitted %d  completed %d  degraded %d  failed %d  rejected %d  shed %d@ \
+     shed-at-admission %d  displaced %d  floor picks %d@ \
      batches %d  padded rows %d  plan compiles %d  outstanding %d  queue %d \
      (max %d)@ \
      retried %d  duplicates %d  breaker open/close %d/%d"
-    s.submitted s.completed s.degraded s.failed s.rejected s.shed s.batches
+    s.submitted s.completed s.degraded s.failed s.rejected s.shed
+    s.shed_admission s.displaced s.floor_picks s.batches
     s.padded_rows s.plan_compiles s.outstanding s.queue_depth s.max_depth_seen
     s.retried s.duplicates s.breaker_opens s.breaker_closes

@@ -51,13 +51,26 @@ type config = {
   restart_backoff_us : float;
       (** base delay before respawning a dead worker; doubles per
           consecutive death (capped at 128x) *)
+  slos : (string * Slo.t) list;
+      (** per-model SLO classes.  Non-empty switches the scheduler into
+          multi-tenant mode: strict class priority with EDF inside the
+          Latency class, a fair-share floor, and displacement shedding.
+          A model with a [Latency] class inherits its deadline as the
+          per-request default.  Empty (default) keeps the legacy FIFO
+          scheduler.
+          Listing an unregistered model is an [Invalid_argument]. *)
+  fair_share_floor : float;
+      (** fraction of dispatches reserved for the least-served model in
+          multi-tenant mode (default 0.125 = every 8th dispatch), so
+          Best_effort tenants keep making progress under overload;
+          [0.] = pure strict priority *)
 }
 
 val default_config : config
 (** 2 workers, max_batch 8, 2ms window, depth 64, no deadline, v100,
     fused, cache 64, no verification, seed 42; retry budget 2, breaker
     threshold 4 / cooldown 5ms, wedge timeout 50ms, restart backoff
-    1ms. *)
+    1ms; no SLOs (legacy FIFO scheduling), fair-share floor 1/8. *)
 
 type t
 
@@ -72,6 +85,11 @@ val warm : t -> unit
     latency: the single max-batch context for a shape-polymorphic
     model, batch-1 and max-batch contexts for a fixed-extent one. *)
 
+val plan_cache : t -> Astitch_runtime.Session.cache
+(** The server's shared session cache.  Zoo prewarming seeds it with
+    store-loaded plans (so [warm] hits instead of compiling) and
+    persists it on shutdown. *)
+
 type ticket = int
 
 val submit_async :
@@ -81,7 +99,11 @@ val submit_async :
   params:(string * Tensor.t) list ->
   (ticket, Request.overload) result
 (** Admit or refuse, without blocking.  [deadline_us] is relative to
-    now and overrides the config default.
+    now; precedence is explicit per-request deadline, then the model's
+    SLO-class default (a [Latency] class carries one), then the config
+    default.  A request whose deadline is already past on arrival is
+    refused as [Deadline_exceeded] at admission (counted under
+    [shed_admission]) instead of occupying queue space.
     @raise Invalid_argument on an unknown model. *)
 
 val await : t -> ticket -> Request.outcome
@@ -129,6 +151,16 @@ type stats = {
   submitted : int;
   rejected : int;
   shed : int;
+  shed_admission : int;
+      (** refused at submit with an already-past deadline (subset of
+          [rejected]; also ticks the [serve.shed] /
+          [serve.shed_admission] metrics) *)
+  displaced : int;
+      (** queued lower-SLO-class requests evicted to admit higher-class
+          arrivals (subset of [shed]; multi-tenant mode only) *)
+  floor_picks : int;
+      (** dispatches the fair-share floor redirected to the
+          least-served model (multi-tenant mode only) *)
   completed : int;
   failed : int;
   degraded : int;

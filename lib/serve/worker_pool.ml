@@ -835,6 +835,7 @@ let supervision pool =
 
 let padded_rows pool = Atomic.get pool.n_padded
 let plan_compiles pool = Atomic.get pool.n_compiles
+let plan_cache pool = pool.cache
 
 let context_counts pool =
   Hashtbl.fold

@@ -96,6 +96,11 @@ val plan_compiles : t -> int
 (** Plan compiles performed at context checkout (shared-cache misses
     and bypasses).  One per symbolic model in steady state. *)
 
+val plan_cache : t -> Astitch_runtime.Session.cache
+(** The shared session cache behind every checkout.  Exposed so zoo
+    prewarming can seed it with store-loaded plans (checkouts then hit
+    instead of compiling) and persist it on shutdown. *)
+
 val context_counts : t -> (string * int) list
 (** Free pooled contexts per model, sorted by name - symbolic and
     fixed-extent together.  A drained single-worker server holds

@@ -148,6 +148,54 @@ let test_lru_eviction_order () =
     (Plan_cache.stats cache).Plan_cache.evictions;
   check_bool "replaced value" true (Plan_cache.find cache (key "a") = Some 10)
 
+let test_stats_printer_invariant () =
+  let cache : int Plan_cache.t = Plan_cache.create ~capacity:2 () in
+  let key n = Plan_cache.key ~fingerprint:n ~arch:"v100" ~config:"c" in
+  Plan_cache.add cache (key "a") 1;
+  Plan_cache.add cache (key "b") 2;
+  Plan_cache.add cache (key "c") 3 (* evicts the LRU entry *);
+  ignore (Plan_cache.remove cache (key "c"));
+  let s = Plan_cache.stats cache in
+  let printed = Format.asprintf "%a" Plan_cache.pp_stats s in
+  (* Every counter the invariant needs must be readable off the printed
+     line - in particular [removals], which the printer used to omit. *)
+  let contains sub =
+    let n = String.length sub and len = String.length printed in
+    let rec go i = i + n <= len && (String.sub printed i n = sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun (count, label) ->
+      check_bool
+        (Printf.sprintf "printed stats mention %S" label)
+        true
+        (contains (Printf.sprintf "%d %s" count label)))
+    [
+      (s.Plan_cache.insertions, "insertions");
+      (s.Plan_cache.evictions, "evictions");
+      (s.Plan_cache.removals, "removals");
+      (s.Plan_cache.bypasses, "bypasses");
+    ];
+  check_int "length = insertions - evictions - removals"
+    (Plan_cache.length cache)
+    (s.Plan_cache.insertions - s.Plan_cache.evictions - s.Plan_cache.removals)
+
+let test_entries_fold () =
+  let cache : int Plan_cache.t = Plan_cache.create ~capacity:8 () in
+  let key n = Plan_cache.key ~fingerprint:n ~arch:"v100" ~config:"c" in
+  List.iter (fun (k, v) -> Plan_cache.add cache (key k) v)
+    [ ("a", 1); ("b", 2); ("c", 3) ];
+  let entries =
+    List.sort compare (List.map snd (Plan_cache.entries cache))
+  in
+  check_bool "entries snapshot all values" true (entries = [ 1; 2; 3 ]);
+  let sum = Plan_cache.fold (fun acc _k v -> acc + v) 0 cache in
+  check_int "fold visits every entry" 6 sum;
+  (* iteration must not perturb recency or hit/miss accounting *)
+  let s = Plan_cache.stats cache in
+  check_int "no hits from iteration" 0 s.Plan_cache.hits;
+  check_int "no misses from iteration" 0 s.Plan_cache.misses
+
 let test_fault_injected_compile_bypasses_cache () =
   let g = serving_graph () in
   (* a Corrupt fault that fires somewhere in the pipeline *)
@@ -357,6 +405,9 @@ let () =
             test_cache_key_separates;
           Alcotest.test_case "LRU eviction order" `Quick
             test_lru_eviction_order;
+          Alcotest.test_case "stats printer invariant" `Quick
+            test_stats_printer_invariant;
+          Alcotest.test_case "entries/fold snapshot" `Quick test_entries_fold;
           Alcotest.test_case "fault-injected compiles bypass" `Quick
             test_fault_injected_compile_bypasses_cache;
           Alcotest.test_case "degraded compiles bypass" `Quick

@@ -1,0 +1,442 @@
+(* Multi-tenant zoo serving: SLO-class scheduling and the persistent
+   plan store.
+
+   Scheduler level (driven directly, no worker domains, so dispatch
+   order is fully observable and deterministic):
+   - EDF across latency-class models: the earlier absolute deadline
+     dispatches first regardless of submission order;
+   - strict class priority: Latency > Throughput > Best_effort;
+   - the fair-share floor: under a strict-priority backlog, every
+     floor-period-th dispatch goes to the least-served model, so
+     best-effort completes work while higher classes are still queued
+     (and floor_picks counts it);
+   - admission-time expiry: a request whose deadline is already past is
+     refused as [Deadline_exceeded] at submit - counted under
+     [shed_admission], never queued, never producing an outcome;
+   - displacement shedding: a full queue evicts its newest
+     strictly-lower-class entry (completed [Overloaded Displaced]) to
+     admit a higher-class arrival, and never displaces an equal class;
+   - with [slos = []] everything above is off: legacy FIFO picks.
+
+   Zoo level (caller-runs, a cheap batchable builder):
+   - traffic is refused before prewarm;
+   - per-class accounting sums to the outcomes observed;
+   - the plan store round-trips across zoo restarts: cold prewarm
+     compiles and saves, warm prewarm loads everything and compiles
+     nothing, and the served outputs are bit-identical either way;
+   - the bit-identity gate: --verify-plans accepts an intact store
+     (all loaded plans verified) and a corrupted store file is
+     rejected and recompiled without the zoo missing a request. *)
+
+open Astitch_ir
+open Astitch_tensor
+open Astitch_serve
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Scheduler-level fixtures --------------------------------------------- *)
+
+let next_id = ref 0
+
+let mk_req ?deadline_us ~model () =
+  incr next_id;
+  let now = Unix.gettimeofday () *. 1e6 in
+  {
+    Request.id = !next_id;
+    model;
+    params = [];
+    submitted_us = now;
+    deadline_us = Option.map (fun d -> now +. d) deadline_us;
+    attempts = 0;
+    trace = Astitch_obs.Trace.new_context ();
+    dispatched_us = 0.;
+  }
+
+let done_outcome =
+  Request.Done { outputs = []; latency_us = 0.; batch = 1; degraded = false }
+
+(* One-request batches + zero batching window: each [next_batch] call
+   returns exactly the scheduler's next pick. *)
+let mk_sched ?(queue_depth = 16) ?(fair_share_floor = 0.) ~slos () =
+  Scheduler.create ~slos ~fair_share_floor
+    ~policy:(Batcher.policy ~max_batch:1 ~max_wait_us:0.)
+    ~queue_depth ()
+
+let submit_ok s req =
+  match Scheduler.submit s req with
+  | Ok () -> ()
+  | Error o ->
+      Alcotest.failf "submit refused: %s" (Request.overload_to_string o)
+
+(* Drain [n] picks, completing each, returning the model order. *)
+let pick_models s n =
+  List.init n (fun _ ->
+      match Scheduler.next_batch s with
+      | None -> Alcotest.fail "scheduler shut down mid-test"
+      | Some b ->
+          List.iter (fun r -> Scheduler.complete s r done_outcome) b.requests;
+          b.Scheduler.model)
+
+let test_edf_across_latency_models () =
+  let s =
+    mk_sched
+      ~slos:
+        [
+          ("A", Slo.Latency { deadline_us = 1e9 });
+          ("B", Slo.Latency { deadline_us = 1e9 });
+        ]
+      ()
+  in
+  (* A submitted first but with the later absolute deadline *)
+  submit_ok s (mk_req ~model:"A" ~deadline_us:10_000_000. ());
+  submit_ok s (mk_req ~model:"B" ~deadline_us:1_000_000. ());
+  Alcotest.(check (list string))
+    "earliest deadline first" [ "B"; "A" ] (pick_models s 2);
+  Scheduler.shutdown s;
+  Scheduler.dispose s
+
+let test_strict_class_priority () =
+  let s =
+    mk_sched
+      ~slos:
+        [
+          ("L", Slo.Latency { deadline_us = 1e9 });
+          ("T", Slo.Throughput);
+          ("E", Slo.Best_effort);
+        ]
+      ()
+  in
+  (* submitted in reverse priority order *)
+  submit_ok s (mk_req ~model:"E" ());
+  submit_ok s (mk_req ~model:"T" ());
+  submit_ok s (mk_req ~model:"L" ~deadline_us:1e9 ());
+  Alcotest.(check (list string))
+    "latency > throughput > best-effort" [ "L"; "T"; "E" ] (pick_models s 3);
+  Scheduler.shutdown s;
+  Scheduler.dispose s
+
+let test_fair_share_floor () =
+  let s =
+    mk_sched ~fair_share_floor:0.5
+      ~slos:[ ("L", Slo.Latency { deadline_us = 1e9 }); ("E", Slo.Best_effort) ]
+      ()
+  in
+  List.iter
+    (fun _ -> submit_ok s (mk_req ~model:"L" ~deadline_us:1e9 ()))
+    (List.init 6 Fun.id);
+  submit_ok s (mk_req ~model:"E" ());
+  submit_ok s (mk_req ~model:"E" ());
+  let order = pick_models s 8 in
+  (* floor period 2: every second dispatch goes to the least-served
+     model, so both E requests complete while L is still backlogged *)
+  Alcotest.(check (list string))
+    "floor interleaves best-effort under a latency backlog"
+    [ "L"; "E"; "L"; "E"; "L"; "L"; "L"; "L" ]
+    order;
+  let st = Scheduler.stats s in
+  (* every second dispatch is a floor turn, counted even once the floor
+     pick coincides with strict priority (E drained) *)
+  check_int "floor picks counted" 4 st.Scheduler.floor_picks;
+  Scheduler.shutdown s;
+  Scheduler.dispose s
+
+let test_pure_strict_priority_starves () =
+  (* floor 0 is the control: best-effort waits out the entire backlog *)
+  let s =
+    mk_sched ~fair_share_floor:0.
+      ~slos:[ ("L", Slo.Latency { deadline_us = 1e9 }); ("E", Slo.Best_effort) ]
+      ()
+  in
+  List.iter
+    (fun _ -> submit_ok s (mk_req ~model:"L" ~deadline_us:1e9 ()))
+    (List.init 4 Fun.id);
+  submit_ok s (mk_req ~model:"E" ());
+  Alcotest.(check (list string))
+    "strict priority first" [ "L"; "L"; "L"; "L"; "E" ] (pick_models s 5);
+  check_int "no floor picks" 0 (Scheduler.stats s).Scheduler.floor_picks;
+  Scheduler.shutdown s;
+  Scheduler.dispose s
+
+let test_admission_expiry_refused () =
+  List.iter
+    (fun slos ->
+      let s = mk_sched ~slos () in
+      let req = mk_req ~model:"L" ~deadline_us:(-1000.) () in
+      (match Scheduler.submit s req with
+      | Error Request.Deadline_exceeded -> ()
+      | Error o ->
+          Alcotest.failf "wrong refusal: %s" (Request.overload_to_string o)
+      | Ok () -> Alcotest.fail "expired request admitted");
+      let st = Scheduler.stats s in
+      check_int "counted under shed_admission" 1 st.Scheduler.shed_admission;
+      check_int "counted under rejected" 1 st.Scheduler.rejected;
+      check_int "never admitted" 0 st.Scheduler.submitted;
+      check_int "nothing outstanding" 0 (Scheduler.outstanding s);
+      Scheduler.shutdown s;
+      Scheduler.dispose s)
+    (* the admission-time check applies in legacy FIFO mode too *)
+    [ [ ("L", Slo.Latency { deadline_us = 1e9 }) ]; [] ]
+
+let test_displacement () =
+  let s =
+    mk_sched ~queue_depth:2
+      ~slos:[ ("L", Slo.Latency { deadline_us = 1e9 }); ("E", Slo.Best_effort) ]
+      ()
+  in
+  let e1 = mk_req ~model:"E" () in
+  let e2 = mk_req ~model:"E" () in
+  submit_ok s e1;
+  submit_ok s e2;
+  (* equal class cannot displace: a third E is a plain refusal *)
+  (match Scheduler.submit s (mk_req ~model:"E" ()) with
+  | Error Request.Queue_full -> ()
+  | Error o -> Alcotest.failf "wrong refusal: %s" (Request.overload_to_string o)
+  | Ok () -> Alcotest.fail "over-depth equal-class admitted");
+  (* a latency arrival displaces the NEWEST best-effort entry *)
+  let l1 = mk_req ~model:"L" ~deadline_us:1e9 () in
+  submit_ok s l1;
+  (match Scheduler.await s e2.Request.id with
+  | Request.Overloaded Request.Displaced -> ()
+  | o ->
+      Alcotest.failf "displaced request got %s"
+        (match o with
+        | Request.Done _ -> "Done"
+        | Request.Failed m -> "Failed " ^ m
+        | Request.Overloaded o -> Request.overload_to_string o));
+  check_int "displacement counted" 1 (Scheduler.stats s).Scheduler.displaced;
+  (* dispatch order after displacement: the latency request, then the
+     surviving oldest best-effort *)
+  Alcotest.(check (list string)) "L then e1" [ "L"; "E" ] (pick_models s 2);
+  (match Scheduler.await s e1.Request.id with
+  | Request.Done _ -> ()
+  | _ -> Alcotest.fail "e1 not served");
+  (match Scheduler.await s l1.Request.id with
+  | Request.Done _ -> ()
+  | _ -> Alcotest.fail "l1 not served");
+  Scheduler.shutdown s;
+  Scheduler.dispose s
+
+let test_legacy_fifo_unchanged () =
+  (* without slos, picks are oldest-head FIFO across models *)
+  let s = mk_sched ~slos:[] () in
+  submit_ok s (mk_req ~model:"E" ());
+  submit_ok s (mk_req ~model:"T" ());
+  submit_ok s (mk_req ~model:"L" ());
+  Alcotest.(check (list string))
+    "submission order" [ "E"; "T"; "L" ] (pick_models s 3);
+  let st = Scheduler.stats s in
+  check_int "no floor picks in legacy mode" 0 st.Scheduler.floor_picks;
+  check_int "no displacement in legacy mode" 0 st.Scheduler.displaced;
+  Scheduler.shutdown s;
+  Scheduler.dispose s
+
+(* --- Zoo level ------------------------------------------------------------- *)
+
+(* The cheap batchable fixture: dense layer + softmax over shared
+   weights, per-request rows. *)
+let mlp_build ~batch =
+  let k = 6 in
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ batch; k ] in
+  let w = Builder.parameter b "w" [ k; k ] in
+  let h = Builder.dot b x w in
+  let out = Builder.softmax b (Builder.gelu b h) in
+  Builder.finish b ~outputs:[ out ]
+
+let mlp2_build ~batch =
+  let k = 5 in
+  let b = Builder.create () in
+  let x = Builder.parameter b "x" [ batch; k ] in
+  let w = Builder.parameter b "w" [ k; k ] in
+  let out = Builder.tanh b (Builder.dot b x w) in
+  Builder.finish b ~outputs:[ out ]
+
+let registrations =
+  [
+    ({ Serve.name = "mlp"; build = mlp_build }, Slo.Latency { deadline_us = 1e8 });
+    ({ Serve.name = "mlp2"; build = mlp2_build }, Slo.Best_effort);
+  ]
+
+let zoo_config ?plan_dir ?(verify_plans = false) () =
+  {
+    Zoo.serve =
+      { Serve.default_config with workers = 0; max_batch = 4; queue_depth = 32 };
+    plan_dir;
+    verify_plans;
+  }
+
+let with_store_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "astitch-test-zoo-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         Array.iter
+           (fun x ->
+             try Sys.remove (Filename.concat dir x) with Sys_error _ -> ())
+           (Sys.readdir dir);
+         Unix.rmdir dir
+       with Sys_error _ | Unix.Unix_error _ -> ()))
+    (fun () -> f dir)
+
+let test_refuses_traffic_before_prewarm () =
+  let zoo = Zoo.create ~config:(zoo_config ()) registrations in
+  (match
+     Zoo.submit_async zoo ~model:"mlp"
+       ~params:(Serve.random_request (Zoo.server zoo) ~model:"mlp" ~seed:1)
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zoo accepted traffic before prewarm");
+  ignore (Zoo.shutdown zoo)
+
+let run_some zoo n =
+  let outs = ref [] in
+  for i = 1 to n do
+    let model = if i mod 3 = 0 then "mlp2" else "mlp" in
+    let params = Serve.random_request (Zoo.server zoo) ~model ~seed:i in
+    match Zoo.submit zoo ~model ~params with
+    | Request.Done { outputs; _ } -> outs := (model, i, outputs) :: !outs
+    | Request.Failed m -> Alcotest.failf "request %d failed: %s" i m
+    | Request.Overloaded o ->
+        Alcotest.failf "request %d shed: %s" i (Request.overload_to_string o)
+  done;
+  List.rev !outs
+
+let test_class_accounting () =
+  let zoo = Zoo.create ~config:(zoo_config ()) registrations in
+  ignore (Zoo.prewarm zoo);
+  ignore (run_some zoo 9);
+  let stats = Zoo.class_stats zoo in
+  let find c =
+    match List.find_opt (fun (r : Zoo.class_stats) -> r.Zoo.cls = c) stats with
+    | Some r -> r
+    | None -> Alcotest.failf "class %s missing from stats" c
+  in
+  let lat = find "latency" and be = find "best-effort" in
+  check_int "latency submitted" 6 lat.Zoo.submitted;
+  check_int "latency completed" 6 lat.Zoo.completed;
+  check_int "latency deadline met (generous deadline)" 6 lat.Zoo.deadline_met;
+  check_int "best-effort submitted" 3 be.Zoo.submitted;
+  check_int "best-effort completed" 3 be.Zoo.completed;
+  check_bool "latency p99 recorded" true (lat.Zoo.p99_us > 0.);
+  ignore (Zoo.shutdown zoo)
+
+let test_store_roundtrip_across_restart () =
+  with_store_dir (fun dir ->
+      (* cold zoo: compiles, saves, serves *)
+      let cold = Zoo.create ~config:(zoo_config ~plan_dir:dir ()) registrations in
+      let p1 = Zoo.prewarm cold in
+      check_bool "cold run compiled" true (p1.Zoo.compiled > 0);
+      check_int "cold run saved every compile" p1.Zoo.compiled p1.Zoo.saved;
+      check_int "cold run loaded nothing" 0 p1.Zoo.loaded;
+      let cold_outs = run_some cold 6 in
+      ignore (Zoo.shutdown cold);
+      (* warm zoo against the same directory: loads, compiles nothing *)
+      let warm = Zoo.create ~config:(zoo_config ~plan_dir:dir ()) registrations in
+      let p2 = Zoo.prewarm warm in
+      check_int "warm restart compiles nothing" 0 p2.Zoo.compiled;
+      check_int "warm restart loads every plan" p1.Zoo.saved p2.Zoo.loaded;
+      check_int "warm restart rejects nothing" 0 p2.Zoo.rejected;
+      let warm_outs = run_some warm 6 in
+      ignore (Zoo.shutdown warm);
+      (* store-served plans answer bit-identically to fresh compiles *)
+      List.iter2
+        (fun (m1, i1, o1) (m2, i2, o2) ->
+          check_bool "same request" true (m1 = m2 && i1 = i2);
+          check_bool
+            (Printf.sprintf "request %d bit-identical across restart" i1)
+            true
+            (List.for_all2 (fun a b -> Tensor.equal_approx ~eps:0. a b) o1 o2))
+        cold_outs warm_outs)
+
+let test_verify_gate_accepts_intact_store () =
+  with_store_dir (fun dir ->
+      let cold = Zoo.create ~config:(zoo_config ~plan_dir:dir ()) registrations in
+      let p1 = Zoo.prewarm cold in
+      ignore (Zoo.shutdown cold);
+      let v =
+        Zoo.create
+          ~config:(zoo_config ~plan_dir:dir ~verify_plans:true ())
+          registrations
+      in
+      let p2 = Zoo.prewarm v in
+      check_int "every loaded plan passes the gate" p1.Zoo.saved p2.Zoo.verified;
+      check_int "gate rejects nothing" 0 p2.Zoo.rejected;
+      ignore (run_some v 3);
+      ignore (Zoo.shutdown v))
+
+let test_corrupted_store_file_recompiled () =
+  with_store_dir (fun dir ->
+      let cold = Zoo.create ~config:(zoo_config ~plan_dir:dir ()) registrations in
+      let p1 = Zoo.prewarm cold in
+      ignore (Zoo.shutdown cold);
+      (* flip one payload byte in one stored plan *)
+      let victim =
+        match Sys.readdir dir with
+        | [||] -> Alcotest.fail "store is empty"
+        | files -> Filename.concat dir files.(0)
+      in
+      let bytes =
+        let ic = open_in_bin victim in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      in
+      let b = Bytes.of_string bytes in
+      Bytes.set b 24 (Char.chr (Char.code (Bytes.get b 24) lxor 0x01));
+      let oc = open_out_bin victim in
+      output_bytes oc b;
+      close_out oc;
+      (* the damaged plan is rejected and recompiled; the rest load *)
+      let warm = Zoo.create ~config:(zoo_config ~plan_dir:dir ()) registrations in
+      let p2 = Zoo.prewarm warm in
+      check_int "one plan rejected" 1 p2.Zoo.rejected;
+      check_int "one plan recompiled" 1 p2.Zoo.compiled;
+      check_int "the rest loaded" (p1.Zoo.saved - 1) p2.Zoo.loaded;
+      (* and serving is unaffected *)
+      ignore (run_some warm 6);
+      ignore (Zoo.shutdown warm))
+
+let test_prewarm_idempotent () =
+  let zoo = Zoo.create ~config:(zoo_config ()) registrations in
+  let p1 = Zoo.prewarm zoo in
+  let p2 = Zoo.prewarm zoo in
+  check_bool "second prewarm is the memo" true (p1 = p2);
+  ignore (Zoo.shutdown zoo)
+
+let () =
+  Alcotest.run "zoo"
+    [
+      ( "scheduler",
+        [
+          Alcotest.test_case "EDF across latency models" `Quick
+            test_edf_across_latency_models;
+          Alcotest.test_case "strict class priority" `Quick
+            test_strict_class_priority;
+          Alcotest.test_case "fair-share floor" `Quick test_fair_share_floor;
+          Alcotest.test_case "floor 0 = pure strict priority" `Quick
+            test_pure_strict_priority_starves;
+          Alcotest.test_case "expired deadlines refused at admission" `Quick
+            test_admission_expiry_refused;
+          Alcotest.test_case "displacement shedding" `Quick test_displacement;
+          Alcotest.test_case "legacy FIFO unchanged without slos" `Quick
+            test_legacy_fifo_unchanged;
+        ] );
+      ( "zoo",
+        [
+          Alcotest.test_case "refuses traffic before prewarm" `Quick
+            test_refuses_traffic_before_prewarm;
+          Alcotest.test_case "per-class accounting" `Quick
+            test_class_accounting;
+          Alcotest.test_case "plan store round-trip across restart" `Quick
+            test_store_roundtrip_across_restart;
+          Alcotest.test_case "bit-identity gate accepts intact store" `Quick
+            test_verify_gate_accepts_intact_store;
+          Alcotest.test_case "corrupted store file rejected + recompiled"
+            `Quick test_corrupted_store_file_recompiled;
+          Alcotest.test_case "prewarm idempotent" `Quick test_prewarm_idempotent;
+        ] );
+    ]
